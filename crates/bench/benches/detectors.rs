@@ -1,0 +1,83 @@
+//! Detector benchmarks: the `O(N·T)` ML detector (eq. 1) and the
+//! strategy-aware advanced detector (Sec. VI-A), whose cost is dominated
+//! by evaluating the strategy map `Γ` per observed trajectory.
+
+use chaff_bench::{fixture_chain, fixture_user};
+use chaff_core::detector::{AdvancedDetector, MlDetector};
+use chaff_core::strategy::{ChaffStrategy, ImStrategy, MlStrategy, MoStrategy, OoStrategy};
+use chaff_markov::models::ModelKind;
+use chaff_markov::Trajectory;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn observations(n: usize, horizon: usize) -> (chaff_markov::MarkovChain, Vec<Trajectory>) {
+    let chain = fixture_chain(ModelKind::NonSkewed, 10, 21);
+    let user = fixture_user(&chain, horizon, 22);
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut observed = vec![user.clone()];
+    observed.extend(ImStrategy.generate(&chain, &user, n - 1, &mut rng).unwrap());
+    (chain, observed)
+}
+
+/// Full-trajectory detection as the number of observed services grows.
+fn bench_ml_detector_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ml_detector_vs_n");
+    for n in [2usize, 10, 50, 200] {
+        let (chain, observed) = observations(n, 100);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| MlDetector.detect(&chain, black_box(&observed)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Per-slot prefix detection (the tracking-accuracy workhorse).
+fn bench_prefix_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefix_detection");
+    for horizon in [50usize, 100, 400] {
+        let (chain, observed) = observations(10, horizon);
+        group.bench_with_input(BenchmarkId::from_parameter(horizon), &horizon, |b, _| {
+            b.iter(|| MlDetector.detect_prefixes(&chain, black_box(&observed)))
+        });
+    }
+    group.finish();
+}
+
+/// The advanced detector's cost per strategy map: MO and ML maps are
+/// cheap, the OO map runs a full dynamic program per trajectory.
+fn bench_advanced_detector_maps(c: &mut Criterion) {
+    let (chain, observed) = observations(5, 60);
+    let mut group = c.benchmark_group("advanced_detector_map");
+    let strategies: [(&str, &dyn ChaffStrategy); 3] = [
+        ("ML", &MlStrategy),
+        ("MO", &MoStrategy),
+        ("OO", &OoStrategy),
+    ];
+    for (name, strategy) in strategies {
+        group.bench_function(name, |b| {
+            let detector = AdvancedDetector::new(strategy);
+            b.iter(|| detector.detect(&chain, black_box(&observed)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = detectors;
+    config = configured();
+    targets =
+        bench_ml_detector_vs_n,
+        bench_prefix_detection,
+        bench_advanced_detector_maps,
+}
+criterion_main!(detectors);

@@ -1,0 +1,131 @@
+//! One benchmark per reproduced paper artifact.
+//!
+//! Each bench regenerates a figure/table at reduced Monte Carlo scale
+//! (the statistical content is the same; only the averaging is shorter),
+//! so regressions in the experiment pipelines are caught and the relative
+//! cost of each artifact is visible.
+
+use chaff_eval::experiments::{
+    self, fig10, fig4, fig5, fig6, fig7, fig8, fig9, multiuser, table1, theory,
+};
+use chaff_markov::models::ModelKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_config() -> experiments::SyntheticConfig {
+    experiments::SyntheticConfig {
+        num_cells: 10,
+        horizon: 50,
+        runs: 20,
+        seed: 1709,
+    }
+}
+
+fn bench_trace_config() -> experiments::TraceConfig {
+    experiments::TraceConfig {
+        num_nodes: 30,
+        num_towers: 250,
+        horizon: 30,
+        top_k: 2,
+        im_runs: 2,
+        seed: 1709,
+    }
+}
+
+fn bench_table1_kl(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("table1_kl_skewness", |b| {
+        b.iter(|| table1::run(black_box(&config)).unwrap())
+    });
+}
+
+fn bench_fig4_stationary(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("fig4_stationary_distributions", |b| {
+        b.iter(|| fig4::run_all(black_box(&config)).unwrap())
+    });
+}
+
+fn bench_fig5_pipeline(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("fig5_basic_eavesdropper", |b| {
+        b.iter(|| fig5::run(black_box(&config), ModelKind::NonSkewed).unwrap())
+    });
+}
+
+fn bench_fig6_ct(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("fig6_ct_distribution", |b| {
+        b.iter(|| fig6::run(black_box(&config), ModelKind::NonSkewed).unwrap())
+    });
+}
+
+fn bench_fig7_advanced(c: &mut Criterion) {
+    let mut config = bench_config();
+    config.runs = 8; // the advanced detector maps are the dominant cost
+    c.bench_function("fig7_advanced_eavesdropper", |b| {
+        b.iter(|| fig7::run(black_box(&config), ModelKind::NonSkewed).unwrap())
+    });
+}
+
+fn bench_fig8_pipeline(c: &mut Criterion) {
+    let config = bench_trace_config();
+    c.bench_function("fig8_trace_pipeline", |b| {
+        b.iter(|| fig8::run(black_box(&config)).unwrap())
+    });
+}
+
+fn bench_fig9_trace_detect(c: &mut Criterion) {
+    let config = bench_trace_config();
+    c.bench_function("fig9_trace_per_user", |b| {
+        b.iter(|| fig9::run(black_box(&config)).unwrap())
+    });
+}
+
+fn bench_fig10_advanced_trace(c: &mut Criterion) {
+    let config = bench_trace_config();
+    c.bench_function("fig10_advanced_trace", |b| {
+        b.iter(|| fig10::run(black_box(&config)).unwrap())
+    });
+}
+
+fn bench_theory_bounds(c: &mut Criterion) {
+    let mut config = bench_config();
+    config.runs = 10;
+    c.bench_function("theory_bounds_table", |b| {
+        b.iter(|| theory::run(black_box(&config)).unwrap())
+    });
+}
+
+fn bench_multiuser(c: &mut Criterion) {
+    let mut config = bench_config();
+    config.runs = 10;
+    c.bench_function("multiuser_extension", |b| {
+        b.iter(|| multiuser::run(black_box(&config), ModelKind::NonSkewed).unwrap())
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = figures;
+    config = configured();
+    targets =
+        bench_table1_kl,
+        bench_fig4_stationary,
+        bench_fig5_pipeline,
+        bench_fig6_ct,
+        bench_fig7_advanced,
+        bench_fig8_pipeline,
+        bench_fig9_trace_detect,
+        bench_fig10_advanced_trace,
+        bench_theory_bounds,
+        bench_multiuser,
+}
+criterion_main!(figures);

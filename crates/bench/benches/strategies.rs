@@ -1,0 +1,141 @@
+//! Chaff-strategy complexity ablations.
+//!
+//! The paper quotes `O(T L²)` for the ML strategy's shortest path and
+//! `O(T² L²)` for the OO dynamic program; the online strategies are
+//! `O(T·s)`. These benches verify the scaling empirically and quantify
+//! two implementation choices called out in DESIGN.md: iterating sparse
+//! row supports, and the layered DP versus the paper's Dijkstra for the
+//! trellis shortest path.
+
+use chaff_bench::{fixture_chain, fixture_user};
+use chaff_core::strategy::{ChaffStrategy, CmlStrategy, MlStrategy, MoStrategy, OoStrategy, RolloutStrategy};
+use chaff_core::trellis;
+use chaff_markov::models::ModelKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Strategy cost as the horizon grows (OO should scale quadratically,
+/// the others linearly).
+fn bench_strategies_vs_horizon(c: &mut Criterion) {
+    let chain = fixture_chain(ModelKind::NonSkewed, 10, 1);
+    let mut group = c.benchmark_group("strategy_vs_horizon");
+    for horizon in [25usize, 50, 100, 200] {
+        let user = fixture_user(&chain, horizon, 2);
+        group.bench_with_input(BenchmarkId::new("ML", horizon), &horizon, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| MlStrategy.generate(&chain, black_box(&user), 1, &mut rng).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("OO", horizon), &horizon, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| OoStrategy.generate(&chain, black_box(&user), 1, &mut rng).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("MO", horizon), &horizon, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| MoStrategy.generate(&chain, black_box(&user), 1, &mut rng).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("CML", horizon), &horizon, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| CmlStrategy.generate(&chain, black_box(&user), 1, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Strategy cost as the cell count grows.
+fn bench_strategies_vs_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy_vs_cells");
+    for cells in [10usize, 25, 50, 100] {
+        let chain = fixture_chain(ModelKind::NonSkewed, cells, 4);
+        let user = fixture_user(&chain, 50, 5);
+        group.bench_with_input(BenchmarkId::new("OO", cells), &cells, |b, _| {
+            let mut rng = StdRng::seed_from_u64(6);
+            b.iter(|| OoStrategy.generate(&chain, black_box(&user), 1, &mut rng).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("ML", cells), &cells, |b, _| {
+            let mut rng = StdRng::seed_from_u64(6);
+            b.iter(|| MlStrategy.generate(&chain, black_box(&user), 1, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Dense (model a) versus sparse (model d) rows: the sparse-support
+/// iteration that makes trace-scale OO tractable.
+fn bench_dense_vs_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oo_dense_vs_sparse");
+    let dense = fixture_chain(ModelKind::NonSkewed, 50, 7);
+    let sparse = fixture_chain(ModelKind::SpatioTemporallySkewed, 50, 7);
+    let user_dense = fixture_user(&dense, 80, 8);
+    let user_sparse = fixture_user(&sparse, 80, 8);
+    group.bench_function("dense_rows", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| OoStrategy.generate(&dense, black_box(&user_dense), 1, &mut rng).unwrap())
+    });
+    group.bench_function("sparse_rows", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| OoStrategy.generate(&sparse, black_box(&user_sparse), 1, &mut rng).unwrap())
+    });
+    group.finish();
+}
+
+/// Layered DP versus the paper's Dijkstra on the trellis.
+fn bench_trellis_solvers(c: &mut Criterion) {
+    let chain = fixture_chain(ModelKind::NonSkewed, 25, 10);
+    let mut group = c.benchmark_group("trellis_solver");
+    for horizon in [50usize, 200] {
+        group.bench_with_input(BenchmarkId::new("layered_dp", horizon), &horizon, |b, &h| {
+            b.iter(|| trellis::most_likely_trajectory(&chain, black_box(h), None).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("dijkstra", horizon), &horizon, |b, &h| {
+            b.iter(|| {
+                trellis::most_likely_trajectory_dijkstra(&chain, black_box(h), None).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The MDP-lookahead extension against plain myopia.
+fn bench_rollout_vs_mo(c: &mut Criterion) {
+    let chain = fixture_chain(ModelKind::SpatiallySkewed, 10, 11);
+    let user = fixture_user(&chain, 60, 12);
+    let mut group = c.benchmark_group("rollout_vs_mo");
+    group.bench_function("MO", |b| {
+        let mut rng = StdRng::seed_from_u64(13);
+        b.iter(|| MoStrategy.generate(&chain, black_box(&user), 1, &mut rng).unwrap())
+    });
+    for samples in [4usize, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("rollout", samples),
+            &samples,
+            |b, &s| {
+                let strategy = RolloutStrategy { samples: s };
+                let mut rng = StdRng::seed_from_u64(13);
+                b.iter(|| strategy.generate(&chain, black_box(&user), 1, &mut rng).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = strategies;
+    config = configured();
+    targets =
+        bench_strategies_vs_horizon,
+        bench_strategies_vs_cells,
+        bench_dense_vs_sparse,
+        bench_trellis_solvers,
+        bench_rollout_vs_mo,
+}
+criterion_main!(strategies);

@@ -1,0 +1,34 @@
+//! Benchmark-only crate: shared fixtures for the Criterion benches.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `figures` — one benchmark per reproduced paper artifact (Table 1,
+//!   Figs. 4–10, theory checks) at reduced Monte Carlo scale, so the cost
+//!   of regenerating each result is tracked over time;
+//! * `strategies` — chaff-strategy complexity ablations: OO's `O(T²·nnz)`
+//!   against ML's `O(T·nnz)` and MO's `O(T·s)`, dense versus sparse
+//!   models, and the trellis DP against the paper's Dijkstra;
+//! * `detectors` — the `O(N·T)` ML detector and the strategy-aware
+//!   advanced detector;
+//! * `substrates` — Markov/stationary/Voronoi substrate operations.
+
+use chaff_markov::models::ModelKind;
+use chaff_markov::MarkovChain;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic mobility model fixture shared by the benches.
+pub fn fixture_chain(kind: ModelKind, cells: usize, seed: u64) -> MarkovChain {
+    let mut rng = StdRng::seed_from_u64(seed);
+    MarkovChain::new(kind.build(cells, &mut rng).expect("valid size")).expect("ergodic")
+}
+
+/// A deterministic user trajectory fixture.
+pub fn fixture_user(
+    chain: &MarkovChain,
+    horizon: usize,
+    seed: u64,
+) -> chaff_markov::Trajectory {
+    let mut rng = StdRng::seed_from_u64(seed);
+    chain.sample_trajectory(horizon, &mut rng)
+}

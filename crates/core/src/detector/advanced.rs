@@ -1,0 +1,253 @@
+use super::{ml::full_log_likelihoods, Detection, MlDetector};
+use crate::strategy::ChaffStrategy;
+use crate::Result;
+use chaff_markov::{MarkovChain, Trajectory};
+
+/// The advanced eavesdropper: aware of the chaff-control strategy
+/// (Sec. VI-A).
+///
+/// For a deterministic strategy with map `Γ`, the eavesdropper computes
+/// `Γ(x)` for every observed trajectory `x` and *ignores* any trajectory
+/// `x' ≠ x` with `x' = Γ(x)` — it must be a chaff manufactured for some
+/// candidate user trajectory. ML detection then runs on the survivors; if
+/// everything is filtered out, the eavesdropper falls back to a uniform
+/// random guess over all trajectories.
+///
+/// This detector defeats the deterministic strategies almost surely (the
+/// user is mis-tracked only in the measure-zero event that the user
+/// happens to walk `Γ` of a chaff, Sec. VI-A3) — which is precisely why
+/// the robust randomized variants exist. Against a randomized strategy the
+/// filter almost never fires and the detector degrades to plain ML.
+///
+/// # Example
+///
+/// ```
+/// use chaff_core::detector::AdvancedDetector;
+/// use chaff_core::strategy::{ChaffStrategy, MlStrategy};
+/// use chaff_markov::{models::ModelKind, MarkovChain};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = StdRng::seed_from_u64(9);
+/// let chain = MarkovChain::new(ModelKind::NonSkewed.build(8, &mut rng)?)?;
+/// let user = chain.sample_trajectory(30, &mut rng);
+/// let chaffs = MlStrategy.generate(&chain, &user, 1, &mut rng)?;
+/// let mut observed = vec![user];
+/// observed.extend(chaffs);
+///
+/// // Knowing the ML strategy, the eavesdropper filters the chaff out and
+/// // tracks the user exactly.
+/// let detector = AdvancedDetector::new(&MlStrategy);
+/// let d = detector.detect(&chain, &observed)?;
+/// assert_eq!(d.tie_set(), &[0]);
+/// # Ok(())
+/// # }
+/// ```
+pub struct AdvancedDetector<'a> {
+    strategy: &'a dyn ChaffStrategy,
+}
+
+impl<'a> AdvancedDetector<'a> {
+    /// Creates a detector that knows `strategy` (and its tie-breakers).
+    pub fn new(strategy: &'a dyn ChaffStrategy) -> Self {
+        AdvancedDetector { strategy }
+    }
+
+    /// The indices of observed trajectories that survive the strategy
+    /// filter. Empty result means everything was filtered (the caller
+    /// falls back to a random guess over all indices).
+    pub fn surviving_candidates(
+        &self,
+        chain: &MarkovChain,
+        observed: &[Trajectory],
+    ) -> Vec<usize> {
+        let maps: Vec<Option<Trajectory>> = observed
+            .iter()
+            .map(|x| self.strategy.deterministic_map(chain, x))
+            .collect();
+        Self::surviving_from_maps(observed, &maps)
+    }
+
+    /// The filter stage with precomputed strategy maps: `maps[v]` must be
+    /// `Γ(observed[v])` (or `None` for randomized strategies).
+    ///
+    /// Computing `Γ` dominates the advanced eavesdropper's cost on large
+    /// trace models (the OO map is a full dynamic program per trajectory),
+    /// so evaluation code caches the maps of the unchanging trace pool and
+    /// calls this directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `maps` and `observed` have different lengths.
+    pub fn surviving_from_maps(
+        observed: &[Trajectory],
+        maps: &[Option<Trajectory>],
+    ) -> Vec<usize> {
+        assert_eq!(observed.len(), maps.len(), "one map per observation");
+        let n = observed.len();
+        let mut ignored = vec![false; n];
+        for (v, map) in maps.iter().enumerate() {
+            let Some(gamma_v) = map else { continue };
+            for (u, x_u) in observed.iter().enumerate() {
+                if u != v && x_u == gamma_v {
+                    ignored[u] = true;
+                }
+            }
+        }
+        (0..n).filter(|&u| !ignored[u]).collect()
+    }
+
+    /// Detects over full trajectories.
+    ///
+    /// # Errors
+    ///
+    /// Same validation errors as [`MlDetector::detect`].
+    pub fn detect(&self, chain: &MarkovChain, observed: &[Trajectory]) -> Result<Detection> {
+        // Validate once via the score computation.
+        let scores = full_log_likelihoods(chain, observed)?;
+        let candidates = self.surviving_candidates(chain, observed);
+        if candidates.is_empty() {
+            // Everything filtered: uniform random guess over all.
+            return Ok(Detection::new((0..observed.len()).collect()));
+        }
+        Ok(Detection::new(super::argmax_set(&scores, Some(&candidates))))
+    }
+
+    /// Detects once per slot over trajectory prefixes, with the strategy
+    /// filter applied to the full trajectories.
+    ///
+    /// The filter is structural (it identifies manufactured trajectories),
+    /// so it is computed once; the ML race among survivors is then tracked
+    /// per slot exactly as for the basic eavesdropper.
+    ///
+    /// # Errors
+    ///
+    /// Same validation errors as [`MlDetector::detect`].
+    pub fn detect_prefixes(
+        &self,
+        chain: &MarkovChain,
+        observed: &[Trajectory],
+    ) -> Result<Vec<Detection>> {
+        full_log_likelihoods(chain, observed)?; // validation only
+        let candidates = self.surviving_candidates(chain, observed);
+        if candidates.is_empty() {
+            let horizon = observed[0].len();
+            let all: Vec<usize> = (0..observed.len()).collect();
+            return Ok(vec![Detection::new(all); horizon]);
+        }
+        Ok(MlDetector.detect_prefixes_among(chain, observed, Some(&candidates)))
+    }
+}
+
+impl std::fmt::Debug for AdvancedDetector<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdvancedDetector")
+            .field("strategy", &self.strategy.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{ImStrategy, MlStrategy, MoStrategy, OoStrategy, RmlStrategy};
+    use chaff_markov::models::ModelKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (MarkovChain, Trajectory) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let chain =
+            MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng).unwrap()).unwrap();
+        let user = chain.sample_trajectory(40, &mut rng);
+        (chain, user)
+    }
+
+    #[test]
+    fn defeats_deterministic_ml_strategy() {
+        let (chain, user) = setup(91);
+        let mut rng = StdRng::seed_from_u64(92);
+        let chaffs = MlStrategy.generate(&chain, &user, 3, &mut rng).unwrap();
+        let mut observed = vec![user];
+        observed.extend(chaffs);
+        let detector = AdvancedDetector::new(&MlStrategy);
+        let d = detector.detect(&chain, &observed).unwrap();
+        assert_eq!(d.tie_set(), &[0], "user must be identified");
+    }
+
+    #[test]
+    fn defeats_deterministic_oo_and_mo() {
+        let mut rng = StdRng::seed_from_u64(93);
+        for strategy in [&OoStrategy as &dyn ChaffStrategy, &MoStrategy] {
+            let (chain, user) = setup(94);
+            let chaffs = strategy.generate(&chain, &user, 1, &mut rng).unwrap();
+            let mut observed = vec![user];
+            observed.extend(chaffs);
+            let detector = AdvancedDetector::new(strategy);
+            let d = detector.detect(&chain, &observed).unwrap();
+            assert_eq!(d.tie_set(), &[0], "{}", strategy.name());
+        }
+    }
+
+    #[test]
+    fn im_strategy_gives_no_filtering_power() {
+        let (chain, user) = setup(95);
+        let mut rng = StdRng::seed_from_u64(96);
+        let chaffs = ImStrategy.generate(&chain, &user, 4, &mut rng).unwrap();
+        let mut observed = vec![user];
+        observed.extend(chaffs);
+        let detector = AdvancedDetector::new(&ImStrategy);
+        let survivors = detector.surviving_candidates(&chain, &observed);
+        assert_eq!(survivors.len(), 5, "nothing can be filtered");
+        // The decision must coincide with the basic ML detector's.
+        let adv = detector.detect(&chain, &observed).unwrap();
+        let basic = MlDetector.detect(&chain, &observed).unwrap();
+        assert_eq!(adv, basic);
+    }
+
+    #[test]
+    fn robust_randomization_usually_survives_the_filter() {
+        let mut rng = StdRng::seed_from_u64(97);
+        let mut chaff_survived = 0;
+        let runs = 20;
+        for seed in 0..runs {
+            let (chain, user) = setup(200 + seed);
+            let chaffs = RmlStrategy.generate(&chain, &user, 2, &mut rng).unwrap();
+            let mut observed = vec![user];
+            observed.extend(chaffs);
+            let detector = AdvancedDetector::new(&RmlStrategy);
+            let survivors = detector.surviving_candidates(&chain, &observed);
+            if survivors.iter().any(|&u| u != 0) {
+                chaff_survived += 1;
+            }
+        }
+        assert!(
+            chaff_survived >= runs * 3 / 4,
+            "chaff survived in {chaff_survived}/{runs} runs"
+        );
+    }
+
+    #[test]
+    fn prefix_detection_matches_full_detection_at_horizon() {
+        let (chain, user) = setup(98);
+        let mut rng = StdRng::seed_from_u64(99);
+        let chaffs = OoStrategy.generate(&chain, &user, 1, &mut rng).unwrap();
+        let mut observed = vec![user];
+        observed.extend(chaffs);
+        let detector = AdvancedDetector::new(&OoStrategy);
+        let full = detector.detect(&chain, &observed).unwrap();
+        let prefixes = detector.detect_prefixes(&chain, &observed).unwrap();
+        assert_eq!(prefixes.last().unwrap(), &full);
+    }
+
+    #[test]
+    fn all_filtered_falls_back_to_random_guess() {
+        // Observe only manufactured trajectories: user not present.
+        let (chain, user) = setup(100);
+        let gamma = MlStrategy.deterministic_map(&chain, &user).unwrap();
+        let observed = vec![gamma.clone(), gamma];
+        let detector = AdvancedDetector::new(&MlStrategy);
+        let d = detector.detect(&chain, &observed).unwrap();
+        assert_eq!(d.tie_set(), &[0, 1]);
+    }
+}

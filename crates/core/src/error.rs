@@ -1,0 +1,84 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by detectors, strategies and theory evaluators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The user trajectory supplied to an offline strategy was empty.
+    EmptyTrajectory,
+    /// The set of observed trajectories was empty.
+    NoTrajectories,
+    /// Observed trajectories have different lengths.
+    LengthMismatch {
+        /// Length of the first trajectory.
+        expected: usize,
+        /// Length of the mismatched trajectory.
+        found: usize,
+    },
+    /// A trajectory visits a cell outside the model's state space.
+    CellOutOfRange {
+        /// Offending cell index.
+        cell: usize,
+        /// Number of states in the model.
+        states: usize,
+    },
+    /// The trellis has no feasible path (all candidate moves have zero
+    /// probability, e.g. because an avoid-set removed every successor).
+    NoFeasiblePath,
+    /// An error bubbled up from the Markov substrate.
+    Markov(chaff_markov::MarkovError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyTrajectory => write!(f, "user trajectory is empty"),
+            CoreError::NoTrajectories => write!(f, "no observed trajectories"),
+            CoreError::LengthMismatch { expected, found } => {
+                write!(f, "trajectory length {found} differs from expected {expected}")
+            }
+            CoreError::CellOutOfRange { cell, states } => {
+                write!(f, "cell {cell} out of range for {states} states")
+            }
+            CoreError::NoFeasiblePath => write!(f, "no feasible chaff trajectory exists"),
+            CoreError::Markov(e) => write!(f, "markov substrate error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Markov(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<chaff_markov::MarkovError> for CoreError {
+    fn from(e: chaff_markov::MarkovError) -> Self {
+        CoreError::Markov(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markov_errors_convert() {
+        let err: CoreError = chaff_markov::MarkovError::Empty.into();
+        assert!(matches!(err, CoreError::Markov(_)));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn display_is_meaningful() {
+        let err = CoreError::LengthMismatch {
+            expected: 10,
+            found: 7,
+        };
+        assert!(err.to_string().contains('7'));
+        assert!(err.to_string().contains("10"));
+    }
+}

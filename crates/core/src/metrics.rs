@@ -1,0 +1,180 @@
+//! Tracking- and detection-accuracy metrics (Sec. II-D).
+//!
+//! The eavesdropper's *tracking accuracy* is the time-average probability
+//! of locating the user correctly: if it believes trajectory `û` is the
+//! user's, slot `t` counts as tracked when `x_{û,t} = x_{1,t}` — note this
+//! can hold even when `û` names a chaff that happens to co-locate. The
+//! *detection accuracy* is the stricter event `û = 1`.
+//!
+//! Ties are handled in expectation: a [`Detection`](crate::detector::Detection)
+//! carries its whole argmax set, and each metric averages over it — equal
+//! to the paper's "random guess among ties" without Monte Carlo noise.
+
+use crate::detector::Detection;
+use chaff_markov::Trajectory;
+
+/// Per-slot tracking accuracy: element `t` is the probability that the
+/// detected trajectory co-locates with the user at slot `t`.
+///
+/// `detections[t]` must be the decision made at slot `t` (e.g. from
+/// [`MlDetector::detect_prefixes`](crate::detector::MlDetector::detect_prefixes));
+/// `user_index` is the position of the real user in `observed`.
+///
+/// # Panics
+///
+/// Panics if `detections` is longer than the trajectories or indices are
+/// out of range.
+pub fn tracking_accuracy_series(
+    observed: &[Trajectory],
+    user_index: usize,
+    detections: &[Detection],
+) -> Vec<f64> {
+    let user = &observed[user_index];
+    detections
+        .iter()
+        .enumerate()
+        .map(|(t, d)| {
+            let tie = d.tie_set();
+            let hits = tie
+                .iter()
+                .filter(|&&u| observed[u].cell(t) == user.cell(t))
+                .count();
+            hits as f64 / tie.len() as f64
+        })
+        .collect()
+}
+
+/// Per-slot tracking accuracy when the *same* final decision is used for
+/// every slot (an offline eavesdropper that detects once at the horizon
+/// and then replays the trajectory).
+pub fn tracking_accuracy_series_fixed(
+    observed: &[Trajectory],
+    user_index: usize,
+    detection: &Detection,
+) -> Vec<f64> {
+    let user = &observed[user_index];
+    let horizon = user.len();
+    (0..horizon)
+        .map(|t| {
+            let tie = detection.tie_set();
+            let hits = tie
+                .iter()
+                .filter(|&&u| observed[u].cell(t) == user.cell(t))
+                .count();
+            hits as f64 / tie.len() as f64
+        })
+        .collect()
+}
+
+/// Per-slot detection accuracy: the probability that the decision at slot
+/// `t` names the user's trajectory exactly.
+pub fn detection_accuracy_series(user_index: usize, detections: &[Detection]) -> Vec<f64> {
+    detections.iter().map(|d| d.prob_of(user_index)).collect()
+}
+
+/// Arithmetic mean of a series — the paper's time-average accuracy
+/// `1/T Σ_t`.
+///
+/// Returns 0 for an empty series.
+pub fn time_average(series: &[f64]) -> f64 {
+    if series.is_empty() {
+        0.0
+    } else {
+        series.iter().sum::<f64>() / series.len() as f64
+    }
+}
+
+/// Element-wise mean of several equal-length series — the Monte Carlo
+/// average used to produce the accuracy-vs-time curves of Figs. 5, 7.
+///
+/// # Panics
+///
+/// Panics if the series have different lengths.
+pub fn mean_series(series: &[Vec<f64>]) -> Vec<f64> {
+    let Some(first) = series.first() else {
+        return Vec::new();
+    };
+    let len = first.len();
+    let mut out = vec![0.0; len];
+    for s in series {
+        assert_eq!(s.len(), len, "all series must have equal length");
+        for (o, v) in out.iter_mut().zip(s) {
+            *o += v;
+        }
+    }
+    let n = series.len() as f64;
+    for o in &mut out {
+        *o /= n;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs() -> Vec<Trajectory> {
+        vec![
+            Trajectory::from_indices([0, 1, 2]), // user
+            Trajectory::from_indices([0, 9, 2]), // chaff co-locating at t=0,2
+            Trajectory::from_indices([5, 5, 5]), // disjoint chaff
+        ]
+    }
+
+    #[test]
+    fn unique_detection_of_user_tracks_everywhere() {
+        let detections = vec![Detection::new(vec![0]); 3];
+        let acc = tracking_accuracy_series(&obs(), 0, &detections);
+        assert_eq!(acc, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn chaff_detection_tracks_only_on_co_location() {
+        let detections = vec![Detection::new(vec![1]); 3];
+        let acc = tracking_accuracy_series(&obs(), 0, &detections);
+        assert_eq!(acc, vec![1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn ties_average_over_the_set() {
+        let detections = vec![Detection::new(vec![1, 2]); 3];
+        let acc = tracking_accuracy_series(&obs(), 0, &detections);
+        assert_eq!(acc, vec![0.5, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn detection_accuracy_is_stricter_than_tracking() {
+        // The chaff co-locates at t=0, so tracking succeeds but detection
+        // fails.
+        let detections = vec![Detection::new(vec![1]); 3];
+        let tracking = tracking_accuracy_series(&obs(), 0, &detections);
+        let detection = detection_accuracy_series(0, &detections);
+        assert_eq!(detection, vec![0.0, 0.0, 0.0]);
+        assert!(tracking[0] > detection[0]);
+    }
+
+    #[test]
+    fn fixed_detection_replays_one_decision() {
+        let acc = tracking_accuracy_series_fixed(&obs(), 0, &Detection::new(vec![1]));
+        assert_eq!(acc, vec![1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn time_average_basics() {
+        assert_eq!(time_average(&[]), 0.0);
+        assert!((time_average(&[1.0, 0.0, 0.5]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_series_averages_elementwise() {
+        let m = mean_series(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert_eq!(m, vec![0.5, 0.5]);
+        assert!(mean_series(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mean_series_rejects_ragged_input() {
+        mean_series(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,217 @@
+use super::{replay_controller, validate_user, ChaffStrategy, OnlineChaffController};
+use crate::Result;
+use chaff_markov::{CellId, MarkovChain, Trajectory};
+use rand::RngCore;
+
+/// The constrained maximum-likelihood (CML) strategy (Sec. V-C1).
+///
+/// Greedily maximizes the chaff's likelihood under the hard constraint of
+/// never co-locating with the user: at each slot the chaff moves to its
+/// most likely next cell *excluding the user's current cell*. CML is the
+/// analyzable auxiliary strategy whose tracking accuracy upper-bounds the
+/// OO strategy's (Theorem V.4) — and it is fully online.
+///
+/// When the exclusion leaves no admissible move (possible only on very
+/// sparse empirical models), the controller falls back to the
+/// unconstrained most likely cell, accepting one co-location; the paper's
+/// models always have an admissible second choice.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CmlStrategy;
+
+impl ChaffStrategy for CmlStrategy {
+    fn name(&self) -> &'static str {
+        "CML"
+    }
+
+    fn generate(
+        &self,
+        chain: &MarkovChain,
+        user: &Trajectory,
+        num_chaffs: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<Trajectory>> {
+        validate_user(chain, user)?;
+        let mut controller = CmlController::new(chain);
+        let chaff = replay_controller(&mut controller, user, rng);
+        Ok(vec![chaff; num_chaffs])
+    }
+
+    fn deterministic_map(&self, chain: &MarkovChain, observed: &Trajectory) -> Option<Trajectory> {
+        if observed.is_empty() {
+            return None;
+        }
+        let mut controller = CmlController::new(chain);
+        let mut rng = NoRandomness;
+        Some(replay_controller(&mut controller, observed, &mut rng))
+    }
+}
+
+/// Online form of [`CmlStrategy`].
+#[derive(Debug, Clone)]
+pub struct CmlController<'a> {
+    chain: &'a MarkovChain,
+    current: Option<CellId>,
+}
+
+impl<'a> CmlController<'a> {
+    /// Creates a controller for one chaff.
+    pub fn new(chain: &'a MarkovChain) -> Self {
+        CmlController {
+            chain,
+            current: None,
+        }
+    }
+}
+
+impl OnlineChaffController for CmlController<'_> {
+    fn next(&mut self, user_now: CellId, avoid: &[CellId], _rng: &mut dyn RngCore) -> CellId {
+        let choice = match self.current {
+            None => {
+                // t = 1: most probable steady-state cell other than the
+                // user's.
+                let pi = self.chain.initial();
+                let mut best: Option<(CellId, f64)> = None;
+                for j in 0..pi.num_states() {
+                    let cell = CellId::new(j);
+                    if cell == user_now || avoid.contains(&cell) {
+                        continue;
+                    }
+                    let p = pi.prob(cell);
+                    match best {
+                        Some((_, bp)) if bp >= p => {}
+                        _ => best = Some((cell, p)),
+                    }
+                }
+                best.map(|(c, _)| c).unwrap_or(user_now)
+            }
+            Some(prev) => pick_constrained_argmax(self.chain, prev, user_now, avoid),
+        };
+        self.current = Some(choice);
+        choice
+    }
+}
+
+/// Most likely successor of `prev` excluding the user's cell and the avoid
+/// list; falls back to the unconstrained argmax (accepting co-location),
+/// then to staying put, when exclusions leave nothing.
+///
+/// This is the paper's `f(x_{1,t}, x_{2,t-1})` (eq. 17); the theory module
+/// reuses it to build the CML product chain.
+pub(crate) fn pick_constrained_argmax(
+    chain: &MarkovChain,
+    prev: CellId,
+    user_now: CellId,
+    avoid: &[CellId],
+) -> CellId {
+    let mut best: Option<(CellId, f64)> = None;
+    for (cell, p) in chain.matrix().successors(prev) {
+        if cell == user_now || avoid.contains(&cell) {
+            continue;
+        }
+        match best {
+            Some((_, bp)) if bp >= p => {}
+            _ => best = Some((cell, p)),
+        }
+    }
+    if let Some((cell, _)) = best {
+        return cell;
+    }
+    match chain.matrix().argmax_successor(prev, None) {
+        Some((cell, _)) => cell,
+        None => prev,
+    }
+}
+
+/// An `RngCore` that must never be used; deterministic strategies replay
+/// their controllers through interfaces that formally require randomness.
+struct NoRandomness;
+
+impl RngCore for NoRandomness {
+    fn next_u32(&mut self) -> u32 {
+        unreachable!("deterministic controller consumed randomness")
+    }
+    fn next_u64(&mut self) -> u64 {
+        unreachable!("deterministic controller consumed randomness")
+    }
+    fn fill_bytes(&mut self, _dest: &mut [u8]) {
+        unreachable!("deterministic controller consumed randomness")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chaff_markov::models::ModelKind;
+    use chaff_markov::TransitionMatrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chaff_never_co_locates_on_dense_models() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for kind in ModelKind::ALL {
+            let chain = MarkovChain::new(kind.build(10, &mut rng).unwrap()).unwrap();
+            for _ in 0..10 {
+                let user = chain.sample_trajectory(60, &mut rng);
+                let chaff = &CmlStrategy.generate(&chain, &user, 1, &mut rng).unwrap()[0];
+                assert_eq!(user.coincidences(chaff), 0, "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn chaff_moves_are_greedy_argmax() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let chain =
+            MarkovChain::new(ModelKind::NonSkewed.build(8, &mut rng).unwrap()).unwrap();
+        let user = chain.sample_trajectory(30, &mut rng);
+        let chaff = &CmlStrategy.generate(&chain, &user, 1, &mut rng).unwrap()[0];
+        for t in 1..30 {
+            let prev = chaff.cell(t - 1);
+            let expected = chain
+                .matrix()
+                .argmax_successor(prev, Some(user.cell(t)))
+                .unwrap()
+                .0;
+            assert_eq!(chaff.cell(t), expected, "slot {t}");
+        }
+    }
+
+    #[test]
+    fn first_slot_picks_best_non_user_cell() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let chain =
+            MarkovChain::new(ModelKind::SpatiallySkewed.build(10, &mut rng).unwrap()).unwrap();
+        let user = chain.sample_trajectory(5, &mut rng);
+        let chaff = &CmlStrategy.generate(&chain, &user, 1, &mut rng).unwrap()[0];
+        let expected = chain.initial().argmax(Some(user.cell(0)));
+        assert_eq!(chaff.cell(0), expected);
+    }
+
+    #[test]
+    fn forced_co_location_falls_back_gracefully() {
+        // From cell 0 the only possible move is to cell 1; if the user is
+        // at cell 1 the chaff has no admissible move and co-locates.
+        let m = TransitionMatrix::from_rows(vec![vec![0.0, 1.0], vec![0.5, 0.5]]).unwrap();
+        let chain = MarkovChain::new(m).unwrap();
+        let mut controller = CmlController::new(&chain);
+        let mut rng = StdRng::seed_from_u64(1);
+        // t=1: user at 1 -> chaff takes cell 0 (only other cell).
+        let c1 = controller.next(CellId::new(1), &[], &mut rng);
+        assert_eq!(c1, CellId::new(0));
+        // t=2: from 0 the chaff can only reach 1, but the user sits there.
+        let c2 = controller.next(CellId::new(1), &[], &mut rng);
+        assert_eq!(c2, CellId::new(1));
+    }
+
+    #[test]
+    fn deterministic_map_matches_generate() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let chain =
+            MarkovChain::new(ModelKind::TemporallySkewed.build(10, &mut rng).unwrap()).unwrap();
+        let user = chain.sample_trajectory(25, &mut rng);
+        let by_map = CmlStrategy.deterministic_map(&chain, &user).unwrap();
+        let by_generate = CmlStrategy.generate(&chain, &user, 1, &mut rng).unwrap();
+        assert_eq!(by_map, by_generate[0]);
+    }
+}

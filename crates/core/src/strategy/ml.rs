@@ -1,0 +1,111 @@
+use super::{validate_user, ChaffStrategy};
+use crate::trellis;
+use crate::Result;
+use chaff_markov::{MarkovChain, Trajectory};
+use rand::RngCore;
+
+/// The maximum-likelihood (ML) strategy (Sec. IV-B).
+///
+/// Sends the chaff along the globally most likely trajectory — the
+/// solution of eq. (2), computed as a shortest path over the trellis of
+/// Fig. 2. By construction its likelihood is at least the user's, so the
+/// ML detector is guaranteed to pick the chaff (or tie). The chaff
+/// trajectory depends only on the mobility model, not on the user's actual
+/// movements, so it can be computed before the service starts.
+///
+/// Its weakness (eq. 12): the most likely trajectory tends to sit in
+/// high-mass cells, so the user still co-locates with it a
+/// `Σ_t π(x_{2,t})/T` fraction of time — and when the steady state is very
+/// skewed, parking many IM chaffs can beat it (Lemma V.1 remark).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MlStrategy;
+
+impl ChaffStrategy for MlStrategy {
+    fn name(&self) -> &'static str {
+        "ML"
+    }
+
+    fn generate(
+        &self,
+        chain: &MarkovChain,
+        user: &Trajectory,
+        num_chaffs: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<Trajectory>> {
+        let _ = rng; // deterministic
+        validate_user(chain, user)?;
+        let path = trellis::most_likely_trajectory(chain, user.len(), None)?;
+        Ok(vec![path.trajectory; num_chaffs])
+    }
+
+    fn deterministic_map(&self, chain: &MarkovChain, observed: &Trajectory) -> Option<Trajectory> {
+        // Γ_ML does not depend on the observed trajectory: the chaff always
+        // follows the fixed global ML trajectory of matching length.
+        trellis::most_likely_trajectory(chain, observed.len(), None)
+            .ok()
+            .map(|p| p.trajectory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::MlDetector;
+    use chaff_markov::models::ModelKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chaff_always_wins_or_ties_the_likelihood_race() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for kind in ModelKind::ALL {
+            let chain = MarkovChain::new(kind.build(10, &mut rng).unwrap()).unwrap();
+            for _ in 0..20 {
+                let user = chain.sample_trajectory(40, &mut rng);
+                let chaff = &MlStrategy.generate(&chain, &user, 1, &mut rng).unwrap()[0];
+                assert!(
+                    chain.log_likelihood(chaff) >= chain.log_likelihood(&user) - 1e-9,
+                    "{kind}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detector_never_uniquely_picks_the_user() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let chain =
+            MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng).unwrap()).unwrap();
+        for _ in 0..50 {
+            let user = chain.sample_trajectory(30, &mut rng);
+            let chaff = MlStrategy.generate(&chain, &user, 1, &mut rng).unwrap();
+            let mut observed = vec![user];
+            observed.extend(chaff);
+            let d = MlDetector.detect(&chain, &observed).unwrap();
+            assert!(d.tie_set().contains(&1), "chaff must be in the argmax set");
+        }
+    }
+
+    #[test]
+    fn trajectory_is_independent_of_the_user() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let chain =
+            MarkovChain::new(ModelKind::SpatiallySkewed.build(10, &mut rng).unwrap()).unwrap();
+        let u1 = chain.sample_trajectory(25, &mut rng);
+        let u2 = chain.sample_trajectory(25, &mut rng);
+        let c1 = MlStrategy.generate(&chain, &u1, 1, &mut rng).unwrap();
+        let c2 = MlStrategy.generate(&chain, &u2, 1, &mut rng).unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn duplicates_fill_the_chaff_budget() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let chain =
+            MarkovChain::new(ModelKind::NonSkewed.build(5, &mut rng).unwrap()).unwrap();
+        let user = chain.sample_trajectory(10, &mut rng);
+        let chaffs = MlStrategy.generate(&chain, &user, 4, &mut rng).unwrap();
+        assert_eq!(chaffs.len(), 4);
+        assert!(chaffs.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,390 @@
+use super::{validate_user, ChaffStrategy};
+use crate::trellis::AvoidSet;
+use crate::{loglik_cmp, CoreError, Result};
+use chaff_markov::{CellId, MarkovChain, Trajectory};
+use rand::RngCore;
+use std::cmp::Ordering;
+
+/// The optimal offline (OO) strategy — Algorithm 1 (Sec. IV-C).
+///
+/// Minimizes the number of slots where the chaff co-locates with the user
+/// (eq. 4), subject to the chaff's likelihood strictly exceeding the
+/// user's (eq. 5) so that the ML detector is guaranteed to pick the chaff.
+/// When the user's own trajectory is already a most likely one the strict
+/// constraint is infeasible; the paper then relaxes it to equality, forcing
+/// the detector into a coin flip while still minimizing co-location.
+///
+/// Solved by dynamic programming over the trellis of Fig. 2 with an extra
+/// "remaining co-locations" coordinate: `K_t(x, i)` is the cheapest
+/// completion from cell `x` at slot `t` that co-locates with the user at
+/// most `i` more times. The paper quotes `O(T²L²)`; this implementation
+/// iterates sparse row supports, giving `O(T² · nnz)` — the difference
+/// between intractable and sub-second on the 959-cell trace model.
+///
+/// OO needs the user's *entire* trajectory in advance (offline); see
+/// [`MoStrategy`](super::MoStrategy) for the online counterpart.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OoStrategy;
+
+impl ChaffStrategy for OoStrategy {
+    fn name(&self) -> &'static str {
+        "OO"
+    }
+
+    fn generate(
+        &self,
+        chain: &MarkovChain,
+        user: &Trajectory,
+        num_chaffs: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<Trajectory>> {
+        let _ = rng; // deterministic
+        validate_user(chain, user)?;
+        let chaff = optimal_offline_trajectory(chain, user, None)?;
+        Ok(vec![chaff; num_chaffs])
+    }
+
+    fn deterministic_map(&self, chain: &MarkovChain, observed: &Trajectory) -> Option<Trajectory> {
+        optimal_offline_trajectory(chain, observed, None).ok()
+    }
+}
+
+/// Sentinel for "no next hop recorded".
+const NO_HOP: u32 = u32::MAX;
+
+/// Runs Algorithm 1, optionally with removed trellis vertices (the robust
+/// ROO strategy of Sec. VI-B2 passes an [`AvoidSet`]).
+///
+/// Returns the chaff trajectory. Selection of the co-location budget `i*`:
+///
+/// 1. smallest `i` whose cost beats the user's path cost (constraint 5,
+///    strict);
+/// 2. otherwise, smallest `i` achieving the best feasible cost — which is
+///    the paper's equality fallback when the graph is unconstrained, and
+///    the natural generalization when an avoid-set blocks the optimum.
+///
+/// # Errors
+///
+/// Returns [`CoreError::NoFeasiblePath`] when the avoid-set disconnects
+/// every layer, and validation errors for empty/out-of-range input.
+pub(crate) fn optimal_offline_trajectory(
+    chain: &MarkovChain,
+    user: &Trajectory,
+    avoid: Option<&AvoidSet>,
+) -> Result<Trajectory> {
+    validate_user(chain, user)?;
+    let horizon = user.len();
+    let l = chain.num_states();
+    let blocked = |t: usize, c: CellId| avoid.is_some_and(|a| a.contains(t, c));
+    // Number of meaningful co-location budgets at slot t: i in 0..=horizon-t.
+    let width = |t: usize| horizon - t + 1;
+
+    // cost[t][x * width(t) + i], hop[t][...]: cheapest completion and the
+    // successor cell achieving it.
+    let mut cost: Vec<Vec<f64>> = Vec::with_capacity(horizon);
+    let mut hop: Vec<Vec<u32>> = Vec::with_capacity(horizon);
+    for t in 0..horizon {
+        cost.push(vec![f64::INFINITY; l * width(t)]);
+        hop.push(vec![NO_HOP; l * width(t)]);
+    }
+
+    // Terminal layer t = horizon-1: zero remaining cost; i = 0 requires
+    // x != user's final cell.
+    {
+        let t = horizon - 1;
+        let w = width(t);
+        let user_cell = user.cell(t);
+        for x in 0..l {
+            let cell = CellId::new(x);
+            if blocked(t, cell) {
+                continue;
+            }
+            for i in 0..w {
+                if i == 0 && cell == user_cell {
+                    continue; // infeasible: would co-locate once with budget 0
+                }
+                cost[t][x * w + i] = 0.0;
+            }
+        }
+    }
+
+    // Backward induction.
+    for t in (0..horizon - 1).rev() {
+        let w = width(t);
+        let w_next = width(t + 1);
+        let user_cell = user.cell(t);
+        let (lower, upper) = cost.split_at_mut(t + 1);
+        let cost_t = &mut lower[t];
+        let cost_next = &upper[0];
+        let hop_t = &mut hop[t];
+        for x in 0..l {
+            let cell = CellId::new(x);
+            if blocked(t, cell) {
+                continue;
+            }
+            let here = usize::from(cell == user_cell);
+            for i in 0..w {
+                let Some(j) = i.checked_sub(here) else {
+                    continue; // i = 0 but we sit on the user: infeasible
+                };
+                let j = j.min(w_next - 1);
+                let mut best = f64::INFINITY;
+                let mut best_hop = NO_HOP;
+                for (succ, p) in chain.matrix().successors(cell) {
+                    let c_next = cost_next[succ.index() * w_next + j];
+                    if !c_next.is_finite() {
+                        continue;
+                    }
+                    let cand = c_next - p.ln();
+                    if cand < best {
+                        best = cand;
+                        best_hop = succ.index() as u32;
+                    }
+                }
+                cost_t[x * w + i] = best;
+                hop_t[x * w + i] = best_hop;
+            }
+        }
+    }
+
+    // Virtual source layer: k0[i] and the start cell attaining it.
+    let w0 = width(0);
+    let mut k0 = vec![f64::INFINITY; w0];
+    let mut start = vec![NO_HOP; w0];
+    for x in 0..l {
+        let cell = CellId::new(x);
+        let lp = chain.initial().log_prob(cell);
+        if !lp.is_finite() {
+            continue;
+        }
+        for i in 0..w0 {
+            let c = cost[0][x * w0 + i];
+            if !c.is_finite() {
+                continue;
+            }
+            let cand = c - lp;
+            if cand < k0[i] {
+                k0[i] = cand;
+                start[i] = x as u32;
+            }
+        }
+    }
+
+    let user_cost = -chain.log_likelihood(user);
+    // Step 1: strict win over the user's likelihood.
+    let mut i_star = (0..w0).find(|&i| loglik_cmp(k0[i], user_cost) == Ordering::Less);
+    // Step 2: equality fallback / best feasible cost under avoid-sets.
+    if i_star.is_none() {
+        let best_cost = k0.iter().copied().fold(f64::INFINITY, f64::min);
+        if !best_cost.is_finite() {
+            return Err(CoreError::NoFeasiblePath);
+        }
+        i_star = (0..w0).find(|&i| loglik_cmp(k0[i], best_cost) == Ordering::Equal);
+    }
+    let i_star = i_star.ok_or(CoreError::NoFeasiblePath)?;
+
+    // Reconstruct the trajectory following the stored hops, decrementing
+    // the budget whenever the chaff sits on the user. The slot index drives
+    // three parallel per-slot tables, so a range loop is the clear form.
+    let mut cells = Vec::with_capacity(horizon);
+    let mut x = start[i_star] as usize;
+    let mut budget = i_star;
+    cells.push(CellId::new(x));
+    #[allow(clippy::needless_range_loop)]
+    for t in 0..horizon - 1 {
+        let w = width(t);
+        let w_next = width(t + 1);
+        let next = hop[t][x * w + budget];
+        debug_assert_ne!(next, NO_HOP, "finite-cost state must have a hop");
+        if CellId::new(x) == user.cell(t) {
+            budget -= 1;
+        }
+        budget = budget.min(w_next - 1);
+        x = next as usize;
+        cells.push(CellId::new(x));
+    }
+    Ok(Trajectory::from(cells))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::MlDetector;
+    use chaff_markov::models::ModelKind;
+    use chaff_markov::TransitionMatrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Brute-force oracle: enumerate every trajectory, apply the paper's
+    /// selection rule directly.
+    fn brute_force_oo(chain: &MarkovChain, user: &Trajectory) -> (usize, bool) {
+        let l = chain.num_states();
+        let horizon = user.len();
+        let user_ll = chain.log_likelihood(user);
+        let mut all: Vec<(Vec<usize>, f64)> = vec![(vec![], 0.0)];
+        for t in 0..horizon {
+            let mut next = Vec::new();
+            for (path, ll) in &all {
+                for x in 0..l {
+                    let inc = if t == 0 {
+                        chain.initial().log_prob(CellId::new(x))
+                    } else {
+                        chain
+                            .matrix()
+                            .log_prob(CellId::new(path[t - 1]), CellId::new(x))
+                    };
+                    if inc.is_finite() {
+                        let mut p = path.clone();
+                        p.push(x);
+                        next.push((p, ll + inc));
+                    }
+                }
+            }
+            all = next;
+        }
+        let coincidences = |p: &[usize]| {
+            p.iter()
+                .zip(user.iter())
+                .filter(|(a, b)| **a == b.index())
+                .count()
+        };
+        // Strict winners first.
+        let strict: Option<usize> = all
+            .iter()
+            .filter(|(_, ll)| loglik_cmp(*ll, user_ll) == Ordering::Greater)
+            .map(|(p, _)| coincidences(p))
+            .min();
+        if let Some(c) = strict {
+            return (c, true);
+        }
+        let best_ll = all.iter().map(|(_, ll)| *ll).fold(f64::NEG_INFINITY, f64::max);
+        let tie: usize = all
+            .iter()
+            .filter(|(_, ll)| loglik_cmp(*ll, best_ll) == Ordering::Equal)
+            .map(|(p, _)| coincidences(p))
+            .min()
+            .expect("at least the ML trajectory exists");
+        (tie, false)
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for trial in 0..30 {
+            let chain =
+                MarkovChain::new(ModelKind::NonSkewed.build(4, &mut rng).unwrap()).unwrap();
+            let user = chain.sample_trajectory(5, &mut rng);
+            let chaff = optimal_offline_trajectory(&chain, &user, None).unwrap();
+            let (oracle_coincidences, strict) = brute_force_oo(&chain, &user);
+            assert_eq!(
+                user.coincidences(&chaff),
+                oracle_coincidences,
+                "trial {trial}: user={user}, chaff={chaff}, strict={strict}"
+            );
+            // Constraint (5): the chaff must at least tie the user.
+            assert!(
+                loglik_cmp(chain.log_likelihood(&chaff), chain.log_likelihood(&user))
+                    != Ordering::Less,
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn detector_always_includes_the_chaff() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for kind in ModelKind::ALL {
+            let chain = MarkovChain::new(kind.build(10, &mut rng).unwrap()).unwrap();
+            for _ in 0..10 {
+                let user = chain.sample_trajectory(50, &mut rng);
+                let chaff = OoStrategy.generate(&chain, &user, 1, &mut rng).unwrap();
+                let mut observed = vec![user];
+                observed.extend(chaff);
+                let d = MlDetector.detect(&chain, &observed).unwrap();
+                assert!(d.tie_set().contains(&1), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_user_rarely_meets_the_chaff() {
+        // For the high-entropy model (a) the OO chaff should co-locate in
+        // almost no slot (Fig. 5a shows accuracy near zero).
+        let mut rng = StdRng::seed_from_u64(43);
+        let chain =
+            MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng).unwrap()).unwrap();
+        let mut total = 0usize;
+        for _ in 0..20 {
+            let user = chain.sample_trajectory(100, &mut rng);
+            let chaff = optimal_offline_trajectory(&chain, &user, None).unwrap();
+            total += user.coincidences(&chaff);
+        }
+        assert!(total <= 20, "total coincidences = {total}");
+    }
+
+    #[test]
+    fn equality_fallback_when_user_rides_the_ml_path() {
+        // Craft a chain with a unique dominant path and put the user on it;
+        // the strict constraint (5) is then infeasible and OO must fall
+        // back to an equal-likelihood trajectory.
+        let m = TransitionMatrix::from_rows(vec![
+            vec![0.98, 0.01, 0.01],
+            vec![0.49, 0.50, 0.01],
+            vec![0.49, 0.01, 0.50],
+        ])
+        .unwrap();
+        let chain = MarkovChain::new(m).unwrap();
+        let ml = crate::trellis::most_likely_trajectory(&chain, 6, None).unwrap();
+        let user = ml.trajectory;
+        let chaff = optimal_offline_trajectory(&chain, &user, None).unwrap();
+        assert_eq!(
+            loglik_cmp(chain.log_likelihood(&chaff), chain.log_likelihood(&user)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn avoid_set_is_respected() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let chain =
+            MarkovChain::new(ModelKind::NonSkewed.build(6, &mut rng).unwrap()).unwrap();
+        let user = chain.sample_trajectory(12, &mut rng);
+        let base = optimal_offline_trajectory(&chain, &user, None).unwrap();
+        let mut avoid = AvoidSet::new(12, 6);
+        avoid.insert(4, base.cell(4));
+        let perturbed = optimal_offline_trajectory(&chain, &user, Some(&avoid)).unwrap();
+        assert_ne!(perturbed.cell(4), base.cell(4));
+    }
+
+    #[test]
+    fn fully_blocked_instance_errors() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let chain =
+            MarkovChain::new(ModelKind::NonSkewed.build(3, &mut rng).unwrap()).unwrap();
+        let user = chain.sample_trajectory(4, &mut rng);
+        let mut avoid = AvoidSet::new(4, 3);
+        for x in 0..3 {
+            avoid.insert(1, CellId::new(x));
+        }
+        assert!(matches!(
+            optimal_offline_trajectory(&chain, &user, Some(&avoid)),
+            Err(CoreError::NoFeasiblePath)
+        ));
+    }
+
+    #[test]
+    fn single_slot_horizon() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let chain =
+            MarkovChain::new(ModelKind::SpatiallySkewed.build(8, &mut rng).unwrap()).unwrap();
+        let user = chain.sample_trajectory(1, &mut rng);
+        let chaff = optimal_offline_trajectory(&chain, &user, None).unwrap();
+        assert_eq!(chaff.len(), 1);
+        // With one slot, the chaff either beats the user's initial mass
+        // from a different cell or ties it.
+        assert!(
+            loglik_cmp(chain.log_likelihood(&chaff), chain.log_likelihood(&user))
+                != Ordering::Less
+        );
+    }
+}

@@ -1,0 +1,340 @@
+use super::{validate_user, ChaffStrategy, MoController};
+use crate::strategy::oo::optimal_offline_trajectory;
+use crate::trellis::{most_likely_trajectory, AvoidSet};
+use crate::{CoreError, Result};
+use chaff_markov::{CellId, MarkovChain, Trajectory};
+use rand::{Rng, RngCore};
+
+/// How many times the robust offline strategies re-draw their random
+/// avoid-set when the previous draw made the problem infeasible.
+const MAX_AVOID_RETRIES: usize = 8;
+
+/// The robust ML (RML) strategy (Sec. VI-B1).
+///
+/// The plain ML strategy is deterministic, so an advanced eavesdropper that
+/// knows it can compute the chaff's trajectory and simply ignore it
+/// (Sec. VI-A2). RML randomizes: for each chaff `u` it draws an avoid-set
+/// `X_u` containing, for every earlier trajectory (the user and chaffs
+/// `< u`), one random (cell, slot) pair sampled from that trajectory, then
+/// routes the chaff along the most likely trajectory that avoids `X_u` —
+/// a constrained shortest path over the trellis with vertices removed.
+///
+/// Each chaff's trajectory is therefore (i) still near-maximal in
+/// likelihood, (ii) distinct from all earlier ones with high probability,
+/// and (iii) unpredictable to the eavesdropper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RmlStrategy;
+
+impl ChaffStrategy for RmlStrategy {
+    fn name(&self) -> &'static str {
+        "RML"
+    }
+
+    fn generate(
+        &self,
+        chain: &MarkovChain,
+        user: &Trajectory,
+        num_chaffs: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<Trajectory>> {
+        validate_user(chain, user)?;
+        generate_with_avoid_sets(chain, user, num_chaffs, rng, |chain, _user, avoid| {
+            most_likely_trajectory(chain, _user.len(), Some(avoid)).map(|p| p.trajectory)
+        })
+    }
+
+    fn deterministic_map(&self, chain: &MarkovChain, observed: &Trajectory) -> Option<Trajectory> {
+        // The advanced eavesdropper knows the strategy class but not its
+        // randomness; its best deterministic predictor is the base ML map.
+        super::MlStrategy.deterministic_map(chain, observed)
+    }
+}
+
+/// The robust OO (ROO) strategy (Sec. VI-B2).
+///
+/// Randomizes [`OoStrategy`](super::OoStrategy) the same way RML
+/// randomizes ML: per-chaff random avoid-sets, then Algorithm 1's dynamic
+/// program over the reduced trellis (layers `L'_t = L_t \ X_u`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RooStrategy;
+
+impl ChaffStrategy for RooStrategy {
+    fn name(&self) -> &'static str {
+        "ROO"
+    }
+
+    fn generate(
+        &self,
+        chain: &MarkovChain,
+        user: &Trajectory,
+        num_chaffs: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<Trajectory>> {
+        validate_user(chain, user)?;
+        generate_with_avoid_sets(chain, user, num_chaffs, rng, |chain, user, avoid| {
+            optimal_offline_trajectory(chain, user, Some(avoid))
+        })
+    }
+
+    fn deterministic_map(&self, chain: &MarkovChain, observed: &Trajectory) -> Option<Trajectory> {
+        super::OoStrategy.deterministic_map(chain, observed)
+    }
+}
+
+/// Shared RML/ROO scaffolding: draw avoid-sets per chaff, solve the
+/// constrained problem, retry on infeasibility.
+///
+/// In addition to the paper's pairs (one per earlier trajectory), every
+/// chaff avoids one random (cell, slot) pair **of the unperturbed base
+/// solution itself** (`base`, the strategy's deterministic map of the
+/// user). The paper's pairs are drawn from trajectories the base solution
+/// is already engineered to avoid, so on sparse trace-like models they
+/// frequently fail to bind, leaving the chaff identical to the map the
+/// advanced eavesdropper blacklists; the self-avoidance pair is binding
+/// by construction and guarantees the output differs from that map.
+fn generate_with_avoid_sets(
+    chain: &MarkovChain,
+    user: &Trajectory,
+    num_chaffs: usize,
+    rng: &mut dyn RngCore,
+    solve: impl Fn(&MarkovChain, &Trajectory, &AvoidSet) -> Result<Trajectory>,
+) -> Result<Vec<Trajectory>> {
+    let horizon = user.len();
+    // The unperturbed solution the eavesdropper can predict.
+    let base = solve(chain, user, &AvoidSet::new(horizon, chain.num_states())).ok();
+    let mut produced: Vec<Trajectory> = Vec::with_capacity(num_chaffs);
+    for _ in 0..num_chaffs {
+        let mut result = None;
+        for _attempt in 0..MAX_AVOID_RETRIES {
+            let mut avoid = AvoidSet::new(horizon, chain.num_states());
+            // One random (cell, slot) pair from the user and from every
+            // chaff generated so far (the paper's Sec. VI-B construction).
+            let slot = rng.random_range(0..horizon);
+            avoid.insert(slot, user.cell(slot));
+            for earlier in &produced {
+                let slot = rng.random_range(0..horizon);
+                avoid.insert(slot, earlier.cell(slot));
+            }
+            // The guaranteed-binding self-avoidance pair.
+            if let Some(base) = &base {
+                let slot = rng.random_range(0..horizon);
+                avoid.insert(slot, base.cell(slot));
+            }
+            match solve(chain, user, &avoid) {
+                Ok(trajectory) => {
+                    result = Some(trajectory);
+                    break;
+                }
+                Err(CoreError::NoFeasiblePath) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        produced.push(result.ok_or(CoreError::NoFeasiblePath)?);
+    }
+    Ok(produced)
+}
+
+/// The robust MO (RMO) strategy (Sec. VI-B3).
+///
+/// Keeps MO's online property: instead of cell-slot avoid pairs it draws,
+/// for each chaff `u` and each earlier trajectory `u' < u`, one random slot
+/// `t_{u'}`; at that slot chaff `u` must avoid wherever trajectory `u'`
+/// currently is. Chaffs are resolved in index order within each slot, so
+/// "wherever `u'` is" is always already known.
+///
+/// As with RML/ROO, each chaff additionally avoids the *unperturbed MO
+/// trajectory* at one random slot (computable online: the base MO
+/// controller is simulated alongside), guaranteeing the output differs
+/// from the map the advanced eavesdropper predicts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RmoStrategy;
+
+impl ChaffStrategy for RmoStrategy {
+    fn name(&self) -> &'static str {
+        "RMO"
+    }
+
+    fn generate(
+        &self,
+        chain: &MarkovChain,
+        user: &Trajectory,
+        num_chaffs: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<Trajectory>> {
+        validate_user(chain, user)?;
+        let horizon = user.len();
+        // avoid_slots[k][u'] = the slot at which chaff k avoids trajectory
+        // u' (u' = 0 is the user, u' >= 1 is chaff u'-1).
+        let avoid_slots: Vec<Vec<usize>> = (0..num_chaffs)
+            .map(|k| (0..=k).map(|_| rng.random_range(0..horizon)).collect())
+            .collect();
+        // self_slots[k]: the slot at which chaff k dodges the base MO map.
+        let self_slots: Vec<usize> = (0..num_chaffs)
+            .map(|_| rng.random_range(0..horizon))
+            .collect();
+        let mut base_controller = MoController::new(chain);
+        let mut controllers: Vec<MoController<'_>> =
+            (0..num_chaffs).map(|_| MoController::new(chain)).collect();
+        let mut chaffs: Vec<Trajectory> =
+            (0..num_chaffs).map(|_| Trajectory::with_capacity(horizon)).collect();
+        for t in 0..horizon {
+            let user_now = user.cell(t);
+            let base_cell = base_controller.decide(user_now, &[]);
+            for k in 0..num_chaffs {
+                let mut avoid: Vec<CellId> = Vec::new();
+                for (u_prime, &slot) in avoid_slots[k].iter().enumerate() {
+                    if slot == t {
+                        let loc = if u_prime == 0 {
+                            user_now
+                        } else {
+                            chaffs[u_prime - 1].cell(t)
+                        };
+                        avoid.push(loc);
+                    }
+                }
+                if self_slots[k] == t {
+                    avoid.push(base_cell);
+                }
+                let cell = controllers[k].decide(user_now, &avoid);
+                chaffs[k].push(cell);
+            }
+        }
+        Ok(chaffs)
+    }
+
+    fn deterministic_map(&self, chain: &MarkovChain, observed: &Trajectory) -> Option<Trajectory> {
+        super::MoStrategy.deterministic_map(chain, observed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::MlDetector;
+    use chaff_markov::models::ModelKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain(seed: u64) -> MarkovChain {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn rml_chaffs_are_distinct_and_high_likelihood() {
+        let c = chain(61);
+        let mut rng = StdRng::seed_from_u64(62);
+        let user = c.sample_trajectory(50, &mut rng);
+        let chaffs = RmlStrategy.generate(&c, &user, 5, &mut rng).unwrap();
+        assert_eq!(chaffs.len(), 5);
+        let ml = most_likely_trajectory(&c, 50, None).unwrap();
+        for chaff in &chaffs {
+            // Avoiding a handful of vertices costs little likelihood.
+            assert!(c.log_likelihood(chaff) > -ml.cost - 10.0);
+        }
+        // With a 10-cell space and random avoid pairs, duplicates among 5
+        // chaffs are unlikely but not impossible; at least two variants
+        // must exist (otherwise the randomization failed entirely).
+        let distinct: std::collections::HashSet<_> = chaffs.iter().collect();
+        assert!(distinct.len() >= 2);
+    }
+
+    #[test]
+    fn rml_differs_from_plain_ml() {
+        let c = chain(63);
+        let mut rng = StdRng::seed_from_u64(64);
+        let user = c.sample_trajectory(40, &mut rng);
+        let plain = most_likely_trajectory(&c, 40, None).unwrap().trajectory;
+        let robust = &RmlStrategy.generate(&c, &user, 1, &mut rng).unwrap()[0];
+        // The avoid pair against the plain ML path forces at least one slot
+        // to differ whenever the drawn pair lies on that path; across a
+        // trajectory-length draw this is overwhelmingly likely to trigger
+        // when user and ML path overlap — but the guaranteed property is
+        // just that the result is a valid high-likelihood trajectory.
+        assert_eq!(robust.len(), plain.len());
+    }
+
+    #[test]
+    fn roo_chaffs_satisfy_a_near_oo_objective() {
+        let c = chain(65);
+        let mut rng = StdRng::seed_from_u64(66);
+        let user = c.sample_trajectory(60, &mut rng);
+        let oo = &super::super::OoStrategy.generate(&c, &user, 1, &mut rng).unwrap()[0];
+        let roo = &RooStrategy.generate(&c, &user, 3, &mut rng).unwrap()[0];
+        // The perturbed objective cannot beat the unconstrained optimum...
+        assert!(user.coincidences(roo) + 2 >= user.coincidences(oo));
+        // ...but stays close: on model (a) both should be near-disjoint.
+        assert!(user.coincidences(roo) <= 3);
+    }
+
+    #[test]
+    fn roo_still_beats_the_detector() {
+        let c = chain(67);
+        let mut rng = StdRng::seed_from_u64(68);
+        let mut chaff_wins = 0;
+        for _ in 0..20 {
+            let user = c.sample_trajectory(40, &mut rng);
+            let chaffs = RooStrategy.generate(&c, &user, 2, &mut rng).unwrap();
+            let mut observed = vec![user];
+            observed.extend(chaffs);
+            let d = MlDetector.detect(&c, &observed).unwrap();
+            if d.tie_set().iter().any(|&u| u != 0) {
+                chaff_wins += 1;
+            }
+        }
+        // Avoiding one random vertex rarely destroys the likelihood win.
+        assert!(chaff_wins >= 17, "chaff wins = {chaff_wins}/20");
+    }
+
+    #[test]
+    fn rmo_randomization_separates_multiple_chaffs() {
+        // Plain MO gives every chaff the identical trajectory. RMO chaff
+        // u must avoid chaff u' < u at a random slot; since un-perturbed
+        // chaffs coincide everywhere, that avoidance is guaranteed to
+        // force a difference at the drawn slot.
+        let c = chain(69);
+        let mut rng = StdRng::seed_from_u64(70);
+        let mut separated = 0;
+        let runs = 20;
+        for _ in 0..runs {
+            let user = c.sample_trajectory(30, &mut rng);
+            let chaffs = RmoStrategy.generate(&c, &user, 3, &mut rng).unwrap();
+            let distinct: std::collections::HashSet<_> = chaffs.iter().collect();
+            if distinct.len() >= 2 {
+                separated += 1;
+            }
+        }
+        assert!(separated >= runs - 2, "separated = {separated}/{runs}");
+    }
+
+    #[test]
+    fn rmo_produces_independent_chaffs() {
+        let c = chain(71);
+        let mut rng = StdRng::seed_from_u64(72);
+        let user = c.sample_trajectory(40, &mut rng);
+        let chaffs = RmoStrategy.generate(&c, &user, 4, &mut rng).unwrap();
+        assert_eq!(chaffs.len(), 4);
+        for chaff in &chaffs {
+            assert_eq!(chaff.len(), 40);
+        }
+    }
+
+    #[test]
+    fn robust_maps_equal_base_maps() {
+        let c = chain(73);
+        let mut rng = StdRng::seed_from_u64(74);
+        let user = c.sample_trajectory(20, &mut rng);
+        assert_eq!(
+            RmlStrategy.deterministic_map(&c, &user),
+            super::super::MlStrategy.deterministic_map(&c, &user)
+        );
+        assert_eq!(
+            RooStrategy.deterministic_map(&c, &user),
+            super::super::OoStrategy.deterministic_map(&c, &user)
+        );
+        assert_eq!(
+            RmoStrategy.deterministic_map(&c, &user),
+            super::super::MoStrategy.deterministic_map(&c, &user)
+        );
+    }
+}

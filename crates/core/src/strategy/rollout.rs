@@ -1,0 +1,225 @@
+use super::{validate_user, ChaffStrategy};
+use crate::{loglik_cmp, Result};
+use chaff_markov::{CellId, MarkovChain, Trajectory};
+use rand::RngCore;
+use std::cmp::Ordering;
+
+/// Default number of sampled user futures per decision.
+pub const DEFAULT_ROLLOUT_SAMPLES: usize = 16;
+
+/// Sampling-based one-step-lookahead online strategy (extension).
+///
+/// Sec. IV-D casts online chaff control as a finite-horizon MDP and the
+/// paper evaluates only the myopic policy (MO, Algorithm 2), noting that
+/// "any efficient MDP solver (e.g., rollout algorithm) is applicable".
+/// This strategy is that suggested next step: at each slot it scores every
+/// candidate chaff move by its immediate MDP cost *plus* the expected cost
+/// one slot ahead, estimated by sampling user next-steps from the mobility
+/// model and assuming the myopic response afterwards.
+///
+/// The per-slot MDP cost is the paper's
+/// `C(γ_t, x_{1,t}, x_{2,t}) = 1{co-located} + 1{not}(1{γ>0} + ½·1{γ=0})`.
+///
+/// Compared in the ablation benches against MO; it trades
+/// `O(s² · samples)` work per slot for fewer forced co-locations on
+/// likelihood-dominated instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RolloutStrategy {
+    /// Number of user futures sampled per candidate evaluation.
+    pub samples: usize,
+}
+
+impl Default for RolloutStrategy {
+    fn default() -> Self {
+        RolloutStrategy {
+            samples: DEFAULT_ROLLOUT_SAMPLES,
+        }
+    }
+}
+
+impl ChaffStrategy for RolloutStrategy {
+    fn name(&self) -> &'static str {
+        "ROLLOUT"
+    }
+
+    fn generate(
+        &self,
+        chain: &MarkovChain,
+        user: &Trajectory,
+        num_chaffs: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<Trajectory>> {
+        validate_user(chain, user)?;
+        Ok((0..num_chaffs)
+            .map(|_| self.run_once(chain, user, rng))
+            .collect())
+    }
+}
+
+impl RolloutStrategy {
+    fn run_once(
+        &self,
+        chain: &MarkovChain,
+        user: &Trajectory,
+        rng: &mut dyn RngCore,
+    ) -> Trajectory {
+        let mut out = Trajectory::with_capacity(user.len());
+        let mut gamma = 0.0f64;
+        let mut prev_chaff: Option<CellId> = None;
+        let mut prev_user: Option<CellId> = None;
+        for t in 0..user.len() {
+            let user_now = user.cell(t);
+            let user_inc = match prev_user {
+                None => chain.initial().log_prob(user_now),
+                Some(pu) => chain.matrix().log_prob(pu, user_now),
+            };
+            let candidates: Vec<(CellId, f64)> = match prev_chaff {
+                None => (0..chain.num_states())
+                    .map(CellId::new)
+                    .map(|c| (c, chain.initial().log_prob(c)))
+                    .filter(|(_, lp)| lp.is_finite())
+                    .collect(),
+                Some(pc) => chain
+                    .matrix()
+                    .successors(pc)
+                    .map(|(c, p)| (c, p.ln()))
+                    .collect(),
+            };
+            let mut best: Option<(CellId, f64)> = None;
+            for &(cand, chaff_inc) in &candidates {
+                let next_gamma = gamma + user_inc - chaff_inc;
+                let immediate = mdp_cost(next_gamma, user_now, cand);
+                let future = self.expected_future_cost(chain, cand, user_now, next_gamma, rng);
+                let score = immediate + future;
+                match best {
+                    Some((_, bs)) if bs <= score => {}
+                    _ => best = Some((cand, score)),
+                }
+            }
+            let choice = best.map(|(c, _)| c).unwrap_or(user_now);
+            let chaff_inc = match prev_chaff {
+                None => chain.initial().log_prob(choice),
+                Some(pc) => chain.matrix().log_prob(pc, choice),
+            };
+            gamma += user_inc - chaff_inc;
+            prev_chaff = Some(choice);
+            prev_user = Some(user_now);
+            out.push(choice);
+        }
+        out
+    }
+
+    /// Expected next-slot cost if the chaff sits at `chaff_now` with gap
+    /// `gamma`, sampling the user's next move and assuming a myopic chaff
+    /// response.
+    fn expected_future_cost(
+        &self,
+        chain: &MarkovChain,
+        chaff_now: CellId,
+        user_now: CellId,
+        gamma: f64,
+        rng: &mut dyn RngCore,
+    ) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for _ in 0..self.samples {
+            let user_next = chain.step(user_now, rng);
+            let user_inc = chain.matrix().log_prob(user_now, user_next);
+            // Myopic response: best over chaff successors.
+            let mut best = f64::INFINITY;
+            for (succ, p) in chain.matrix().successors(chaff_now) {
+                let g = gamma + user_inc - p.ln();
+                let c = mdp_cost(g, user_next, succ);
+                if c < best {
+                    best = c;
+                }
+            }
+            if best.is_finite() {
+                total += best;
+            } else {
+                total += 1.0; // no move: certain tracking
+            }
+        }
+        total / self.samples as f64
+    }
+}
+
+/// The paper's per-slot MDP cost `C(γ_t, x_{1,t}, x_{2,t})` (Sec. IV-D):
+/// the eavesdropper's per-slot tracking probability under the two-trajectory
+/// ML race.
+fn mdp_cost(gamma: f64, user: CellId, chaff: CellId) -> f64 {
+    if chaff == user {
+        1.0
+    } else {
+        match loglik_cmp(gamma, 0.0) {
+            Ordering::Greater => 1.0,
+            Ordering::Equal => 0.5,
+            Ordering::Less => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chaff_markov::models::ModelKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mdp_cost_matches_paper_definition() {
+        let a = CellId::new(0);
+        let b = CellId::new(1);
+        assert_eq!(mdp_cost(-5.0, a, a), 1.0); // co-located: tracked
+        assert_eq!(mdp_cost(1.0, a, b), 1.0); // user more likely: tracked
+        assert_eq!(mdp_cost(0.0, a, b), 0.5); // tie: coin flip
+        assert_eq!(mdp_cost(-1.0, a, b), 0.0); // chaff wins: safe
+    }
+
+    #[test]
+    fn rollout_produces_valid_trajectories() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let chain =
+            MarkovChain::new(ModelKind::NonSkewed.build(8, &mut rng).unwrap()).unwrap();
+        let user = chain.sample_trajectory(25, &mut rng);
+        let chaffs = RolloutStrategy::default()
+            .generate(&chain, &user, 2, &mut rng)
+            .unwrap();
+        for chaff in &chaffs {
+            assert_eq!(chaff.len(), 25);
+            assert!(chain.log_likelihood(chaff).is_finite());
+        }
+    }
+
+    #[test]
+    fn rollout_accuracy_not_worse_than_random_on_easy_models() {
+        // On the non-skewed model, the rollout chaff should win or tie the
+        // likelihood race most of the time, like MO does.
+        let mut rng = StdRng::seed_from_u64(82);
+        let chain =
+            MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng).unwrap()).unwrap();
+        let strategy = RolloutStrategy { samples: 8 };
+        let mut low_coincidence_runs = 0;
+        for _ in 0..10 {
+            let user = chain.sample_trajectory(60, &mut rng);
+            let chaff = &strategy.generate(&chain, &user, 1, &mut rng).unwrap()[0];
+            if user.coincidences(chaff) <= 6 {
+                low_coincidence_runs += 1;
+            }
+        }
+        assert!(low_coincidence_runs >= 8, "{low_coincidence_runs}/10");
+    }
+
+    #[test]
+    fn zero_samples_degenerates_to_pure_myopia() {
+        let mut rng = StdRng::seed_from_u64(83);
+        let chain =
+            MarkovChain::new(ModelKind::SpatiallySkewed.build(6, &mut rng).unwrap()).unwrap();
+        let user = chain.sample_trajectory(15, &mut rng);
+        let strategy = RolloutStrategy { samples: 0 };
+        let chaffs = strategy.generate(&chain, &user, 1, &mut rng).unwrap();
+        assert_eq!(chaffs[0].len(), 15);
+    }
+}

@@ -1,0 +1,587 @@
+//! The paper's analytical results (Sec. V), evaluable in code.
+//!
+//! * [`im_tracking_accuracy`] — the exact IM accuracy of eq. (11);
+//! * [`ml_tracking_accuracy`] — the exact ML accuracy of eq. (12);
+//! * [`LikelihoodConstants`] — `c_0`, `c_min`, `c_max` of Theorem V.4;
+//! * [`CmlProductChain`] — the induced chain `y_t = (x_{1,t}, x_{2,t})` of
+//!   eq. (17), from which `E[c_t]`, `δ` and the ε-mixing time follow;
+//! * [`TheoremV4Bound`] — the exponential-decay bound (21) on the CML/OO
+//!   tracking accuracy;
+//! * [`TheoremV5Bound`] — the per-slot bound (24) on MO and the
+//!   time-average bound (26) of Corollary V.6.
+//!
+//! The integration tests check each closed form against Monte Carlo
+//! simulation, and each bound against the simulated accuracy whenever its
+//! hypothesis (`E[c_t] < 0`, i.e. the chaff's moves are more predictable
+//! than the user's) holds.
+
+use crate::strategy::pick_constrained_argmax;
+use crate::trellis;
+use crate::{CoreError, Result};
+use chaff_markov::{mixing, CellId, MarkovChain, StateDistribution, TransitionMatrix};
+
+/// Largest state-space size for which the dense `L² × L²` product chain is
+/// built; beyond this the memory cost is prohibitive and callers should
+/// fall back to empirical estimation.
+pub const MAX_PRODUCT_STATES: usize = 64;
+
+/// Exact tracking accuracy of the IM strategy (eq. 11):
+/// `P_IM = Σ_x π(x)² + (1 − Σ_x π(x)²) / N`, where `N` is the total number
+/// of trajectories (user + chaffs).
+///
+/// As `N → ∞` this converges to the collision probability `Σ π²`, which is
+/// at least `1/L` (Lemma V.1) — IM never reaches zero accuracy.
+///
+/// # Panics
+///
+/// Panics if `num_trajectories == 0`.
+pub fn im_tracking_accuracy(pi: &StateDistribution, num_trajectories: usize) -> f64 {
+    assert!(num_trajectories > 0, "need at least the user's trajectory");
+    let collision = pi.collision_probability();
+    collision + (1.0 - collision) / num_trajectories as f64
+}
+
+/// Exact tracking accuracy of the ML strategy (eq. 12):
+/// `P_ML = 1/T Σ_t π(x_{2,t})` where `x_2` is the most likely trajectory.
+///
+/// # Errors
+///
+/// Returns an error if `horizon == 0`.
+pub fn ml_tracking_accuracy(chain: &MarkovChain, horizon: usize) -> Result<f64> {
+    let path = trellis::most_likely_trajectory(chain, horizon, None)?;
+    let sum: f64 = path
+        .trajectory
+        .iter()
+        .map(|cell| chain.initial().prob(cell))
+        .sum();
+    Ok(sum / horizon as f64)
+}
+
+/// The extremal log-likelihood-difference constants of Theorem V.4.
+///
+/// With `π_max, π_2` the two largest steady-state masses, `p_max / p_min`
+/// the largest / smallest positive transition probabilities and `p_2` the
+/// smallest over rows of the second-largest row entry:
+///
+/// * `c0  = log(π_max / π_2)` — the largest possible `c_1`;
+/// * `cmin = log(p_min / p_max)` — the smallest possible `c_t`;
+/// * `cmax = log(p_max / p_2)` — the largest possible `c_t`
+///   (`+inf` when some row has a single successor).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LikelihoodConstants {
+    /// Maximum of the initial-slot difference `c_1`.
+    pub c0: f64,
+    /// Minimum per-slot difference for `t > 1`.
+    pub cmin: f64,
+    /// Maximum per-slot difference for `t > 1`.
+    pub cmax: f64,
+}
+
+impl LikelihoodConstants {
+    /// Computes the constants from a mobility model.
+    pub fn from_chain(chain: &MarkovChain) -> Self {
+        let pi = chain.initial();
+        let pi_max = pi.max();
+        let pi_2 = pi.second_max();
+        let p_max = chain.matrix().max_prob();
+        let p_min = chain.matrix().min_positive_prob().unwrap_or(p_max);
+        let p_2 = chain.matrix().p2();
+        let ratio_log = |num: f64, den: f64| {
+            if den > 0.0 {
+                (num / den).ln()
+            } else {
+                f64::INFINITY
+            }
+        };
+        LikelihoodConstants {
+            c0: ratio_log(pi_max, pi_2),
+            cmin: ratio_log(p_min, p_max),
+            cmax: ratio_log(p_max, p_2),
+        }
+    }
+
+    /// The denominator span `c_max − c_min` of bounds (21) and (24).
+    pub fn span(&self) -> f64 {
+        self.cmax - self.cmin
+    }
+}
+
+/// The induced product chain `y_t = (x_{1,t}, x_{2,t})` under the CML
+/// strategy (eq. 17): the user moves by `P`, and the chaff deterministically
+/// takes its most likely non-co-locating move.
+#[derive(Debug, Clone)]
+pub struct CmlProductChain {
+    product: MarkovChain,
+    /// `g[y] = E[c_t | y_{t-1} = y]` (eq. 18).
+    g: Vec<f64>,
+    base_states: usize,
+}
+
+impl CmlProductChain {
+    /// Builds the product chain for a base mobility model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Markov`] wrapping a dimension error when
+    /// `L > MAX_PRODUCT_STATES` (the dense product would not fit), or a
+    /// convergence error when the product chain's stationary distribution
+    /// cannot be found by power iteration.
+    pub fn build(chain: &MarkovChain) -> Result<Self> {
+        let l = chain.num_states();
+        if l > MAX_PRODUCT_STATES {
+            return Err(CoreError::Markov(
+                chaff_markov::MarkovError::DimensionMismatch {
+                    expected: MAX_PRODUCT_STATES,
+                    found: l,
+                },
+            ));
+        }
+        let n = l * l;
+        let mut rows = vec![vec![0.0f64; n]; n];
+        let mut g = vec![0.0f64; n];
+        for x1 in 0..l {
+            for x2 in 0..l {
+                let y = x1 * l + x2;
+                let mut g_acc = 0.0;
+                for (x1_next, p) in chain.matrix().successors(CellId::new(x1)) {
+                    let x2_next =
+                        pick_constrained_argmax(chain, CellId::new(x2), x1_next, &[]);
+                    let y_next = x1_next.index() * l + x2_next.index();
+                    rows[y][y_next] += p;
+                    // c_t for this transition: log P(user) - log P(chaff).
+                    let chaff_lp = chain.matrix().log_prob(CellId::new(x2), x2_next);
+                    let ct = if chaff_lp == f64::NEG_INFINITY {
+                        // The chaff was cornered (co-location fallback with
+                        // zero-probability move); treat as the worst case.
+                        f64::INFINITY
+                    } else {
+                        p.ln() - chaff_lp
+                    };
+                    g_acc += p * ct;
+                }
+                g[y] = g_acc;
+            }
+        }
+        let matrix = TransitionMatrix::from_rows(rows)?;
+        let stationary = chaff_markov::stationary::stationary(&matrix)?;
+        let product = MarkovChain::with_initial(matrix, stationary)?;
+        Ok(CmlProductChain {
+            product,
+            g,
+            base_states: l,
+        })
+    }
+
+    /// The stationary expectation `E[c_t] = Σ_y π(y) g(y)`.
+    ///
+    /// Negative means the chaff's moves are *more* predictable than the
+    /// user's — the hypothesis of Theorems V.4/V.5 and the
+    /// information-theoretic condition `H(user) > H(chaff)`.
+    pub fn expected_ct(&self) -> f64 {
+        self.g
+            .iter()
+            .enumerate()
+            .map(|(y, &gy)| self.product.initial().prob(CellId::new(y)) * gy)
+            .sum()
+    }
+
+    /// The paper's `δ = min(Σ_y |g(y)|, 2 max_y |g(y)|)` (Lemma V.2).
+    pub fn delta(&self) -> f64 {
+        let sum: f64 = self.g.iter().map(|v| v.abs()).sum();
+        let max = self.g.iter().map(|v| v.abs()).fold(0.0, f64::max);
+        sum.min(2.0 * max)
+    }
+
+    /// The ε-mixing time of the product chain, or `None` if it does not
+    /// mix within `max_t` steps.
+    pub fn mixing_time(&self, epsilon: f64, max_t: usize) -> Option<usize> {
+        mixing::mixing_time(
+            self.product.matrix(),
+            self.product.initial(),
+            epsilon,
+            max_t,
+        )
+    }
+
+    /// Number of states in the base chain.
+    pub fn base_states(&self) -> usize {
+        self.base_states
+    }
+
+    /// The product chain itself (states indexed `x1 · L + x2`).
+    pub fn chain(&self) -> &MarkovChain {
+        &self.product
+    }
+}
+
+/// The exponential tracking-accuracy bound of Theorem V.4 for the CML (and
+/// hence OO) strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TheoremV4Bound {
+    /// `µ = −E[c_t]` under the CML product chain.
+    pub mu: f64,
+    /// The deviation scale `δ` of Lemma V.2.
+    pub delta: f64,
+    /// Sub-chain stride `w = t_mix(ε) + 1`.
+    pub w: usize,
+    /// The chosen mixing tolerance ε.
+    pub epsilon: f64,
+    /// Extremal constants of the log-likelihood differences.
+    pub constants: LikelihoodConstants,
+}
+
+impl TheoremV4Bound {
+    /// Computes every ingredient of the bound for a mobility model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates product-chain construction errors; returns
+    /// [`CoreError::Markov`] with a no-convergence error when the product
+    /// chain fails to mix within `max_mixing_steps`.
+    pub fn compute(
+        chain: &MarkovChain,
+        epsilon: f64,
+        max_mixing_steps: usize,
+    ) -> Result<Self> {
+        let product = CmlProductChain::build(chain)?;
+        let w = product
+            .mixing_time(epsilon, max_mixing_steps)
+            .ok_or(CoreError::Markov(chaff_markov::MarkovError::NoConvergence {
+                iterations: max_mixing_steps,
+            }))?
+            + 1;
+        Ok(TheoremV4Bound {
+            mu: -product.expected_ct(),
+            delta: product.delta(),
+            w,
+            epsilon,
+            constants: LikelihoodConstants::from_chain(chain),
+        })
+    }
+
+    /// The effective drift `µ − εδ − c_0/(T − w)` for horizon `t`.
+    fn drift(&self, horizon: usize) -> Option<f64> {
+        if horizon <= self.w {
+            return None;
+        }
+        let d = self.mu
+            - self.epsilon * self.delta
+            - self.constants.c0 / (horizon - self.w) as f64;
+        d.is_finite().then_some(d)
+    }
+
+    /// Evaluates bound (21) for a horizon of `t` slots.
+    ///
+    /// Returns `None` when the theorem's hypothesis fails (drift negative,
+    /// horizon too short, or degenerate constants); otherwise the bound,
+    /// clamped to `[0, 1]`.
+    pub fn evaluate(&self, horizon: usize) -> Option<f64> {
+        let drift = self.drift(horizon)?;
+        if drift < 0.0 {
+            return None;
+        }
+        let span = self.constants.span() + 2.0 * self.epsilon * self.delta;
+        if !span.is_finite() || span <= 0.0 {
+            return None;
+        }
+        let chunks = horizon as f64 / self.w as f64 - 1.0;
+        let exponent = -2.0 * chunks * (drift / span) * (drift / span);
+        Some((self.w as f64 * exponent.exp()).min(1.0))
+    }
+
+    /// Whether the hypothesis `E[c_t] < 0` holds at all (necessary for the
+    /// bound to ever bind as `T → ∞`).
+    pub fn hypothesis_holds(&self) -> bool {
+        self.mu - self.epsilon * self.delta > 0.0
+    }
+}
+
+/// The per-slot (Theorem V.5) and time-average (Corollary V.6) bounds for
+/// the MO strategy.
+///
+/// The MO analysis runs over the augmented chain
+/// `z_t = (γ_t, x_{1,t}, x_{2,t})` whose first coordinate is continuous, so
+/// unlike [`TheoremV4Bound`] the drift `µ' = −E[c_t]` is *estimated by
+/// simulation* and the deviation scale uses the conservative exact bound
+/// `δ' ≤ 2 max(|c_min|, |c_max|)` (every `|g'(z)|` is a conditional mean of
+/// `c_t ∈ [c_min, c_max]`). The stride `w'` defaults to the CML product
+/// chain's mixing time as a structural proxy; callers may override it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TheoremV5Bound {
+    /// Estimated `µ' = −E[c_t]` under MO.
+    pub mu_prime: f64,
+    /// Conservative deviation scale `δ'`.
+    pub delta_prime: f64,
+    /// Sub-chain stride `w'`.
+    pub w_prime: usize,
+    /// The chosen mixing tolerance ε.
+    pub epsilon: f64,
+    /// Extremal constants of the log-likelihood differences.
+    pub constants: LikelihoodConstants,
+}
+
+impl TheoremV5Bound {
+    /// Estimates the bound's ingredients by simulating `runs` user
+    /// trajectories of `horizon` slots with an MO chaff.
+    ///
+    /// # Errors
+    ///
+    /// Propagates strategy/product-chain errors.
+    pub fn estimate<R: rand::Rng>(
+        chain: &MarkovChain,
+        epsilon: f64,
+        runs: usize,
+        horizon: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        use crate::strategy::{ChaffStrategy, MoStrategy};
+
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        for _ in 0..runs {
+            let user = chain.sample_trajectory(horizon, rng);
+            let chaff = &MoStrategy.generate(chain, &user, 1, rng)?[0];
+            let cts = crate::likelihood::ct_series(chain, &user, chaff)?;
+            for &ct in &cts[1..] {
+                if ct.is_finite() {
+                    sum += ct;
+                    count += 1;
+                }
+            }
+        }
+        let mu_prime = if count > 0 { -(sum / count as f64) } else { 0.0 };
+        let constants = LikelihoodConstants::from_chain(chain);
+        let delta_prime = 2.0 * constants.cmin.abs().max(constants.cmax.abs());
+        let w_prime = CmlProductChain::build(chain)?
+            .mixing_time(epsilon, 10_000)
+            .unwrap_or(horizon)
+            + 1;
+        Ok(TheoremV5Bound {
+            mu_prime,
+            delta_prime,
+            w_prime,
+            epsilon,
+            constants,
+        })
+    }
+
+    fn drift(&self, horizon: usize) -> Option<f64> {
+        if horizon < self.w_prime + 2 {
+            return None;
+        }
+        let tail = (horizon - self.w_prime - 1) as f64;
+        let d = self.mu_prime
+            - self.epsilon * self.delta_prime
+            - (self.constants.c0 + self.constants.cmax) / tail;
+        d.is_finite().then_some(d)
+    }
+
+    /// Evaluates the per-slot bound (24) at slot `t`.
+    ///
+    /// Returns `None` when the hypothesis fails at this horizon.
+    pub fn per_slot(&self, t: usize) -> Option<f64> {
+        let drift = self.drift(t)?;
+        if drift < 0.0 {
+            return None;
+        }
+        let span = self.constants.span() + 2.0 * self.epsilon * self.delta_prime;
+        if !span.is_finite() || span <= 0.0 {
+            return None;
+        }
+        let chunks = (t - self.w_prime - 1) as f64 / self.w_prime as f64;
+        let exponent = -2.0 * chunks * (drift / span) * (drift / span);
+        Some((self.w_prime as f64 * exponent.exp()).min(1.0))
+    }
+
+    /// Evaluates the time-average bound (26) of Corollary V.6 over a
+    /// horizon of `t` slots.
+    ///
+    /// Returns `None` when the hypothesis never starts holding within `t`.
+    pub fn time_average(&self, t: usize) -> Option<f64> {
+        // T0: the smallest horizon at which the per-slot condition holds.
+        let t0 = (1..=t).find(|&s| self.drift(s).is_some_and(|d| d >= 0.0))?;
+        let drift0 = self.drift(t0).expect("checked above");
+        let span = self.constants.span() + 2.0 * self.epsilon * self.delta_prime;
+        if !span.is_finite() || span <= 0.0 {
+            return None;
+        }
+        let w = self.w_prime as f64;
+        let alpha = 2.0 * (drift0 / span) * (drift0 / span) / w;
+        let geometric = w * (alpha * (w + 1.0 - t0 as f64)).exp() / (1.0 - (-alpha).exp());
+        Some((((t0 - 1) as f64 + geometric) / t as f64).min(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chaff_markov::models::ModelKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(kind: ModelKind, seed: u64) -> MarkovChain {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MarkovChain::new(kind.build(10, &mut rng).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn im_accuracy_formula_basics() {
+        let uniform = StateDistribution::uniform(10).unwrap();
+        // Uniform: collision = 1/10; N=2 gives 0.1 + 0.9/2 = 0.55.
+        assert!((im_tracking_accuracy(&uniform, 2) - 0.55).abs() < 1e-12);
+        // N -> infinity converges to the collision probability.
+        assert!((im_tracking_accuracy(&uniform, 1_000_000) - 0.1).abs() < 1e-5);
+        // More chaffs monotonically help.
+        let skewed = StateDistribution::from_vec(vec![0.7, 0.2, 0.1]).unwrap();
+        assert!(im_tracking_accuracy(&skewed, 2) > im_tracking_accuracy(&skewed, 5));
+    }
+
+    #[test]
+    fn im_accuracy_floor_is_collision_probability() {
+        for kind in ModelKind::ALL {
+            let chain = model(kind, 7);
+            let floor = chain.initial().collision_probability();
+            assert!(im_tracking_accuracy(chain.initial(), 10_000) >= floor - 1e-9);
+            assert!(floor >= 1.0 / 10.0 - 1e-9, "Lemma V.1 lower bound");
+        }
+    }
+
+    #[test]
+    fn ml_accuracy_matches_direct_computation() {
+        let chain = model(ModelKind::SpatiallySkewed, 8);
+        let horizon = 50;
+        let p = ml_tracking_accuracy(&chain, horizon).unwrap();
+        let path = trellis::most_likely_trajectory(&chain, horizon, None).unwrap();
+        let manual: f64 = path
+            .trajectory
+            .iter()
+            .map(|c| chain.initial().prob(c))
+            .sum::<f64>()
+            / horizon as f64;
+        assert!((p - manual).abs() < 1e-12);
+        assert!(p > 0.0 && p <= 1.0);
+    }
+
+    #[test]
+    fn constants_are_ordered() {
+        for kind in ModelKind::ALL {
+            let chain = model(kind, 9);
+            let c = LikelihoodConstants::from_chain(&chain);
+            assert!(c.cmin <= 0.0, "{kind}: cmin = {}", c.cmin);
+            assert!(c.cmax >= 0.0, "{kind}: cmax = {}", c.cmax);
+            assert!(c.c0 >= 0.0, "{kind}: c0 = {}", c.c0);
+            assert!(c.span() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn product_chain_rows_are_stochastic_and_marginal_is_user() {
+        let chain = model(ModelKind::NonSkewed, 10);
+        let product = CmlProductChain::build(&chain).unwrap();
+        assert_eq!(product.chain().num_states(), 100);
+        // The x1-marginal of the product stationary must equal the user's
+        // stationary distribution (x1 evolves autonomously).
+        let l = product.base_states();
+        for x1 in 0..l {
+            let marginal: f64 = (0..l)
+                .map(|x2| product.chain().initial().prob(CellId::new(x1 * l + x2)))
+                .sum();
+            let expected = chain.initial().prob(CellId::new(x1));
+            assert!(
+                (marginal - expected).abs() < 1e-6,
+                "x1={x1}: {marginal} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn expected_ct_is_negative_for_random_models() {
+        // Model (a): the user is high-entropy, the CML chaff is nearly
+        // deterministic, so E[ct] < 0 (the condition of Theorem V.4).
+        let chain = model(ModelKind::NonSkewed, 11);
+        let product = CmlProductChain::build(&chain).unwrap();
+        assert!(product.expected_ct() < 0.0);
+        assert!(product.delta() > 0.0);
+    }
+
+    #[test]
+    fn expected_ct_matches_simulation() {
+        let chain = model(ModelKind::NonSkewed, 12);
+        let product = CmlProductChain::build(&chain).unwrap();
+        let analytic = product.expected_ct();
+        // Simulate CML and average ct over long runs.
+        use crate::strategy::{ChaffStrategy, CmlStrategy};
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for _ in 0..20 {
+            let user = chain.sample_trajectory(500, &mut rng);
+            let chaff = &CmlStrategy.generate(&chain, &user, 1, &mut rng).unwrap()[0];
+            let cts = crate::likelihood::ct_series(&chain, &user, chaff).unwrap();
+            for &ct in &cts[1..] {
+                sum += ct;
+                count += 1;
+            }
+        }
+        let empirical = sum / count as f64;
+        assert!(
+            (empirical - analytic).abs() < 0.05,
+            "empirical {empirical} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn theorem_v4_bound_decays_with_horizon() {
+        // The bound carries a multiplicative mixing-time prefactor `w`
+        // (≈37 for model (a) at ε = 0.01), so it only drops below one at
+        // long horizons — the paper's claim is the exponential *rate*, not
+        // tightness at T = 100.
+        let chain = model(ModelKind::NonSkewed, 14);
+        let bound = TheoremV4Bound::compute(&chain, 0.01, 5_000).unwrap();
+        assert!(bound.hypothesis_holds());
+        let b_mid = bound.evaluate(20_000).expect("evaluable");
+        let b_long = bound.evaluate(200_000).expect("evaluable");
+        assert!(b_long < b_mid, "{b_long} !< {b_mid}");
+        assert!(b_long < 0.01, "exponential decay must bite: {b_long}");
+    }
+
+    #[test]
+    fn theorem_v4_bound_none_below_mixing_horizon() {
+        let chain = model(ModelKind::NonSkewed, 15);
+        let bound = TheoremV4Bound::compute(&chain, 0.01, 5_000).unwrap();
+        assert_eq!(bound.evaluate(bound.w), None);
+    }
+
+    #[test]
+    fn oversized_state_space_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let chain = MarkovChain::new(
+            ModelKind::NonSkewed
+                .build(MAX_PRODUCT_STATES + 1, &mut rng)
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(CmlProductChain::build(&chain).is_err());
+    }
+
+    #[test]
+    fn theorem_v5_estimates_and_corollary_v6() {
+        let chain = model(ModelKind::NonSkewed, 17);
+        let mut rng = StdRng::seed_from_u64(18);
+        let bound = TheoremV5Bound::estimate(&chain, 0.01, 30, 200, &mut rng).unwrap();
+        assert!(bound.mu_prime > 0.0, "MO should be more predictable than a random user");
+        // Per-slot bound decays.
+        let early = bound.per_slot(bound.w_prime + 50);
+        let late = bound.per_slot(bound.w_prime + 2_000);
+        if let (Some(e), Some(l)) = (early, late) {
+            assert!(l <= e);
+        }
+        // Time-average bound is in (0, 1] and decreases with T.
+        let avg_short = bound.time_average(500);
+        let avg_long = bound.time_average(5_000);
+        if let (Some(s), Some(l)) = (avg_short, avg_long) {
+            assert!(l <= s + 1e-12);
+            assert!(s <= 1.0 && l > 0.0);
+        }
+    }
+}

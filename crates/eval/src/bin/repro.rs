@@ -1,0 +1,181 @@
+//! `repro` — regenerate every figure and table of the paper.
+//!
+//! ```text
+//! repro <experiment> [--runs N] [--seed S] [--out DIR] [--quick]
+//!
+//! experiments: table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 theory
+//!              multiuser all
+//! ```
+//!
+//! ASCII renderings go to stdout; CSV files go to `--out` (default
+//! `results/`).
+
+use chaff_eval::experiments::{self, SyntheticConfig, TraceConfig};
+use chaff_eval::report::{Figure, Table};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    experiment: String,
+    runs: Option<usize>,
+    seed: Option<u64>,
+    out: PathBuf,
+    quick: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let experiment = args.next().ok_or_else(usage)?;
+    let mut parsed = Args {
+        experiment,
+        runs: None,
+        seed: None,
+        out: PathBuf::from("results"),
+        quick: false,
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--runs" => {
+                let v = args.next().ok_or("--runs needs a value")?;
+                parsed.runs = Some(v.parse().map_err(|_| format!("bad --runs '{v}'"))?);
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                parsed.seed = Some(v.parse().map_err(|_| format!("bad --seed '{v}'"))?);
+            }
+            "--out" => {
+                parsed.out = PathBuf::from(args.next().ok_or("--out needs a value")?);
+            }
+            "--quick" => parsed.quick = true,
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    Ok(parsed)
+}
+
+fn usage() -> String {
+    "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|theory|multiuser|all> \
+     [--runs N] [--seed S] [--out DIR] [--quick]"
+        .to_string()
+}
+
+fn synthetic_config(args: &Args) -> SyntheticConfig {
+    let mut config = if args.quick {
+        SyntheticConfig::quick()
+    } else {
+        SyntheticConfig::default()
+    };
+    if let Some(runs) = args.runs {
+        config.runs = runs;
+    }
+    if let Some(seed) = args.seed {
+        config.seed = seed;
+    }
+    config
+}
+
+fn trace_config(args: &Args) -> TraceConfig {
+    let mut config = if args.quick {
+        TraceConfig::quick()
+    } else {
+        TraceConfig::default()
+    };
+    if let Some(seed) = args.seed {
+        config.seed = seed;
+    }
+    if let Some(runs) = args.runs {
+        config.im_runs = runs;
+    }
+    config
+}
+
+fn emit_figure(figure: &Figure, out: &Path) -> chaff_eval::Result<()> {
+    println!("{}", figure.render_ascii(72, 18));
+    let path = figure.write_csv(out)?;
+    println!("  -> {}\n", path.display());
+    Ok(())
+}
+
+fn emit_table(table: &Table, out: &Path) -> chaff_eval::Result<()> {
+    println!("{}", table.render_ascii());
+    let path = table.write_csv(out)?;
+    println!("  -> {}\n", path.display());
+    Ok(())
+}
+
+fn run_experiment(name: &str, args: &Args) -> chaff_eval::Result<()> {
+    let synth = synthetic_config(args);
+    let trace = trace_config(args);
+    match name {
+        "table1" => emit_table(&experiments::table1::run(&synth)?, &args.out)?,
+        "fig4" => {
+            for figure in experiments::fig4::run_all(&synth)? {
+                emit_figure(&figure, &args.out)?;
+            }
+        }
+        "fig5" => {
+            for figure in experiments::fig5::run_all(&synth)? {
+                emit_figure(&figure, &args.out)?;
+            }
+        }
+        "fig6" => {
+            for figure in experiments::fig6::run_all(&synth)? {
+                emit_figure(&figure, &args.out)?;
+            }
+        }
+        "fig7" => {
+            for figure in experiments::fig7::run_all(&synth)? {
+                emit_figure(&figure, &args.out)?;
+            }
+        }
+        "fig8" => {
+            let (layout, steady) = experiments::fig8::run(&trace)?;
+            emit_figure(&layout, &args.out)?;
+            emit_figure(&steady, &args.out)?;
+        }
+        "fig9" => {
+            let (panel_a, table) = experiments::fig9::run(&trace)?;
+            emit_figure(&panel_a, &args.out)?;
+            emit_table(&table, &args.out)?;
+        }
+        "fig10" => emit_table(&experiments::fig10::run(&trace)?, &args.out)?,
+        "theory" => emit_table(&experiments::theory::run(&synth)?, &args.out)?,
+        "multiuser" => {
+            for kind in chaff_markov::models::ModelKind::ALL {
+                emit_figure(&experiments::multiuser::run(&synth, kind)?, &args.out)?;
+            }
+        }
+        "all" => {
+            for exp in [
+                "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "theory",
+                "multiuser",
+            ] {
+                println!("==== {exp} ====");
+                run_experiment(exp, args)?;
+            }
+        }
+        other => return Err(format!("unknown experiment '{other}'\n{}", usage()).into()),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let started = std::time::Instant::now();
+    match run_experiment(&args.experiment.clone(), &args) {
+        Ok(()) => {
+            println!("done in {:.1}s", started.elapsed().as_secs_f64());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

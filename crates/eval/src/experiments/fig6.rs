@@ -1,0 +1,149 @@
+//! Fig. 6: the empirical CDF of the per-slot log-likelihood gap `c_t`
+//! (eqs. 14–15) under the CML and MO strategies.
+//!
+//! `E[c_t] < 0` is the hypothesis of Theorems V.4/V.5 — when the whole
+//! CDF sits left of zero, the chaff's moves are uniformly more likely
+//! than the user's and the tracking accuracy decays exponentially.
+
+use super::{build_model, SyntheticConfig};
+use crate::montecarlo;
+use crate::report::{Figure, Series};
+use chaff_core::likelihood::{ct_series, empirical_cdf};
+use chaff_core::strategy::{ChaffStrategy, CmlStrategy, MoStrategy};
+use chaff_markov::models::ModelKind;
+use chaff_markov::MarkovChain;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Maximum number of points kept per CDF curve (uniform subsample).
+const MAX_CDF_POINTS: usize = 256;
+
+fn one_run(chain: &MarkovChain, horizon: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let user = chain.sample_trajectory(horizon, &mut rng);
+    let collect = |strategy: &dyn ChaffStrategy, rng: &mut StdRng| -> Vec<f64> {
+        let chaff = &strategy
+            .generate(chain, &user, 1, rng)
+            .expect("valid user")[0];
+        // Skip the initial-distribution term c_1: the figure studies the
+        // steady per-transition gap.
+        ct_series(chain, &user, chaff).expect("equal lengths")[1..].to_vec()
+    };
+    (
+        collect(&CmlStrategy, &mut rng),
+        collect(&MoStrategy, &mut rng),
+    )
+}
+
+fn downsample(cdf: Vec<(f64, f64)>) -> Series {
+    let n = cdf.len();
+    let stride = n.div_ceil(MAX_CDF_POINTS).max(1);
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for (i, (v, p)) in cdf.into_iter().enumerate() {
+        if i % stride == 0 || i == n - 1 {
+            x.push(v);
+            y.push(p);
+        }
+    }
+    Series::new(String::new(), x, y)
+}
+
+/// Runs the experiment for one mobility model.
+///
+/// # Errors
+///
+/// Propagates model-construction errors.
+pub fn run(config: &SyntheticConfig, kind: ModelKind) -> crate::Result<Figure> {
+    let chain = build_model(kind, config)?;
+    let per_run = montecarlo::run_parallel(config.runs, config.seed ^ 0x6, |_, seed| {
+        one_run(&chain, config.horizon, seed)
+    });
+    let mut cml_samples = Vec::new();
+    let mut mo_samples = Vec::new();
+    for (cml, mo) in per_run {
+        cml_samples.extend(cml);
+        mo_samples.extend(mo);
+    }
+    let mut figure = Figure::new(
+        format!("fig6{}", kind.letter()),
+        format!("distribution of c_t, {kind}"),
+        "c_t",
+        "CDF",
+    );
+    let mut cml = downsample(empirical_cdf(cml_samples));
+    cml.label = "CML".into();
+    figure.push(cml);
+    let mut mo = downsample(empirical_cdf(mo_samples));
+    mo.label = "MO".into();
+    figure.push(mo);
+    Ok(figure)
+}
+
+/// Runs all four panels.
+///
+/// # Errors
+///
+/// Propagates model-construction errors.
+pub fn run_all(config: &SyntheticConfig) -> crate::Result<Vec<Figure>> {
+    ModelKind::ALL.iter().map(|&k| run(config, k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdfs_are_valid_and_mostly_negative() {
+        let config = SyntheticConfig {
+            runs: 40,
+            horizon: 40,
+            ..SyntheticConfig::default()
+        };
+        let figure = run(&config, ModelKind::NonSkewed).unwrap();
+        assert_eq!(figure.series.len(), 2);
+        for series in &figure.series {
+            // Monotone CDF ending at 1.
+            for w in series.y.windows(2) {
+                assert!(w[1] >= w[0]);
+            }
+            assert!((series.y.last().unwrap() - 1.0).abs() < 1e-9);
+            // Fig. 6(a): on the non-skewed model both strategies keep c_t
+            // below zero almost always — the mass at c_t >= 0 is tiny.
+            let frac_nonneg = series
+                .x
+                .iter()
+                .zip(&series.y)
+                .filter(|(&x, _)| x >= 0.0)
+                .map(|(_, &y)| 1.0 - y)
+                .next_back()
+                .unwrap_or(0.0);
+            assert!(frac_nonneg < 0.2, "{}: {frac_nonneg}", series.label);
+        }
+    }
+
+    #[test]
+    fn spatiotemporal_model_shows_heavier_upper_tail_for_mo() {
+        // Fig. 6(d): under the doubly-skewed model MO's c_t distribution
+        // extends into positive territory (it sometimes concedes
+        // likelihood to dodge), while CML's stays negative.
+        let config = SyntheticConfig {
+            runs: 40,
+            horizon: 60,
+            ..SyntheticConfig::default()
+        };
+        let figure = run(&config, ModelKind::SpatioTemporallySkewed).unwrap();
+        let max_x = |label: &str| {
+            figure
+                .series
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap()
+                .x
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        assert!(max_x("MO") >= max_x("CML") - 1e-9);
+    }
+}

@@ -1,0 +1,78 @@
+//! Fig. 8: the trace-driven setting — (a) cell-tower layout over the San
+//! Francisco box, (b) the empirical steady-state (occupancy) distribution
+//! over the resulting Voronoi cells.
+
+use super::TraceConfig;
+use crate::report::{Figure, Series};
+use chaff_markov::CellId;
+
+/// Runs the experiment, returning the layout panel and the steady-state
+/// panel.
+///
+/// # Errors
+///
+/// Propagates trace-pipeline errors.
+pub fn run(config: &TraceConfig) -> crate::Result<(Figure, Figure)> {
+    let dataset = config.build_dataset()?;
+
+    let mut layout = Figure::new(
+        "fig8a",
+        format!(
+            "cell tower layout ({} towers after 100 m filter)",
+            dataset.cell_map().num_cells()
+        ),
+        "longitude",
+        "latitude",
+    );
+    let towers = dataset.cell_map().towers();
+    layout.push(Series::new(
+        "towers",
+        towers.iter().map(|t| t.lon).collect(),
+        towers.iter().map(|t| t.lat).collect(),
+    ));
+
+    let model = dataset.model();
+    let mut steady = Figure::new(
+        "fig8b",
+        "empirical steady-state distribution over cells",
+        "cell",
+        "probability",
+    );
+    let y: Vec<f64> = (0..model.num_states())
+        .map(|i| model.initial().prob(CellId::new(i)))
+        .collect();
+    steady.push(Series::from_values("occupancy", y));
+    Ok((layout, steady))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_and_steady_state_have_paper_shape() {
+        let (layout, steady) = run(&TraceConfig::quick()).unwrap();
+        let towers = &layout.series[0];
+        assert!(!towers.x.is_empty());
+        // All towers inside the SF box of Fig. 8a.
+        for (&lon, &lat) in towers.x.iter().zip(&towers.y) {
+            assert!((-122.6..=-122.1).contains(&lon));
+            assert!((37.55..=37.95).contains(&lat));
+        }
+        // Fig. 8b: clearly spatially skewed — the max cell mass dwarfs the
+        // uniform level, and mass sums to one.
+        let occ = &steady.series[0].y;
+        let uniform = 1.0 / occ.len() as f64;
+        let max = occ.iter().copied().fold(0.0, f64::max);
+        assert!(max > 5.0 * uniform, "max {max}, uniform {uniform}");
+        assert!((occ.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_scale_matches_paper_dimensions() {
+        let (layout, steady) = run(&TraceConfig::default()).unwrap();
+        let cells = layout.series[0].x.len();
+        assert!((700..=1_100).contains(&cells), "cells = {cells}");
+        assert_eq!(steady.series[0].y.len(), cells);
+    }
+}

@@ -1,0 +1,173 @@
+//! Fig. 9: the trace-driven evaluation of the basic eavesdropper.
+//!
+//! (a) With no chaffs, per-user tracking accuracy across all nodes: a few
+//! users are tracked far above the `1/N` random baseline (the paper finds
+//! user 1 at 52% and users 2–5 above 15%).
+//!
+//! (b) Protecting the top-K most-trackable users with a *single* chaff:
+//! IM barely helps, ML and OO cut the accuracy drastically, and MO
+//! under-performs because the trace pool jointly dominates its myopic
+//! trajectory in likelihood much of the time (Sec. VII-B2).
+
+use super::{rank_users_by_trackability, TraceConfig};
+use crate::montecarlo;
+use crate::report::{Figure, Series, Table};
+use chaff_core::detector::MlDetector;
+use chaff_core::metrics::{time_average, tracking_accuracy_series};
+use chaff_core::strategy::StrategyKind;
+use chaff_markov::{MarkovChain, Trajectory};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The strategy columns of Fig. 9(b), in the paper's order.
+const STRATEGIES: [StrategyKind; 4] = [
+    StrategyKind::Im,
+    StrategyKind::Mo,
+    StrategyKind::Ml,
+    StrategyKind::Oo,
+];
+
+/// Tracking accuracy for `user` after appending `chaffs` to the pool.
+fn accuracy_with_chaffs(
+    model: &MarkovChain,
+    pool: &[Trajectory],
+    user: usize,
+    chaffs: Vec<Trajectory>,
+) -> f64 {
+    let mut observed = pool.to_vec();
+    observed.extend(chaffs);
+    let detections = MlDetector.detect_prefixes(model, &observed);
+    time_average(&tracking_accuracy_series(&observed, user, &detections))
+}
+
+/// Runs the experiment, returning the per-user panel (a) and the top-K
+/// table (b).
+///
+/// # Errors
+///
+/// Propagates trace-pipeline and strategy errors.
+pub fn run(config: &TraceConfig) -> crate::Result<(Figure, Table)> {
+    let dataset = config.build_dataset()?;
+    let model = dataset.model();
+    let pool = dataset.trajectories();
+    let ranked = rank_users_by_trackability(&dataset);
+
+    // Panel (a): accuracy per user, ranked descending, with the 1/N line.
+    let mut panel_a = Figure::new(
+        "fig9a",
+        format!("no-chaff tracking accuracy across {} users", pool.len()),
+        "user rank",
+        "accuracy",
+    );
+    panel_a.push(Series::from_values(
+        "accuracy (ranked)",
+        ranked.iter().map(|&(_, a)| a).collect(),
+    ));
+    panel_a.push(Series::from_values(
+        "1/N baseline",
+        vec![1.0 / pool.len() as f64; ranked.len()],
+    ));
+
+    // Panel (b): top-K users, one chaff per strategy.
+    let mut table = Table::new(
+        "fig9b",
+        "top users protected by a single chaff (time-average accuracy)",
+        {
+            let mut cols = vec!["user".into(), "no chaff".into()];
+            cols.extend(STRATEGIES.iter().map(|s| s.to_string()));
+            cols
+        },
+    );
+    let top_k = config.top_k.min(ranked.len());
+    for (rank, &(user, base_accuracy)) in ranked.iter().take(top_k).enumerate() {
+        let mut row = vec![
+            format!("user{} (#{})", rank + 1, user),
+            format!("{base_accuracy:.4}"),
+        ];
+        for kind in STRATEGIES {
+            let strategy = kind.build();
+            let accuracy = if kind == StrategyKind::Im {
+                // Randomized: average over config.im_runs draws.
+                let runs = montecarlo::run_parallel(
+                    config.im_runs,
+                    config.seed ^ (user as u64) << 8,
+                    |_, seed| {
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        let chaffs = strategy
+                            .generate(model, &pool[user], 1, &mut rng)
+                            .expect("valid user");
+                        accuracy_with_chaffs(model, pool, user, chaffs)
+                    },
+                );
+                runs.iter().sum::<f64>() / runs.len().max(1) as f64
+            } else {
+                let mut rng = StdRng::seed_from_u64(config.seed);
+                let chaffs = strategy.generate(model, &pool[user], 1, &mut rng)?;
+                accuracy_with_chaffs(model, pool, user, chaffs)
+            };
+            row.push(format!("{accuracy:.4}"));
+        }
+        table.push(row);
+    }
+    Ok((panel_a, table))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(cell: &str) -> f64 {
+        cell.parse().unwrap()
+    }
+
+    #[test]
+    fn top_users_exceed_baseline_and_oo_protects_them() {
+        let config = TraceConfig::quick();
+        let (panel_a, table) = run(&config).unwrap();
+
+        // Panel (a): ranked accuracies, top user far above baseline.
+        let acc = &panel_a.series[0].y;
+        let baseline = panel_a.series[1].y[0];
+        assert!(acc[0] > 3.0 * baseline, "top {} vs 1/N {}", acc[0], baseline);
+        for w in acc.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "ranked descending");
+        }
+
+        // Panel (b): OO never hurts, and across the top users OO provides
+        // a substantial aggregate reduction. (Individual users whose
+        // accuracy stems from co-location with *other* dominant
+        // trajectories cannot be rescued by any chaff — see
+        // EXPERIMENTS.md — so the strong claim is aggregate.)
+        assert_eq!(table.rows.len(), config.top_k);
+        let col = |name: &str| {
+            table
+                .columns
+                .iter()
+                .position(|c| c == name)
+                .unwrap_or_else(|| panic!("missing column {name}"))
+        };
+        let mut base_total = 0.0;
+        let mut oo_total = 0.0;
+        let mut best_ratio = f64::INFINITY;
+        for row in &table.rows {
+            let base = parse(&row[col("no chaff")]);
+            let oo = parse(&row[col("OO")]);
+            let ml = parse(&row[col("ML")]);
+            assert!(oo <= base + 0.02, "OO must not hurt: {oo} vs {base}");
+            assert!(ml <= base + 0.02, "ML must not hurt: {ml} vs {base}");
+            base_total += base;
+            oo_total += oo;
+            if base > 0.0 {
+                best_ratio = best_ratio.min(oo / base);
+            }
+        }
+        assert!(
+            oo_total < 0.85 * base_total,
+            "OO aggregate {oo_total} vs base {base_total}"
+        );
+        assert!(
+            best_ratio < 0.5,
+            "OO should rescue at least one top user: best ratio {best_ratio}"
+        );
+    }
+}

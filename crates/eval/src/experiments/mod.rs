@@ -1,0 +1,188 @@
+//! One module per reproduced figure/table; shared configuration here.
+
+pub mod fig10;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod multiuser;
+pub mod table1;
+pub mod theory;
+
+use chaff_markov::models::ModelKind;
+use chaff_markov::MarkovChain;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for the synthetic experiments (Sec. VII-A): the paper
+/// uses `L = 10` cells, `T = 100` slots and 1000 Monte Carlo runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticConfig {
+    /// Number of cells `L`.
+    pub num_cells: usize,
+    /// Number of slots `T`.
+    pub horizon: usize,
+    /// Monte Carlo runs.
+    pub runs: usize,
+    /// Experiment seed (controls the model draw and all runs).
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            num_cells: 10,
+            horizon: 100,
+            runs: 1000,
+            seed: 1709,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// A reduced-scale configuration for tests and `--quick` runs.
+    pub fn quick() -> Self {
+        SyntheticConfig {
+            num_cells: 10,
+            horizon: 40,
+            runs: 60,
+            seed: 1709,
+        }
+    }
+}
+
+/// Configuration for the trace-driven experiments (Sec. VII-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Taxis to simulate (paper: 174 usable nodes).
+    pub num_nodes: usize,
+    /// Towers to generate before the 100 m filter (paper: 959 cells kept).
+    pub num_towers: usize,
+    /// Slots (paper: 100 one-minute slots).
+    pub horizon: usize,
+    /// Number of top (most trackable) users to protect.
+    pub top_k: usize,
+    /// Monte Carlo draws for randomized strategies.
+    pub im_runs: usize,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            num_nodes: 174,
+            num_towers: 1_100,
+            horizon: 100,
+            top_k: 5,
+            im_runs: 10,
+            seed: 1709,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// A reduced-scale configuration for tests and `--quick` runs.
+    pub fn quick() -> Self {
+        TraceConfig {
+            num_nodes: 40,
+            num_towers: 350,
+            horizon: 40,
+            top_k: 3,
+            im_runs: 3,
+            seed: 1709,
+        }
+    }
+
+    /// Builds the trace dataset for this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors.
+    pub fn build_dataset(&self) -> crate::Result<chaff_mobility::pipeline::TraceDataset> {
+        Ok(chaff_mobility::pipeline::TraceDatasetBuilder::new()
+            .num_nodes(self.num_nodes)
+            .num_towers(self.num_towers)
+            .horizon_slots(self.horizon)
+            .seed(self.seed)
+            .build()?)
+    }
+}
+
+/// Builds the mobility chain for one synthetic model, deterministically in
+/// `(kind, config.seed, config.num_cells)` — so Table 1 and Figs. 4–7 all
+/// see the *same* four models.
+///
+/// # Errors
+///
+/// Propagates model-construction errors.
+pub fn build_model(kind: ModelKind, config: &SyntheticConfig) -> crate::Result<MarkovChain> {
+    // Offset the seed per model so the random models (a) and (b) draw
+    // independent matrices.
+    let offset = match kind {
+        ModelKind::NonSkewed => 0x0a,
+        ModelKind::SpatiallySkewed => 0x0b,
+        ModelKind::TemporallySkewed => 0x0c,
+        ModelKind::SpatioTemporallySkewed => 0x0d,
+    };
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(offset));
+    let matrix = kind.build(config.num_cells, &mut rng)?;
+    Ok(MarkovChain::new(matrix)?)
+}
+
+/// Ranks users of a trace dataset by how trackable they are without any
+/// chaff (the per-user accuracy of Fig. 9a), descending. Returns
+/// `(user_index, accuracy)` pairs.
+pub fn rank_users_by_trackability(
+    dataset: &chaff_mobility::pipeline::TraceDataset,
+) -> Vec<(usize, f64)> {
+    use chaff_core::detector::MlDetector;
+    use chaff_core::metrics::{time_average, tracking_accuracy_series};
+
+    let model = dataset.model();
+    let observed = dataset.trajectories();
+    let detections = MlDetector.detect_prefixes(model, observed);
+    let mut ranked: Vec<(usize, f64)> = (0..observed.len())
+        .map(|u| {
+            let series = tracking_accuracy_series(observed, u, &detections);
+            (u, time_average(&series))
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn models_are_deterministic_in_the_seed() {
+        let config = SyntheticConfig::quick();
+        for kind in ModelKind::ALL {
+            let a = build_model(kind, &config).unwrap();
+            let b = build_model(kind, &config).unwrap();
+            assert_eq!(a.matrix(), b.matrix(), "{kind}");
+        }
+        // Models (a) and (b) must differ from each other.
+        let a = build_model(ModelKind::NonSkewed, &config).unwrap();
+        let b = build_model(ModelKind::SpatiallySkewed, &config).unwrap();
+        assert_ne!(a.matrix(), b.matrix());
+    }
+
+    #[test]
+    fn user_ranking_is_sorted_descending() {
+        let dataset = TraceConfig::quick().build_dataset().unwrap();
+        let ranked = rank_users_by_trackability(&dataset);
+        assert_eq!(ranked.len(), dataset.trajectories().len());
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // The paper's headline observation: the top user is tracked far
+        // above the 1/N baseline.
+        let baseline = 1.0 / ranked.len() as f64;
+        assert!(ranked[0].1 > 3.0 * baseline, "top = {}", ranked[0].1);
+    }
+}

@@ -1,0 +1,85 @@
+//! Extension experiment: coexisting users as natural chaffs.
+//!
+//! Sec. II-A remarks that in a multi-user system every other user (and
+//! their chaffs) adds protection, so the single-user results are lower
+//! bounds. Here all `N` trajectories are real users following the same
+//! model — statistically identical to the IM strategy — and the measured
+//! accuracy of tracking a designated user should match eq. (11) exactly.
+
+use super::{build_model, SyntheticConfig};
+use crate::montecarlo;
+use crate::report::{Figure, Series};
+use chaff_core::detector::MlDetector;
+use chaff_core::metrics::{time_average, tracking_accuracy_series};
+use chaff_core::theory::im_tracking_accuracy;
+use chaff_markov::models::ModelKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Population sizes swept.
+const POPULATIONS: [usize; 5] = [2, 5, 10, 20, 50];
+
+/// Runs the experiment for one model: simulated multi-user tracking
+/// accuracy vs the eq. (11) prediction, as a function of the population
+/// size `N`.
+///
+/// # Errors
+///
+/// Propagates model-construction errors.
+pub fn run(config: &SyntheticConfig, kind: ModelKind) -> crate::Result<Figure> {
+    let chain = build_model(kind, config)?;
+    let mut simulated = Vec::with_capacity(POPULATIONS.len());
+    for (i, &n) in POPULATIONS.iter().enumerate() {
+        let accuracies =
+            montecarlo::run_parallel(config.runs, config.seed ^ (0xAA00 + i as u64), |_, seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let observed: Vec<_> = (0..n)
+                    .map(|_| chain.sample_trajectory(config.horizon, &mut rng))
+                    .collect();
+                let detections = MlDetector.detect_prefixes(&chain, &observed);
+                // Track user 0 (all users are exchangeable).
+                time_average(&tracking_accuracy_series(&observed, 0, &detections))
+            });
+        simulated.push(accuracies.iter().sum::<f64>() / accuracies.len().max(1) as f64);
+    }
+    let mut figure = Figure::new(
+        format!("multiuser_{}", kind.letter()),
+        format!("multi-user natural protection, {kind}"),
+        "population size N",
+        "accuracy of tracking one user",
+    );
+    let xs: Vec<f64> = POPULATIONS.iter().map(|&n| n as f64).collect();
+    figure.push(Series::new("simulated", xs.clone(), simulated));
+    figure.push(Series::new(
+        "eq. (11)",
+        xs,
+        POPULATIONS
+            .iter()
+            .map(|&n| im_tracking_accuracy(chain.initial(), n))
+            .collect(),
+    ));
+    Ok(figure)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulation_matches_equation_11() {
+        let config = SyntheticConfig {
+            runs: 150,
+            horizon: 40,
+            ..SyntheticConfig::default()
+        };
+        let figure = run(&config, ModelKind::NonSkewed).unwrap();
+        let sim = &figure.series[0].y;
+        let formula = &figure.series[1].y;
+        for (s, f) in sim.iter().zip(formula) {
+            assert!((s - f).abs() < 0.05, "sim {s} vs formula {f}");
+        }
+        // Accuracy decreases with population but plateaus at the
+        // collision probability.
+        assert!(sim.last().unwrap() < &sim[0]);
+    }
+}

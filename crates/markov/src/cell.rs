@@ -1,0 +1,80 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one MEC coverage cell.
+///
+/// The paper quantizes the network field into cells, one per MEC, and a
+/// `CellId` indexes into that quantization (the set `L` of Sec. II-A).
+/// Cell ids are dense indices `0..L` so they double as array indices
+/// throughout the workspace.
+///
+/// # Example
+///
+/// ```
+/// use chaff_markov::CellId;
+///
+/// let cell = CellId::new(3);
+/// assert_eq!(cell.index(), 3);
+/// assert_eq!(format!("{cell}"), "c3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct CellId(usize);
+
+impl CellId {
+    /// Creates a cell id from a dense index.
+    #[inline]
+    pub const fn new(index: usize) -> Self {
+        CellId(index)
+    }
+
+    /// Returns the dense index of this cell.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for CellId {
+    #[inline]
+    fn from(index: usize) -> Self {
+        CellId(index)
+    }
+}
+
+impl From<CellId> for usize {
+    #[inline]
+    fn from(cell: CellId) -> Self {
+        cell.0
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_usize() {
+        let cell = CellId::new(42);
+        assert_eq!(usize::from(cell), 42);
+        assert_eq!(CellId::from(42usize), cell);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(CellId::new(1) < CellId::new(2));
+        assert_eq!(CellId::new(5), CellId::new(5));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(CellId::new(0).to_string(), "c0");
+        assert_eq!(CellId::new(958).to_string(), "c958");
+    }
+}

@@ -1,0 +1,114 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or analyzing Markov chains.
+///
+/// Every fallible operation in this crate returns this type; it implements
+/// [`std::error::Error`] so it composes with downstream error handling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarkovError {
+    /// A matrix or distribution with zero states was supplied.
+    Empty,
+    /// A matrix was not square: `rows * rows != data_len`.
+    NotSquare {
+        /// Number of rows implied by the constructor call.
+        rows: usize,
+        /// Total number of entries supplied.
+        data_len: usize,
+    },
+    /// A row of a transition matrix does not sum to one.
+    RowNotStochastic {
+        /// Index of the offending row.
+        row: usize,
+        /// The actual row sum.
+        sum: f64,
+    },
+    /// A probability entry was negative or non-finite.
+    InvalidProbability {
+        /// Row of the offending entry (0 for distributions).
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A distribution does not sum to one.
+    NotNormalized {
+        /// The actual sum of the distribution.
+        sum: f64,
+    },
+    /// Two objects that must share a state space do not.
+    DimensionMismatch {
+        /// Number of states expected.
+        expected: usize,
+        /// Number of states found.
+        found: usize,
+    },
+    /// The chain is not ergodic (irreducible and aperiodic), so the requested
+    /// quantity (e.g. a unique stationary distribution) is undefined.
+    NotErgodic,
+    /// An iterative solver failed to converge.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// A cell index was out of the state-space range.
+    CellOutOfRange {
+        /// The offending cell index.
+        cell: usize,
+        /// Number of states in the space.
+        states: usize,
+    },
+}
+
+impl fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkovError::Empty => write!(f, "state space is empty"),
+            MarkovError::NotSquare { rows, data_len } => {
+                write!(f, "matrix with {rows} rows cannot hold {data_len} entries")
+            }
+            MarkovError::RowNotStochastic { row, sum } => {
+                write!(f, "row {row} sums to {sum}, expected 1")
+            }
+            MarkovError::InvalidProbability { row, col, value } => {
+                write!(f, "invalid probability {value} at ({row}, {col})")
+            }
+            MarkovError::NotNormalized { sum } => {
+                write!(f, "distribution sums to {sum}, expected 1")
+            }
+            MarkovError::DimensionMismatch { expected, found } => {
+                write!(f, "expected {expected} states, found {found}")
+            }
+            MarkovError::NotErgodic => write!(f, "chain is not ergodic"),
+            MarkovError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+            MarkovError::CellOutOfRange { cell, states } => {
+                write!(f, "cell {cell} out of range for {states} states")
+            }
+        }
+    }
+}
+
+impl Error for MarkovError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let err = MarkovError::RowNotStochastic { row: 3, sum: 0.5 };
+        let msg = err.to_string();
+        assert!(msg.contains("row 3"));
+        assert!(msg.contains("0.5"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_trait_object_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MarkovError>();
+    }
+}

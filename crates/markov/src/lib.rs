@@ -1,0 +1,66 @@
+//! Finite discrete-time Markov chain substrate for the chaff-based
+//! location-privacy system.
+//!
+//! This crate provides the mobility-model machinery assumed by
+//! *Location Privacy in Mobile Edge Clouds: A Chaff-based Approach*
+//! (He, Ciftcioglu, Wang, Chan): a user moving between MEC coverage cells is
+//! modeled as an ergodic Markov chain over a finite cell space (Sec. II-C of
+//! the paper), and every quantity the paper's analysis needs — stationary
+//! distributions, per-row entropies, Kullback–Leibler skewness, total
+//! variation distance and ε-mixing times — is computed here.
+//!
+//! # Overview
+//!
+//! * [`CellId`] — index of one MEC coverage cell.
+//! * [`TransitionMatrix`] — validated row-stochastic matrix with per-row
+//!   sparse support lists (the trace-driven empirical matrices of the paper
+//!   are extremely sparse; all downstream algorithms iterate supports).
+//! * [`StateDistribution`] — validated probability vector (initial or
+//!   stationary distribution).
+//! * [`MarkovChain`] — a transition matrix bundled with its initial
+//!   (stationary) distribution; sampling and log-likelihoods.
+//! * [`Trajectory`] — a sequence of cells over discrete time slots.
+//! * [`models`] — the four synthetic mobility models of Sec. VII-A.
+//! * [`entropy`], [`mixing`], [`stationary`] — analysis helpers.
+//!
+//! # Example
+//!
+//! ```
+//! use chaff_markov::{models::ModelKind, MarkovChain};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), chaff_markov::MarkovError> {
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let matrix = ModelKind::NonSkewed.build(10, &mut rng)?;
+//! let chain = MarkovChain::new(matrix)?;
+//! let trajectory = chain.sample_trajectory(100, &mut rng);
+//! assert_eq!(trajectory.len(), 100);
+//! assert!(chain.log_likelihood(&trajectory).is_finite());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+mod chain;
+mod distribution;
+mod error;
+mod matrix;
+mod trajectory;
+
+pub mod entropy;
+pub mod mixing;
+pub mod models;
+pub mod stationary;
+
+pub use cell::CellId;
+pub use chain::MarkovChain;
+pub use distribution::StateDistribution;
+pub use error::MarkovError;
+pub use matrix::TransitionMatrix;
+pub use trajectory::Trajectory;
+
+/// Convenient result alias for fallible operations in this crate.
+pub type Result<T> = std::result::Result<T, MarkovError>;

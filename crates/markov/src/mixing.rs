@@ -1,0 +1,137 @@
+//! Total-variation distance and ε-mixing times.
+//!
+//! Theorems V.4 and V.5 of the paper bound tracking accuracy through the
+//! ε-mixing time of an induced product chain: `t_mix(ε)` is the first time
+//! `t` at which `max_y ‖P^t(y, ·) − π‖_TV ≤ ε` (Levin–Peres–Wilmer
+//! convention). This module computes it exactly by evolving all rows of the
+//! `t`-step transition kernel, iterating sparse row supports.
+
+use crate::{StateDistribution, TransitionMatrix};
+
+/// Total variation distance `½ Σ |p_i − q_i|` between two finite
+/// distributions given as slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "TV distance requires equal lengths");
+    0.5 * p
+        .iter()
+        .zip(q)
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+}
+
+/// Worst-case (over starting states) TV distance of the `t`-step kernel to
+/// the stationary distribution, for `t` = each step of an in-place rollout.
+///
+/// Returns the smallest `t ≥ 0` with
+/// `max_y ‖P^t(y, ·) − π‖_TV ≤ epsilon`, or `None` if the bound is not
+/// reached within `max_t` steps (e.g. periodic chains).
+///
+/// Complexity `O(max_t · n · nnz)` time and `O(n²)` memory, so this is
+/// intended for moderate state spaces (the paper's product chains have
+/// `n = L²` with `L = 10`).
+///
+/// # Panics
+///
+/// Panics (debug assertion) on dimension mismatch between the matrix and
+/// distribution.
+pub fn mixing_time(
+    matrix: &TransitionMatrix,
+    stationary: &StateDistribution,
+    epsilon: f64,
+    max_t: usize,
+) -> Option<usize> {
+    debug_assert_eq!(matrix.num_states(), stationary.num_states());
+    let n = matrix.num_states();
+    let pi = stationary.as_slice();
+
+    // rows[y] = P^t(y, ·), initialized at t = 0 to point masses.
+    let mut rows: Vec<Vec<f64>> = (0..n)
+        .map(|y| {
+            let mut r = vec![0.0; n];
+            r[y] = 1.0;
+            r
+        })
+        .collect();
+    let mut scratch = vec![0.0; n];
+
+    let worst = |rows: &[Vec<f64>]| -> f64 {
+        rows.iter()
+            .map(|r| total_variation(r, pi))
+            .fold(0.0, f64::max)
+    };
+
+    if worst(&rows) <= epsilon {
+        return Some(0);
+    }
+    for t in 1..=max_t {
+        for row in rows.iter_mut() {
+            matrix.apply_left(row, &mut scratch);
+            std::mem::swap(row, &mut scratch);
+        }
+        if worst(&rows) <= epsilon {
+            return Some(t);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stationary::stationary;
+    use crate::TransitionMatrix;
+
+    #[test]
+    fn tv_basics() {
+        assert_eq!(total_variation(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+        assert_eq!(total_variation(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+        assert!((total_variation(&[0.8, 0.2], &[0.5, 0.5]) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn tv_panics_on_mismatch() {
+        total_variation(&[1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn uniform_matrix_mixes_in_one_step() {
+        let m = TransitionMatrix::uniform(6).unwrap();
+        let pi = stationary(&m).unwrap();
+        assert_eq!(mixing_time(&m, &pi, 1e-9, 10), Some(1));
+    }
+
+    #[test]
+    fn lazy_chain_mixes_eventually() {
+        let m = TransitionMatrix::from_rows(vec![vec![0.9, 0.1], vec![0.1, 0.9]]).unwrap();
+        let pi = stationary(&m).unwrap();
+        let t = mixing_time(&m, &pi, 0.01, 1000).unwrap();
+        // TV decays as (0.8)^t / 2; need (0.8)^t / 2 <= 0.01 -> t >= 18.
+        assert!((15..=25).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    fn periodic_chain_never_mixes() {
+        let swap = TransitionMatrix::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let pi = StateDistribution::uniform(2).unwrap();
+        assert_eq!(mixing_time(&swap, &pi, 0.1, 100), None);
+    }
+
+    #[test]
+    fn mixing_time_monotone_in_epsilon() {
+        let m = TransitionMatrix::from_rows(vec![
+            vec![0.5, 0.25, 0.25],
+            vec![0.25, 0.5, 0.25],
+            vec![0.25, 0.25, 0.5],
+        ])
+        .unwrap();
+        let pi = stationary(&m).unwrap();
+        let loose = mixing_time(&m, &pi, 0.1, 1000).unwrap();
+        let tight = mixing_time(&m, &pi, 1e-6, 1000).unwrap();
+        assert!(tight >= loose);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the Markov substrate.
+
+use chaff_markov::{
+    entropy, mixing, models, stationary, CellId, MarkovChain, StateDistribution, Trajectory,
+    TransitionMatrix,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy producing a random row-stochastic matrix of size 2..=8 with
+/// strictly positive entries (hence ergodic).
+fn arb_dense_matrix() -> impl Strategy<Value = TransitionMatrix> {
+    (2usize..=8).prop_flat_map(|n| {
+        proptest::collection::vec(proptest::collection::vec(0.05f64..1.0, n), n)
+            .prop_map(|rows| TransitionMatrix::from_weights(rows).expect("positive weights"))
+    })
+}
+
+/// Strategy producing a probability distribution of size 2..=8.
+fn arb_distribution() -> impl Strategy<Value = StateDistribution> {
+    (2usize..=8).prop_flat_map(|n| {
+        proptest::collection::vec(0.01f64..1.0, n)
+            .prop_map(|w| StateDistribution::from_weights(w).expect("positive weights"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn constructed_matrices_are_row_stochastic(m in arb_dense_matrix()) {
+        for i in 0..m.num_states() {
+            let sum: f64 = m.row(CellId::new(i)).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn support_matches_positive_entries(m in arb_dense_matrix()) {
+        for i in 0..m.num_states() {
+            let from = CellId::new(i);
+            let by_scan: Vec<u32> = m.row(from).iter().enumerate()
+                .filter(|(_, &p)| p > 0.0)
+                .map(|(j, _)| j as u32)
+                .collect();
+            prop_assert_eq!(m.support(from), &by_scan[..]);
+        }
+    }
+
+    #[test]
+    fn stationary_is_fixed_point(m in arb_dense_matrix()) {
+        let pi = stationary::stationary(&m).expect("ergodic");
+        let n = m.num_states();
+        for j in 0..n {
+            let mut acc = 0.0;
+            for i in 0..n {
+                acc += pi.prob(CellId::new(i)) * m.prob(CellId::new(i), CellId::new(j));
+            }
+            prop_assert!((acc - pi.prob(CellId::new(j))).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn direct_and_power_solvers_agree(m in arb_dense_matrix()) {
+        let a = stationary::stationary(&m).expect("power");
+        let b = stationary::direct_solve(&m).expect("direct");
+        prop_assert!(a.total_variation(&b) < 1e-7);
+    }
+
+    #[test]
+    fn lemma_v1_collision_probability(d in arb_distribution()) {
+        // Lemma V.1: sum pi^2 <= max pi.
+        prop_assert!(d.collision_probability() <= d.max() + 1e-12);
+    }
+
+    #[test]
+    fn entropy_rate_bounded_by_log_n(m in arb_dense_matrix()) {
+        let pi = stationary::stationary(&m).expect("ergodic");
+        let h = entropy::entropy_rate(&m, &pi);
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= (m.num_states() as f64).ln() + 1e-9);
+    }
+
+    #[test]
+    fn kl_divergence_nonnegative(m in arb_dense_matrix()) {
+        let n = m.num_states();
+        for i in 0..n {
+            for j in 0..n {
+                let kl = entropy::kl_divergence(m.row(CellId::new(i)), m.row(CellId::new(j)));
+                prop_assert!(kl >= -1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_trajectories_have_positive_likelihood(
+        m in arb_dense_matrix(),
+        seed in 0u64..1000,
+        len in 1usize..50,
+    ) {
+        let chain = MarkovChain::new(m).expect("ergodic");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = chain.sample_trajectory(len, &mut rng);
+        prop_assert_eq!(x.len(), len);
+        prop_assert!(chain.log_likelihood(&x).is_finite());
+    }
+
+    #[test]
+    fn prefix_likelihood_is_monotone_decreasing(
+        m in arb_dense_matrix(),
+        seed in 0u64..1000,
+    ) {
+        // Each increment is a log-probability <= 0.
+        let chain = MarkovChain::new(m).expect("ergodic");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = chain.sample_trajectory(30, &mut rng);
+        let prefixes = chain.prefix_log_likelihoods(&x);
+        for w in prefixes.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn mixing_time_zero_iff_already_uniform(n in 2usize..6) {
+        let m = TransitionMatrix::uniform(n).expect("n > 0");
+        let pi = stationary::stationary(&m).expect("ergodic");
+        // Point masses at t=0 are far from uniform; one step mixes exactly.
+        prop_assert_eq!(mixing::mixing_time(&m, &pi, 1e-9, 5), Some(1));
+    }
+
+    #[test]
+    fn coincidences_bounded_by_length(
+        a in proptest::collection::vec(0usize..5, 0..30),
+        b in proptest::collection::vec(0usize..5, 0..30),
+    ) {
+        let ta = Trajectory::from_indices(a.clone());
+        let tb = Trajectory::from_indices(b.clone());
+        let c = ta.coincidences(&tb);
+        prop_assert!(c <= a.len().min(b.len()));
+        // Symmetry.
+        prop_assert_eq!(c, tb.coincidences(&ta));
+    }
+
+    #[test]
+    fn model_builders_always_ergodic(l in 2usize..12, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for kind in models::ModelKind::ALL {
+            let m = kind.build(l, &mut rng).expect("valid size");
+            prop_assert!(m.is_ergodic());
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Empirical Markov-model estimation from quantized trajectories.
+//!
+//! The paper models the 174 trace trajectories "as trajectories generated
+//! independently from the same MC" and computes "the empirical transition
+//! matrix and the empirical steady-state distribution" (Sec. VII-B1).
+//! Transition probabilities are transition-count ratios; the empirical
+//! steady state is the occupancy frequency over all trajectories and
+//! slots. Rows of cells that are never left become self-loops so the
+//! matrix stays stochastic.
+
+use crate::Result;
+use chaff_markov::{CellId, MarkovChain, StateDistribution, Trajectory, TransitionMatrix};
+use serde::{Deserialize, Serialize};
+
+/// An empirical mobility model estimated from trajectories.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmpiricalModel {
+    chain: MarkovChain,
+    /// Per-cell visit counts over all trajectories and slots.
+    visits: Vec<u64>,
+    /// Total number of observed transitions.
+    num_transitions: u64,
+}
+
+impl EmpiricalModel {
+    /// Estimates the model.
+    ///
+    /// `smoothing` is an additive (Laplace) count applied to every
+    /// transition and occupancy cell; 0 reproduces the paper's plain
+    /// frequency estimates (recommended — smoothing densifies the matrix,
+    /// which distorts the sparse-support structure the strategies exploit).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `num_cells == 0`, when trajectories visit
+    /// out-of-range cells, or when no slot was observed at all.
+    pub fn estimate(
+        trajectories: &[Trajectory],
+        num_cells: usize,
+        smoothing: f64,
+    ) -> Result<Self> {
+        if num_cells == 0 {
+            return Err(chaff_markov::MarkovError::Empty.into());
+        }
+        let mut counts = vec![0.0f64; num_cells * num_cells];
+        let mut visits = vec![0u64; num_cells];
+        let mut num_transitions = 0u64;
+        for trajectory in trajectories {
+            let mut prev: Option<CellId> = None;
+            for cell in trajectory.iter() {
+                if cell.index() >= num_cells {
+                    return Err(chaff_markov::MarkovError::CellOutOfRange {
+                        cell: cell.index(),
+                        states: num_cells,
+                    }
+                    .into());
+                }
+                visits[cell.index()] += 1;
+                if let Some(p) = prev {
+                    counts[p.index() * num_cells + cell.index()] += 1.0;
+                    num_transitions += 1;
+                }
+                prev = Some(cell);
+            }
+        }
+        if visits.iter().all(|&v| v == 0) {
+            return Err(chaff_markov::MarkovError::Empty.into());
+        }
+        // Build rows: frequency + smoothing; unobserved rows self-loop.
+        let mut rows = Vec::with_capacity(num_cells);
+        for i in 0..num_cells {
+            let row = &mut counts[i * num_cells..(i + 1) * num_cells];
+            if smoothing > 0.0 {
+                for w in row.iter_mut() {
+                    *w += smoothing;
+                }
+            }
+            let sum: f64 = row.iter().sum();
+            if sum <= 0.0 {
+                let mut self_loop = vec![0.0; num_cells];
+                self_loop[i] = 1.0;
+                rows.push(self_loop);
+            } else {
+                rows.push(row.iter().map(|w| w / sum).collect());
+            }
+        }
+        let matrix = TransitionMatrix::from_rows(rows)?;
+        let occupancy: Vec<f64> = visits
+            .iter()
+            .map(|&v| v as f64 + smoothing)
+            .collect();
+        let initial = StateDistribution::from_weights(occupancy)?;
+        let chain = MarkovChain::with_initial(matrix, initial)?;
+        Ok(EmpiricalModel {
+            chain,
+            visits,
+            num_transitions,
+        })
+    }
+
+    /// The estimated chain (matrix + empirical steady state).
+    pub fn chain(&self) -> &MarkovChain {
+        &self.chain
+    }
+
+    /// Per-cell visit counts.
+    pub fn visits(&self) -> &[u64] {
+        &self.visits
+    }
+
+    /// Total observed transitions.
+    pub fn num_transitions(&self) -> u64 {
+        self.num_transitions
+    }
+
+    /// Number of cells visited at least once.
+    pub fn support_size(&self) -> usize {
+        self.visits.iter().filter(|&&v| v > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequencies_match_counts() {
+        // 0->1 twice, 0->0 once, 1->0 twice, 1->1 once.
+        let t1 = Trajectory::from_indices([0, 1, 0, 0, 1]);
+        let t2 = Trajectory::from_indices([1, 1, 0, 1, 0]);
+        let model = EmpiricalModel::estimate(&[t1, t2], 2, 0.0).unwrap();
+        let m = model.chain().matrix();
+        // Transitions from 0: 0->1 x3, 0->0 x1 -> P(1|0) = 0.75.
+        assert!((m.prob(CellId::new(0), CellId::new(1)) - 0.75).abs() < 1e-12);
+        // Transitions from 1: 1->0 x3, 1->1 x1 -> P(0|1) = 0.75.
+        assert!((m.prob(CellId::new(1), CellId::new(0)) - 0.75).abs() < 1e-12);
+        assert_eq!(model.num_transitions(), 8);
+    }
+
+    #[test]
+    fn occupancy_is_visit_frequency() {
+        let t = Trajectory::from_indices([0, 0, 0, 1]);
+        let model = EmpiricalModel::estimate(&[t], 3, 0.0).unwrap();
+        let pi = model.chain().initial();
+        assert!((pi.prob(CellId::new(0)) - 0.75).abs() < 1e-12);
+        assert!((pi.prob(CellId::new(1)) - 0.25).abs() < 1e-12);
+        assert_eq!(pi.prob(CellId::new(2)), 0.0);
+        assert_eq!(model.support_size(), 2);
+    }
+
+    #[test]
+    fn unvisited_rows_become_self_loops() {
+        let t = Trajectory::from_indices([0, 1, 0]);
+        let model = EmpiricalModel::estimate(&[t], 3, 0.0).unwrap();
+        assert_eq!(
+            model
+                .chain()
+                .matrix()
+                .prob(CellId::new(2), CellId::new(2)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn observed_trajectories_have_positive_likelihood() {
+        let trajectories = vec![
+            Trajectory::from_indices([0, 1, 2, 1]),
+            Trajectory::from_indices([2, 1, 0, 0]),
+        ];
+        let model = EmpiricalModel::estimate(&trajectories, 3, 0.0).unwrap();
+        for t in &trajectories {
+            assert!(
+                model.chain().log_likelihood(t).is_finite(),
+                "observed data must be explainable by the estimate"
+            );
+        }
+    }
+
+    #[test]
+    fn smoothing_densifies_the_matrix() {
+        let t = Trajectory::from_indices([0, 1]);
+        let plain = EmpiricalModel::estimate(std::slice::from_ref(&t), 3, 0.0).unwrap();
+        let smoothed = EmpiricalModel::estimate(&[t], 3, 1.0).unwrap();
+        assert_eq!(plain.chain().matrix().prob(CellId::new(0), CellId::new(2)), 0.0);
+        assert!(smoothed.chain().matrix().prob(CellId::new(0), CellId::new(2)) > 0.0);
+        // Smoothed occupancy gives unvisited cells positive mass too.
+        assert!(smoothed.chain().initial().prob(CellId::new(2)) > 0.0);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(EmpiricalModel::estimate(&[], 0, 0.0).is_err());
+        let out_of_range = Trajectory::from_indices([5]);
+        assert!(EmpiricalModel::estimate(&[out_of_range], 3, 0.0).is_err());
+        assert!(EmpiricalModel::estimate(&[Trajectory::new()], 3, 0.0).is_err());
+    }
+}

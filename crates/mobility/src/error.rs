@@ -1,0 +1,95 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the mobility/trace pipeline.
+#[derive(Debug)]
+pub enum MobilityError {
+    /// A geographic bounding box was empty or inverted.
+    InvalidBoundingBox {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A tower layout ended up with no towers (e.g. everything filtered).
+    NoTowers,
+    /// A trace line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// The offending parameter name.
+        parameter: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Every node was filtered out as inactive.
+    NoActiveNodes,
+    /// An I/O error while reading trace files.
+    Io(std::io::Error),
+    /// An error bubbled up from the Markov substrate.
+    Markov(chaff_markov::MarkovError),
+}
+
+impl fmt::Display for MobilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MobilityError::InvalidBoundingBox { reason } => {
+                write!(f, "invalid bounding box: {reason}")
+            }
+            MobilityError::NoTowers => write!(f, "tower layout is empty"),
+            MobilityError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+            MobilityError::InvalidConfig { parameter, reason } => {
+                write!(f, "invalid configuration for {parameter}: {reason}")
+            }
+            MobilityError::NoActiveNodes => {
+                write!(f, "every node was filtered out as inactive")
+            }
+            MobilityError::Io(e) => write!(f, "trace i/o error: {e}"),
+            MobilityError::Markov(e) => write!(f, "markov substrate error: {e}"),
+        }
+    }
+}
+
+impl Error for MobilityError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MobilityError::Io(e) => Some(e),
+            MobilityError::Markov(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MobilityError {
+    fn from(e: std::io::Error) -> Self {
+        MobilityError::Io(e)
+    }
+}
+
+impl From<chaff_markov::MarkovError> for MobilityError {
+    fn from(e: chaff_markov::MarkovError) -> Self {
+        MobilityError::Markov(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = MobilityError::Parse {
+            line: 3,
+            reason: "expected 4 fields".into(),
+        };
+        assert!(err.to_string().contains("line 3"));
+        assert!(err.source().is_none());
+        let io: MobilityError = std::io::Error::other("boom").into();
+        assert!(io.source().is_some());
+    }
+}

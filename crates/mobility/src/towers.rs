@@ -1,0 +1,192 @@
+//! Cell-tower layout generation and filtering.
+//!
+//! The paper obtains tower locations from antennasearch.com and keeps 959
+//! of them after "ignoring towers within 100 meters of others" (Sec.
+//! VII-B1). Real tower registries are not redistributable, so this module
+//! generates layouts with the property that actually matters for the
+//! experiments — an urban-core density gradient, which is what makes the
+//! induced Voronoi cells small downtown and large in the periphery and
+//! yields the skewed occupancy of Fig. 8(b).
+
+use crate::geo::{BoundingBox, GeoPoint};
+use crate::{MobilityError, Result};
+use rand::Rng;
+
+/// The paper's minimum tower separation (meters).
+pub const DEFAULT_MIN_SEPARATION_M: f64 = 100.0;
+
+/// Generates `n` towers uniformly in the box.
+///
+/// # Errors
+///
+/// Returns [`MobilityError::NoTowers`] when `n == 0`.
+pub fn uniform_layout<R: Rng + ?Sized>(
+    n: usize,
+    bbox: &BoundingBox,
+    rng: &mut R,
+) -> Result<Vec<GeoPoint>> {
+    if n == 0 {
+        return Err(MobilityError::NoTowers);
+    }
+    Ok((0..n).map(|_| bbox.sample(rng)).collect())
+}
+
+/// Generates `n` towers with an urban density gradient: `clusters` hotspot
+/// centers are drawn uniformly, and each tower is placed near a random
+/// center with Gaussian scatter of `spread_m` meters (clamped to the box);
+/// a `background` fraction of towers is spread uniformly instead.
+///
+/// # Errors
+///
+/// Returns an error when `n == 0`, `clusters == 0`, `spread_m <= 0` or
+/// `background ∉ [0, 1]`.
+pub fn clustered_layout<R: Rng + ?Sized>(
+    n: usize,
+    clusters: usize,
+    spread_m: f64,
+    background: f64,
+    bbox: &BoundingBox,
+    rng: &mut R,
+) -> Result<Vec<GeoPoint>> {
+    if n == 0 {
+        return Err(MobilityError::NoTowers);
+    }
+    if clusters == 0 {
+        return Err(MobilityError::InvalidConfig {
+            parameter: "clusters",
+            reason: "must be positive".into(),
+        });
+    }
+    if !spread_m.is_finite() || spread_m <= 0.0 {
+        return Err(MobilityError::InvalidConfig {
+            parameter: "spread_m",
+            reason: "must be positive".into(),
+        });
+    }
+    if !(0.0..=1.0).contains(&background) {
+        return Err(MobilityError::InvalidConfig {
+            parameter: "background",
+            reason: "must be in [0, 1]".into(),
+        });
+    }
+    let centers: Vec<GeoPoint> = (0..clusters).map(|_| bbox.sample(rng)).collect();
+    // Degrees per meter at the box's mid-latitude.
+    let lat_per_m = 1.0 / 111_320.0;
+    let mid_lat = bbox.center().lat.to_radians();
+    let lon_per_m = lat_per_m / mid_lat.cos();
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        if rng.random::<f64>() < background {
+            out.push(bbox.sample(rng));
+            continue;
+        }
+        let center = centers[rng.random_range(0..clusters)];
+        let (dx, dy) = gaussian_pair(rng);
+        let p = GeoPoint::new(
+            center.lat + dy * spread_m * lat_per_m,
+            center.lon + dx * spread_m * lon_per_m,
+        );
+        out.push(bbox.clamp(&p));
+    }
+    Ok(out)
+}
+
+/// A standard-normal pair via Box–Muller.
+fn gaussian_pair<R: Rng + ?Sized>(rng: &mut R) -> (f64, f64) {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// Greedily removes towers closer than `min_separation_m` to an
+/// already-kept tower — the paper's "ignoring towers within 100 meters of
+/// others".
+///
+/// Keeps towers in input order, so the result is deterministic for a
+/// given layout.
+pub fn min_separation_filter(towers: &[GeoPoint], min_separation_m: f64) -> Vec<GeoPoint> {
+    let mut kept: Vec<GeoPoint> = Vec::with_capacity(towers.len());
+    for &t in towers {
+        if kept.iter().all(|k| k.distance_m(&t) >= min_separation_m) {
+            kept.push(t);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_layout_fills_the_box() {
+        let sf = BoundingBox::san_francisco();
+        let mut rng = StdRng::seed_from_u64(1);
+        let towers = uniform_layout(500, &sf, &mut rng).unwrap();
+        assert_eq!(towers.len(), 500);
+        assert!(towers.iter().all(|t| sf.contains(t)));
+    }
+
+    #[test]
+    fn clustered_layout_is_denser_near_centers() {
+        let sf = BoundingBox::san_francisco();
+        let mut rng = StdRng::seed_from_u64(2);
+        let clustered = clustered_layout(2_000, 5, 1_500.0, 0.2, &sf, &mut rng).unwrap();
+        assert_eq!(clustered.len(), 2_000);
+        assert!(clustered.iter().all(|t| sf.contains(t)));
+        // Clustering must pull the mean nearest-neighbor distance well
+        // below that of an equally-sized uniform layout.
+        let mean_nn = |towers: &[GeoPoint]| {
+            let mut sum = 0.0;
+            for (i, a) in towers.iter().enumerate().take(200) {
+                sum += towers
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, b)| a.distance_m(b))
+                    .fold(f64::INFINITY, f64::min);
+            }
+            sum / 200.0
+        };
+        let uniform = uniform_layout(2_000, &sf, &mut rng).unwrap();
+        let (c_nn, u_nn) = (mean_nn(&clustered), mean_nn(&uniform));
+        assert!(c_nn < 0.8 * u_nn, "clustered nn {c_nn} !< 0.8 * uniform nn {u_nn}");
+    }
+
+    #[test]
+    fn separation_filter_enforces_min_distance() {
+        let sf = BoundingBox::san_francisco();
+        let mut rng = StdRng::seed_from_u64(3);
+        let towers = clustered_layout(3_000, 4, 800.0, 0.1, &sf, &mut rng).unwrap();
+        let kept = min_separation_filter(&towers, 100.0);
+        assert!(kept.len() < towers.len());
+        for (i, a) in kept.iter().enumerate() {
+            for b in kept.iter().skip(i + 1) {
+                assert!(a.distance_m(b) >= 100.0);
+            }
+        }
+    }
+
+    #[test]
+    fn separation_filter_keeps_first_of_each_pair() {
+        let a = GeoPoint::new(37.7, -122.4);
+        let b = GeoPoint::new(37.7001, -122.4); // ~11 m away
+        let kept = min_separation_filter(&[a, b], 100.0);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0], a);
+    }
+
+    #[test]
+    fn config_validation() {
+        let sf = BoundingBox::san_francisco();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(uniform_layout(0, &sf, &mut rng).is_err());
+        assert!(clustered_layout(10, 0, 100.0, 0.1, &sf, &mut rng).is_err());
+        assert!(clustered_layout(10, 2, 0.0, 0.1, &sf, &mut rng).is_err());
+        assert!(clustered_layout(10, 2, 100.0, 1.5, &sf, &mut rng).is_err());
+    }
+}

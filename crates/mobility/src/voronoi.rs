@@ -1,0 +1,230 @@
+//! Voronoi quantization: mapping positions to their nearest tower's cell.
+//!
+//! The paper "quantize[s] the node locations into 959 Voronoi cells based
+//! on cell tower locations" (Sec. VII-B1). Explicit Voronoi polygons are
+//! never needed — only the nearest-tower query — so this module builds a
+//! uniform grid index over the towers and answers queries by expanding
+//! ring search, falling back to brute force for tiny layouts.
+
+use crate::geo::{BoundingBox, GeoPoint};
+use crate::{MobilityError, Result};
+use chaff_markov::{CellId, Trajectory};
+
+/// A nearest-tower quantizer; each tower induces one [`CellId`].
+#[derive(Debug, Clone)]
+pub struct CellMap {
+    towers: Vec<GeoPoint>,
+    bbox: BoundingBox,
+    /// Grid of tower indices, row-major `rows × cols`.
+    grid: Vec<Vec<u32>>,
+    rows: usize,
+    cols: usize,
+}
+
+/// Target mean number of towers per grid bucket.
+const TARGET_PER_BUCKET: f64 = 2.0;
+
+impl CellMap {
+    /// Builds a quantizer from tower locations.
+    ///
+    /// The bounding box is inflated slightly beyond the towers' extent so
+    /// that queries outside it still resolve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::NoTowers`] when `towers` is empty.
+    pub fn new(towers: Vec<GeoPoint>) -> Result<Self> {
+        if towers.is_empty() {
+            return Err(MobilityError::NoTowers);
+        }
+        let pad = 1e-4; // ~11 m
+        let min_lat = towers.iter().map(|t| t.lat).fold(f64::INFINITY, f64::min) - pad;
+        let max_lat = towers.iter().map(|t| t.lat).fold(f64::NEG_INFINITY, f64::max) + pad;
+        let min_lon = towers.iter().map(|t| t.lon).fold(f64::INFINITY, f64::min) - pad;
+        let max_lon = towers.iter().map(|t| t.lon).fold(f64::NEG_INFINITY, f64::max) + pad;
+        let bbox = BoundingBox::new(min_lat, max_lat, min_lon, max_lon)?;
+        let buckets = ((towers.len() as f64 / TARGET_PER_BUCKET).sqrt().ceil() as usize).max(1);
+        let (rows, cols) = (buckets, buckets);
+        let mut grid = vec![Vec::new(); rows * cols];
+        let index_of = |p: &GeoPoint| -> usize {
+            let r = (((p.lat - bbox.min_lat) / (bbox.max_lat - bbox.min_lat)) * rows as f64)
+                .floor()
+                .clamp(0.0, (rows - 1) as f64) as usize;
+            let c = (((p.lon - bbox.min_lon) / (bbox.max_lon - bbox.min_lon)) * cols as f64)
+                .floor()
+                .clamp(0.0, (cols - 1) as f64) as usize;
+            r * cols + c
+        };
+        for (i, t) in towers.iter().enumerate() {
+            grid[index_of(t)].push(i as u32);
+        }
+        Ok(CellMap {
+            towers,
+            bbox,
+            grid,
+            rows,
+            cols,
+        })
+    }
+
+    /// Number of cells (towers).
+    pub fn num_cells(&self) -> usize {
+        self.towers.len()
+    }
+
+    /// The tower location that defines `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn tower(&self, cell: CellId) -> GeoPoint {
+        self.towers[cell.index()]
+    }
+
+    /// All tower locations in cell order.
+    pub fn towers(&self) -> &[GeoPoint] {
+        &self.towers
+    }
+
+    /// Nearest tower by brute force — `O(n)`, the correctness oracle.
+    pub fn nearest_brute(&self, p: &GeoPoint) -> CellId {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, t) in self.towers.iter().enumerate() {
+            let d = t.distance_m(p);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        CellId::new(best)
+    }
+
+    /// Nearest tower via the grid index: expand rings of buckets around
+    /// the query until a candidate is found, then one extra ring to rule
+    /// out closer towers in neighbouring buckets.
+    pub fn nearest(&self, p: &GeoPoint) -> CellId {
+        let clamped = self.bbox.clamp(p);
+        let r0 = (((clamped.lat - self.bbox.min_lat) / (self.bbox.max_lat - self.bbox.min_lat))
+            * self.rows as f64)
+            .floor()
+            .clamp(0.0, (self.rows - 1) as f64) as isize;
+        let c0 = (((clamped.lon - self.bbox.min_lon) / (self.bbox.max_lon - self.bbox.min_lon))
+            * self.cols as f64)
+            .floor()
+            .clamp(0.0, (self.cols - 1) as f64) as isize;
+
+        let mut best: Option<(usize, f64)> = None;
+        let max_ring = self.rows.max(self.cols) as isize;
+        let mut settled_ring: Option<isize> = None;
+        for ring in 0..=max_ring {
+            if let Some(sr) = settled_ring {
+                // One extra ring after the first hit is enough: a tower in
+                // ring r is at least (r-1) bucket-widths away, so anything
+                // beyond sr+1 cannot beat the current best.
+                if ring > sr + 1 {
+                    break;
+                }
+            }
+            let mut found_in_ring = false;
+            for dr in -ring..=ring {
+                for dc in -ring..=ring {
+                    if dr.abs().max(dc.abs()) != ring {
+                        continue; // only the ring boundary
+                    }
+                    let (r, c) = (r0 + dr, c0 + dc);
+                    if r < 0 || c < 0 || r >= self.rows as isize || c >= self.cols as isize {
+                        continue;
+                    }
+                    for &i in &self.grid[r as usize * self.cols + c as usize] {
+                        let d = self.towers[i as usize].distance_m(p);
+                        found_in_ring = true;
+                        match best {
+                            Some((_, bd)) if bd <= d => {}
+                            _ => best = Some((i as usize, d)),
+                        }
+                    }
+                }
+            }
+            if found_in_ring && settled_ring.is_none() {
+                settled_ring = Some(ring);
+            }
+        }
+        CellId::new(best.expect("at least one tower exists").0)
+    }
+
+    /// Quantizes a position sequence into a cell trajectory.
+    pub fn quantize(&self, positions: &[GeoPoint]) -> Trajectory {
+        positions.iter().map(|p| self.nearest(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::towers;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_empty_layout() {
+        assert!(matches!(CellMap::new(vec![]), Err(MobilityError::NoTowers)));
+    }
+
+    #[test]
+    fn grid_nearest_matches_brute_force() {
+        let sf = BoundingBox::san_francisco();
+        let mut rng = StdRng::seed_from_u64(7);
+        let layout = towers::clustered_layout(400, 5, 1_000.0, 0.2, &sf, &mut rng).unwrap();
+        let map = CellMap::new(layout).unwrap();
+        for _ in 0..500 {
+            let p = sf.sample(&mut rng);
+            assert_eq!(map.nearest(&p), map.nearest_brute(&p));
+        }
+    }
+
+    #[test]
+    fn nearest_of_a_tower_is_itself() {
+        let sf = BoundingBox::san_francisco();
+        let mut rng = StdRng::seed_from_u64(8);
+        let layout = towers::uniform_layout(100, &sf, &mut rng).unwrap();
+        // De-duplicate first: coincident towers would alias.
+        let layout = towers::min_separation_filter(&layout, 1.0);
+        let map = CellMap::new(layout.clone()).unwrap();
+        for (i, t) in layout.iter().enumerate() {
+            assert_eq!(map.nearest(t), CellId::new(i));
+        }
+    }
+
+    #[test]
+    fn queries_outside_the_box_resolve() {
+        let map = CellMap::new(vec![
+            GeoPoint::new(37.7, -122.4),
+            GeoPoint::new(37.8, -122.3),
+        ])
+        .unwrap();
+        // A far-north point is nearest to the northern tower.
+        assert_eq!(map.nearest(&GeoPoint::new(40.0, -122.3)), CellId::new(1));
+        // A far-south point is nearest to the southern tower.
+        assert_eq!(map.nearest(&GeoPoint::new(36.0, -122.4)), CellId::new(0));
+    }
+
+    #[test]
+    fn quantize_maps_every_position() {
+        let sf = BoundingBox::san_francisco();
+        let mut rng = StdRng::seed_from_u64(9);
+        let layout = towers::uniform_layout(50, &sf, &mut rng).unwrap();
+        let map = CellMap::new(layout).unwrap();
+        let path: Vec<GeoPoint> = (0..20).map(|_| sf.sample(&mut rng)).collect();
+        let traj = map.quantize(&path);
+        assert_eq!(traj.len(), 20);
+        assert!(traj.iter().all(|c| c.index() < map.num_cells()));
+    }
+
+    #[test]
+    fn single_tower_layout() {
+        let map = CellMap::new(vec![GeoPoint::new(37.7, -122.4)]).unwrap();
+        assert_eq!(map.num_cells(), 1);
+        assert_eq!(map.nearest(&GeoPoint::new(37.9, -122.1)), CellId::new(0));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the mobility substrate.
+
+use chaff_mobility::geo::{BoundingBox, GeoPoint};
+use chaff_mobility::interpolate::{regularize, SlotGrid};
+use chaff_mobility::record::{NodeTrace, TraceRecord};
+use chaff_mobility::towers::min_separation_filter;
+use chaff_mobility::voronoi::CellMap;
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = GeoPoint> {
+    (37.55f64..37.95, -122.6f64..-122.1).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn distance_satisfies_triangle_inequality(
+        a in arb_point(),
+        b in arb_point(),
+        c in arb_point(),
+    ) {
+        let ab = a.distance_m(&b);
+        let bc = b.distance_m(&c);
+        let ac = a.distance_m(&c);
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    #[test]
+    fn lerp_stays_between_endpoints(
+        a in arb_point(),
+        b in arb_point(),
+        t in 0.0f64..1.0,
+    ) {
+        let p = a.lerp(&b, t);
+        prop_assert!(p.lat >= a.lat.min(b.lat) - 1e-12);
+        prop_assert!(p.lat <= a.lat.max(b.lat) + 1e-12);
+        prop_assert!(p.lon >= a.lon.min(b.lon) - 1e-12);
+        prop_assert!(p.lon <= a.lon.max(b.lon) + 1e-12);
+    }
+
+    #[test]
+    fn separation_filter_is_idempotent(
+        towers in proptest::collection::vec(arb_point(), 1..80),
+        min_sep in 50.0f64..2_000.0,
+    ) {
+        let once = min_separation_filter(&towers, min_sep);
+        let twice = min_separation_filter(&once, min_sep);
+        prop_assert_eq!(&once, &twice);
+        // And every kept pair respects the separation.
+        for (i, a) in once.iter().enumerate() {
+            for b in once.iter().skip(i + 1) {
+                prop_assert!(a.distance_m(b) >= min_sep);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_nearest_equals_brute_force(
+        towers in proptest::collection::vec(arb_point(), 1..120),
+        queries in proptest::collection::vec(arb_point(), 1..30),
+    ) {
+        let map = CellMap::new(towers).unwrap();
+        for q in &queries {
+            let fast = map.nearest(q);
+            let slow = map.nearest_brute(q);
+            // Allow exact ties in distance to resolve to either tower.
+            let df = map.tower(fast).distance_m(q);
+            let ds = map.tower(slow).distance_m(q);
+            prop_assert!((df - ds).abs() < 1e-9, "fast {df} vs brute {ds}");
+        }
+    }
+
+    #[test]
+    fn regularized_positions_are_within_record_hull(
+        lats in proptest::collection::vec(37.6f64..37.9, 3..12),
+    ) {
+        // Build a dense trace (one update per 60 s) and regularize: every
+        // interpolated latitude must lie within the sampled range.
+        let records: Vec<TraceRecord> = lats
+            .iter()
+            .enumerate()
+            .map(|(i, &lat)| TraceRecord {
+                point: GeoPoint::new(lat, -122.4),
+                occupied: false,
+                timestamp: 60 * i as i64,
+            })
+            .collect();
+        let n = records.len();
+        let trace = NodeTrace::new("n", records);
+        let grid = SlotGrid::minutes(0, n);
+        let positions = regularize(&trace, &grid).expect("dense trace is active");
+        let (lo, hi) = lats
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+                (l.min(v), h.max(v))
+            });
+        for p in positions {
+            prop_assert!(p.lat >= lo - 1e-12 && p.lat <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn bounding_box_clamp_is_idempotent(p in arb_point(), q in arb_point()) {
+        let bbox = BoundingBox::san_francisco();
+        let once = bbox.clamp(&p);
+        prop_assert_eq!(bbox.clamp(&once), once);
+        let far = GeoPoint::new(q.lat + 10.0, q.lon - 10.0);
+        prop_assert!(bbox.contains(&bbox.clamp(&far)));
+    }
+}

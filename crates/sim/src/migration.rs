@@ -1,0 +1,94 @@
+//! Migration policies for the real service.
+//!
+//! The paper considers "the worst case (in terms of location privacy) that
+//! the real service always follows the user" (Sec. I-A) — the
+//! [`AlwaysFollow`] policy. [`LazyThreshold`] is the cost-aware
+//! alternative from the service-migration literature the paper builds on
+//! (its refs. 24, 25, 5, 14): the service migrates only once the user has
+//! drifted beyond a distance threshold, trading communication cost against
+//! migration cost. It is included for the cost-privacy ablation; note it
+//! *weakens* the side channel (the service trajectory is a lagged,
+//! quantized version of the user's), which the ablation bench quantifies.
+
+use chaff_markov::CellId;
+
+/// Decides where the real service should sit after each user move.
+pub trait MigrationPolicy {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Given the service's current cell and the user's new cell, returns
+    /// the cell the service should occupy this slot.
+    fn place(&mut self, service: CellId, user: CellId) -> CellId;
+}
+
+/// Always co-locate the service with the user (delay-sensitive services;
+/// the paper's standing assumption).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlwaysFollow;
+
+impl MigrationPolicy for AlwaysFollow {
+    fn name(&self) -> &'static str {
+        "always-follow"
+    }
+
+    fn place(&mut self, _service: CellId, user: CellId) -> CellId {
+        user
+    }
+}
+
+/// Migrate only when the user is more than `threshold` cells away (index
+/// distance), then jump to the user's cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LazyThreshold {
+    /// Maximum tolerated user-service distance in cells.
+    pub threshold: usize,
+}
+
+impl MigrationPolicy for LazyThreshold {
+    fn name(&self) -> &'static str {
+        "lazy-threshold"
+    }
+
+    fn place(&mut self, service: CellId, user: CellId) -> CellId {
+        if service.index().abs_diff(user.index()) > self.threshold {
+            user
+        } else {
+            service
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_follow_tracks_the_user() {
+        let mut p = AlwaysFollow;
+        assert_eq!(p.place(CellId::new(0), CellId::new(7)), CellId::new(7));
+        assert_eq!(p.place(CellId::new(7), CellId::new(7)), CellId::new(7));
+    }
+
+    #[test]
+    fn lazy_waits_for_the_threshold() {
+        let mut p = LazyThreshold { threshold: 2 };
+        // Within threshold: stays.
+        assert_eq!(p.place(CellId::new(5), CellId::new(6)), CellId::new(5));
+        assert_eq!(p.place(CellId::new(5), CellId::new(7)), CellId::new(5));
+        // Beyond: jumps to the user.
+        assert_eq!(p.place(CellId::new(5), CellId::new(8)), CellId::new(8));
+    }
+
+    #[test]
+    fn zero_threshold_degenerates_to_always_follow() {
+        let mut lazy = LazyThreshold { threshold: 0 };
+        let mut follow = AlwaysFollow;
+        for (s, u) in [(0usize, 0usize), (0, 1), (3, 9), (9, 3)] {
+            assert_eq!(
+                lazy.place(CellId::new(s), CellId::new(u)),
+                follow.place(CellId::new(s), CellId::new(u))
+            );
+        }
+    }
+}

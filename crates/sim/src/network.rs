@@ -1,0 +1,206 @@
+//! The MEC network: one edge node per coverage cell, with optional
+//! per-node service capacity.
+
+use crate::{Result, SimError};
+use chaff_markov::CellId;
+
+/// The MEC deployment: node `i` serves cell `i`.
+///
+/// Tracks how many service instances each node currently hosts and
+/// enforces an optional uniform capacity. Placement beyond capacity is
+/// resolved by [`place_nearest`](MecNetwork::place_nearest), which spills
+/// to the closest node (by cell-index distance, matching the 1-D random
+/// walk models) with free capacity.
+#[derive(Debug, Clone)]
+pub struct MecNetwork {
+    occupancy: Vec<usize>,
+    capacity: Option<usize>,
+}
+
+impl MecNetwork {
+    /// Creates a network of `num_cells` nodes with optional uniform
+    /// `capacity` (in service instances per node).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `num_cells == 0` or `capacity == Some(0)`.
+    pub fn new(num_cells: usize, capacity: Option<usize>) -> Result<Self> {
+        if num_cells == 0 {
+            return Err(SimError::InvalidConfig {
+                parameter: "num_cells",
+                reason: "must be positive".into(),
+            });
+        }
+        if capacity == Some(0) {
+            return Err(SimError::InvalidConfig {
+                parameter: "capacity",
+                reason: "must be positive when set".into(),
+            });
+        }
+        Ok(MecNetwork {
+            occupancy: vec![0; num_cells],
+            capacity,
+        })
+    }
+
+    /// Number of MEC nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.occupancy.len()
+    }
+
+    /// Instances currently hosted at `cell`'s node.
+    pub fn occupancy(&self, cell: CellId) -> usize {
+        self.occupancy[cell.index()]
+    }
+
+    /// Whether `cell`'s node can host one more instance.
+    pub fn has_room(&self, cell: CellId) -> bool {
+        match self.capacity {
+            None => true,
+            Some(k) => self.occupancy[cell.index()] < k,
+        }
+    }
+
+    /// Places an instance at `cell` if there is room.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoCapacity`] when the node is full.
+    pub fn place(&mut self, cell: CellId) -> Result<()> {
+        if !self.has_room(cell) {
+            return Err(SimError::NoCapacity { cell: cell.index() });
+        }
+        self.occupancy[cell.index()] += 1;
+        Ok(())
+    }
+
+    /// Places an instance at `cell` or, if full, at the nearest cell (by
+    /// index distance, ties to the lower index) with room. Returns the
+    /// cell actually used.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoCapacity`] when every node is full.
+    pub fn place_nearest(&mut self, cell: CellId) -> Result<CellId> {
+        let n = self.num_nodes();
+        for radius in 0..n {
+            for candidate in [cell.index().checked_sub(radius), Some(cell.index() + radius)]
+                .into_iter()
+                .flatten()
+            {
+                if candidate >= n {
+                    continue;
+                }
+                let c = CellId::new(candidate);
+                if self.has_room(c) {
+                    self.occupancy[candidate] += 1;
+                    return Ok(c);
+                }
+            }
+        }
+        Err(SimError::NoCapacity { cell: cell.index() })
+    }
+
+    /// Removes an instance from `cell`'s node.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) when the node is already empty — that is a
+    /// simulator bookkeeping bug, not a user error.
+    pub fn remove(&mut self, cell: CellId) {
+        debug_assert!(self.occupancy[cell.index()] > 0, "removing from empty node");
+        self.occupancy[cell.index()] = self.occupancy[cell.index()].saturating_sub(1);
+    }
+
+    /// Moves an instance between nodes, spilling to the nearest node with
+    /// room when the target is full. Returns the destination actually
+    /// used.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoCapacity`] when every node is full.
+    pub fn migrate(&mut self, from: CellId, to: CellId) -> Result<CellId> {
+        if from == to {
+            return Ok(to);
+        }
+        self.remove(from);
+        match self.place_nearest(to) {
+            Ok(cell) => Ok(cell),
+            Err(e) => {
+                // Roll back so the caller's view stays consistent.
+                self.occupancy[from.index()] += 1;
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_capacity_always_has_room() {
+        let mut net = MecNetwork::new(3, None).unwrap();
+        for _ in 0..100 {
+            net.place(CellId::new(1)).unwrap();
+        }
+        assert_eq!(net.occupancy(CellId::new(1)), 100);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut net = MecNetwork::new(3, Some(2)).unwrap();
+        net.place(CellId::new(0)).unwrap();
+        net.place(CellId::new(0)).unwrap();
+        assert!(matches!(
+            net.place(CellId::new(0)),
+            Err(SimError::NoCapacity { cell: 0 })
+        ));
+    }
+
+    #[test]
+    fn place_nearest_spills_to_neighbors() {
+        let mut net = MecNetwork::new(4, Some(1)).unwrap();
+        assert_eq!(net.place_nearest(CellId::new(1)).unwrap(), CellId::new(1));
+        // Cell 1 full: spills to 0 (lower index preferred at equal radius).
+        assert_eq!(net.place_nearest(CellId::new(1)).unwrap(), CellId::new(0));
+        assert_eq!(net.place_nearest(CellId::new(1)).unwrap(), CellId::new(2));
+        assert_eq!(net.place_nearest(CellId::new(1)).unwrap(), CellId::new(3));
+        assert!(net.place_nearest(CellId::new(1)).is_err());
+    }
+
+    #[test]
+    fn migrate_moves_occupancy() {
+        let mut net = MecNetwork::new(3, Some(1)).unwrap();
+        net.place(CellId::new(0)).unwrap();
+        let dest = net.migrate(CellId::new(0), CellId::new(2)).unwrap();
+        assert_eq!(dest, CellId::new(2));
+        assert_eq!(net.occupancy(CellId::new(0)), 0);
+        assert_eq!(net.occupancy(CellId::new(2)), 1);
+    }
+
+    #[test]
+    fn migrate_to_full_node_spills() {
+        let mut net = MecNetwork::new(3, Some(1)).unwrap();
+        net.place(CellId::new(0)).unwrap();
+        net.place(CellId::new(2)).unwrap();
+        // 2 is full; spilling from 2 tries 1.
+        let dest = net.migrate(CellId::new(0), CellId::new(2)).unwrap();
+        assert_eq!(dest, CellId::new(1));
+    }
+
+    #[test]
+    fn migrate_self_is_noop() {
+        let mut net = MecNetwork::new(2, Some(1)).unwrap();
+        net.place(CellId::new(0)).unwrap();
+        assert_eq!(net.migrate(CellId::new(0), CellId::new(0)).unwrap(), CellId::new(0));
+        assert_eq!(net.occupancy(CellId::new(0)), 1);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(MecNetwork::new(0, None).is_err());
+        assert!(MecNetwork::new(3, Some(0)).is_err());
+    }
+}

@@ -1,0 +1,484 @@
+//! The simulation driver.
+//!
+//! Two modes:
+//!
+//! * [`Simulation::run_planned`] — sample the user's whole trajectory
+//!   first, generate chaffs with any batch [`ChaffStrategy`] (this is how
+//!   the offline OO/ML strategies integrate), then replay everything
+//!   through the MEC machinery;
+//! * [`Simulation::run_online`] — strictly causal: per-slot user moves,
+//!   migration policy and [`OnlineChaffController`]s.
+//!
+//! Both modes produce a [`SimOutcome`] with the anonymized observation
+//! log (what the eavesdropper sees), ground truth for evaluation, a cost
+//! ledger, and a structured event trace.
+
+use crate::cost::{CostLedger, CostModel};
+use crate::migration::{AlwaysFollow, MigrationPolicy};
+use crate::network::MecNetwork;
+use crate::observer::ObservationLog;
+use crate::{Result, SimError};
+use chaff_core::strategy::{ChaffStrategy, OnlineChaffController};
+use chaff_markov::{CellId, MarkovChain, Trajectory};
+use rand::RngCore;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Number of slots to simulate.
+    pub horizon: usize,
+    /// Number of chaff services (the paper's `N − 1`).
+    pub num_chaffs: usize,
+    /// Optional uniform per-MEC service capacity.
+    pub node_capacity: Option<usize>,
+    /// Unit costs for the ledger.
+    pub cost_model: CostModel,
+    /// Whether to shuffle service order in the observation log (on by
+    /// default; turn off for deterministic debugging).
+    pub anonymize: bool,
+}
+
+impl SimConfig {
+    /// Creates a configuration with default costs, no capacity limit and
+    /// anonymization on.
+    pub fn new(horizon: usize, num_chaffs: usize) -> Self {
+        SimConfig {
+            horizon,
+            num_chaffs,
+            node_capacity: None,
+            cost_model: CostModel::default(),
+            anonymize: true,
+        }
+    }
+
+    /// Sets the per-node capacity.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.node_capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the cost model.
+    pub fn with_cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// Disables observation-log shuffling.
+    pub fn without_anonymization(mut self) -> Self {
+        self.anonymize = false;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.horizon == 0 {
+            return Err(SimError::InvalidConfig {
+                parameter: "horizon",
+                reason: "must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A structured record of something that happened in the MEC system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimEvent {
+    /// A service instance was launched.
+    Launched {
+        /// Service index (0 = real service).
+        service: usize,
+        /// Launch cell.
+        cell: CellId,
+    },
+    /// A service instance migrated between MECs.
+    Migrated {
+        /// Service index (0 = real service).
+        service: usize,
+        /// Slot at which the migration happened.
+        slot: usize,
+        /// Origin cell.
+        from: CellId,
+        /// Destination cell.
+        to: CellId,
+    },
+    /// A placement was redirected because the requested node was full.
+    Spilled {
+        /// Service index (0 = real service).
+        service: usize,
+        /// Slot at which the spill happened.
+        slot: usize,
+        /// The cell the service wanted.
+        requested: CellId,
+        /// The cell it got.
+        actual: CellId,
+    },
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// The eavesdropper's view: one trajectory per service, shuffled when
+    /// anonymization is on.
+    pub observed: Vec<Trajectory>,
+    /// Index of the real service inside [`observed`](SimOutcome::observed)
+    /// (ground truth, not available to the eavesdropper).
+    pub user_observed_index: usize,
+    /// The user's physical cell per slot.
+    pub user_cells: Trajectory,
+    /// The real service's cell per slot (equals `user_cells` under
+    /// always-follow; lags under the lazy policy).
+    pub service_cells: Trajectory,
+    /// Cost accounting for the real service and every chaff.
+    pub ledger: CostLedger,
+    /// Structured event trace.
+    pub events: Vec<SimEvent>,
+}
+
+/// A configured simulation over one mobility model.
+pub struct Simulation<'a> {
+    chain: &'a MarkovChain,
+    config: SimConfig,
+    policy: Box<dyn MigrationPolicy + 'a>,
+}
+
+impl<'a> Simulation<'a> {
+    /// Creates a simulation with the paper's always-follow migration
+    /// policy.
+    pub fn new(chain: &'a MarkovChain, config: SimConfig) -> Self {
+        Simulation {
+            chain,
+            config,
+            policy: Box::new(AlwaysFollow),
+        }
+    }
+
+    /// Replaces the migration policy (e.g. with
+    /// [`LazyThreshold`](crate::migration::LazyThreshold)).
+    pub fn with_policy(mut self, policy: impl MigrationPolicy + 'a) -> Self {
+        self.policy = Box::new(policy);
+        self
+    }
+
+    /// Planned mode: the user's trajectory is sampled up front and chaffs
+    /// come from a batch strategy (required for the offline OO and ML
+    /// strategies; equivalent for online ones).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, strategy and capacity errors.
+    pub fn run_planned(
+        mut self,
+        strategy: &dyn ChaffStrategy,
+        rng: &mut dyn RngCore,
+    ) -> Result<SimOutcome> {
+        self.config.validate()?;
+        let user_cells = self.chain.sample_trajectory(self.config.horizon, rng);
+        let service_cells = self.apply_policy(&user_cells);
+        let chaffs = strategy.generate(self.chain, &service_cells, self.config.num_chaffs, rng)?;
+        self.assemble(user_cells, service_cells, chaffs, rng)
+    }
+
+    /// Online mode: strictly causal per-slot simulation with one
+    /// controller per chaff. `make_controller(i)` builds the controller
+    /// for chaff `i`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and capacity errors.
+    pub fn run_online<F>(mut self, mut make_controller: F, rng: &mut dyn RngCore) -> Result<SimOutcome>
+    where
+        F: FnMut(usize) -> Box<dyn OnlineChaffController + 'a>,
+    {
+        self.config.validate()?;
+        let mut controllers: Vec<Box<dyn OnlineChaffController + 'a>> =
+            (0..self.config.num_chaffs).map(&mut make_controller).collect();
+        let mut user_cells = Trajectory::with_capacity(self.config.horizon);
+        let mut service_cells = Trajectory::with_capacity(self.config.horizon);
+        let mut chaffs: Vec<Trajectory> = (0..self.config.num_chaffs)
+            .map(|_| Trajectory::with_capacity(self.config.horizon))
+            .collect();
+        let mut user_now: Option<CellId> = None;
+        for _slot in 0..self.config.horizon {
+            let cell = match user_now {
+                None => self.chain.initial().sample(rng),
+                Some(prev) => self.chain.step(prev, rng),
+            };
+            user_now = Some(cell);
+            user_cells.push(cell);
+            let service_prev = service_cells.last().unwrap_or(cell);
+            service_cells.push(self.policy.place(service_prev, cell));
+            // The controllers observe the *service* trajectory — that is
+            // what the eavesdropper will compare against.
+            let observed_cell = service_cells.last().expect("just pushed");
+            for (chaff, controller) in chaffs.iter_mut().zip(&mut controllers) {
+                chaff.push(controller.next(observed_cell, &[], rng));
+            }
+        }
+        self.assemble(user_cells, service_cells, chaffs, rng)
+    }
+
+    fn apply_policy(&mut self, user_cells: &Trajectory) -> Trajectory {
+        let mut service = Trajectory::with_capacity(user_cells.len());
+        for cell in user_cells.iter() {
+            let prev = service.last().unwrap_or(cell);
+            service.push(self.policy.place(prev, cell));
+        }
+        service
+    }
+
+    /// Replays planned trajectories through the MEC network (capacity,
+    /// costs, events) and builds the outcome.
+    fn assemble(
+        &self,
+        user_cells: Trajectory,
+        service_cells: Trajectory,
+        chaff_plans: Vec<Trajectory>,
+        rng: &mut dyn RngCore,
+    ) -> Result<SimOutcome> {
+        let horizon = self.config.horizon;
+        let mut network = MecNetwork::new(self.chain.num_states(), self.config.node_capacity)?;
+        let mut ledger = CostLedger::new(self.config.num_chaffs);
+        let mut events = Vec::new();
+        let mut log = ObservationLog::new(1 + self.config.num_chaffs);
+        // actual[i]: where service i really sits (spills may divert it).
+        let mut actual: Vec<CellId> = Vec::with_capacity(1 + self.config.num_chaffs);
+        for slot in 0..horizon {
+            let mut locations = Vec::with_capacity(1 + self.config.num_chaffs);
+            for service in 0..=self.config.num_chaffs {
+                let desired = if service == 0 {
+                    service_cells.cell(slot)
+                } else {
+                    chaff_plans[service - 1].cell(slot)
+                };
+                let placed = if slot == 0 {
+                    let cell = network.place_nearest(desired)?;
+                    events.push(SimEvent::Launched { service, cell });
+                    actual.push(cell);
+                    cell
+                } else {
+                    let prev = actual[service];
+                    let cell = network.migrate(prev, desired)?;
+                    if cell != prev {
+                        events.push(SimEvent::Migrated {
+                            service,
+                            slot,
+                            from: prev,
+                            to: cell,
+                        });
+                        ledger.record_migration(service, &self.config.cost_model);
+                    }
+                    actual[service] = cell;
+                    cell
+                };
+                if placed != desired {
+                    events.push(SimEvent::Spilled {
+                        service,
+                        slot,
+                        requested: desired,
+                        actual: placed,
+                    });
+                }
+                ledger.record_running(service, &self.config.cost_model);
+                locations.push(placed);
+            }
+            ledger.record_communication(
+                user_cells.cell(slot),
+                locations[0],
+                &self.config.cost_model,
+            );
+            log.record_slot(&locations);
+        }
+        let (observed, user_observed_index) = if self.config.anonymize {
+            log.into_anonymized(rng)
+        } else {
+            (log.into_ordered(), 0)
+        };
+        Ok(SimOutcome {
+            observed,
+            user_observed_index,
+            user_cells,
+            service_cells,
+            ledger,
+            events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::migration::LazyThreshold;
+    use chaff_core::detector::MlDetector;
+    use chaff_core::strategy::{CmlStrategy, ImStrategy, MoController, OoStrategy};
+    use chaff_markov::models::ModelKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain(seed: u64) -> MarkovChain {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn planned_run_produces_consistent_outcome() {
+        let c = chain(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let outcome = Simulation::new(&c, SimConfig::new(40, 3))
+            .run_planned(&ImStrategy, &mut rng)
+            .unwrap();
+        assert_eq!(outcome.observed.len(), 4);
+        for t in &outcome.observed {
+            assert_eq!(t.len(), 40);
+        }
+        // Under always-follow the observed user trajectory equals the
+        // physical one.
+        assert_eq!(
+            outcome.observed[outcome.user_observed_index],
+            outcome.user_cells
+        );
+        assert_eq!(outcome.service_cells, outcome.user_cells);
+    }
+
+    #[test]
+    fn online_run_matches_planned_for_online_strategies() {
+        // CML is deterministic and online, so planned and online modes
+        // must produce the same chaff trajectory for the same user moves.
+        let c = chain(3);
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let planned = Simulation::new(&c, SimConfig::new(30, 1).without_anonymization())
+            .run_planned(&CmlStrategy, &mut rng_a)
+            .unwrap();
+        let online = Simulation::new(&c, SimConfig::new(30, 1).without_anonymization())
+            .run_online(|_| Box::new(chaff_core::strategy::CmlController::new(&c)), &mut rng_b)
+            .unwrap();
+        // Same seed, same user sampling order -> same user trajectory.
+        assert_eq!(planned.user_cells, online.user_cells);
+        assert_eq!(planned.observed[1], online.observed[1]);
+    }
+
+    #[test]
+    fn ledger_counts_migrations_and_running_costs() {
+        let c = chain(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let outcome = Simulation::new(&c, SimConfig::new(25, 1).without_anonymization())
+            .run_planned(&ImStrategy, &mut rng)
+            .unwrap();
+        // Running cost: 25 slots x 0.1 per service.
+        assert!((outcome.ledger.real_service().running_cost - 2.5).abs() < 1e-9);
+        // Migration count equals the number of cell changes.
+        let user_moves = outcome
+            .user_cells
+            .as_slice()
+            .windows(2)
+            .filter(|w| w[0] != w[1])
+            .count();
+        assert_eq!(outcome.ledger.real_service().migrations, user_moves);
+        // Always-follow never pays communication cost.
+        assert_eq!(outcome.ledger.real_service().communication_cost, 0.0);
+    }
+
+    #[test]
+    fn lazy_policy_trades_migrations_for_communication() {
+        let c = chain(6);
+        let mut rng_a = StdRng::seed_from_u64(8);
+        let mut rng_b = StdRng::seed_from_u64(8);
+        let follow = Simulation::new(&c, SimConfig::new(60, 0).without_anonymization())
+            .run_planned(&ImStrategy, &mut rng_a)
+            .unwrap();
+        let lazy = Simulation::new(&c, SimConfig::new(60, 0).without_anonymization())
+            .with_policy(LazyThreshold { threshold: 3 })
+            .run_planned(&ImStrategy, &mut rng_b)
+            .unwrap();
+        assert!(
+            lazy.ledger.real_service().migrations < follow.ledger.real_service().migrations
+        );
+        assert!(lazy.ledger.real_service().communication_cost > 0.0);
+        // The lazy service trajectory differs from the user's.
+        assert_ne!(lazy.service_cells, lazy.user_cells);
+    }
+
+    #[test]
+    fn capacity_one_forces_spills() {
+        // Capacity 1 per node: the chaff can never share the user's cell,
+        // and any co-location attempt must spill.
+        let c = chain(9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let outcome = Simulation::new(
+            &c,
+            SimConfig::new(30, 2).with_capacity(1).without_anonymization(),
+        )
+        .run_planned(&ImStrategy, &mut rng)
+        .unwrap();
+        // No two services ever share a cell.
+        for t in 0..30 {
+            let mut cells: Vec<usize> =
+                outcome.observed.iter().map(|tr| tr.cell(t).index()).collect();
+            cells.sort_unstable();
+            cells.dedup();
+            assert_eq!(cells.len(), 3, "slot {t}");
+        }
+    }
+
+    #[test]
+    fn end_to_end_detection_against_the_sim_log() {
+        // The full loop: simulate, hand the anonymized log to the
+        // detector, score tracking accuracy. With an OO chaff the detector
+        // must not pick the user uniquely.
+        let c = chain(11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let outcome = Simulation::new(&c, SimConfig::new(50, 1))
+            .run_planned(&OoStrategy, &mut rng)
+            .unwrap();
+        let d = MlDetector.detect(&c, &outcome.observed).unwrap();
+        let chaff_index = 1 - outcome.user_observed_index;
+        assert!(
+            d.tie_set().contains(&chaff_index),
+            "the OO chaff must win or tie the likelihood race"
+        );
+    }
+
+    #[test]
+    fn online_mode_with_mo_controllers() {
+        let c = chain(13);
+        let mut rng = StdRng::seed_from_u64(14);
+        let outcome = Simulation::new(&c, SimConfig::new(40, 2).without_anonymization())
+            .run_online(|_| Box::new(MoController::new(&c)), &mut rng)
+            .unwrap();
+        assert_eq!(outcome.observed.len(), 3);
+        // MO chaffs are deterministic, so both controllers coincide.
+        assert_eq!(outcome.observed[1], outcome.observed[2]);
+    }
+
+    #[test]
+    fn zero_horizon_is_rejected() {
+        let c = chain(15);
+        let mut rng = StdRng::seed_from_u64(16);
+        assert!(Simulation::new(&c, SimConfig::new(0, 1))
+            .run_planned(&ImStrategy, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn event_trace_is_complete() {
+        let c = chain(17);
+        let mut rng = StdRng::seed_from_u64(18);
+        let outcome = Simulation::new(&c, SimConfig::new(20, 1).without_anonymization())
+            .run_planned(&ImStrategy, &mut rng)
+            .unwrap();
+        let launches = outcome
+            .events
+            .iter()
+            .filter(|e| matches!(e, SimEvent::Launched { .. }))
+            .count();
+        assert_eq!(launches, 2);
+        let migrations = outcome
+            .events
+            .iter()
+            .filter(|e| matches!(e, SimEvent::Migrated { .. }))
+            .count();
+        let ledger_migrations: usize = outcome.ledger.real_service().migrations
+            + (0..1).map(|i| outcome.ledger.chaff(i).migrations).sum::<usize>();
+        assert_eq!(migrations, ledger_migrations);
+    }
+}

@@ -1,0 +1,81 @@
+//! Advanced adversary: when the eavesdropper knows your strategy.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example advanced_adversary
+//! ```
+//!
+//! Sec. VI of the paper: a deterministic chaff strategy is a fixed map
+//! `Γ` from user trajectories to chaff trajectories, so an eavesdropper
+//! who knows the strategy can recognize and discard manufactured
+//! trajectories. This example stages that arms race: every strategy
+//! against both the basic (strategy-oblivious) and the advanced
+//! (strategy-aware) eavesdropper.
+
+use mec_location_privacy::core::detector::{AdvancedDetector, MlDetector};
+use mec_location_privacy::core::metrics::{time_average, tracking_accuracy_series};
+use mec_location_privacy::core::strategy::StrategyKind;
+use mec_location_privacy::markov::{models::ModelKind, MarkovChain};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const RUNS: usize = 100;
+const HORIZON: usize = 80;
+const NUM_CHAFFS: usize = 4;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut model_rng = StdRng::seed_from_u64(3);
+    let chain = MarkovChain::new(ModelKind::NonSkewed.build(10, &mut model_rng)?)?;
+
+    println!(
+        "{:<10} {:>16} {:>18}",
+        "strategy", "basic detector", "advanced detector"
+    );
+    println!("{:-<10} {:->16} {:->18}", "", "", "");
+    for kind in [
+        StrategyKind::Im,
+        StrategyKind::Ml,
+        StrategyKind::Oo,
+        StrategyKind::Mo,
+        StrategyKind::Rml,
+        StrategyKind::Roo,
+        StrategyKind::Rmo,
+    ] {
+        let strategy = kind.build();
+        let mut basic_total = 0.0;
+        let mut advanced_total = 0.0;
+        for run in 0..RUNS {
+            let mut rng = StdRng::seed_from_u64(1_000 + run as u64);
+            let user = chain.sample_trajectory(HORIZON, &mut rng);
+            let chaffs = strategy.generate(&chain, &user, NUM_CHAFFS, &mut rng)?;
+            let mut observed = vec![user];
+            observed.extend(chaffs);
+
+            let basic = MlDetector.detect_prefixes(&chain, &observed);
+            basic_total +=
+                time_average(&tracking_accuracy_series(&observed, 0, &basic));
+
+            let detector = AdvancedDetector::new(strategy.as_ref());
+            let advanced = detector.detect_prefixes(&chain, &observed)?;
+            advanced_total +=
+                time_average(&tracking_accuracy_series(&observed, 0, &advanced));
+        }
+        println!(
+            "{:<10} {:>16.3} {:>18.3}",
+            kind.to_string(),
+            basic_total / RUNS as f64,
+            advanced_total / RUNS as f64
+        );
+    }
+
+    println!(
+        "\nReading the table: the deterministic strategies (ML/OO/MO)\n\
+         collapse to ~1.0 against the advanced detector — their chaffs are\n\
+         recognized and discarded. The randomized variants (RML/ROO/RMO)\n\
+         survive: a handful of random avoid-constraints make every chaff\n\
+         unpredictable while costing almost nothing in likelihood. IM is\n\
+         immune to strategy knowledge but plateaus far from zero."
+    );
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! Full MEC system simulation: capacity, migration policies and the
+//! cost-privacy trade-off.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example mec_simulation
+//! ```
+//!
+//! Uses the `chaff-sim` substrate directly: MEC nodes with finite
+//! capacity, an always-follow vs a lazy migration policy for the real
+//! service, online MO chaff controllers, and the cost ledger. Shows the
+//! trade-off the paper's discussion (Sec. VIII) leaves to future work:
+//! privacy gained per unit of chaff spending, and how a lazy migration
+//! policy weakens the side channel by itself.
+
+use mec_location_privacy::core::detector::MlDetector;
+use mec_location_privacy::core::metrics::{time_average, tracking_accuracy_series};
+use mec_location_privacy::core::strategy::MoController;
+use mec_location_privacy::markov::{models::ModelKind, MarkovChain};
+use mec_location_privacy::sim::migration::LazyThreshold;
+use mec_location_privacy::sim::sim::{SimConfig, Simulation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const HORIZON: usize = 100;
+const RUNS: usize = 100;
+
+fn measure(
+    chain: &MarkovChain,
+    num_chaffs: usize,
+    lazy: Option<usize>,
+) -> Result<(f64, f64), Box<dyn std::error::Error>> {
+    let mut accuracy_total = 0.0;
+    let mut cost_total = 0.0;
+    for run in 0..RUNS {
+        let mut rng = StdRng::seed_from_u64(500 + run as u64);
+        let config = SimConfig::new(HORIZON, num_chaffs).with_capacity(8);
+        let sim = match lazy {
+            Some(threshold) => Simulation::new(chain, config)
+                .with_policy(LazyThreshold { threshold }),
+            None => Simulation::new(chain, config),
+        };
+        // Online mode: strictly causal MO controllers, as a deployed
+        // orchestrator would run them.
+        let outcome = sim.run_online(|_| Box::new(MoController::new(chain)), &mut rng)?;
+        let detections = MlDetector.detect_prefixes(chain, &outcome.observed);
+        // The eavesdropper tracks the *user*; under a lazy policy the
+        // observed service trajectory is already a blurred version of the
+        // user's physical movement, so we score against physical cells.
+        let mut trajectories = outcome.observed.clone();
+        trajectories.push(outcome.user_cells.clone());
+        let user_truth = trajectories.len() - 1;
+        accuracy_total += time_average(&tracking_accuracy_series(
+            &trajectories,
+            user_truth,
+            &detections,
+        ));
+        cost_total += outcome.ledger.defense_cost();
+    }
+    Ok((accuracy_total / RUNS as f64, cost_total / RUNS as f64))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let chain = MarkovChain::new(ModelKind::SpatiallySkewed.build(12, &mut rng)?)?;
+
+    println!("cost-privacy trade-off (MO chaffs, always-follow service):\n");
+    println!(
+        "{:<8} {:>10} {:>14}",
+        "chaffs", "accuracy", "defense cost"
+    );
+    println!("{:-<8} {:->10} {:->14}", "", "", "");
+    for num_chaffs in [0, 1, 2, 4, 8] {
+        let (accuracy, cost) = measure(&chain, num_chaffs, None)?;
+        println!("{num_chaffs:<8} {accuracy:>10.3} {cost:>14.1}");
+    }
+
+    println!("\nmigration-policy ablation (1 chaff):\n");
+    println!("{:<22} {:>10} {:>14}", "policy", "accuracy", "defense cost");
+    println!("{:-<22} {:->10} {:->14}", "", "", "");
+    let (follow_acc, follow_cost) = measure(&chain, 1, None)?;
+    println!("{:<22} {follow_acc:>10.3} {follow_cost:>14.1}", "always-follow");
+    for threshold in [1, 2, 4] {
+        let (acc, cost) = measure(&chain, 1, Some(threshold))?;
+        println!(
+            "{:<22} {acc:>10.3} {cost:>14.1}",
+            format!("lazy (threshold {threshold})")
+        );
+    }
+
+    println!(
+        "\nTwo levers emerge: spending more on chaffs buys privacy under\n\
+         always-follow, while a lazy migration policy blurs the side\n\
+         channel for free — at the price of serving the user from a\n\
+         distant MEC (QoS, not shown in the ledger)."
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Taxi fleet: trace-driven protection of the most trackable users.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example taxi_fleet
+//! ```
+//!
+//! Rebuilds the paper's trace pipeline (Sec. VII-B) on a synthetic San
+//! Francisco fleet: towers → 100 m separation filter → Voronoi cells →
+//! inactive-node filtering → linear interpolation → empirical Markov
+//! model. Then it finds the most trackable users and protects them with a
+//! single OO chaff, the paper's Fig. 9 in miniature.
+
+use mec_location_privacy::core::detector::MlDetector;
+use mec_location_privacy::core::metrics::{time_average, tracking_accuracy_series};
+use mec_location_privacy::core::strategy::{ChaffStrategy, OoStrategy};
+use mec_location_privacy::mobility::pipeline::TraceDatasetBuilder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Reduced scale so the example runs in seconds; bump num_nodes/towers
+    // to 174/1100 for the paper's full dimensions.
+    let dataset = TraceDatasetBuilder::new()
+        .num_nodes(60)
+        .num_towers(400)
+        .horizon_slots(60)
+        .seed(2017)
+        .build()?;
+    let model = dataset.model();
+    let pool = dataset.trajectories();
+    println!(
+        "dataset: {} active taxis over {} Voronoi cells, {} slots",
+        pool.len(),
+        dataset.cell_map().num_cells(),
+        pool[0].len()
+    );
+
+    // Rank users by no-chaff trackability (prefix-ML detection).
+    let detections = MlDetector.detect_prefixes(model, pool);
+    let mut ranked: Vec<(usize, f64)> = (0..pool.len())
+        .map(|u| {
+            let series = tracking_accuracy_series(pool, u, &detections);
+            (u, time_average(&series))
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+
+    let baseline = 1.0 / pool.len() as f64;
+    println!("\nmost trackable taxis (1/N baseline = {baseline:.3}):");
+    println!("{:<8} {:>10} {:>16}", "taxi", "no chaff", "with OO chaff");
+    println!("{:-<8} {:->10} {:->16}", "", "", "");
+    let mut rng = StdRng::seed_from_u64(99);
+    for &(user, base_accuracy) in ranked.iter().take(5) {
+        // One OO chaff manufactured against this taxi's trajectory.
+        let chaffs = OoStrategy.generate(model, &pool[user], 1, &mut rng)?;
+        let mut observed = pool.to_vec();
+        observed.extend(chaffs);
+        let detections = MlDetector.detect_prefixes(model, &observed);
+        let protected =
+            time_average(&tracking_accuracy_series(&observed, user, &detections));
+        println!(
+            "{:<8} {:>10.3} {:>16.3}",
+            dataset.node_ids()[user],
+            base_accuracy,
+            protected
+        );
+    }
+
+    println!(
+        "\nThe OO chaff out-bids the taxi in the likelihood race while\n\
+         staying away from it, so the eavesdropper follows the chaff.\n\
+         (A taxi whose accuracy stems from co-location with other taxis\n\
+         keeps some residual accuracy — no chaff can fix co-location.)"
+    );
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Facade crate for the MEC chaff-based location-privacy workspace.
+//!
+//! Re-exports the public API of every workspace crate under one roof:
+//!
+//! * [`markov`] — Markov-chain mobility substrate ([`chaff_markov`]);
+//! * [`mobility`] — traces, geometry and Voronoi quantization
+//!   ([`chaff_mobility`]);
+//! * [`sim`] — the slotted MEC simulator ([`chaff_sim`]);
+//! * [`core`] — detectors, chaff strategies and theory ([`chaff_core`]);
+//! * [`eval`] — the figure-reproduction harness ([`chaff_eval`]).
+//!
+//! See the workspace README for a quickstart and `examples/` for runnable
+//! scenarios.
+
+#![forbid(unsafe_code)]
+
+pub use chaff_core as core;
+pub use chaff_eval as eval;
+pub use chaff_markov as markov;
+pub use chaff_mobility as mobility;
+pub use chaff_sim as sim;

@@ -1,0 +1,152 @@
+//! Cross-crate integration tests: the full system loop from mobility
+//! model through MEC simulation to detection and metrics.
+
+use mec_location_privacy::core::detector::{AdvancedDetector, MlDetector};
+use mec_location_privacy::core::metrics::{time_average, tracking_accuracy_series};
+use mec_location_privacy::core::strategy::{ChaffStrategy, ImStrategy, MoStrategy, OoStrategy};
+use mec_location_privacy::markov::{models::ModelKind, MarkovChain};
+use mec_location_privacy::mobility::pipeline::TraceDatasetBuilder;
+use mec_location_privacy::sim::sim::{SimConfig, Simulation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn chain(seed: u64) -> MarkovChain {
+    let mut rng = StdRng::seed_from_u64(seed);
+    MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng).unwrap()).unwrap()
+}
+
+#[test]
+fn sim_observation_log_equals_direct_strategy_output() {
+    // Running the MEC simulator with a deterministic strategy must produce
+    // exactly the trajectories the strategy emits standalone: the
+    // simulator adds system mechanics, not noise.
+    let c = chain(1);
+    let mut sim_rng = StdRng::seed_from_u64(2);
+    let outcome = Simulation::new(&c, SimConfig::new(60, 1).without_anonymization())
+        .run_planned(&OoStrategy, &mut sim_rng)
+        .unwrap();
+    let mut direct_rng = StdRng::seed_from_u64(3);
+    let direct = OoStrategy
+        .generate(&c, &outcome.user_cells, 1, &mut direct_rng)
+        .unwrap();
+    assert_eq!(outcome.observed[1], direct[0]);
+}
+
+#[test]
+fn anonymization_does_not_change_tracking_accuracy() {
+    // The ML detector is order-invariant and our metrics average over
+    // ties, so the shuffled and unshuffled logs must score identically.
+    let c = chain(4);
+    for seed in 0..10 {
+        let mut rng_a = StdRng::seed_from_u64(100 + seed);
+        let mut rng_b = StdRng::seed_from_u64(100 + seed);
+        let shuffled = Simulation::new(&c, SimConfig::new(40, 3))
+            .run_planned(&ImStrategy, &mut rng_a)
+            .unwrap();
+        let ordered = Simulation::new(&c, SimConfig::new(40, 3).without_anonymization())
+            .run_planned(&ImStrategy, &mut rng_b)
+            .unwrap();
+        let score = |observed: &[mec_location_privacy::markov::Trajectory], user: usize| {
+            let detections = MlDetector.detect_prefixes(&c, observed);
+            time_average(&tracking_accuracy_series(observed, user, &detections))
+        };
+        let a = score(&shuffled.observed, shuffled.user_observed_index);
+        let b = score(&ordered.observed, 0);
+        assert!((a - b).abs() < 1e-12, "seed {seed}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn trace_pipeline_feeds_strategies_end_to_end() {
+    // Synthetic fleet -> Voronoi cells -> empirical model -> chaffs for a
+    // protected user -> detection. Every stage must compose.
+    let dataset = TraceDatasetBuilder::new()
+        .num_nodes(25)
+        .num_towers(200)
+        .horizon_slots(30)
+        .seed(42)
+        .build()
+        .unwrap();
+    let model = dataset.model();
+    let pool = dataset.trajectories();
+    let user = 0;
+    let mut rng = StdRng::seed_from_u64(5);
+    for strategy in [&OoStrategy as &dyn ChaffStrategy, &MoStrategy, &ImStrategy] {
+        let chaffs = strategy.generate(model, &pool[user], 2, &mut rng).unwrap();
+        let mut observed = pool.to_vec();
+        observed.extend(chaffs);
+        let detections = MlDetector.detect_prefixes(model, &observed);
+        let accuracy =
+            time_average(&tracking_accuracy_series(&observed, user, &detections));
+        assert!((0.0..=1.0).contains(&accuracy), "{}", strategy.name());
+    }
+}
+
+#[test]
+fn oo_chaff_from_sim_defeats_basic_but_not_advanced_eavesdropper() {
+    let c = chain(6);
+    let mut basic_total = 0.0;
+    let mut advanced_total = 0.0;
+    let runs = 30;
+    for seed in 0..runs {
+        let mut rng = StdRng::seed_from_u64(200 + seed);
+        let outcome = Simulation::new(&c, SimConfig::new(50, 1))
+            .run_planned(&OoStrategy, &mut rng)
+            .unwrap();
+        let user = outcome.user_observed_index;
+        let basic = MlDetector.detect_prefixes(&c, &outcome.observed);
+        basic_total += time_average(&tracking_accuracy_series(
+            &outcome.observed,
+            user,
+            &basic,
+        ));
+        let detector = AdvancedDetector::new(&OoStrategy);
+        let advanced = detector.detect_prefixes(&c, &outcome.observed).unwrap();
+        advanced_total += time_average(&tracking_accuracy_series(
+            &outcome.observed,
+            user,
+            &advanced,
+        ));
+    }
+    let basic = basic_total / runs as f64;
+    let advanced = advanced_total / runs as f64;
+    assert!(basic < 0.2, "basic eavesdropper should lose: {basic}");
+    assert!(advanced > 0.9, "advanced eavesdropper should win: {advanced}");
+}
+
+#[test]
+fn capacity_constraints_still_produce_usable_observations() {
+    // With tight capacity the chaffs get displaced, but the observation
+    // log stays well-formed and the detector still runs.
+    let c = chain(7);
+    let mut rng = StdRng::seed_from_u64(8);
+    let outcome = Simulation::new(&c, SimConfig::new(30, 4).with_capacity(1))
+        .run_planned(&ImStrategy, &mut rng)
+        .unwrap();
+    assert_eq!(outcome.observed.len(), 5);
+    let detections = MlDetector.detect_prefixes(&c, &outcome.observed);
+    assert_eq!(detections.len(), 30);
+    // Capacity 1 means perfect anti-co-location: accuracy equals
+    // detection accuracy of the user's own trajectory.
+    let tracking = tracking_accuracy_series(
+        &outcome.observed,
+        outcome.user_observed_index,
+        &detections,
+    );
+    let detection: Vec<f64> = detections
+        .iter()
+        .map(|d| d.prob_of(outcome.user_observed_index))
+        .collect();
+    assert_eq!(tracking, detection);
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The root crate must expose every layer under one namespace.
+    use mec_location_privacy::{core, eval, markov, mobility, sim};
+    let _ = markov::CellId::new(0);
+    let _ = core::strategy::StrategyKind::Oo;
+    let _ = mobility::geo::BoundingBox::san_francisco();
+    let _ = sim::cost::CostModel::default();
+    let _ = eval::experiments::SyntheticConfig::quick();
+}

@@ -1,0 +1,175 @@
+//! Integration tests validating the paper's analysis (Sec. V) against
+//! simulation at moderate scale.
+
+use mec_location_privacy::core::detector::MlDetector;
+use mec_location_privacy::core::metrics::{time_average, tracking_accuracy_series};
+use mec_location_privacy::core::strategy::{ChaffStrategy, CmlStrategy, ImStrategy, MoStrategy};
+use mec_location_privacy::core::theory::{
+    im_tracking_accuracy, ml_tracking_accuracy, CmlProductChain, TheoremV4Bound, TheoremV5Bound,
+};
+use mec_location_privacy::markov::{models::ModelKind, MarkovChain};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn model(kind: ModelKind, seed: u64) -> MarkovChain {
+    let mut rng = StdRng::seed_from_u64(seed);
+    MarkovChain::new(kind.build(10, &mut rng).unwrap()).unwrap()
+}
+
+/// Mean accuracy of the random-guess eavesdropper under IM — the quantity
+/// eq. (11) computes exactly.
+fn simulate_im_random_guess(chain: &MarkovChain, n: usize, runs: usize, horizon: usize) -> f64 {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut total = 0.0;
+    for _ in 0..runs {
+        let user = chain.sample_trajectory(horizon, &mut rng);
+        let guess = rng.random_range(0..n);
+        total += if guess == 0 {
+            1.0
+        } else {
+            let chaff = chain.sample_trajectory(horizon, &mut rng);
+            user.coincidences(&chaff) as f64 / horizon as f64
+        };
+    }
+    total / runs as f64
+}
+
+#[test]
+fn equation_11_exact_for_random_guess_detector() {
+    for kind in ModelKind::ALL {
+        let chain = model(kind, 1);
+        for n in [2, 5, 10] {
+            let formula = im_tracking_accuracy(chain.initial(), n);
+            let sim = simulate_im_random_guess(&chain, n, 600, 60);
+            assert!(
+                (formula - sim).abs() < 0.05,
+                "{kind} N={n}: formula {formula} vs sim {sim}"
+            );
+        }
+    }
+}
+
+#[test]
+fn equation_12_exact_for_ml_strategy() {
+    for kind in ModelKind::ALL {
+        let chain = model(kind, 2);
+        let horizon = 60;
+        let formula = ml_tracking_accuracy(&chain, horizon).unwrap();
+        // Simulate: the chaff follows the fixed ML trajectory; accuracy is
+        // the co-location rate (the detector always picks the chaff or
+        // ties with an identical-likelihood user prefix; over long runs
+        // the difference is the tie correction, which vanishes).
+        let mut rng = StdRng::seed_from_u64(3);
+        let strategy = mec_location_privacy::core::strategy::MlStrategy;
+        let mut total = 0.0;
+        let runs = 400;
+        for _ in 0..runs {
+            let user = chain.sample_trajectory(horizon, &mut rng);
+            let chaff = &strategy.generate(&chain, &user, 1, &mut rng).unwrap()[0];
+            total += user.coincidences(chaff) as f64 / horizon as f64;
+        }
+        let sim = total / runs as f64;
+        assert!(
+            (formula - sim).abs() < 0.05,
+            "{kind}: formula {formula} vs sim {sim}"
+        );
+    }
+}
+
+#[test]
+fn theorem_v4_bound_dominates_simulated_cml_accuracy() {
+    // Where the hypothesis holds, the bound must upper-bound the simulated
+    // CML tracking accuracy at matching horizons (it is loose, so this is
+    // a weak but genuine check of the inequality's direction).
+    let chain = model(ModelKind::NonSkewed, 4);
+    let bound = TheoremV4Bound::compute(&chain, 0.01, 10_000).unwrap();
+    assert!(bound.hypothesis_holds());
+    let mut rng = StdRng::seed_from_u64(5);
+    for horizon in [50usize, 100] {
+        let mut total = 0.0;
+        let runs = 100;
+        for _ in 0..runs {
+            let user = chain.sample_trajectory(horizon, &mut rng);
+            let chaff = CmlStrategy.generate(&chain, &user, 1, &mut rng).unwrap();
+            let mut observed = vec![user];
+            observed.extend(chaff);
+            let detections = MlDetector.detect_prefixes(&chain, &observed);
+            total += time_average(&tracking_accuracy_series(&observed, 0, &detections));
+        }
+        let sim = total / runs as f64;
+        let b = bound.evaluate(horizon).unwrap_or(1.0);
+        assert!(sim <= b + 0.05, "horizon {horizon}: sim {sim} > bound {b}");
+    }
+}
+
+#[test]
+fn product_chain_drift_predicts_entropy_ordering() {
+    // The information-theoretic reading of Theorem V.4: E[ct] =
+    // H(chaff) - H(user). The user's entropy rate must exceed the CML
+    // chaff's expected step log-loss for the drift to be negative.
+    use mec_location_privacy::markov::entropy::entropy_rate;
+    let chain = model(ModelKind::NonSkewed, 6);
+    let product = CmlProductChain::build(&chain).unwrap();
+    let user_entropy = entropy_rate(chain.matrix(), chain.initial());
+    // E[user step loglik] = -H(user); E[ct] = E[user] - E[chaff steps].
+    let chaff_step_loglik = -user_entropy - product.expected_ct();
+    assert!(
+        chaff_step_loglik > -user_entropy,
+        "the chaff must be more predictable than the user: chaff {chaff_step_loglik} vs user {}",
+        -user_entropy
+    );
+    assert!(product.expected_ct() < 0.0);
+}
+
+#[test]
+fn theorem_v5_bound_dominates_simulated_mo_accuracy() {
+    let chain = model(ModelKind::NonSkewed, 7);
+    let mut rng = StdRng::seed_from_u64(8);
+    let bound = TheoremV5Bound::estimate(&chain, 0.01, 40, 150, &mut rng).unwrap();
+    if bound.mu_prime <= 0.0 {
+        return; // hypothesis fails for this draw; nothing to check
+    }
+    // Simulated per-slot accuracy at a horizon where the bound applies.
+    let horizon = 400;
+    let Some(b) = bound.per_slot(horizon) else {
+        return;
+    };
+    let mut total = 0.0;
+    let runs = 60;
+    for _ in 0..runs {
+        let user = chain.sample_trajectory(horizon, &mut rng);
+        let chaff = MoStrategy.generate(&chain, &user, 1, &mut rng).unwrap();
+        let mut observed = vec![user];
+        observed.extend(chaff);
+        let detections = MlDetector.detect_prefixes(&chain, &observed);
+        let series = tracking_accuracy_series(&observed, 0, &detections);
+        total += series[horizon - 1];
+    }
+    let sim = total / runs as f64;
+    assert!(sim <= b + 0.05, "sim {sim} > bound {b}");
+}
+
+#[test]
+fn im_with_many_chaffs_approaches_collision_floor() {
+    // Lemma V.1 remark: IM accuracy floors at the collision probability,
+    // never zero.
+    let chain = model(ModelKind::SpatiallySkewed, 9);
+    let floor = chain.initial().collision_probability();
+    let mut rng = StdRng::seed_from_u64(10);
+    let mut total = 0.0;
+    let runs = 60;
+    for _ in 0..runs {
+        let user = chain.sample_trajectory(60, &mut rng);
+        let chaffs = ImStrategy.generate(&chain, &user, 29, &mut rng).unwrap();
+        let mut observed = vec![user];
+        observed.extend(chaffs);
+        let detections = MlDetector.detect_prefixes(&chain, &observed);
+        total += time_average(&tracking_accuracy_series(&observed, 0, &detections));
+    }
+    let sim = total / runs as f64;
+    assert!(
+        sim >= floor * 0.8,
+        "IM cannot go below its floor: sim {sim}, floor {floor}"
+    );
+}
