@@ -8,7 +8,9 @@
 //! trellis shortest path.
 
 use chaff_bench::{fixture_chain, fixture_user};
-use chaff_core::strategy::{ChaffStrategy, CmlStrategy, MlStrategy, MoStrategy, OoStrategy, RolloutStrategy};
+use chaff_core::strategy::{
+    ChaffStrategy, CmlStrategy, MlStrategy, MoStrategy, OoStrategy, RolloutStrategy,
+};
 use chaff_core::trellis;
 use chaff_markov::models::ModelKind;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -26,19 +28,35 @@ fn bench_strategies_vs_horizon(c: &mut Criterion) {
         let user = fixture_user(&chain, horizon, 2);
         group.bench_with_input(BenchmarkId::new("ML", horizon), &horizon, |b, _| {
             let mut rng = StdRng::seed_from_u64(3);
-            b.iter(|| MlStrategy.generate(&chain, black_box(&user), 1, &mut rng).unwrap())
+            b.iter(|| {
+                MlStrategy
+                    .generate(&chain, black_box(&user), 1, &mut rng)
+                    .unwrap()
+            })
         });
         group.bench_with_input(BenchmarkId::new("OO", horizon), &horizon, |b, _| {
             let mut rng = StdRng::seed_from_u64(3);
-            b.iter(|| OoStrategy.generate(&chain, black_box(&user), 1, &mut rng).unwrap())
+            b.iter(|| {
+                OoStrategy
+                    .generate(&chain, black_box(&user), 1, &mut rng)
+                    .unwrap()
+            })
         });
         group.bench_with_input(BenchmarkId::new("MO", horizon), &horizon, |b, _| {
             let mut rng = StdRng::seed_from_u64(3);
-            b.iter(|| MoStrategy.generate(&chain, black_box(&user), 1, &mut rng).unwrap())
+            b.iter(|| {
+                MoStrategy
+                    .generate(&chain, black_box(&user), 1, &mut rng)
+                    .unwrap()
+            })
         });
         group.bench_with_input(BenchmarkId::new("CML", horizon), &horizon, |b, _| {
             let mut rng = StdRng::seed_from_u64(3);
-            b.iter(|| CmlStrategy.generate(&chain, black_box(&user), 1, &mut rng).unwrap())
+            b.iter(|| {
+                CmlStrategy
+                    .generate(&chain, black_box(&user), 1, &mut rng)
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -52,11 +70,19 @@ fn bench_strategies_vs_cells(c: &mut Criterion) {
         let user = fixture_user(&chain, 50, 5);
         group.bench_with_input(BenchmarkId::new("OO", cells), &cells, |b, _| {
             let mut rng = StdRng::seed_from_u64(6);
-            b.iter(|| OoStrategy.generate(&chain, black_box(&user), 1, &mut rng).unwrap())
+            b.iter(|| {
+                OoStrategy
+                    .generate(&chain, black_box(&user), 1, &mut rng)
+                    .unwrap()
+            })
         });
         group.bench_with_input(BenchmarkId::new("ML", cells), &cells, |b, _| {
             let mut rng = StdRng::seed_from_u64(6);
-            b.iter(|| MlStrategy.generate(&chain, black_box(&user), 1, &mut rng).unwrap())
+            b.iter(|| {
+                MlStrategy
+                    .generate(&chain, black_box(&user), 1, &mut rng)
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -72,11 +98,19 @@ fn bench_dense_vs_sparse(c: &mut Criterion) {
     let user_sparse = fixture_user(&sparse, 80, 8);
     group.bench_function("dense_rows", |b| {
         let mut rng = StdRng::seed_from_u64(9);
-        b.iter(|| OoStrategy.generate(&dense, black_box(&user_dense), 1, &mut rng).unwrap())
+        b.iter(|| {
+            OoStrategy
+                .generate(&dense, black_box(&user_dense), 1, &mut rng)
+                .unwrap()
+        })
     });
     group.bench_function("sparse_rows", |b| {
         let mut rng = StdRng::seed_from_u64(9);
-        b.iter(|| OoStrategy.generate(&sparse, black_box(&user_sparse), 1, &mut rng).unwrap())
+        b.iter(|| {
+            OoStrategy
+                .generate(&sparse, black_box(&user_sparse), 1, &mut rng)
+                .unwrap()
+        })
     });
     group.finish();
 }
@@ -86,13 +120,13 @@ fn bench_trellis_solvers(c: &mut Criterion) {
     let chain = fixture_chain(ModelKind::NonSkewed, 25, 10);
     let mut group = c.benchmark_group("trellis_solver");
     for horizon in [50usize, 200] {
-        group.bench_with_input(BenchmarkId::new("layered_dp", horizon), &horizon, |b, &h| {
-            b.iter(|| trellis::most_likely_trajectory(&chain, black_box(h), None).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("layered_dp", horizon),
+            &horizon,
+            |b, &h| b.iter(|| trellis::most_likely_trajectory(&chain, black_box(h), None).unwrap()),
+        );
         group.bench_with_input(BenchmarkId::new("dijkstra", horizon), &horizon, |b, &h| {
-            b.iter(|| {
-                trellis::most_likely_trajectory_dijkstra(&chain, black_box(h), None).unwrap()
-            })
+            b.iter(|| trellis::most_likely_trajectory_dijkstra(&chain, black_box(h), None).unwrap())
         });
     }
     group.finish();
@@ -105,18 +139,22 @@ fn bench_rollout_vs_mo(c: &mut Criterion) {
     let mut group = c.benchmark_group("rollout_vs_mo");
     group.bench_function("MO", |b| {
         let mut rng = StdRng::seed_from_u64(13);
-        b.iter(|| MoStrategy.generate(&chain, black_box(&user), 1, &mut rng).unwrap())
+        b.iter(|| {
+            MoStrategy
+                .generate(&chain, black_box(&user), 1, &mut rng)
+                .unwrap()
+        })
     });
     for samples in [4usize, 16] {
-        group.bench_with_input(
-            BenchmarkId::new("rollout", samples),
-            &samples,
-            |b, &s| {
-                let strategy = RolloutStrategy { samples: s };
-                let mut rng = StdRng::seed_from_u64(13);
-                b.iter(|| strategy.generate(&chain, black_box(&user), 1, &mut rng).unwrap())
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("rollout", samples), &samples, |b, &s| {
+            let strategy = RolloutStrategy { samples: s };
+            let mut rng = StdRng::seed_from_u64(13);
+            b.iter(|| {
+                strategy
+                    .generate(&chain, black_box(&user), 1, &mut rng)
+                    .unwrap()
+            })
+        });
     }
     group.finish();
 }

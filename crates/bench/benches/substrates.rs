@@ -2,8 +2,8 @@
 //! geometric hot loops.
 
 use chaff_bench::fixture_chain;
-use chaff_markov::{mixing, stationary};
 use chaff_markov::models::ModelKind;
+use chaff_markov::{mixing, stationary};
 use chaff_mobility::geo::BoundingBox;
 use chaff_mobility::towers;
 use chaff_mobility::voronoi::CellMap;
@@ -23,11 +23,9 @@ fn bench_stationary_solvers(c: &mut Criterion) {
             |b, _| b.iter(|| stationary::stationary(black_box(chain.matrix())).unwrap()),
         );
         if cells <= 50 {
-            group.bench_with_input(
-                BenchmarkId::new("direct_solve", cells),
-                &cells,
-                |b, _| b.iter(|| stationary::direct_solve(black_box(chain.matrix())).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new("direct_solve", cells), &cells, |b, _| {
+                b.iter(|| stationary::direct_solve(black_box(chain.matrix())).unwrap())
+            });
         }
     }
     group.finish();
@@ -37,13 +35,7 @@ fn bench_mixing_time(c: &mut Criterion) {
     let chain = fixture_chain(ModelKind::NonSkewed, 10, 32);
     c.bench_function("mixing_time_eps_1e-2", |b| {
         b.iter(|| {
-            mixing::mixing_time(
-                black_box(chain.matrix()),
-                chain.initial(),
-                0.01,
-                10_000,
-            )
-            .unwrap()
+            mixing::mixing_time(black_box(chain.matrix()), chain.initial(), 0.01, 10_000).unwrap()
         })
     });
 }

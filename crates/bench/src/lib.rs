@@ -24,11 +24,7 @@ pub fn fixture_chain(kind: ModelKind, cells: usize, seed: u64) -> MarkovChain {
 }
 
 /// A deterministic user trajectory fixture.
-pub fn fixture_user(
-    chain: &MarkovChain,
-    horizon: usize,
-    seed: u64,
-) -> chaff_markov::Trajectory {
+pub fn fixture_user(chain: &MarkovChain, horizon: usize, seed: u64) -> chaff_markov::Trajectory {
     let mut rng = StdRng::seed_from_u64(seed);
     chain.sample_trajectory(horizon, &mut rng)
 }

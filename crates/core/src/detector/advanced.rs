@@ -1,3 +1,6 @@
+//! The strategy-aware advanced eavesdropper (Sec. VI-A): recognizes and
+//! discards trajectories the user's chaff strategy would have produced.
+
 use super::{ml::full_log_likelihoods, Detection, MlDetector};
 use crate::strategy::ChaffStrategy;
 use crate::Result;
@@ -56,11 +59,7 @@ impl<'a> AdvancedDetector<'a> {
     /// The indices of observed trajectories that survive the strategy
     /// filter. Empty result means everything was filtered (the caller
     /// falls back to a random guess over all indices).
-    pub fn surviving_candidates(
-        &self,
-        chain: &MarkovChain,
-        observed: &[Trajectory],
-    ) -> Vec<usize> {
+    pub fn surviving_candidates(&self, chain: &MarkovChain, observed: &[Trajectory]) -> Vec<usize> {
         let maps: Vec<Option<Trajectory>> = observed
             .iter()
             .map(|x| self.strategy.deterministic_map(chain, x))
@@ -79,10 +78,7 @@ impl<'a> AdvancedDetector<'a> {
     /// # Panics
     ///
     /// Panics if `maps` and `observed` have different lengths.
-    pub fn surviving_from_maps(
-        observed: &[Trajectory],
-        maps: &[Option<Trajectory>],
-    ) -> Vec<usize> {
+    pub fn surviving_from_maps(observed: &[Trajectory], maps: &[Option<Trajectory>]) -> Vec<usize> {
         assert_eq!(observed.len(), maps.len(), "one map per observation");
         let n = observed.len();
         let mut ignored = vec![false; n];
@@ -110,7 +106,10 @@ impl<'a> AdvancedDetector<'a> {
             // Everything filtered: uniform random guess over all.
             return Ok(Detection::new((0..observed.len()).collect()));
         }
-        Ok(Detection::new(super::argmax_set(&scores, Some(&candidates))))
+        Ok(Detection::new(super::argmax_set(
+            &scores,
+            Some(&candidates),
+        )))
     }
 
     /// Detects once per slot over trajectory prefixes, with the strategy
@@ -157,8 +156,7 @@ mod tests {
 
     fn setup(seed: u64) -> (MarkovChain, Trajectory) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let chain =
-            MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng).unwrap()).unwrap();
+        let chain = MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng).unwrap()).unwrap();
         let user = chain.sample_trajectory(40, &mut rng);
         (chain, user)
     }

@@ -1,3 +1,6 @@
+//! The basic maximum-likelihood eavesdropper (eq. 1), full-trajectory
+//! and per-prefix variants.
+
 use super::{argmax_set, Detection};
 use crate::{CoreError, Result};
 use chaff_markov::{MarkovChain, Trajectory};
@@ -51,11 +54,7 @@ impl MlDetector {
     /// # Errors
     ///
     /// Same conditions as [`detect`](MlDetector::detect).
-    pub fn detect_prefixes(
-        &self,
-        chain: &MarkovChain,
-        observed: &[Trajectory],
-    ) -> Vec<Detection> {
+    pub fn detect_prefixes(&self, chain: &MarkovChain, observed: &[Trajectory]) -> Vec<Detection> {
         self.detect_prefixes_among(chain, observed, None)
     }
 

@@ -40,7 +40,10 @@ impl Detection {
     ///
     /// Panics if `tie_set` is empty — a detector must always guess.
     pub fn new(tie_set: Vec<usize>) -> Self {
-        assert!(!tie_set.is_empty(), "a detection must name at least one index");
+        assert!(
+            !tie_set.is_empty(),
+            "a detection must name at least one index"
+        );
         Detection { tie_set }
     }
 

@@ -1,3 +1,5 @@
+//! Error type shared by detectors, strategies and theory evaluators.
+
 use std::error::Error;
 use std::fmt;
 
@@ -35,7 +37,10 @@ impl fmt::Display for CoreError {
             CoreError::EmptyTrajectory => write!(f, "user trajectory is empty"),
             CoreError::NoTrajectories => write!(f, "no observed trajectories"),
             CoreError::LengthMismatch { expected, found } => {
-                write!(f, "trajectory length {found} differs from expected {expected}")
+                write!(
+                    f,
+                    "trajectory length {found} differs from expected {expected}"
+                )
             }
             CoreError::CellOutOfRange { cell, states } => {
                 write!(f, "cell {cell} out of range for {states} states")

@@ -6,7 +6,7 @@
 //! can hold even when `û` names a chaff that happens to co-locate. The
 //! *detection accuracy* is the stricter event `û = 1`.
 //!
-//! Ties are handled in expectation: a [`Detection`](crate::detector::Detection)
+//! Ties are handled in expectation: a [`Detection`]
 //! carries its whole argmax set, and each metric averages over it — equal
 //! to the paper's "random guess among ties" without Monte Carlo noise.
 

@@ -1,3 +1,5 @@
+//! The constrained maximum-likelihood (CML) chaff strategy (Sec. V-C1).
+
 use super::{replay_controller, validate_user, ChaffStrategy, OnlineChaffController};
 use crate::Result;
 use chaff_markov::{CellId, MarkovChain, Trajectory};
@@ -162,8 +164,7 @@ mod tests {
     #[test]
     fn chaff_moves_are_greedy_argmax() {
         let mut rng = StdRng::seed_from_u64(32);
-        let chain =
-            MarkovChain::new(ModelKind::NonSkewed.build(8, &mut rng).unwrap()).unwrap();
+        let chain = MarkovChain::new(ModelKind::NonSkewed.build(8, &mut rng).unwrap()).unwrap();
         let user = chain.sample_trajectory(30, &mut rng);
         let chaff = &CmlStrategy.generate(&chain, &user, 1, &mut rng).unwrap()[0];
         for t in 1..30 {

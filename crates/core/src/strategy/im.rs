@@ -1,3 +1,5 @@
+//! The impersonating (IM) chaff strategy (Sec. IV-A).
+
 use super::{validate_user, ChaffStrategy, OnlineChaffController};
 use crate::Result;
 use chaff_markov::{CellId, MarkovChain, Trajectory};

@@ -1,3 +1,5 @@
+//! The maximum-likelihood (ML) chaff strategy (Sec. IV-B).
+
 use super::{validate_user, ChaffStrategy};
 use crate::trellis;
 use crate::Result;
@@ -74,8 +76,7 @@ mod tests {
     #[test]
     fn detector_never_uniquely_picks_the_user() {
         let mut rng = StdRng::seed_from_u64(22);
-        let chain =
-            MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng).unwrap()).unwrap();
+        let chain = MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng).unwrap()).unwrap();
         for _ in 0..50 {
             let user = chain.sample_trajectory(30, &mut rng);
             let chaff = MlStrategy.generate(&chain, &user, 1, &mut rng).unwrap();
@@ -101,8 +102,7 @@ mod tests {
     #[test]
     fn duplicates_fill_the_chaff_budget() {
         let mut rng = StdRng::seed_from_u64(24);
-        let chain =
-            MarkovChain::new(ModelKind::NonSkewed.build(5, &mut rng).unwrap()).unwrap();
+        let chain = MarkovChain::new(ModelKind::NonSkewed.build(5, &mut rng).unwrap()).unwrap();
         let user = chain.sample_trajectory(10, &mut rng);
         let chaffs = MlStrategy.generate(&chain, &user, 4, &mut rng).unwrap();
         assert_eq!(chaffs.len(), 4);

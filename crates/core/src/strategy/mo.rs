@@ -1,3 +1,5 @@
+//! The myopic online (MO) chaff strategy — Algorithm 2 (Sec. IV-D).
+
 use super::{replay_controller, validate_user, ChaffStrategy, OnlineChaffController};
 use crate::{loglik_cmp, Result};
 use chaff_markov::{CellId, MarkovChain, Trajectory};
@@ -239,8 +241,7 @@ mod tests {
     fn follows_algorithm_2_case_one() {
         // Whenever x(1) differs from the user's cell, MO must take it.
         let mut rng = StdRng::seed_from_u64(51);
-        let chain =
-            MarkovChain::new(ModelKind::NonSkewed.build(8, &mut rng).unwrap()).unwrap();
+        let chain = MarkovChain::new(ModelKind::NonSkewed.build(8, &mut rng).unwrap()).unwrap();
         let user = chain.sample_trajectory(40, &mut rng);
         let chaff = &MoStrategy.generate(&chain, &user, 1, &mut rng).unwrap()[0];
         for t in 1..40 {
@@ -276,7 +277,10 @@ mod tests {
         // almost every slot, so its cumulative likelihood should not fall
         // behind the user's by the end of the horizon.
         let mut rng = StdRng::seed_from_u64(53);
-        for kind in [ModelKind::TemporallySkewed, ModelKind::SpatioTemporallySkewed] {
+        for kind in [
+            ModelKind::TemporallySkewed,
+            ModelKind::SpatioTemporallySkewed,
+        ] {
             let chain = MarkovChain::new(kind.build(10, &mut rng).unwrap()).unwrap();
             let mut wins = 0;
             let runs = 30;
@@ -303,7 +307,9 @@ mod tests {
         .unwrap();
         let chain = MarkovChain::new(m).unwrap();
         let user = Trajectory::from_indices([0, 0, 0, 0]);
-        let chaff = &MoStrategy.generate(&chain, &user, 1, &mut rand::rng()).unwrap()[0];
+        let chaff = &MoStrategy
+            .generate(&chain, &user, 1, &mut rand::rng())
+            .unwrap()[0];
         assert_eq!(user.coincidences(chaff), 0, "chaff = {chaff}");
     }
 
@@ -319,7 +325,9 @@ mod tests {
         .unwrap();
         let chain = MarkovChain::new(m).unwrap();
         let user = Trajectory::from_indices([0, 0, 0, 0, 0, 0]);
-        let chaff = &MoStrategy.generate(&chain, &user, 1, &mut rand::rng()).unwrap()[0];
+        let chaff = &MoStrategy
+            .generate(&chain, &user, 1, &mut rand::rng())
+            .unwrap()[0];
         // After at most one dodge the gap is too big; most slots co-locate.
         assert!(user.coincidences(chaff) >= 4, "chaff = {chaff}");
     }
@@ -327,8 +335,7 @@ mod tests {
     #[test]
     fn deterministic_map_matches_generate() {
         let mut rng = StdRng::seed_from_u64(54);
-        let chain =
-            MarkovChain::new(ModelKind::NonSkewed.build(7, &mut rng).unwrap()).unwrap();
+        let chain = MarkovChain::new(ModelKind::NonSkewed.build(7, &mut rng).unwrap()).unwrap();
         let user = chain.sample_trajectory(20, &mut rng);
         let map = MoStrategy.deterministic_map(&chain, &user).unwrap();
         let gen = MoStrategy.generate(&chain, &user, 1, &mut rng).unwrap();
@@ -338,8 +345,7 @@ mod tests {
     #[test]
     fn avoid_list_is_honored_when_possible() {
         let mut rng = StdRng::seed_from_u64(55);
-        let chain =
-            MarkovChain::new(ModelKind::NonSkewed.build(8, &mut rng).unwrap()).unwrap();
+        let chain = MarkovChain::new(ModelKind::NonSkewed.build(8, &mut rng).unwrap()).unwrap();
         let mut plain = MoController::new(&chain);
         let mut avoiding = MoController::new(&chain);
         let user = CellId::new(0);

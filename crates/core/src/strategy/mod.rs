@@ -29,8 +29,8 @@ mod oo;
 mod robust;
 mod rollout;
 
-pub use cml::{CmlController, CmlStrategy};
 pub(crate) use cml::pick_constrained_argmax;
+pub use cml::{CmlController, CmlStrategy};
 pub use im::{ImController, ImStrategy};
 pub use ml::MlStrategy;
 pub use mo::{MoController, MoStrategy};
@@ -251,8 +251,7 @@ mod tests {
     #[test]
     fn all_strategies_generate_valid_trajectories() {
         let mut rng = StdRng::seed_from_u64(3);
-        let chain =
-            MarkovChain::new(ModelKind::NonSkewed.build(6, &mut rng).unwrap()).unwrap();
+        let chain = MarkovChain::new(ModelKind::NonSkewed.build(6, &mut rng).unwrap()).unwrap();
         let user = chain.sample_trajectory(20, &mut rng);
         for kind in StrategyKind::ALL {
             let strategy = kind.build();
@@ -270,8 +269,7 @@ mod tests {
     #[test]
     fn deterministic_strategies_expose_their_map() {
         let mut rng = StdRng::seed_from_u64(5);
-        let chain =
-            MarkovChain::new(ModelKind::NonSkewed.build(6, &mut rng).unwrap()).unwrap();
+        let chain = MarkovChain::new(ModelKind::NonSkewed.build(6, &mut rng).unwrap()).unwrap();
         let user = chain.sample_trajectory(15, &mut rng);
         for kind in StrategyKind::ALL {
             let strategy = kind.build();
@@ -292,8 +290,7 @@ mod tests {
     #[test]
     fn validate_user_rejects_bad_input() {
         let mut rng = StdRng::seed_from_u64(1);
-        let chain =
-            MarkovChain::new(ModelKind::NonSkewed.build(4, &mut rng).unwrap()).unwrap();
+        let chain = MarkovChain::new(ModelKind::NonSkewed.build(4, &mut rng).unwrap()).unwrap();
         assert!(validate_user(&chain, &Trajectory::new()).is_err());
         assert!(validate_user(&chain, &Trajectory::from_indices([9])).is_err());
         assert!(validate_user(&chain, &Trajectory::from_indices([0, 3])).is_ok());

@@ -1,3 +1,5 @@
+//! The optimal offline (OO) chaff strategy — Algorithm 1 (Sec. IV-C).
+
 use super::{validate_user, ChaffStrategy};
 use crate::trellis::AvoidSet;
 use crate::{loglik_cmp, CoreError, Result};
@@ -257,7 +259,10 @@ mod tests {
         if let Some(c) = strict {
             return (c, true);
         }
-        let best_ll = all.iter().map(|(_, ll)| *ll).fold(f64::NEG_INFINITY, f64::max);
+        let best_ll = all
+            .iter()
+            .map(|(_, ll)| *ll)
+            .fold(f64::NEG_INFINITY, f64::max);
         let tie: usize = all
             .iter()
             .filter(|(_, ll)| loglik_cmp(*ll, best_ll) == Ordering::Equal)
@@ -271,8 +276,7 @@ mod tests {
     fn matches_brute_force_on_small_instances() {
         let mut rng = StdRng::seed_from_u64(41);
         for trial in 0..30 {
-            let chain =
-                MarkovChain::new(ModelKind::NonSkewed.build(4, &mut rng).unwrap()).unwrap();
+            let chain = MarkovChain::new(ModelKind::NonSkewed.build(4, &mut rng).unwrap()).unwrap();
             let user = chain.sample_trajectory(5, &mut rng);
             let chaff = optimal_offline_trajectory(&chain, &user, None).unwrap();
             let (oracle_coincidences, strict) = brute_force_oo(&chain, &user);
@@ -311,8 +315,7 @@ mod tests {
         // For the high-entropy model (a) the OO chaff should co-locate in
         // almost no slot (Fig. 5a shows accuracy near zero).
         let mut rng = StdRng::seed_from_u64(43);
-        let chain =
-            MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng).unwrap()).unwrap();
+        let chain = MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng).unwrap()).unwrap();
         let mut total = 0usize;
         for _ in 0..20 {
             let user = chain.sample_trajectory(100, &mut rng);
@@ -346,8 +349,7 @@ mod tests {
     #[test]
     fn avoid_set_is_respected() {
         let mut rng = StdRng::seed_from_u64(44);
-        let chain =
-            MarkovChain::new(ModelKind::NonSkewed.build(6, &mut rng).unwrap()).unwrap();
+        let chain = MarkovChain::new(ModelKind::NonSkewed.build(6, &mut rng).unwrap()).unwrap();
         let user = chain.sample_trajectory(12, &mut rng);
         let base = optimal_offline_trajectory(&chain, &user, None).unwrap();
         let mut avoid = AvoidSet::new(12, 6);
@@ -359,8 +361,7 @@ mod tests {
     #[test]
     fn fully_blocked_instance_errors() {
         let mut rng = StdRng::seed_from_u64(45);
-        let chain =
-            MarkovChain::new(ModelKind::NonSkewed.build(3, &mut rng).unwrap()).unwrap();
+        let chain = MarkovChain::new(ModelKind::NonSkewed.build(3, &mut rng).unwrap()).unwrap();
         let user = chain.sample_trajectory(4, &mut rng);
         let mut avoid = AvoidSet::new(4, 3);
         for x in 0..3 {
@@ -383,8 +384,7 @@ mod tests {
         // With one slot, the chaff either beats the user's initial mass
         // from a different cell or ties it.
         assert!(
-            loglik_cmp(chain.log_likelihood(&chaff), chain.log_likelihood(&user))
-                != Ordering::Less
+            loglik_cmp(chain.log_likelihood(&chaff), chain.log_likelihood(&user)) != Ordering::Less
         );
     }
 }

@@ -1,3 +1,6 @@
+//! Randomized robust strategies (RML/ROO/RMO, Sec. VI-B): avoid-set
+//! perturbations that survive a strategy-aware eavesdropper.
+
 use super::{validate_user, ChaffStrategy, MoController};
 use crate::strategy::oo::optimal_offline_trajectory;
 use crate::trellis::{most_likely_trajectory, AvoidSet};
@@ -175,8 +178,9 @@ impl ChaffStrategy for RmoStrategy {
         let mut base_controller = MoController::new(chain);
         let mut controllers: Vec<MoController<'_>> =
             (0..num_chaffs).map(|_| MoController::new(chain)).collect();
-        let mut chaffs: Vec<Trajectory> =
-            (0..num_chaffs).map(|_| Trajectory::with_capacity(horizon)).collect();
+        let mut chaffs: Vec<Trajectory> = (0..num_chaffs)
+            .map(|_| Trajectory::with_capacity(horizon))
+            .collect();
         for t in 0..horizon {
             let user_now = user.cell(t);
             let base_cell = base_controller.decide(user_now, &[]);
@@ -259,7 +263,9 @@ mod tests {
         let c = chain(65);
         let mut rng = StdRng::seed_from_u64(66);
         let user = c.sample_trajectory(60, &mut rng);
-        let oo = &super::super::OoStrategy.generate(&c, &user, 1, &mut rng).unwrap()[0];
+        let oo = &super::super::OoStrategy
+            .generate(&c, &user, 1, &mut rng)
+            .unwrap()[0];
         let roo = &RooStrategy.generate(&c, &user, 3, &mut rng).unwrap()[0];
         // The perturbed objective cannot beat the unconstrained optimum...
         assert!(user.coincidences(roo) + 2 >= user.coincidences(oo));

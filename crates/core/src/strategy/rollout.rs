@@ -1,3 +1,6 @@
+//! Sampling-based rollout strategy (extension): one-step lookahead over
+//! sampled user futures.
+
 use super::{validate_user, ChaffStrategy};
 use crate::{loglik_cmp, Result};
 use chaff_markov::{CellId, MarkovChain, Trajectory};
@@ -181,8 +184,7 @@ mod tests {
     #[test]
     fn rollout_produces_valid_trajectories() {
         let mut rng = StdRng::seed_from_u64(81);
-        let chain =
-            MarkovChain::new(ModelKind::NonSkewed.build(8, &mut rng).unwrap()).unwrap();
+        let chain = MarkovChain::new(ModelKind::NonSkewed.build(8, &mut rng).unwrap()).unwrap();
         let user = chain.sample_trajectory(25, &mut rng);
         let chaffs = RolloutStrategy::default()
             .generate(&chain, &user, 2, &mut rng)
@@ -198,8 +200,7 @@ mod tests {
         // On the non-skewed model, the rollout chaff should win or tie the
         // likelihood race most of the time, like MO does.
         let mut rng = StdRng::seed_from_u64(82);
-        let chain =
-            MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng).unwrap()).unwrap();
+        let chain = MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng).unwrap()).unwrap();
         let strategy = RolloutStrategy { samples: 8 };
         let mut low_coincidence_runs = 0;
         for _ in 0..10 {

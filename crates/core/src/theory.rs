@@ -144,8 +144,7 @@ impl CmlProductChain {
                 let y = x1 * l + x2;
                 let mut g_acc = 0.0;
                 for (x1_next, p) in chain.matrix().successors(CellId::new(x1)) {
-                    let x2_next =
-                        pick_constrained_argmax(chain, CellId::new(x2), x1_next, &[]);
+                    let x2_next = pick_constrained_argmax(chain, CellId::new(x2), x1_next, &[]);
                     let y_next = x1_next.index() * l + x2_next.index();
                     rows[y][y_next] += p;
                     // c_t for this transition: log P(user) - log P(chaff).
@@ -238,17 +237,15 @@ impl TheoremV4Bound {
     /// Propagates product-chain construction errors; returns
     /// [`CoreError::Markov`] with a no-convergence error when the product
     /// chain fails to mix within `max_mixing_steps`.
-    pub fn compute(
-        chain: &MarkovChain,
-        epsilon: f64,
-        max_mixing_steps: usize,
-    ) -> Result<Self> {
+    pub fn compute(chain: &MarkovChain, epsilon: f64, max_mixing_steps: usize) -> Result<Self> {
         let product = CmlProductChain::build(chain)?;
         let w = product
             .mixing_time(epsilon, max_mixing_steps)
-            .ok_or(CoreError::Markov(chaff_markov::MarkovError::NoConvergence {
-                iterations: max_mixing_steps,
-            }))?
+            .ok_or(CoreError::Markov(
+                chaff_markov::MarkovError::NoConvergence {
+                    iterations: max_mixing_steps,
+                },
+            ))?
             + 1;
         Ok(TheoremV4Bound {
             mu: -product.expected_ct(),
@@ -264,9 +261,7 @@ impl TheoremV4Bound {
         if horizon <= self.w {
             return None;
         }
-        let d = self.mu
-            - self.epsilon * self.delta
-            - self.constants.c0 / (horizon - self.w) as f64;
+        let d = self.mu - self.epsilon * self.delta - self.constants.c0 / (horizon - self.w) as f64;
         d.is_finite().then_some(d)
     }
 
@@ -349,7 +344,11 @@ impl TheoremV5Bound {
                 }
             }
         }
-        let mu_prime = if count > 0 { -(sum / count as f64) } else { 0.0 };
+        let mu_prime = if count > 0 {
+            -(sum / count as f64)
+        } else {
+            0.0
+        };
         let constants = LikelihoodConstants::from_chain(chain);
         let delta_prime = 2.0 * constants.cmin.abs().max(constants.cmax.abs());
         let w_prime = CmlProductChain::build(chain)?
@@ -569,7 +568,10 @@ mod tests {
         let chain = model(ModelKind::NonSkewed, 17);
         let mut rng = StdRng::seed_from_u64(18);
         let bound = TheoremV5Bound::estimate(&chain, 0.01, 30, 200, &mut rng).unwrap();
-        assert!(bound.mu_prime > 0.0, "MO should be more predictable than a random user");
+        assert!(
+            bound.mu_prime > 0.0,
+            "MO should be more predictable than a random user"
+        );
         // Per-slot bound decays.
         let early = bound.per_slot(bound.w_prime + 50);
         let late = bound.per_slot(bound.w_prime + 2_000);

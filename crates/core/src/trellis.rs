@@ -171,7 +171,11 @@ pub fn most_likely_trajectory(
     let mut cursor = best_cell as u32;
     for t in (1..horizon).rev() {
         cursor = prev[t][cursor as usize];
-        debug_assert_ne!(cursor, u32::MAX, "finite-cost vertex must have a predecessor");
+        debug_assert_ne!(
+            cursor,
+            u32::MAX,
+            "finite-cost vertex must have a predecessor"
+        );
         cells.push(CellId::new(cursor as usize));
     }
     cells.reverse();
@@ -384,10 +388,7 @@ mod tests {
             for horizon in [1, 2, 5, 20] {
                 let dp = most_likely_trajectory(&chain, horizon, None).unwrap();
                 let dj = most_likely_trajectory_dijkstra(&chain, horizon, None).unwrap();
-                assert!(
-                    (dp.cost - dj.cost).abs() < 1e-9,
-                    "{kind} horizon {horizon}"
-                );
+                assert!((dp.cost - dj.cost).abs() < 1e-9, "{kind} horizon {horizon}");
             }
         }
     }
@@ -467,8 +468,7 @@ mod tests {
             vec![1.0, 0.0, 0.0],
         ])
         .unwrap();
-        let chain =
-            MarkovChain::with_initial(m, StateDistribution::uniform(3).unwrap()).unwrap();
+        let chain = MarkovChain::with_initial(m, StateDistribution::uniform(3).unwrap()).unwrap();
         let sp = most_likely_trajectory(&chain, 7, None).unwrap();
         // The only feasible paths follow the cycle, so consecutive cells
         // must differ by +1 mod 3.

@@ -73,7 +73,11 @@ fn horizon_one_works_everywhere() {
         assert_eq!(chaffs[0].len(), 1, "{kind}");
     }
     let mut observed = vec![user];
-    observed.extend(MlStrategy.generate(&chain, &observed[0], 1, &mut rng).unwrap());
+    observed.extend(
+        MlStrategy
+            .generate(&chain, &observed[0], 1, &mut rng)
+            .unwrap(),
+    );
     let d = MlDetector.detect(&chain, &observed).unwrap();
     assert!(!d.tie_set().is_empty());
     let detections = MlDetector.detect_prefixes(&chain, &observed);
@@ -85,7 +89,9 @@ fn single_observed_trajectory_is_always_detected() {
     let chain = sparse_chain();
     let mut rng = StdRng::seed_from_u64(4);
     let user = chain.sample_trajectory(10, &mut rng);
-    let d = MlDetector.detect(&chain, std::slice::from_ref(&user)).unwrap();
+    let d = MlDetector
+        .detect(&chain, std::slice::from_ref(&user))
+        .unwrap();
     assert_eq!(d.tie_set(), &[0]);
     // The advanced detector may filter its only observation (the user's
     // trajectory can coincide with a strategy map); it must still guess.
@@ -119,7 +125,10 @@ fn trellis_avoid_set_on_first_and_last_layers() {
     avoid.insert(0, unconstrained.trajectory.cell(0));
     avoid.insert(horizon - 1, unconstrained.trajectory.cell(horizon - 1));
     let constrained = most_likely_trajectory(&chain, horizon, Some(&avoid)).unwrap();
-    assert_ne!(constrained.trajectory.cell(0), unconstrained.trajectory.cell(0));
+    assert_ne!(
+        constrained.trajectory.cell(0),
+        unconstrained.trajectory.cell(0)
+    );
     assert_ne!(
         constrained.trajectory.cell(horizon - 1),
         unconstrained.trajectory.cell(horizon - 1)
@@ -222,15 +231,16 @@ fn empirical_style_trajectory_detection_roundtrip() {
     // "pool" of sampled users where one is protected by each strategy.
     let chain = sparse_chain();
     let mut rng = StdRng::seed_from_u64(9);
-    let pool: Vec<Trajectory> = (0..8).map(|_| chain.sample_trajectory(30, &mut rng)).collect();
+    let pool: Vec<Trajectory> = (0..8)
+        .map(|_| chain.sample_trajectory(30, &mut rng))
+        .collect();
     for kind in [StrategyKind::Oo, StrategyKind::Mo, StrategyKind::Rml] {
         let strategy = kind.build();
         let chaffs = strategy.generate(&chain, &pool[0], 2, &mut rng).unwrap();
         let mut observed = pool.clone();
         observed.extend(chaffs);
         let detections = MlDetector.detect_prefixes(&chain, &observed);
-        let series =
-            chaff_core::metrics::tracking_accuracy_series(&observed, 0, &detections);
+        let series = chaff_core::metrics::tracking_accuracy_series(&observed, 0, &detections);
         assert_eq!(series.len(), 30);
         assert!(series.iter().all(|&a| (0.0..=1.0).contains(&a)), "{kind}");
     }

@@ -14,12 +14,10 @@ use std::cmp::Ordering;
 /// A random ergodic chain of 3..=7 states with strictly positive entries.
 fn arb_chain() -> impl Strategy<Value = MarkovChain> {
     (3usize..=7).prop_flat_map(|n| {
-        proptest::collection::vec(proptest::collection::vec(0.05f64..1.0, n), n).prop_map(
-            |rows| {
-                MarkovChain::new(TransitionMatrix::from_weights(rows).expect("positive"))
-                    .expect("ergodic")
-            },
-        )
+        proptest::collection::vec(proptest::collection::vec(0.05f64..1.0, n), n).prop_map(|rows| {
+            MarkovChain::new(TransitionMatrix::from_weights(rows).expect("positive"))
+                .expect("ergodic")
+        })
     })
 }
 

@@ -147,7 +147,15 @@ fn run_experiment(name: &str, args: &Args) -> chaff_eval::Result<()> {
         }
         "all" => {
             for exp in [
-                "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "theory",
+                "table1",
+                "fig4",
+                "fig5",
+                "fig6",
+                "fig7",
+                "fig8",
+                "fig9",
+                "fig10",
+                "theory",
                 "multiuser",
             ] {
                 println!("==== {exp} ====");

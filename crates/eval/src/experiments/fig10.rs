@@ -121,7 +121,11 @@ pub fn run(config: &TraceConfig) -> crate::Result<Table> {
             let pool_maps = base_kind.map(|k| pool_map_cache[&k].as_slice());
             // Randomized strategies averaged over config.im_runs draws;
             // deterministic ones need a single draw.
-            let draws = if kind.is_deterministic() { 1 } else { config.im_runs };
+            let draws = if kind.is_deterministic() {
+                1
+            } else {
+                config.im_runs
+            };
             let mut total = 0.0;
             for draw in 0..draws {
                 let mut rng =
@@ -162,8 +166,7 @@ mod tests {
         let parse = |cell: &str| cell.parse::<f64>().unwrap();
         // Average over the top users for a stable comparison.
         let avg = |name: &str| {
-            table.rows.iter().map(|r| parse(&r[col(name)])).sum::<f64>()
-                / table.rows.len() as f64
+            table.rows.iter().map(|r| parse(&r[col(name)])).sum::<f64>() / table.rows.len() as f64
         };
         // Deterministic OO is neutralized (filtered out), robust ROO is
         // not: ROO must do strictly better on average.

@@ -120,8 +120,7 @@ mod tests {
         assert!(cml < 0.5 * im2, "cml {cml} vs im2 {im2}");
         // Late-horizon accuracy of OO decays towards zero.
         let oo_tail = &by_label(&figure, "OO (N = 2)").y;
-        let tail_mean =
-            oo_tail[oo_tail.len() - 10..].iter().sum::<f64>() / 10.0;
+        let tail_mean = oo_tail[oo_tail.len() - 10..].iter().sum::<f64>() / 10.0;
         assert!(tail_mean < 0.1, "OO tail = {tail_mean}");
     }
 

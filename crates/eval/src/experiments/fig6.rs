@@ -22,9 +22,7 @@ fn one_run(chain: &MarkovChain, horizon: usize, seed: u64) -> (Vec<f64>, Vec<f64
     let mut rng = StdRng::seed_from_u64(seed);
     let user = chain.sample_trajectory(horizon, &mut rng);
     let collect = |strategy: &dyn ChaffStrategy, rng: &mut StdRng| -> Vec<f64> {
-        let chaff = &strategy
-            .generate(chain, &user, 1, rng)
-            .expect("valid user")[0];
+        let chaff = &strategy.generate(chain, &user, 1, rng).expect("valid user")[0];
         // Skip the initial-distribution term c_1: the figure studies the
         // steady per-transition gap.
         ct_series(chain, &user, chaff).expect("equal lengths")[1..].to_vec()

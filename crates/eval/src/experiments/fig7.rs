@@ -96,24 +96,25 @@ mod tests {
         };
         let figure = run(&config, ModelKind::NonSkewed).unwrap();
         assert_eq!(figure.series.len(), 4);
-        let avg = |label: &str| {
-            time_average(
-                &figure
-                    .series
-                    .iter()
-                    .find(|s| s.label == label)
-                    .unwrap()
-                    .y,
-            )
-        };
+        let avg =
+            |label: &str| time_average(&figure.series.iter().find(|s| s.label == label).unwrap().y);
         // Nobody collapses to ~1 (that is the deterministic strategies'
         // fate, which the figure omits).
         for kind in STRATEGIES {
-            assert!(avg(&kind.to_string()) < 0.6, "{kind}: {}", avg(&kind.to_string()));
+            assert!(
+                avg(&kind.to_string()) < 0.6,
+                "{kind}: {}",
+                avg(&kind.to_string())
+            );
         }
         // ROO/RML approximate their deterministic counterparts under a
         // basic eavesdropper: far below IM on the random model.
-        assert!(avg("ROO") < avg("IM"), "roo {} vs im {}", avg("ROO"), avg("IM"));
+        assert!(
+            avg("ROO") < avg("IM"),
+            "roo {} vs im {}",
+            avg("ROO"),
+            avg("IM")
+        );
         assert!(avg("RML") < avg("IM") + 0.1);
     }
 

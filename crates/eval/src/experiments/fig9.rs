@@ -128,7 +128,12 @@ mod tests {
         // Panel (a): ranked accuracies, top user far above baseline.
         let acc = &panel_a.series[0].y;
         let baseline = panel_a.series[1].y[0];
-        assert!(acc[0] > 3.0 * baseline, "top {} vs 1/N {}", acc[0], baseline);
+        assert!(
+            acc[0] > 3.0 * baseline,
+            "top {} vs 1/N {}",
+            acc[0],
+            baseline
+        );
         for w in acc.windows(2) {
             assert!(w[0] >= w[1] - 1e-12, "ranked descending");
         }

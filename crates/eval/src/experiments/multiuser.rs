@@ -68,7 +68,7 @@ mod tests {
     #[test]
     fn simulation_matches_equation_11() {
         let config = SyntheticConfig {
-            runs: 150,
+            runs: 2000,
             horizon: 40,
             ..SyntheticConfig::default()
         };

@@ -30,7 +30,9 @@ where
         .unwrap_or(1)
         .min(runs.max(1));
     if threads <= 1 || runs <= 1 {
-        return (0..runs).map(|i| f(i, run_seed(base_seed, i as u64))).collect();
+        return (0..runs)
+            .map(|i| f(i, run_seed(base_seed, i as u64)))
+            .collect();
     }
     let mut results: Vec<Option<T>> = (0..runs).map(|_| None).collect();
     let chunk = runs.div_ceil(threads);
@@ -87,9 +89,7 @@ mod tests {
         let serial: Vec<f64> = (0..64)
             .map(|i| StdRng::seed_from_u64(run_seed(5, i)).random::<f64>())
             .collect();
-        let parallel = run_parallel(64, 5, |_, seed| {
-            StdRng::seed_from_u64(seed).random::<f64>()
-        });
+        let parallel = run_parallel(64, 5, |_, seed| StdRng::seed_from_u64(seed).random::<f64>());
         assert_eq!(serial, parallel);
     }
 }

@@ -212,11 +212,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table with the given columns.
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        columns: Vec<String>,
-    ) -> Self {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, columns: Vec<String>) -> Self {
         Table {
             id: id.into(),
             title: title.into(),
@@ -336,11 +332,7 @@ mod tests {
 
     #[test]
     fn table_rendering_and_csv() {
-        let mut t = Table::new(
-            "t1",
-            "demo",
-            vec!["model".into(), "kl".into()],
-        );
+        let mut t = Table::new("t1", "demo", vec!["model".into(), "kl".into()]);
         t.push(vec!["a".into(), "0.44".into()]);
         t.push(vec!["c".into(), "8.18".into()]);
         let ascii = t.render_ascii();

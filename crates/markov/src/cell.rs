@@ -1,3 +1,6 @@
+//! Cell identifiers: the discrete locations (one MEC per cell) that all
+//! substrate types index into.
+
 use serde::{Deserialize, Serialize};
 use std::fmt;
 

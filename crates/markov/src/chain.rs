@@ -1,3 +1,6 @@
+//! The Markov mobility model: a transition matrix plus initial
+//! distribution, with trajectory sampling and likelihood evaluation.
+
 use crate::{CellId, Result, StateDistribution, Trajectory, TransitionMatrix};
 use rand::Rng;
 use serde::{Deserialize, Serialize};

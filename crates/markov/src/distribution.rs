@@ -1,3 +1,6 @@
+//! Probability distributions over cells: validation, sampling, total
+//! variation and collision probability.
+
 use crate::{CellId, MarkovError, Result};
 use rand::Rng;
 use serde::{Deserialize, Serialize};

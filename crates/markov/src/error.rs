@@ -1,3 +1,5 @@
+//! Error type shared by every fallible operation in this crate.
+
 use std::error::Error;
 use std::fmt;
 

@@ -1,3 +1,5 @@
+//! Row-stochastic transition matrices with cached sparsity support.
+
 use crate::{CellId, MarkovError, Result};
 use serde::{Deserialize, Serialize};
 
@@ -505,7 +507,10 @@ mod tests {
     #[test]
     fn log_prob_of_zero_is_neg_infinity() {
         let m = TransitionMatrix::from_rows(vec![vec![0.0, 1.0], vec![0.5, 0.5]]).unwrap();
-        assert_eq!(m.log_prob(CellId::new(0), CellId::new(0)), f64::NEG_INFINITY);
+        assert_eq!(
+            m.log_prob(CellId::new(0), CellId::new(0)),
+            f64::NEG_INFINITY
+        );
         assert_eq!(m.log_prob(CellId::new(0), CellId::new(1)), 0.0);
     }
 
@@ -521,7 +526,9 @@ mod tests {
         assert_eq!(best, CellId::new(0));
         assert!((p - 0.4).abs() < 1e-12);
         // Excluding the winner moves to the next-lowest tied index.
-        let (second, _) = m.argmax_successor(CellId::new(0), Some(CellId::new(0))).unwrap();
+        let (second, _) = m
+            .argmax_successor(CellId::new(0), Some(CellId::new(0)))
+            .unwrap();
         assert_eq!(second, CellId::new(1));
     }
 

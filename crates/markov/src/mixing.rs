@@ -16,11 +16,7 @@ use crate::{StateDistribution, TransitionMatrix};
 /// Panics if the slices have different lengths.
 pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
     assert_eq!(p.len(), q.len(), "TV distance requires equal lengths");
-    0.5 * p
-        .iter()
-        .zip(q)
-        .map(|(a, b)| (a - b).abs())
-        .sum::<f64>()
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
 }
 
 /// Worst-case (over starting states) TV distance of the `t`-step kernel to

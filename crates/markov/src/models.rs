@@ -321,7 +321,9 @@ mod tests {
         let c =
             entropy::avg_pairwise_row_kl(&ModelKind::TemporallySkewed.build(10, &mut rng).unwrap());
         let d = entropy::avg_pairwise_row_kl(
-            &ModelKind::SpatioTemporallySkewed.build(10, &mut rng).unwrap(),
+            &ModelKind::SpatioTemporallySkewed
+                .build(10, &mut rng)
+                .unwrap(),
         );
         assert!((0.2..1.0).contains(&a), "model a KL = {a}");
         assert!((0.1..1.0).contains(&b), "model b KL = {b}");

@@ -1,3 +1,6 @@
+//! Trajectories: cell sequences over consecutive slots, with the
+//! coincidence (co-location) count used throughout the paper.
+
 use crate::CellId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -200,10 +203,7 @@ mod tests {
         let a = Trajectory::from_indices([0, 1, 2, 3]);
         let b = Trajectory::from_indices([0, 9, 2, 9]);
         assert_eq!(a.coincidences(&b), 2);
-        assert_eq!(
-            a.coincidence_indicators(&b),
-            vec![true, false, true, false]
-        );
+        assert_eq!(a.coincidence_indicators(&b), vec![true, false, true, false]);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Parser for the CRAWDAD `epfl/mobility` trace format.
 //!
-//! The dataset the paper uses ([30], Piorkowski et al. 2009) ships one
+//! The dataset the paper uses (\[30\], Piorkowski et al. 2009) ships one
 //! text file per taxi (`new_<id>.txt`), each line holding
 //! `latitude longitude occupancy timestamp` separated by spaces, newest
 //! record first. The dataset itself is license-gated and not
@@ -8,8 +8,8 @@
 //! pipeline unchanged, while [`crate::taxi`] provides a synthetic
 //! stand-in with matching statistics.
 
-use crate::record::{NodeTrace, TraceRecord};
 use crate::geo::GeoPoint;
+use crate::record::{NodeTrace, TraceRecord};
 use crate::{MobilityError, Result};
 use std::io::BufRead;
 use std::path::Path;

@@ -34,11 +34,7 @@ impl EmpiricalModel {
     ///
     /// Returns an error when `num_cells == 0`, when trajectories visit
     /// out-of-range cells, or when no slot was observed at all.
-    pub fn estimate(
-        trajectories: &[Trajectory],
-        num_cells: usize,
-        smoothing: f64,
-    ) -> Result<Self> {
+    pub fn estimate(trajectories: &[Trajectory], num_cells: usize, smoothing: f64) -> Result<Self> {
         if num_cells == 0 {
             return Err(chaff_markov::MarkovError::Empty.into());
         }
@@ -85,10 +81,7 @@ impl EmpiricalModel {
             }
         }
         let matrix = TransitionMatrix::from_rows(rows)?;
-        let occupancy: Vec<f64> = visits
-            .iter()
-            .map(|&v| v as f64 + smoothing)
-            .collect();
+        let occupancy: Vec<f64> = visits.iter().map(|&v| v as f64 + smoothing).collect();
         let initial = StateDistribution::from_weights(occupancy)?;
         let chain = MarkovChain::with_initial(matrix, initial)?;
         Ok(EmpiricalModel {
@@ -153,10 +146,7 @@ mod tests {
         let t = Trajectory::from_indices([0, 1, 0]);
         let model = EmpiricalModel::estimate(&[t], 3, 0.0).unwrap();
         assert_eq!(
-            model
-                .chain()
-                .matrix()
-                .prob(CellId::new(2), CellId::new(2)),
+            model.chain().matrix().prob(CellId::new(2), CellId::new(2)),
             1.0
         );
     }
@@ -181,8 +171,17 @@ mod tests {
         let t = Trajectory::from_indices([0, 1]);
         let plain = EmpiricalModel::estimate(std::slice::from_ref(&t), 3, 0.0).unwrap();
         let smoothed = EmpiricalModel::estimate(&[t], 3, 1.0).unwrap();
-        assert_eq!(plain.chain().matrix().prob(CellId::new(0), CellId::new(2)), 0.0);
-        assert!(smoothed.chain().matrix().prob(CellId::new(0), CellId::new(2)) > 0.0);
+        assert_eq!(
+            plain.chain().matrix().prob(CellId::new(0), CellId::new(2)),
+            0.0
+        );
+        assert!(
+            smoothed
+                .chain()
+                .matrix()
+                .prob(CellId::new(0), CellId::new(2))
+                > 0.0
+        );
         // Smoothed occupancy gives unvisited cells positive mass too.
         assert!(smoothed.chain().initial().prob(CellId::new(2)) > 0.0);
     }

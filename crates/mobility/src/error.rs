@@ -1,3 +1,5 @@
+//! Error type for the mobility/trace pipeline.
+
 use std::error::Error;
 use std::fmt;
 

@@ -86,7 +86,9 @@ impl BoundingBox {
         }
         if min_lat >= max_lat || min_lon >= max_lon {
             return Err(MobilityError::InvalidBoundingBox {
-                reason: format!("inverted edges: lat {min_lat}..{max_lat}, lon {min_lon}..{max_lon}"),
+                reason: format!(
+                    "inverted edges: lat {min_lat}..{max_lat}, lon {min_lon}..{max_lon}"
+                ),
             });
         }
         Ok(BoundingBox {
@@ -202,6 +204,7 @@ mod tests {
         let sf = BoundingBox::san_francisco();
         assert!(sf.contains(&GeoPoint::new(37.7749, -122.4194)));
         assert!(!sf.contains(&GeoPoint::new(40.7, -74.0))); // NYC
+
         // The box spans tens of kilometers.
         assert!(sf.width_m() > 30_000.0 && sf.width_m() < 60_000.0);
         assert!(sf.height_m() > 30_000.0 && sf.height_m() < 60_000.0);

@@ -163,7 +163,12 @@ mod tests {
         // Long gap before the window starts; dense coverage inside.
         let trace = NodeTrace::new(
             "n",
-            vec![rec(-10_000, 36.9), rec(-60, 37.0), rec(60, 37.1), rec(200, 37.2)],
+            vec![
+                rec(-10_000, 36.9),
+                rec(-60, 37.0),
+                rec(60, 37.1),
+                rec(200, 37.2),
+            ],
         );
         let grid = SlotGrid {
             start_timestamp: 0,

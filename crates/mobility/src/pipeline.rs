@@ -300,7 +300,11 @@ mod tests {
             (700..=1_100).contains(&cells),
             "cell count {cells} should be near the paper's 959"
         );
-        assert!(ds.trajectories().len() >= 100, "{}", ds.trajectories().len());
+        assert!(
+            ds.trajectories().len() >= 100,
+            "{}",
+            ds.trajectories().len()
+        );
         assert_eq!(ds.trajectories()[0].len(), 100);
     }
 }

@@ -154,7 +154,10 @@ mod tests {
         };
         let uniform = uniform_layout(2_000, &sf, &mut rng).unwrap();
         let (c_nn, u_nn) = (mean_nn(&clustered), mean_nn(&uniform));
-        assert!(c_nn < 0.8 * u_nn, "clustered nn {c_nn} !< 0.8 * uniform nn {u_nn}");
+        assert!(
+            c_nn < 0.8 * u_nn,
+            "clustered nn {c_nn} !< 0.8 * uniform nn {u_nn}"
+        );
     }
 
     #[test]

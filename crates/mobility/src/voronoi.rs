@@ -1,6 +1,6 @@
 //! Voronoi quantization: mapping positions to their nearest tower's cell.
 //!
-//! The paper "quantize[s] the node locations into 959 Voronoi cells based
+//! The paper "quantize\[s\] the node locations into 959 Voronoi cells based
 //! on cell tower locations" (Sec. VII-B1). Explicit Voronoi polygons are
 //! never needed — only the nearest-tower query — so this module builds a
 //! uniform grid index over the towers and answers queries by expanding
@@ -39,9 +39,17 @@ impl CellMap {
         }
         let pad = 1e-4; // ~11 m
         let min_lat = towers.iter().map(|t| t.lat).fold(f64::INFINITY, f64::min) - pad;
-        let max_lat = towers.iter().map(|t| t.lat).fold(f64::NEG_INFINITY, f64::max) + pad;
+        let max_lat = towers
+            .iter()
+            .map(|t| t.lat)
+            .fold(f64::NEG_INFINITY, f64::max)
+            + pad;
         let min_lon = towers.iter().map(|t| t.lon).fold(f64::INFINITY, f64::min) - pad;
-        let max_lon = towers.iter().map(|t| t.lon).fold(f64::NEG_INFINITY, f64::max) + pad;
+        let max_lon = towers
+            .iter()
+            .map(|t| t.lon)
+            .fold(f64::NEG_INFINITY, f64::max)
+            + pad;
         let bbox = BoundingBox::new(min_lat, max_lat, min_lon, max_lon)?;
         let buckets = ((towers.len() as f64 / TARGET_PER_BUCKET).sqrt().ceil() as usize).max(1);
         let (rows, cols) = (buckets, buckets);

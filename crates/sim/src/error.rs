@@ -1,3 +1,5 @@
+//! Error type for the MEC simulator.
+
 use std::error::Error;
 use std::fmt;
 

@@ -84,9 +84,12 @@ impl MecNetwork {
     pub fn place_nearest(&mut self, cell: CellId) -> Result<CellId> {
         let n = self.num_nodes();
         for radius in 0..n {
-            for candidate in [cell.index().checked_sub(radius), Some(cell.index() + radius)]
-                .into_iter()
-                .flatten()
+            for candidate in [
+                cell.index().checked_sub(radius),
+                Some(cell.index() + radius),
+            ]
+            .into_iter()
+            .flatten()
             {
                 if candidate >= n {
                     continue;
@@ -194,7 +197,10 @@ mod tests {
     fn migrate_self_is_noop() {
         let mut net = MecNetwork::new(2, Some(1)).unwrap();
         net.place(CellId::new(0)).unwrap();
-        assert_eq!(net.migrate(CellId::new(0), CellId::new(0)).unwrap(), CellId::new(0));
+        assert_eq!(
+            net.migrate(CellId::new(0), CellId::new(0)).unwrap(),
+            CellId::new(0)
+        );
         assert_eq!(net.occupancy(CellId::new(0)), 1);
     }
 

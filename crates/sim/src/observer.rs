@@ -68,7 +68,10 @@ impl ObservationLog {
             shuffled[target] = Some(trajectory);
         }
         (
-            shuffled.into_iter().map(|t| t.expect("permutation is total")).collect(),
+            shuffled
+                .into_iter()
+                .map(|t| t.expect("permutation is total"))
+                .collect(),
             user_index,
         )
     }
@@ -128,7 +131,12 @@ mod tests {
         let mut seen_nonzero = false;
         for seed in 0..20 {
             let mut log = ObservationLog::new(4);
-            log.record_slot(&[CellId::new(0), CellId::new(1), CellId::new(2), CellId::new(3)]);
+            log.record_slot(&[
+                CellId::new(0),
+                CellId::new(1),
+                CellId::new(2),
+                CellId::new(3),
+            ]);
             let mut rng = StdRng::seed_from_u64(seed);
             let (_, idx) = log.into_anonymized(&mut rng);
             if idx != 0 {

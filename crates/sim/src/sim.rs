@@ -185,13 +185,18 @@ impl<'a> Simulation<'a> {
     /// # Errors
     ///
     /// Propagates configuration and capacity errors.
-    pub fn run_online<F>(mut self, mut make_controller: F, rng: &mut dyn RngCore) -> Result<SimOutcome>
+    pub fn run_online<F>(
+        mut self,
+        mut make_controller: F,
+        rng: &mut dyn RngCore,
+    ) -> Result<SimOutcome>
     where
         F: FnMut(usize) -> Box<dyn OnlineChaffController + 'a>,
     {
         self.config.validate()?;
-        let mut controllers: Vec<Box<dyn OnlineChaffController + 'a>> =
-            (0..self.config.num_chaffs).map(&mut make_controller).collect();
+        let mut controllers: Vec<Box<dyn OnlineChaffController + 'a>> = (0..self.config.num_chaffs)
+            .map(&mut make_controller)
+            .collect();
         let mut user_cells = Trajectory::with_capacity(self.config.horizon);
         let mut service_cells = Trajectory::with_capacity(self.config.horizon);
         let mut chaffs: Vec<Trajectory> = (0..self.config.num_chaffs)
@@ -350,7 +355,10 @@ mod tests {
             .run_planned(&CmlStrategy, &mut rng_a)
             .unwrap();
         let online = Simulation::new(&c, SimConfig::new(30, 1).without_anonymization())
-            .run_online(|_| Box::new(chaff_core::strategy::CmlController::new(&c)), &mut rng_b)
+            .run_online(
+                |_| Box::new(chaff_core::strategy::CmlController::new(&c)),
+                &mut rng_b,
+            )
             .unwrap();
         // Same seed, same user sampling order -> same user trajectory.
         assert_eq!(planned.user_cells, online.user_cells);
@@ -390,9 +398,7 @@ mod tests {
             .with_policy(LazyThreshold { threshold: 3 })
             .run_planned(&ImStrategy, &mut rng_b)
             .unwrap();
-        assert!(
-            lazy.ledger.real_service().migrations < follow.ledger.real_service().migrations
-        );
+        assert!(lazy.ledger.real_service().migrations < follow.ledger.real_service().migrations);
         assert!(lazy.ledger.real_service().communication_cost > 0.0);
         // The lazy service trajectory differs from the user's.
         assert_ne!(lazy.service_cells, lazy.user_cells);
@@ -406,14 +412,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(10);
         let outcome = Simulation::new(
             &c,
-            SimConfig::new(30, 2).with_capacity(1).without_anonymization(),
+            SimConfig::new(30, 2)
+                .with_capacity(1)
+                .without_anonymization(),
         )
         .run_planned(&ImStrategy, &mut rng)
         .unwrap();
         // No two services ever share a cell.
         for t in 0..30 {
-            let mut cells: Vec<usize> =
-                outcome.observed.iter().map(|tr| tr.cell(t).index()).collect();
+            let mut cells: Vec<usize> = outcome
+                .observed
+                .iter()
+                .map(|tr| tr.cell(t).index())
+                .collect();
             cells.sort_unstable();
             cells.dedup();
             assert_eq!(cells.len(), 3, "slot {t}");
@@ -478,7 +489,9 @@ mod tests {
             .filter(|e| matches!(e, SimEvent::Migrated { .. }))
             .count();
         let ledger_migrations: usize = outcome.ledger.real_service().migrations
-            + (0..1).map(|i| outcome.ledger.chaff(i).migrations).sum::<usize>();
+            + (0..1)
+                .map(|i| outcome.ledger.chaff(i).migrations)
+                .sum::<usize>();
         assert_eq!(migrations, ledger_migrations);
     }
 }

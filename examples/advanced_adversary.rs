@@ -53,13 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             observed.extend(chaffs);
 
             let basic = MlDetector.detect_prefixes(&chain, &observed);
-            basic_total +=
-                time_average(&tracking_accuracy_series(&observed, 0, &basic));
+            basic_total += time_average(&tracking_accuracy_series(&observed, 0, &basic));
 
             let detector = AdvancedDetector::new(strategy.as_ref());
             let advanced = detector.detect_prefixes(&chain, &observed)?;
-            advanced_total +=
-                time_average(&tracking_accuracy_series(&observed, 0, &advanced));
+            advanced_total += time_average(&tracking_accuracy_series(&observed, 0, &advanced));
         }
         println!(
             "{:<10} {:>16.3} {:>18.3}",

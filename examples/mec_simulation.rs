@@ -37,8 +37,9 @@ fn measure(
         let mut rng = StdRng::seed_from_u64(500 + run as u64);
         let config = SimConfig::new(HORIZON, num_chaffs).with_capacity(8);
         let sim = match lazy {
-            Some(threshold) => Simulation::new(chain, config)
-                .with_policy(LazyThreshold { threshold }),
+            Some(threshold) => {
+                Simulation::new(chain, config).with_policy(LazyThreshold { threshold })
+            }
             None => Simulation::new(chain, config),
         };
         // Online mode: strictly causal MO controllers, as a deployed
@@ -66,10 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let chain = MarkovChain::new(ModelKind::SpatiallySkewed.build(12, &mut rng)?)?;
 
     println!("cost-privacy trade-off (MO chaffs, always-follow service):\n");
-    println!(
-        "{:<8} {:>10} {:>14}",
-        "chaffs", "accuracy", "defense cost"
-    );
+    println!("{:<8} {:>10} {:>14}", "chaffs", "accuracy", "defense cost");
     println!("{:-<8} {:->10} {:->14}", "", "", "");
     for num_chaffs in [0, 1, 2, 4, 8] {
         let (accuracy, cost) = measure(&chain, num_chaffs, None)?;
@@ -80,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:<22} {:>10} {:>14}", "policy", "accuracy", "defense cost");
     println!("{:-<22} {:->10} {:->14}", "", "", "");
     let (follow_acc, follow_cost) = measure(&chain, 1, None)?;
-    println!("{:<22} {follow_acc:>10.3} {follow_cost:>14.1}", "always-follow");
+    println!(
+        "{:<22} {follow_acc:>10.3} {follow_cost:>14.1}",
+        "always-follow"
+    );
     for threshold in [1, 2, 4] {
         let (acc, cost) = measure(&chain, 1, Some(threshold))?;
         println!(

@@ -58,8 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut observed = pool.to_vec();
         observed.extend(chaffs);
         let detections = MlDetector.detect_prefixes(model, &observed);
-        let protected =
-            time_average(&tracking_accuracy_series(&observed, user, &detections));
+        let protected = time_average(&tracking_accuracy_series(&observed, user, &detections));
         println!(
             "{:<8} {:>10.3} {:>16.3}",
             dataset.node_ids()[user],

@@ -76,8 +76,7 @@ fn trace_pipeline_feeds_strategies_end_to_end() {
         let mut observed = pool.to_vec();
         observed.extend(chaffs);
         let detections = MlDetector.detect_prefixes(model, &observed);
-        let accuracy =
-            time_average(&tracking_accuracy_series(&observed, user, &detections));
+        let accuracy = time_average(&tracking_accuracy_series(&observed, user, &detections));
         assert!((0.0..=1.0).contains(&accuracy), "{}", strategy.name());
     }
 }
@@ -95,11 +94,7 @@ fn oo_chaff_from_sim_defeats_basic_but_not_advanced_eavesdropper() {
             .unwrap();
         let user = outcome.user_observed_index;
         let basic = MlDetector.detect_prefixes(&c, &outcome.observed);
-        basic_total += time_average(&tracking_accuracy_series(
-            &outcome.observed,
-            user,
-            &basic,
-        ));
+        basic_total += time_average(&tracking_accuracy_series(&outcome.observed, user, &basic));
         let detector = AdvancedDetector::new(&OoStrategy);
         let advanced = detector.detect_prefixes(&c, &outcome.observed).unwrap();
         advanced_total += time_average(&tracking_accuracy_series(
@@ -111,7 +106,10 @@ fn oo_chaff_from_sim_defeats_basic_but_not_advanced_eavesdropper() {
     let basic = basic_total / runs as f64;
     let advanced = advanced_total / runs as f64;
     assert!(basic < 0.2, "basic eavesdropper should lose: {basic}");
-    assert!(advanced > 0.9, "advanced eavesdropper should win: {advanced}");
+    assert!(
+        advanced > 0.9,
+        "advanced eavesdropper should win: {advanced}"
+    );
 }
 
 #[test]
@@ -128,11 +126,8 @@ fn capacity_constraints_still_produce_usable_observations() {
     assert_eq!(detections.len(), 30);
     // Capacity 1 means perfect anti-co-location: accuracy equals
     // detection accuracy of the user's own trajectory.
-    let tracking = tracking_accuracy_series(
-        &outcome.observed,
-        outcome.user_observed_index,
-        &detections,
-    );
+    let tracking =
+        tracking_accuracy_series(&outcome.observed, outcome.user_observed_index, &detections);
     let detection: Vec<f64> = detections
         .iter()
         .map(|d| d.prob_of(outcome.user_observed_index))
@@ -149,4 +144,25 @@ fn facade_reexports_are_usable() {
     let _ = mobility::geo::BoundingBox::san_francisco();
     let _ = sim::cost::CostModel::default();
     let _ = eval::experiments::SyntheticConfig::quick();
+}
+
+#[test]
+fn facade_smoke_chain_sim_detect() {
+    // Workspace bootstrap smoke test, entirely through the facade paths:
+    // build a chain from `::markov`, simulate an observation log with
+    // `::sim`, and run a `::core` detector over it.
+    use mec_location_privacy::core::detector::MlDetector;
+    use mec_location_privacy::markov::{models::ModelKind, MarkovChain};
+    use mec_location_privacy::sim::sim::{SimConfig, Simulation};
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let chain = MarkovChain::new(ModelKind::NonSkewed.build(8, &mut rng).unwrap()).unwrap();
+    let outcome = Simulation::new(&chain, SimConfig::new(25, 2))
+        .run_planned(&MoStrategy, &mut rng)
+        .unwrap();
+    assert_eq!(outcome.observed.len(), 3); // user + 2 chaffs
+
+    let detection = MlDetector.detect(&chain, &outcome.observed).unwrap();
+    assert!(!detection.tie_set().is_empty());
+    assert!(detection.tie_set().iter().all(|&i| i < 3));
 }

@@ -1,0 +1,283 @@
+//! Workspace-local, dependency-free stand-in for `criterion`.
+//!
+//! The build container has no network access, so this vendored crate
+//! implements the subset of the criterion API the workspace's benches
+//! use: [`Criterion`] with `sample_size` / `measurement_time` /
+//! `warm_up_time`, `bench_function`, `benchmark_group` (with
+//! `bench_with_input` and [`BenchmarkId`]), [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is a plain wall-clock mean over `sample_size` samples
+//! (after a warm-up period), printed as one line per benchmark — no
+//! statistics, plots or HTML reports. Swap the `vendor/criterion` path
+//! in the root manifest for the crates.io crate to get the real harness;
+//! the bench sources compile unchanged.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id, rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { text: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { text: s }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up period run before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&self.config, &id.into().text, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().text);
+        run_one(&self.criterion.config, &label, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().text);
+        run_one(&self.criterion.config, &label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op shim).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    mean_ns: Option<f64>,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine`, recording the mean wall-clock time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Size batches so the whole measurement fits the time budget.
+        let budget = self.config.measurement_time.as_secs_f64();
+        let total_iters = ((budget / per_iter.max(1e-9)) as u64).max(1);
+        // Routines slower than budget/sample_size get fewer samples
+        // rather than blowing through the measurement budget.
+        let samples = (self.config.sample_size as u64).min(total_iters);
+        let batch = (total_iters / samples).max(1);
+
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.mean_ns = Some(total.as_secs_f64() * 1e9 / iters as f64);
+    }
+}
+
+fn run_one(config: &Config, label: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        config,
+        mean_ns: None,
+    };
+    f(&mut bencher);
+    match bencher.mean_ns {
+        Some(ns) => println!("{label:<50} time: [{}]", format_ns(ns)),
+        None => println!("{label:<50} time: [no measurement]"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        /// Runs every benchmark target in this group.
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn bench_function_measures_and_formats() {
+        let mut c = quick();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 3), &3usize, |b, &n| b.iter(|| n * 2));
+        group.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| ()));
+        group.finish();
+    }
+
+    #[test]
+    fn unit_formatting_scales() {
+        assert!(format_ns(5.0).ends_with("ns"));
+        assert!(format_ns(5.0e4).ends_with("µs"));
+        assert!(format_ns(5.0e7).ends_with("ms"));
+        assert!(format_ns(5.0e10).ends_with('s'));
+    }
+}

@@ -1,0 +1,21 @@
+//! Workspace-local stand-in for `serde`.
+//!
+//! Exposes the `Serialize`/`Deserialize` trait names and (behind the
+//! `derive` feature) the no-op derive macros from the vendored
+//! `serde_derive` shim. Nothing in this workspace serializes at runtime;
+//! the derives document intent and keep the public types ready for the
+//! real serde when a registry is available — swap the `vendor/serde`
+//! path for a crates.io version in the root manifest and everything
+//! compiles unchanged.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods; the vendored
+/// derive emits no impls and nothing in-tree calls serialization).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods).
+pub trait Deserialize<'de> {}

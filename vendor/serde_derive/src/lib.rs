@@ -1,0 +1,23 @@
+//! Offline no-op derive shim for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so
+//! that downstream users with the real serde can round-trip them, but
+//! nothing in-tree performs serialization. With no network access the
+//! real `serde_derive` (and its syn/quote dependency tree) is
+//! unavailable, so these derives expand to nothing; they exist purely so
+//! the `#[derive(...)]` attributes — and `#[serde(...)]` helper
+//! attributes — compile.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
