@@ -1,0 +1,119 @@
+//! Fleet-scale detection benchmarks: the batched, sharded
+//! `BatchPrefixDetector` against the per-trajectory `MlDetector` path at
+//! `N = 1,000` and `N = 10,000` trajectories (T = 100), plus the
+//! end-to-end fleet pipeline (simulate + detect).
+//!
+//! The acceptance bar for the fleet engine is a ≥ 5× speedup of batch
+//! over per-trajectory prefix detection at `N = 10,000` on multi-core
+//! hosts; run with `CRITERION_JSON=BENCH_fleet.json` to archive the
+//! numbers.
+
+use chaff_bench::fixture_chain;
+use chaff_core::detector::{BatchPrefixDetector, MlDetector};
+use chaff_markov::models::ModelKind;
+use chaff_markov::Trajectory;
+use chaff_sim::fleet::{FleetConfig, FleetSimulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+const HORIZON: usize = 100;
+
+/// A synthetic fleet observation set: `n` i.i.d. users of one model.
+fn fleet_observations(n: usize) -> (chaff_markov::MarkovChain, Vec<Trajectory>) {
+    let chain = fixture_chain(ModelKind::NonSkewed, 10, 31);
+    let outcome = FleetSimulation::new(&chain, FleetConfig::new(n, HORIZON).with_seed(32))
+        .run_natural()
+        .expect("valid fleet");
+    (chain, outcome.observed)
+}
+
+/// Per-trajectory prefix detection (the `MlDetector` reference path).
+fn bench_prefix_single(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_detection/single");
+    for n in [1_000usize, 10_000] {
+        let (chain, observed) = fleet_observations(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                MlDetector
+                    .detect_prefixes(&chain, black_box(&observed))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Batched, sharded prefix detection (the fleet engine's detection core).
+fn bench_prefix_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_detection/batch");
+    for n in [1_000usize, 10_000] {
+        let (chain, observed) = fleet_observations(n);
+        let detector = BatchPrefixDetector::new();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                detector
+                    .detect_prefixes(&chain, black_box(&observed))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Batched detection against a prebuilt likelihood table (the amortized
+/// fleet-driver path).
+fn bench_prefix_batch_cached_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_detection/batch_cached");
+    for n in [1_000usize, 10_000] {
+        let (chain, observed) = fleet_observations(n);
+        let table = chain.log_likelihood_table();
+        let detector = BatchPrefixDetector::new();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                detector
+                    .detect_prefixes_with_table(&table, black_box(&observed))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end fleet pipeline: simulate N users and detect.
+fn bench_fleet_pipeline(c: &mut Criterion) {
+    let chain = fixture_chain(ModelKind::NonSkewed, 10, 33);
+    let mut group = c.benchmark_group("fleet_pipeline");
+    for n in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let outcome =
+                    FleetSimulation::new(&chain, FleetConfig::new(n, HORIZON).with_seed(34))
+                        .run_natural()
+                        .unwrap();
+                BatchPrefixDetector::new()
+                    .detect_prefixes(&chain, black_box(&outcome.observed))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = batch_detection;
+    config = configured();
+    targets =
+        bench_prefix_single,
+        bench_prefix_batch,
+        bench_prefix_batch_cached_table,
+        bench_fleet_pipeline,
+}
+criterion_main!(batch_detection);

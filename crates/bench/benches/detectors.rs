@@ -40,7 +40,11 @@ fn bench_prefix_detection(c: &mut Criterion) {
     for horizon in [50usize, 100, 400] {
         let (chain, observed) = observations(10, horizon);
         group.bench_with_input(BenchmarkId::from_parameter(horizon), &horizon, |b, _| {
-            b.iter(|| MlDetector.detect_prefixes(&chain, black_box(&observed)))
+            b.iter(|| {
+                MlDetector
+                    .detect_prefixes(&chain, black_box(&observed))
+                    .unwrap()
+            })
         });
     }
     group.finish();

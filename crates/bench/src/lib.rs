@@ -10,6 +10,10 @@
 //!   models, and the trellis DP against the paper's Dijkstra;
 //! * `detectors` — the `O(N·T)` ML detector and the strategy-aware
 //!   advanced detector;
+//! * `batch_detection` — the fleet engine's batched, sharded detection
+//!   core against the per-trajectory path at `N = 1,000` / `10,000`,
+//!   plus the end-to-end fleet pipeline (CI archives these as
+//!   `BENCH_fleet.json`);
 //! * `substrates` — Markov/stationary/Voronoi substrate operations.
 
 use chaff_markov::models::ModelKind;

@@ -134,7 +134,7 @@ impl<'a> AdvancedDetector<'a> {
             let all: Vec<usize> = (0..observed.len()).collect();
             return Ok(vec![Detection::new(all); horizon]);
         }
-        Ok(MlDetector.detect_prefixes_among(chain, observed, Some(&candidates)))
+        MlDetector.detect_prefixes_among(chain, observed, Some(&candidates))
     }
 }
 

@@ -1,0 +1,801 @@
+//! The fleet-scale detection core: batched, sharded prefix detection.
+//!
+//! [`MlDetector::detect_prefixes`](super::MlDetector::detect_prefixes)
+//! walks the transition matrix per trajectory (one `ln` per step) and
+//! re-scans all `N` cumulative scores per slot through `argmax_set` —
+//! fine for the paper's `N ≤ 50` populations, prohibitive for fleets.
+//! [`BatchPrefixDetector`] produces *identical* detections from a
+//! different execution plan:
+//!
+//! 1. the mobility model's log-likelihoods are cached once in a
+//!    [`LogLikelihoodTable`] (columnar kernel, no `ln` on the hot path);
+//! 2. trajectories are split into contiguous index shards, and each shard
+//!    accumulates its slice of the flat `N × T` cumulative-score matrix
+//!    slot by slot via `std::thread::scope`;
+//! 3. every shard extracts its per-slot argmax candidates (and optional
+//!    top-k) *during* the accumulation pass, so building the per-slot
+//!    [`Detection`]s is a cheap cross-shard merge instead of a fresh
+//!    `O(N)` scan with an index-vector allocation per slot.
+//!
+//! Determinism: each trajectory's score is accumulated in slot order by
+//! exactly one shard, maxima merge with exact comparisons, and tie sets
+//! are emitted in increasing index order — so results are bit-for-bit
+//! independent of the shard count and equal to the per-trajectory path.
+
+use super::ml::validate_observations;
+use super::{argmax_set, Detection};
+use crate::{loglik_cmp, Result};
+use chaff_markov::{LogLikelihoodTable, MarkovChain, Trajectory};
+
+/// Batched maximum-likelihood prefix detector for fleet-scale populations.
+///
+/// Semantically equivalent to [`MlDetector`](super::MlDetector) (eq. 1,
+/// evaluated per prefix); see the [module docs](self) for the execution
+/// plan. Construct with [`new`](BatchPrefixDetector::new) to size shards
+/// from the machine, or [`with_shards`](BatchPrefixDetector::with_shards)
+/// to pin the shard count (results do not depend on it).
+///
+/// # Example
+///
+/// ```
+/// use chaff_core::detector::{BatchPrefixDetector, Detector, MlDetector};
+/// use chaff_markov::{models::ModelKind, MarkovChain};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let chain = MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng)?)?;
+/// let observed: Vec<_> = (0..64).map(|_| chain.sample_trajectory(30, &mut rng)).collect();
+/// let batch = BatchPrefixDetector::new().detect_prefixes(&chain, &observed)?;
+/// let single = MlDetector.detect_prefixes(&chain, &observed)?;
+/// assert_eq!(batch, single);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchPrefixDetector {
+    /// Requested shard count; `None` sizes from available parallelism.
+    shards: Option<usize>,
+}
+
+impl BatchPrefixDetector {
+    /// Creates a detector that sizes its shard count from
+    /// `std::thread::available_parallelism`.
+    pub fn new() -> Self {
+        BatchPrefixDetector { shards: None }
+    }
+
+    /// Creates a detector with a fixed shard count (clamped to at least
+    /// one). Detections are identical for every shard count; this only
+    /// controls parallelism.
+    pub fn with_shards(shards: usize) -> Self {
+        BatchPrefixDetector {
+            shards: Some(shards.max(1)),
+        }
+    }
+
+    /// The shard count used for a population of `n` trajectories.
+    fn effective_shards(&self, n: usize) -> usize {
+        let requested = self.shards.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        requested.clamp(1, n.max(1))
+    }
+
+    /// Detects over full trajectories (the final-slot decision), scoring
+    /// every trajectory against the cached table in parallel shards.
+    ///
+    /// # Errors
+    ///
+    /// Same validation errors as [`MlDetector::detect`](super::MlDetector::detect).
+    pub fn detect(&self, chain: &MarkovChain, observed: &[Trajectory]) -> Result<Detection> {
+        validate_observations(chain, observed)?;
+        let table = chain.log_likelihood_table();
+        let n = observed.len();
+        let shards = self.effective_shards(n);
+        let mut scores = vec![0.0f64; n];
+        if shards <= 1 {
+            for (score, x) in scores.iter_mut().zip(observed) {
+                *score = table.log_likelihood(x);
+            }
+        } else {
+            let chunk = n.div_ceil(shards);
+            std::thread::scope(|scope| {
+                for (slice, xs) in scores.chunks_mut(chunk).zip(observed.chunks(chunk)) {
+                    let table = &table;
+                    scope.spawn(move || {
+                        for (score, x) in slice.iter_mut().zip(xs) {
+                            *score = table.log_likelihood(x);
+                        }
+                    });
+                }
+            });
+        }
+        Ok(Detection::new(argmax_set(&scores, None)))
+    }
+
+    /// Detects once per slot using trajectory prefixes. Produces exactly
+    /// the `Detection` sequence of
+    /// [`MlDetector::detect_prefixes`](super::MlDetector::detect_prefixes).
+    ///
+    /// # Errors
+    ///
+    /// Same validation errors as [`MlDetector::detect`](super::MlDetector::detect).
+    pub fn detect_prefixes(
+        &self,
+        chain: &MarkovChain,
+        observed: &[Trajectory],
+    ) -> Result<Vec<Detection>> {
+        let table = chain.log_likelihood_table();
+        self.detect_prefixes_with_table(&table, observed)
+    }
+
+    /// [`detect_prefixes`](Self::detect_prefixes) against a prebuilt
+    /// [`LogLikelihoodTable`], so fleet drivers amortize the table across
+    /// many detection rounds.
+    ///
+    /// # Errors
+    ///
+    /// Same validation errors as [`MlDetector::detect`](super::MlDetector::detect),
+    /// validated against the table's state space.
+    pub fn detect_prefixes_with_table(
+        &self,
+        table: &LogLikelihoodTable,
+        observed: &[Trajectory],
+    ) -> Result<Vec<Detection>> {
+        // Shapes are checked up front; cell ranges are checked inside the
+        // sharded pass (fused with the first read of each tile) so the
+        // hot path never walks the observation set twice.
+        validate_shape(observed)?;
+        let scores = self.run(table, observed, 0, false)?;
+        Ok(merge_detections(&scores))
+    }
+
+    /// Scores every prefix, returning the full flat `N × T`
+    /// cumulative-score matrix with per-slot argmax sets and global top-`k`
+    /// rankings extracted incrementally during the sharded pass.
+    ///
+    /// # Errors
+    ///
+    /// Same validation errors as [`MlDetector::detect`](super::MlDetector::detect).
+    pub fn score_prefixes(
+        &self,
+        chain: &MarkovChain,
+        observed: &[Trajectory],
+        top_k: usize,
+    ) -> Result<PrefixScores> {
+        validate_observations(chain, observed)?;
+        let table = chain.log_likelihood_table();
+        let shard_scores = self.run(&table, observed, top_k, true)?;
+        let detections = merge_detections(&shard_scores);
+        let top = merge_top_k(&shard_scores, top_k);
+        let n = observed.len();
+        let horizon = shard_scores.horizon;
+        // Assemble the flat slot-major matrix from the shard blocks.
+        let mut scores = vec![0.0f64; n * horizon];
+        for t in 0..horizon {
+            let row = &mut scores[t * n..(t + 1) * n];
+            for shard in &shard_scores.shards {
+                let width = shard.hi - shard.lo;
+                let block = shard.block.as_ref().expect("blocks kept");
+                row[shard.lo..shard.hi].copy_from_slice(&block[t * width..(t + 1) * width]);
+            }
+        }
+        Ok(PrefixScores {
+            num_trajectories: n,
+            horizon,
+            scores,
+            detections,
+            top_k: top_k.min(n),
+            top,
+        })
+    }
+
+    /// The sharded accumulation pass. `observed` must already be
+    /// validated. `top_k == 0` skips top-k bookkeeping; `keep_block`
+    /// materializes each shard's slice of the cumulative-score matrix
+    /// (needed by [`score_prefixes`](Self::score_prefixes) only — the
+    /// plain detection path tracks candidates with a running column and
+    /// never writes the matrix).
+    fn run(
+        &self,
+        table: &LogLikelihoodTable,
+        observed: &[Trajectory],
+        top_k: usize,
+        keep_block: bool,
+    ) -> Result<ShardedScores> {
+        let n = observed.len();
+        let horizon = observed.first().map_or(0, Trajectory::len);
+        let shards = self.effective_shards(n);
+        let chunk = n.div_ceil(shards);
+        let ranges: Vec<(usize, usize)> = (0..shards)
+            .map(|s| (s * chunk, ((s + 1) * chunk).min(n)))
+            .filter(|(lo, hi)| lo < hi)
+            .collect();
+        let pass = |range| {
+            if keep_block {
+                Ok(shard_pass_block(table, observed, range, top_k))
+            } else {
+                shard_pass_light(table, observed, range)
+            }
+        };
+        let shards: Result<Vec<ShardScores>> = if ranges.len() <= 1 {
+            pass(ranges.first().map_or((0, 0), |&r| r)).map(|s| vec![s])
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .map(|&range| {
+                        let pass = &pass;
+                        scope.spawn(move || pass(range))
+                    })
+                    .collect();
+                // Joining in shard order makes the lowest erroring shard
+                // win, so the same error *variant* surfaces for every
+                // shard count (the reported cell may differ from the
+                // sequential path's, which scans trajectory by
+                // trajectory rather than slot-paired).
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard panicked"))
+                    .collect()
+            })
+        };
+        Ok(ShardedScores {
+            horizon,
+            shards: shards?,
+        })
+    }
+}
+
+/// Validates the shape of an observation set (non-empty, equal lengths)
+/// without touching cell contents; the sharded pass range-checks cells as
+/// it first reads them.
+fn validate_shape(observed: &[Trajectory]) -> Result<usize> {
+    if observed.is_empty() {
+        return Err(crate::CoreError::NoTrajectories);
+    }
+    let horizon = observed[0].len();
+    if horizon == 0 {
+        return Err(crate::CoreError::EmptyTrajectory);
+    }
+    for x in observed {
+        if x.len() != horizon {
+            return Err(crate::CoreError::LengthMismatch {
+                expected: horizon,
+                found: x.len(),
+            });
+        }
+    }
+    Ok(horizon)
+}
+
+/// One shard's per-slot extraction summaries (and, for the score-matrix
+/// path, its slice of the cumulative-score matrix).
+struct ShardScores {
+    /// Trajectory index range `[lo, hi)` owned by this shard.
+    lo: usize,
+    hi: usize,
+    /// Slot-major cumulative scores for the owned range
+    /// (`block[t * (hi - lo) + (i - lo)]`); `None` on the light path.
+    block: Option<Vec<f64>>,
+    /// Per-slot maximum over the owned range.
+    maxima: Vec<f64>,
+    /// Concatenated per-slot argmax candidates `(global index, score)`,
+    /// ascending by index within a slot; slot `t` occupies
+    /// `ties[tie_starts[t]..tie_starts[t + 1]]`.
+    ties: Vec<(u32, f64)>,
+    tie_starts: Vec<usize>,
+    /// Concatenated per-slot local top-k `(index, score)` entries, best
+    /// first; empty when top-k extraction is off.
+    top: Vec<(u32, f64)>,
+    top_starts: Vec<usize>,
+}
+
+struct ShardedScores {
+    horizon: usize,
+    shards: Vec<ShardScores>,
+}
+
+/// The detection-only shard pass: walks each trajectory once (unit
+/// stride), accumulating its score in a register and folding it into
+/// per-slot running max / tie-candidate trackers — no `N × T` block is
+/// ever written, and cells are range-checked on their first (and only)
+/// read instead of in a separate validation pass.
+///
+/// The running tie tracking is equivalent to `argmax_set`'s two-pass
+/// (exact max, then tolerance filter): the running max only grows, so a
+/// score outside tolerance of the running max can never re-enter, and
+/// every max update re-filters the surviving candidates.
+fn shard_pass_light(
+    table: &LogLikelihoodTable,
+    observed: &[Trajectory],
+    (lo, hi): (usize, usize),
+) -> Result<ShardScores> {
+    let horizon = observed.first().map_or(0, Trajectory::len);
+    let states = table.num_states();
+    let mut maxima = vec![f64::NEG_INFINITY; horizon];
+    let mut candidates: Vec<Vec<(u32, f64)>> = vec![Vec::new(); horizon];
+
+    /// Folds one cumulative score into a slot's running max / tie
+    /// trackers. Calls must arrive in increasing trajectory index per
+    /// slot so tie sets stay ascending.
+    #[inline(always)]
+    fn fold(best: &mut f64, slot: &mut Vec<(u32, f64)>, i: u32, acc: f64) {
+        if acc > *best {
+            *best = acc;
+            slot.retain(|&(_, s)| loglik_cmp(s, acc).is_eq());
+            slot.push((i, acc));
+        } else if loglik_cmp(acc, *best).is_eq() {
+            slot.push((i, acc));
+        }
+    }
+
+    let shard = &observed[lo..hi];
+    // Two trajectories per iteration: their accumulators form independent
+    // floating-point dependency chains, which roughly halves the
+    // add-latency bound of this loop. Lane order (even index first)
+    // preserves ascending tie sets.
+    let mut pairs = shard.chunks_exact(2);
+    let mut j = 0usize;
+    for pair in pairs.by_ref() {
+        let ia = (lo + j) as u32;
+        let ib = ia + 1;
+        let mut acc_a = 0.0f64;
+        let mut acc_b = 0.0f64;
+        let mut prev_a = None;
+        let mut prev_b = None;
+        // Zipping ties the slot trackers to the cells without bounds
+        // checks (equal lengths were validated up front).
+        for (((&cell_a, &cell_b), best), slot) in pair[0]
+            .as_slice()
+            .iter()
+            .zip(pair[1].as_slice())
+            .zip(maxima.iter_mut())
+            .zip(candidates.iter_mut())
+        {
+            // Lane a first, so within one slot the lower trajectory
+            // index reports its cell. (Across slots the paired scan can
+            // surface a different — equally invalid — cell than the
+            // sequential path: the error *variant* always matches.)
+            if cell_a.index() >= states {
+                return Err(crate::CoreError::CellOutOfRange {
+                    cell: cell_a.index(),
+                    states,
+                });
+            }
+            if cell_b.index() >= states {
+                return Err(crate::CoreError::CellOutOfRange {
+                    cell: cell_b.index(),
+                    states,
+                });
+            }
+            // -inf + -inf is fine; +inf never occurs (increments are
+            // log-probs <= 0), so no NaN can appear.
+            acc_a += table.step(prev_a, cell_a);
+            acc_b += table.step(prev_b, cell_b);
+            prev_a = Some(cell_a);
+            prev_b = Some(cell_b);
+            fold(best, slot, ia, acc_a);
+            fold(best, slot, ib, acc_b);
+        }
+        j += 2;
+    }
+    for x in pairs.remainder() {
+        let i = (lo + j) as u32;
+        let mut acc = 0.0f64;
+        let mut prev = None;
+        for ((&cell, best), slot) in x
+            .as_slice()
+            .iter()
+            .zip(maxima.iter_mut())
+            .zip(candidates.iter_mut())
+        {
+            if cell.index() >= states {
+                return Err(crate::CoreError::CellOutOfRange {
+                    cell: cell.index(),
+                    states,
+                });
+            }
+            acc += table.step(prev, cell);
+            prev = Some(cell);
+            fold(best, slot, i, acc);
+        }
+        j += 1;
+    }
+    let mut ties = Vec::new();
+    let mut tie_starts = Vec::with_capacity(horizon + 1);
+    tie_starts.push(0);
+    for slot in candidates {
+        ties.extend(slot);
+        tie_starts.push(ties.len());
+    }
+    Ok(ShardScores {
+        lo,
+        hi,
+        block: None,
+        maxima,
+        ties,
+        tie_starts,
+        top: Vec::new(),
+        top_starts: vec![0; horizon + 1],
+    })
+}
+
+/// The score-matrix shard pass: fills this shard's slot-major block from
+/// the columnar kernel (the increments become cumulative scores in
+/// place) and extracts per-slot candidates and top-k from each finished
+/// row.
+fn shard_pass_block(
+    table: &LogLikelihoodTable,
+    observed: &[Trajectory],
+    (lo, hi): (usize, usize),
+    top_k: usize,
+) -> ShardScores {
+    let width = hi - lo;
+    let horizon = observed.first().map_or(0, Trajectory::len);
+    let mut block = table.step_log_likelihoods_batch(&observed[lo..hi]);
+    let mut maxima = Vec::with_capacity(horizon);
+    let mut ties = Vec::new();
+    let mut tie_starts = Vec::with_capacity(horizon + 1);
+    tie_starts.push(0);
+    let mut top = Vec::new();
+    let mut top_starts = Vec::with_capacity(horizon + 1);
+    top_starts.push(0);
+    for t in 0..horizon {
+        if t > 0 {
+            let (prev, cur) = block.split_at_mut(t * width);
+            let prev = &prev[(t - 1) * width..];
+            // -inf + -inf is fine; +inf never occurs (increments are
+            // log-probs <= 0), so no NaN can appear.
+            for (c, p) in cur[..width].iter_mut().zip(prev) {
+                *c += p;
+            }
+        }
+        let row = &block[t * width..(t + 1) * width];
+        // Exact max first, tolerance filter second — the same two-pass
+        // semantics as `argmax_set`, but over this shard's contiguous row.
+        let mut best = f64::NEG_INFINITY;
+        for &s in row {
+            if s > best {
+                best = s;
+            }
+        }
+        maxima.push(best);
+        for (j, &s) in row.iter().enumerate() {
+            if loglik_cmp(s, best).is_eq() {
+                ties.push(((lo + j) as u32, s));
+            }
+        }
+        tie_starts.push(ties.len());
+        if top_k > 0 {
+            let start = top.len();
+            for (j, &s) in row.iter().enumerate() {
+                insert_top_k(&mut top, start, top_k, (lo + j) as u32, s);
+            }
+        }
+        top_starts.push(top.len());
+    }
+    ShardScores {
+        lo,
+        hi,
+        block: Some(block),
+        maxima,
+        ties,
+        tie_starts,
+        top,
+        top_starts,
+    }
+}
+
+/// Inserts `(index, score)` into the slot's running top-k buffer
+/// (`buffer[start..]`), kept sorted best-first with ties broken towards
+/// the lower index. Scores are never NaN (sums of log-probabilities).
+fn insert_top_k(buffer: &mut Vec<(u32, f64)>, start: usize, k: usize, index: u32, score: f64) {
+    let slot = &buffer[start..];
+    let pos = slot.partition_point(|&(i, s)| s > score || (s == score && i < index));
+    if pos >= k {
+        return;
+    }
+    buffer.insert(start + pos, (index, score));
+    if buffer.len() - start > k {
+        buffer.pop();
+    }
+}
+
+/// Merges shard-local per-slot candidates into global detections.
+///
+/// A shard candidate within tolerance of the *global* best is necessarily
+/// within tolerance of its shard-local best (local max ≤ global max), so
+/// filtering the shard candidate lists against the merged maximum loses
+/// nothing; shards are visited in index order, which keeps tie sets
+/// ascending exactly like `argmax_set`.
+fn merge_detections(scores: &ShardedScores) -> Vec<Detection> {
+    let mut out = Vec::with_capacity(scores.horizon);
+    for t in 0..scores.horizon {
+        let mut best = f64::NEG_INFINITY;
+        for shard in &scores.shards {
+            if shard.maxima[t] > best {
+                best = shard.maxima[t];
+            }
+        }
+        let mut tie_set = Vec::new();
+        for shard in &scores.shards {
+            for &(i, s) in &shard.ties[shard.tie_starts[t]..shard.tie_starts[t + 1]] {
+                if loglik_cmp(s, best).is_eq() {
+                    tie_set.push(i as usize);
+                }
+            }
+        }
+        out.push(Detection::new(tie_set));
+    }
+    out
+}
+
+/// Merges shard-local top-k lists into the global per-slot top-k ranking
+/// (indices only, best first; ties broken towards the lower index).
+fn merge_top_k(scores: &ShardedScores, k: usize) -> Vec<usize> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(scores.horizon * k);
+    let mut merged: Vec<(u32, f64)> = Vec::new();
+    for t in 0..scores.horizon {
+        merged.clear();
+        for shard in &scores.shards {
+            merged.extend_from_slice(&shard.top[shard.top_starts[t]..shard.top_starts[t + 1]]);
+        }
+        merged.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        merged.truncate(k);
+        out.extend(merged.iter().map(|&(i, _)| i as usize));
+    }
+    out
+}
+
+/// The flat `N × T` cumulative-score matrix produced by
+/// [`BatchPrefixDetector::score_prefixes`], with per-slot detections and
+/// top-k rankings extracted incrementally during the sharded pass.
+#[derive(Debug, Clone)]
+pub struct PrefixScores {
+    num_trajectories: usize,
+    horizon: usize,
+    /// Slot-major flat matrix: `scores[t * N + i]` is trajectory `i`'s
+    /// cumulative log-likelihood after slot `t`.
+    scores: Vec<f64>,
+    detections: Vec<Detection>,
+    top_k: usize,
+    /// Concatenated per-slot global top-k indices (`top_k` per slot).
+    top: Vec<usize>,
+}
+
+impl PrefixScores {
+    /// Number of trajectories `N`.
+    pub fn num_trajectories(&self) -> usize {
+        self.num_trajectories
+    }
+
+    /// Number of slots `T`.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// All `N` cumulative scores after slot `t` (one slot-major row of the
+    /// flat matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= horizon()`.
+    pub fn scores_at(&self, t: usize) -> &[f64] {
+        &self.scores[t * self.num_trajectories..(t + 1) * self.num_trajectories]
+    }
+
+    /// Trajectory `i`'s cumulative score after slot `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` or `i` is out of range.
+    pub fn score(&self, t: usize, i: usize) -> f64 {
+        assert!(i < self.num_trajectories, "trajectory index out of range");
+        self.scores[t * self.num_trajectories + i]
+    }
+
+    /// The detection (argmax tie set) at slot `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= horizon()`.
+    pub fn detection(&self, t: usize) -> &Detection {
+        &self.detections[t]
+    }
+
+    /// All per-slot detections.
+    pub fn detections(&self) -> &[Detection] {
+        &self.detections
+    }
+
+    /// Consumes the matrix, returning the per-slot detections.
+    pub fn into_detections(self) -> Vec<Detection> {
+        self.detections
+    }
+
+    /// The `k` requested at construction (clamped to `N`).
+    pub fn top_k(&self) -> usize {
+        self.top_k
+    }
+
+    /// The global top-k trajectory indices at slot `t`, best first; ties
+    /// break towards the lower index. Empty when constructed with
+    /// `top_k == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= horizon()`.
+    pub fn top_k_at(&self, t: usize) -> &[usize] {
+        assert!(t < self.horizon, "slot out of range");
+        if self.top_k == 0 {
+            return &[];
+        }
+        &self.top[t * self.top_k..(t + 1) * self.top_k]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::MlDetector;
+    use crate::CoreError;
+    use chaff_markov::models::ModelKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fleet(seed: u64, n: usize, horizon: usize) -> (MarkovChain, Vec<Trajectory>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let chain = MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng).unwrap()).unwrap();
+        let observed = (0..n)
+            .map(|_| chain.sample_trajectory(horizon, &mut rng))
+            .collect();
+        (chain, observed)
+    }
+
+    #[test]
+    fn matches_single_trajectory_path_bit_for_bit() {
+        let (chain, observed) = fleet(41, 137, 23);
+        let single = MlDetector.detect_prefixes(&chain, &observed).unwrap();
+        for shards in [1, 2, 3, 8, 137, 500] {
+            let batch = BatchPrefixDetector::with_shards(shards)
+                .detect_prefixes(&chain, &observed)
+                .unwrap();
+            assert_eq!(batch, single, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn full_detection_matches_ml_detector() {
+        let (chain, observed) = fleet(42, 64, 31);
+        let batch = BatchPrefixDetector::with_shards(4)
+            .detect(&chain, &observed)
+            .unwrap();
+        let single = MlDetector.detect(&chain, &observed).unwrap();
+        assert_eq!(batch, single);
+    }
+
+    #[test]
+    fn score_matrix_matches_prefix_log_likelihoods() {
+        let (chain, observed) = fleet(43, 17, 12);
+        let scores = BatchPrefixDetector::with_shards(3)
+            .score_prefixes(&chain, &observed, 0)
+            .unwrap();
+        assert_eq!(scores.num_trajectories(), 17);
+        assert_eq!(scores.horizon(), 12);
+        for (i, x) in observed.iter().enumerate() {
+            let prefix = chain.prefix_log_likelihoods(x);
+            for (t, &expected) in prefix.iter().enumerate() {
+                assert_eq!(
+                    scores.score(t, i).to_bits(),
+                    expected.to_bits(),
+                    "trajectory {i}, slot {t}"
+                );
+            }
+        }
+        assert_eq!(
+            scores.detections(),
+            MlDetector
+                .detect_prefixes(&chain, &observed)
+                .unwrap()
+                .as_slice()
+        );
+    }
+
+    #[test]
+    fn top_k_ranks_by_score_with_index_tie_breaks() {
+        let (chain, observed) = fleet(44, 29, 9);
+        let scores = BatchPrefixDetector::with_shards(4)
+            .score_prefixes(&chain, &observed, 5)
+            .unwrap();
+        for t in 0..scores.horizon() {
+            let top = scores.top_k_at(t);
+            assert_eq!(top.len(), 5);
+            // Reference: full sort of the slot row.
+            let row = scores.scores_at(t);
+            let mut expected: Vec<usize> = (0..row.len()).collect();
+            expected.sort_by(|&a, &b| row[b].total_cmp(&row[a]).then(a.cmp(&b)));
+            assert_eq!(top, &expected[..5], "slot {t}");
+            // The argmax is always ranked first.
+            assert_eq!(top[0], scores.detection(t).tie_set()[0]);
+        }
+    }
+
+    #[test]
+    fn top_k_is_independent_of_shard_count() {
+        let (chain, observed) = fleet(45, 41, 11);
+        let reference = BatchPrefixDetector::with_shards(1)
+            .score_prefixes(&chain, &observed, 7)
+            .unwrap();
+        for shards in [2, 5, 16] {
+            let scores = BatchPrefixDetector::with_shards(shards)
+                .score_prefixes(&chain, &observed, 7)
+                .unwrap();
+            for t in 0..scores.horizon() {
+                assert_eq!(scores.top_k_at(t), reference.top_k_at(t), "slot {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_trajectories_tie_across_shard_boundaries() {
+        let (chain, mut observed) = fleet(46, 6, 8);
+        // Force cross-shard ties: everyone walks the same path.
+        let x = observed[0].clone();
+        for slot in observed.iter_mut() {
+            *slot = x.clone();
+        }
+        let detections = BatchPrefixDetector::with_shards(3)
+            .detect_prefixes(&chain, &observed)
+            .unwrap();
+        for d in &detections {
+            assert_eq!(d.tie_set(), &[0, 1, 2, 3, 4, 5]);
+        }
+    }
+
+    #[test]
+    fn rejects_what_the_single_path_rejects() {
+        let (chain, _) = fleet(47, 2, 4);
+        let d = BatchPrefixDetector::new();
+        assert!(matches!(
+            d.detect_prefixes(&chain, &[]),
+            Err(CoreError::NoTrajectories)
+        ));
+        assert!(matches!(
+            d.detect_prefixes(&chain, &[Trajectory::new()]),
+            Err(CoreError::EmptyTrajectory)
+        ));
+        let ragged = vec![
+            Trajectory::from_indices([0, 1]),
+            Trajectory::from_indices([0]),
+        ];
+        assert!(matches!(
+            d.detect_prefixes(&chain, &ragged),
+            Err(CoreError::LengthMismatch { .. })
+        ));
+        let out = vec![Trajectory::from_indices([999])];
+        assert!(matches!(
+            d.detect(&chain, &out),
+            Err(CoreError::CellOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn impossible_trajectories_stay_neg_infinity() {
+        let m = chaff_markov::TransitionMatrix::from_rows(vec![vec![0.0, 1.0], vec![0.5, 0.5]])
+            .unwrap();
+        let chain = MarkovChain::new(m).unwrap();
+        let impossible = Trajectory::from_indices([0, 0]); // P(0->0) = 0
+        let possible = Trajectory::from_indices([0, 1]);
+        let detections = BatchPrefixDetector::with_shards(2)
+            .detect_prefixes(&chain, &[impossible, possible])
+            .unwrap();
+        assert_eq!(detections[1].tie_set(), &[1]);
+    }
+}

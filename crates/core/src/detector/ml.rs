@@ -49,12 +49,19 @@ impl MlDetector {
     /// slots `0..=t`.
     ///
     /// Runs in `O(N · T)` total — cumulative log-likelihoods are updated
-    /// incrementally.
+    /// incrementally. For fleet-scale populations prefer
+    /// [`BatchPrefixDetector`](super::BatchPrefixDetector), which produces
+    /// identical detections from a cached likelihood table in parallel
+    /// shards.
     ///
     /// # Errors
     ///
     /// Same conditions as [`detect`](MlDetector::detect).
-    pub fn detect_prefixes(&self, chain: &MarkovChain, observed: &[Trajectory]) -> Vec<Detection> {
+    pub fn detect_prefixes(
+        &self,
+        chain: &MarkovChain,
+        observed: &[Trajectory],
+    ) -> Result<Vec<Detection>> {
         self.detect_prefixes_among(chain, observed, None)
     }
 
@@ -64,13 +71,17 @@ impl MlDetector {
     /// with prefix detection.
     ///
     /// A `None` candidate set means all indices are candidates.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`detect`](MlDetector::detect).
     pub fn detect_prefixes_among(
         &self,
         chain: &MarkovChain,
         observed: &[Trajectory],
         candidates: Option<&[usize]>,
-    ) -> Vec<Detection> {
-        let horizon = observed.first().map_or(0, Trajectory::len);
+    ) -> Result<Vec<Detection>> {
+        let horizon = validate_observations(chain, observed)?;
         let n = observed.len();
         let mut cumulative = vec![0.0f64; n];
         let steps: Vec<Vec<f64>> = observed
@@ -85,16 +96,16 @@ impl MlDetector {
             }
             out.push(Detection::new(argmax_set(&cumulative, candidates)));
         }
-        out
+        Ok(out)
     }
 }
 
-/// Validates the observation set and returns full-trajectory
-/// log-likelihood scores.
-pub(crate) fn full_log_likelihoods(
-    chain: &MarkovChain,
-    observed: &[Trajectory],
-) -> Result<Vec<f64>> {
+/// Validates an observation set: non-empty, equal-length, in-range
+/// trajectories. Returns the common horizon.
+///
+/// Shared by every detector front-end so batch and per-trajectory paths
+/// reject exactly the same inputs.
+pub(crate) fn validate_observations(chain: &MarkovChain, observed: &[Trajectory]) -> Result<usize> {
     if observed.is_empty() {
         return Err(CoreError::NoTrajectories);
     }
@@ -118,6 +129,16 @@ pub(crate) fn full_log_likelihoods(
             }
         }
     }
+    Ok(horizon)
+}
+
+/// Validates the observation set and returns full-trajectory
+/// log-likelihood scores.
+pub(crate) fn full_log_likelihoods(
+    chain: &MarkovChain,
+    observed: &[Trajectory],
+) -> Result<Vec<f64>> {
+    validate_observations(chain, observed)?;
     Ok(observed.iter().map(|x| chain.log_likelihood(x)).collect())
 }
 
@@ -155,7 +176,7 @@ mod tests {
         // transition; b starts worse but self-loops cheaply.
         let a = Trajectory::from_indices([0, 1, 0, 1, 0, 1]);
         let b = Trajectory::from_indices([1, 1, 1, 1, 1, 1]);
-        let detections = MlDetector.detect_prefixes(&c, &[a, b]);
+        let detections = MlDetector.detect_prefixes(&c, &[a, b]).unwrap();
         assert_eq!(detections[0].tie_set(), &[0]); // pi(0) = 0.75 > pi(1)
         assert_eq!(detections[5].tie_set(), &[1]); // b has overtaken
     }
@@ -169,8 +190,32 @@ mod tests {
             Trajectory::from_indices([0, 1, 1, 0]),
         ];
         let full = MlDetector.detect(&c, &xs).unwrap();
-        let prefixes = MlDetector.detect_prefixes(&c, &xs);
+        let prefixes = MlDetector.detect_prefixes(&c, &xs).unwrap();
         assert_eq!(prefixes.last().unwrap(), &full);
+    }
+
+    #[test]
+    fn prefix_detection_rejects_what_detect_rejects() {
+        let c = chain();
+        assert!(matches!(
+            MlDetector.detect_prefixes(&c, &[]),
+            Err(CoreError::NoTrajectories)
+        ));
+        assert!(matches!(
+            MlDetector.detect_prefixes(&c, &[Trajectory::new()]),
+            Err(CoreError::EmptyTrajectory)
+        ));
+        let short = Trajectory::from_indices([0]);
+        let long = Trajectory::from_indices([0, 1]);
+        assert!(matches!(
+            MlDetector.detect_prefixes(&c, &[long.clone(), short]),
+            Err(CoreError::LengthMismatch { .. })
+        ));
+        let out = Trajectory::from_indices([0, 5]);
+        assert!(matches!(
+            MlDetector.detect_prefixes_among(&c, &[long, out], None),
+            Err(CoreError::CellOutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -16,15 +16,111 @@
 //!   t" means in the paper's figures (the eavesdropper tracks in real
 //!   time).
 //!
+//! Both forms sit behind the shared [`Detector`] trait; the fleet engine
+//! swaps in [`BatchPrefixDetector`], which computes identical detections
+//! from a cached likelihood table in parallel shards (see [`batch`]).
+//!
 //! Ties are returned explicitly as the full argmax set; accuracy metrics
 //! average over the set, which equals the expectation over the paper's
 //! "random guess among ties" without adding Monte Carlo noise.
 
 mod advanced;
+pub mod batch;
 mod ml;
 
 pub use advanced::AdvancedDetector;
+pub use batch::{BatchPrefixDetector, PrefixScores};
 pub use ml::MlDetector;
+
+use chaff_markov::{MarkovChain, Trajectory};
+
+/// The shared interface of every eavesdropper-side detector.
+///
+/// A detector maps an observation set (one anonymous trajectory per
+/// service) to the decision(s) an eavesdropper would make:
+/// [`detect`](Detector::detect) from full trajectories,
+/// [`detect_prefixes`](Detector::detect_prefixes) once per slot. All
+/// implementations validate the observation set the same way (non-empty,
+/// equal lengths, cells in range) and return the same tie-set semantics,
+/// so simulation drivers can switch the per-trajectory and batched cores
+/// freely.
+pub trait Detector {
+    /// Short name used in reports and logs (e.g. `"ML"`).
+    fn name(&self) -> &'static str;
+
+    /// One decision from the full trajectories.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no trajectories are supplied, when they are
+    /// empty, have differing lengths, or visit out-of-range cells.
+    fn detect(&self, chain: &MarkovChain, observed: &[Trajectory]) -> crate::Result<Detection>;
+
+    /// One decision per slot `t`, using only slots `0..=t`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`detect`](Detector::detect).
+    fn detect_prefixes(
+        &self,
+        chain: &MarkovChain,
+        observed: &[Trajectory],
+    ) -> crate::Result<Vec<Detection>>;
+}
+
+impl Detector for MlDetector {
+    fn name(&self) -> &'static str {
+        "ML"
+    }
+
+    fn detect(&self, chain: &MarkovChain, observed: &[Trajectory]) -> crate::Result<Detection> {
+        MlDetector::detect(self, chain, observed)
+    }
+
+    fn detect_prefixes(
+        &self,
+        chain: &MarkovChain,
+        observed: &[Trajectory],
+    ) -> crate::Result<Vec<Detection>> {
+        MlDetector::detect_prefixes(self, chain, observed)
+    }
+}
+
+impl Detector for BatchPrefixDetector {
+    fn name(&self) -> &'static str {
+        "batch-ML"
+    }
+
+    fn detect(&self, chain: &MarkovChain, observed: &[Trajectory]) -> crate::Result<Detection> {
+        BatchPrefixDetector::detect(self, chain, observed)
+    }
+
+    fn detect_prefixes(
+        &self,
+        chain: &MarkovChain,
+        observed: &[Trajectory],
+    ) -> crate::Result<Vec<Detection>> {
+        BatchPrefixDetector::detect_prefixes(self, chain, observed)
+    }
+}
+
+impl Detector for AdvancedDetector<'_> {
+    fn name(&self) -> &'static str {
+        "advanced"
+    }
+
+    fn detect(&self, chain: &MarkovChain, observed: &[Trajectory]) -> crate::Result<Detection> {
+        AdvancedDetector::detect(self, chain, observed)
+    }
+
+    fn detect_prefixes(
+        &self,
+        chain: &MarkovChain,
+        observed: &[Trajectory],
+    ) -> crate::Result<Vec<Detection>> {
+        AdvancedDetector::detect_prefixes(self, chain, observed)
+    }
+}
 
 /// Outcome of one detection decision: the set of trajectory indices that
 /// attain the maximum posterior (usually a single element; larger on ties).

@@ -51,7 +51,7 @@
 //! // ...versus a maximum-likelihood eavesdropper.
 //! let mut observed = vec![user.clone()];
 //! observed.extend(chaffs);
-//! let detections = MlDetector.detect_prefixes(&chain, &observed);
+//! let detections = MlDetector.detect_prefixes(&chain, &observed)?;
 //! let accuracy = tracking_accuracy_series(&observed, 0, &detections);
 //! let time_avg = accuracy.iter().sum::<f64>() / accuracy.len() as f64;
 //! assert!(time_avg < 0.5, "the chaff should defeat most tracking");

@@ -80,7 +80,7 @@ fn horizon_one_works_everywhere() {
     );
     let d = MlDetector.detect(&chain, &observed).unwrap();
     assert!(!d.tie_set().is_empty());
-    let detections = MlDetector.detect_prefixes(&chain, &observed);
+    let detections = MlDetector.detect_prefixes(&chain, &observed).unwrap();
     assert_eq!(detections.len(), 1);
 }
 
@@ -112,7 +112,7 @@ fn long_horizon_numerical_stability() {
     assert!(chain.log_likelihood(chaff).is_finite());
     let mut observed = vec![user];
     observed.push(chaff.clone());
-    let detections = MlDetector.detect_prefixes(&chain, &observed);
+    let detections = MlDetector.detect_prefixes(&chain, &observed).unwrap();
     assert_eq!(detections.len(), 5_000);
 }
 
@@ -239,7 +239,7 @@ fn empirical_style_trajectory_detection_roundtrip() {
         let chaffs = strategy.generate(&chain, &pool[0], 2, &mut rng).unwrap();
         let mut observed = pool.clone();
         observed.extend(chaffs);
-        let detections = MlDetector.detect_prefixes(&chain, &observed);
+        let detections = MlDetector.detect_prefixes(&chain, &observed).unwrap();
         let series = chaff_core::metrics::tracking_accuracy_series(&observed, 0, &detections);
         assert_eq!(series.len(), 30);
         assert!(series.iter().all(|&a| (0.0..=1.0).contains(&a)), "{kind}");

@@ -111,7 +111,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let xs: Vec<Trajectory> =
             (0..3).map(|_| chain.sample_trajectory(horizon, &mut rng)).collect();
-        let prefixes = MlDetector.detect_prefixes(&chain, &xs);
+        let prefixes = MlDetector.detect_prefixes(&chain, &xs).unwrap();
         #[allow(clippy::needless_range_loop)]
         for t in 0..horizon {
             let truncated: Vec<Trajectory> = xs
@@ -194,5 +194,85 @@ proptest! {
         let shorter = trellis::most_likely_trajectory(&chain, horizon - 1, None).unwrap();
         let longer = trellis::most_likely_trajectory(&chain, horizon, None).unwrap();
         prop_assert!(longer.cost >= shorter.cost - 1e-9);
+    }
+}
+
+// Batch/single detection equivalence: the fleet detection core must be a
+// drop-in replacement for the per-trajectory path (same detections,
+// bit-for-bit) and its sharding must be unobservable.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn batch_detector_matches_single_path_exactly(
+        chain in arb_chain(),
+        seed in 0u64..1000,
+        population in 1usize..60,
+        horizon in 1usize..25,
+        shards in 1usize..8,
+    ) {
+        use chaff_core::detector::BatchPrefixDetector;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let observed: Vec<Trajectory> = (0..population)
+            .map(|_| chain.sample_trajectory(horizon, &mut rng))
+            .collect();
+        let single = MlDetector.detect_prefixes(&chain, &observed).unwrap();
+        let batch = BatchPrefixDetector::with_shards(shards)
+            .detect_prefixes(&chain, &observed)
+            .unwrap();
+        prop_assert_eq!(&batch, &single);
+        // The full-trajectory decision coincides with the last prefix.
+        let full = BatchPrefixDetector::with_shards(shards)
+            .detect(&chain, &observed)
+            .unwrap();
+        prop_assert_eq!(&full, single.last().unwrap());
+    }
+
+    #[test]
+    fn batch_detector_is_invariant_to_shard_count(
+        chain in arb_chain(),
+        seed in 0u64..1000,
+        population in 2usize..50,
+        horizon in 1usize..20,
+    ) {
+        use chaff_core::detector::BatchPrefixDetector;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Include duplicated trajectories so ties regularly straddle
+        // shard boundaries.
+        let mut observed: Vec<Trajectory> = (0..population)
+            .map(|_| chain.sample_trajectory(horizon, &mut rng))
+            .collect();
+        let copy = observed[0].clone();
+        observed.push(copy);
+        let reference = BatchPrefixDetector::with_shards(1)
+            .detect_prefixes(&chain, &observed)
+            .unwrap();
+        for shards in [2usize, 3, 5, 16, 64] {
+            let sharded = BatchPrefixDetector::with_shards(shards)
+                .detect_prefixes(&chain, &observed)
+                .unwrap();
+            prop_assert_eq!(&sharded, &reference, "shards = {}", shards);
+        }
+    }
+
+    #[test]
+    fn batch_detector_equivalence_survives_chaff_strategies(
+        chain in arb_chain(),
+        seed in 0u64..1000,
+        horizon in 2usize..20,
+    ) {
+        use chaff_core::detector::BatchPrefixDetector;
+        // Strategy-generated observation sets (not i.i.d. fleet draws)
+        // exercise ties and -inf scores more aggressively.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let user = chain.sample_trajectory(horizon, &mut rng);
+        let mut observed = vec![user.clone()];
+        observed.extend(MlStrategy.generate(&chain, &user, 2, &mut rng).unwrap());
+        observed.extend(ImStrategy.generate(&chain, &user, 2, &mut rng).unwrap());
+        let single = MlDetector.detect_prefixes(&chain, &observed).unwrap();
+        let batch = BatchPrefixDetector::with_shards(3)
+            .detect_prefixes(&chain, &observed)
+            .unwrap();
+        prop_assert_eq!(batch, single);
     }
 }

@@ -4,7 +4,7 @@
 //! repro <experiment> [--runs N] [--seed S] [--out DIR] [--quick]
 //!
 //! experiments: table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 theory
-//!              multiuser all
+//!              multiuser fleet_scaling all
 //! ```
 //!
 //! ASCII renderings go to stdout; CSV files go to `--out` (default
@@ -54,7 +54,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|theory|multiuser|all> \
+    "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|theory|multiuser|fleet_scaling|all> \
      [--runs N] [--seed S] [--out DIR] [--quick]"
         .to_string()
 }
@@ -145,6 +145,17 @@ fn run_experiment(name: &str, args: &Args) -> chaff_eval::Result<()> {
                 emit_figure(&experiments::multiuser::run(&synth, kind)?, &args.out)?;
             }
         }
+        "fleet_scaling" => {
+            let populations: &[usize] = if args.quick {
+                &experiments::fleet_scaling::QUICK_POPULATIONS
+            } else {
+                &experiments::fleet_scaling::POPULATIONS
+            };
+            emit_table(
+                &experiments::fleet_scaling::run_with_populations(&synth, populations)?,
+                &args.out,
+            )?;
+        }
         "all" => {
             for exp in [
                 "table1",
@@ -157,6 +168,7 @@ fn run_experiment(name: &str, args: &Args) -> chaff_eval::Result<()> {
                 "fig10",
                 "theory",
                 "multiuser",
+                "fleet_scaling",
             ] {
                 println!("==== {exp} ====");
                 run_experiment(exp, args)?;

@@ -75,7 +75,9 @@ fn advanced_accuracy(
         }
         _ => None,
     };
-    let detections = MlDetector.detect_prefixes_among(model, &observed, candidates.as_deref());
+    let detections = MlDetector
+        .detect_prefixes_among(model, &observed, candidates.as_deref())
+        .expect("validated observations");
     time_average(&tracking_accuracy_series(&observed, user, &detections))
 }
 

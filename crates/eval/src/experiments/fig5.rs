@@ -45,7 +45,9 @@ fn one_run(chain: &MarkovChain, horizon: usize, seed: u64) -> Vec<Vec<f64>> {
                 .expect("valid user trajectory");
             let mut observed = vec![user.clone()];
             observed.extend(chaffs);
-            let detections = MlDetector.detect_prefixes(chain, &observed);
+            let detections = MlDetector
+                .detect_prefixes(chain, &observed)
+                .expect("validated observations");
             tracking_accuracy_series(&observed, 0, &detections)
         })
         .collect()

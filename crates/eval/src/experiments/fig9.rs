@@ -36,7 +36,9 @@ fn accuracy_with_chaffs(
 ) -> f64 {
     let mut observed = pool.to_vec();
     observed.extend(chaffs);
-    let detections = MlDetector.detect_prefixes(model, &observed);
+    let detections = MlDetector
+        .detect_prefixes(model, &observed)
+        .expect("validated observations");
     time_average(&tracking_accuracy_series(&observed, user, &detections))
 }
 

@@ -1,0 +1,151 @@
+//! Extension experiment: fleet-engine throughput scaling.
+//!
+//! The ROADMAP's north star is serving millions of users; this
+//! experiment measures how far the fleet engine gets on the current
+//! host. For each population size it runs one natural-protection fleet
+//! ([`chaff_sim::fleet::FleetSimulation`]) and one batched detection
+//! pass ([`BatchPrefixDetector`]), reporting throughput in **user-slots
+//! per second** (users × slots ÷ wall-clock) alongside the tracking accuracy
+//! and its eq. (11) prediction — so a performance regression and a
+//! correctness regression are visible in the same table.
+
+use super::{build_model, SyntheticConfig};
+use crate::report::Table;
+use chaff_core::detector::BatchPrefixDetector;
+use chaff_core::metrics::{time_average, tracking_accuracy_series};
+use chaff_core::theory::im_tracking_accuracy;
+use chaff_markov::models::ModelKind;
+use std::time::Instant;
+
+/// Populations swept by the full experiment.
+pub const POPULATIONS: [usize; 3] = [100, 1_000, 10_000];
+
+/// Populations swept under `--quick`.
+pub const QUICK_POPULATIONS: [usize; 3] = [50, 200, 1_000];
+
+/// One measured row of the scaling table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Fleet size `N`.
+    pub num_users: usize,
+    /// Simulated user-slots.
+    pub user_slots: usize,
+    /// Fleet-simulation throughput (user-slots/sec).
+    pub sim_throughput: f64,
+    /// Batched-detection throughput (user-slots/sec).
+    pub detect_throughput: f64,
+    /// Mean tracking accuracy over all designated users.
+    pub accuracy: f64,
+    /// The eq. (11) prediction for this `N`.
+    pub predicted: f64,
+}
+
+/// Measures one fleet size.
+///
+/// # Errors
+///
+/// Propagates fleet-configuration errors.
+pub fn measure(
+    chain: &chaff_markov::MarkovChain,
+    num_users: usize,
+    horizon: usize,
+    seed: u64,
+) -> crate::Result<ScalingPoint> {
+    use chaff_sim::fleet::{FleetConfig, FleetSimulation};
+
+    let config = FleetConfig::new(num_users, horizon).with_seed(seed);
+    let sim_started = Instant::now();
+    let outcome = FleetSimulation::new(chain, config).run_natural()?;
+    let sim_elapsed = sim_started.elapsed().as_secs_f64();
+
+    let detector = BatchPrefixDetector::new();
+    let detect_started = Instant::now();
+    let detections = detector.detect_prefixes(chain, &outcome.observed)?;
+    let detect_elapsed = detect_started.elapsed().as_secs_f64();
+
+    let total: f64 = outcome
+        .user_observed_indices
+        .iter()
+        .map(|&u| time_average(&tracking_accuracy_series(&outcome.observed, u, &detections)))
+        .sum();
+    let user_slots = outcome.stats.user_slots;
+    Ok(ScalingPoint {
+        num_users,
+        user_slots,
+        sim_throughput: user_slots as f64 / sim_elapsed.max(f64::MIN_POSITIVE),
+        detect_throughput: user_slots as f64 / detect_elapsed.max(f64::MIN_POSITIVE),
+        accuracy: total / num_users as f64,
+        predicted: im_tracking_accuracy(chain.initial(), num_users),
+    })
+}
+
+/// Runs the scaling sweep over `populations` (the repro binary passes
+/// [`POPULATIONS`] or [`QUICK_POPULATIONS`]).
+///
+/// # Errors
+///
+/// Propagates model-construction and fleet errors.
+pub fn run_with_populations(
+    config: &SyntheticConfig,
+    populations: &[usize],
+) -> crate::Result<Table> {
+    let chain = build_model(ModelKind::NonSkewed, config)?;
+    let mut table = Table::new(
+        "fleet_scaling",
+        "fleet engine throughput and accuracy vs population size",
+        vec![
+            "N".into(),
+            "user-slots".into(),
+            "sim user-slots/s".into(),
+            "detect user-slots/s".into(),
+            "accuracy".into(),
+            "eq. (11)".into(),
+        ],
+    );
+    for (i, &n) in populations.iter().enumerate() {
+        let point = measure(&chain, n, config.horizon, config.seed ^ (0xF1EE + i as u64))?;
+        table.push(vec![
+            point.num_users.to_string(),
+            point.user_slots.to_string(),
+            format!("{:.0}", point.sim_throughput),
+            format!("{:.0}", point.detect_throughput),
+            format!("{:.4}", point.accuracy),
+            format!("{:.4}", point.predicted),
+        ]);
+    }
+    Ok(table)
+}
+
+/// Runs the full sweep.
+///
+/// # Errors
+///
+/// Propagates model-construction and fleet errors.
+pub fn run(config: &SyntheticConfig) -> crate::Result<Table> {
+    run_with_populations(config, &POPULATIONS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_points_are_sane() {
+        let config = SyntheticConfig::quick();
+        let chain = build_model(ModelKind::NonSkewed, &config).unwrap();
+        let point = measure(&chain, 64, 10, 5).unwrap();
+        assert_eq!(point.user_slots, 640);
+        assert!(point.sim_throughput > 0.0);
+        assert!(point.detect_throughput > 0.0);
+        assert!((0.0..=1.0).contains(&point.accuracy));
+        // With 64 exchangeable users the accuracy sits near eq. (11).
+        assert!((point.accuracy - point.predicted).abs() < 0.1);
+    }
+
+    #[test]
+    fn table_has_one_row_per_population() {
+        let config = SyntheticConfig::quick();
+        let table = run_with_populations(&config, &[8, 32]).unwrap();
+        assert_eq!(table.rows.len(), 2);
+    }
+}

@@ -7,6 +7,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet_scaling;
 pub mod multiuser;
 pub mod table1;
 pub mod theory;
@@ -147,7 +148,9 @@ pub fn rank_users_by_trackability(
 
     let model = dataset.model();
     let observed = dataset.trajectories();
-    let detections = MlDetector.detect_prefixes(model, observed);
+    let detections = MlDetector
+        .detect_prefixes(model, observed)
+        .expect("trace trajectories are uniform");
     let mut ranked: Vec<(usize, f64)> = (0..observed.len())
         .map(|u| {
             let series = tracking_accuracy_series(observed, u, &detections);

@@ -1,23 +1,90 @@
-//! Extension experiment: coexisting users as natural chaffs.
+//! Extension experiment: coexisting users as natural chaffs, at fleet
+//! scale.
 //!
 //! Sec. II-A remarks that in a multi-user system every other user (and
 //! their chaffs) adds protection, so the single-user results are lower
-//! bounds. Here all `N` trajectories are real users following the same
+//! bounds; the extended version (arXiv:1709.03133) frames them the same
+//! way. Here all `N` trajectories are real users following the same
 //! model — statistically identical to the IM strategy — and the measured
-//! accuracy of tracking a designated user should match eq. (11) exactly.
+//! accuracy of tracking a designated user should match eq. (11).
+//!
+//! The sweep runs on the fleet engine
+//! ([`chaff_sim::fleet::FleetSimulation`]) with the batched detection
+//! core ([`BatchPrefixDetector`]), which keeps populations up to
+//! `N = 10,000` tractable. Users are exchangeable, so each fleet run
+//! averages the tracking accuracy over *every* user as its designated
+//! target — `N` correlated-but-distinct samples per run — and the Monte
+//! Carlo budget shrinks as the population grows.
 
 use super::{build_model, SyntheticConfig};
 use crate::montecarlo;
 use crate::report::{Figure, Series};
-use chaff_core::detector::MlDetector;
+use chaff_core::detector::BatchPrefixDetector;
 use chaff_core::metrics::{time_average, tracking_accuracy_series};
 use chaff_core::theory::im_tracking_accuracy;
 use chaff_markov::models::ModelKind;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use chaff_markov::MarkovChain;
+use chaff_sim::fleet::{FleetConfig, FleetSimulation};
 
-/// Population sizes swept.
-const POPULATIONS: [usize; 5] = [2, 5, 10, 20, 50];
+/// Population sizes swept: the paper-scale regime plus the fleet-scale
+/// extension.
+pub const POPULATIONS: [usize; 8] = [2, 5, 10, 20, 50, 100, 1_000, 10_000];
+
+/// One fleet run: mean (over all designated users) time-average tracking
+/// accuracy.
+fn fleet_run_accuracy(
+    chain: &MarkovChain,
+    n: usize,
+    horizon: usize,
+    seed: u64,
+    shards: Option<usize>,
+) -> f64 {
+    let mut config = FleetConfig::new(n, horizon).with_seed(seed);
+    if let Some(shards) = shards {
+        config = config.with_shards(shards);
+    }
+    let detector = match shards {
+        Some(s) => BatchPrefixDetector::with_shards(s),
+        None => BatchPrefixDetector::new(),
+    };
+    let outcome = FleetSimulation::new(chain, config)
+        .run_natural()
+        .expect("valid fleet config");
+    let detections = detector
+        .detect_prefixes(chain, &outcome.observed)
+        .expect("uniform fleet observations");
+    let total: f64 = outcome
+        .user_observed_indices
+        .iter()
+        .map(|&u| time_average(&tracking_accuracy_series(&outcome.observed, u, &detections)))
+        .sum();
+    total / n as f64
+}
+
+/// Simulated tracking accuracy for one population size, spreading the
+/// Monte Carlo budget across runs (small fleets) or users (large fleets).
+fn population_accuracy(chain: &MarkovChain, n: usize, config: &SyntheticConfig, salt: u64) -> f64 {
+    // Keep roughly `runs` designated-user samples regardless of N.
+    let runs = config.runs.div_ceil(n).max(1);
+    let base = config.seed ^ salt;
+    if runs == 1 {
+        // One big fleet: let the engine parallelize internally.
+        fleet_run_accuracy(
+            chain,
+            n,
+            config.horizon,
+            montecarlo::run_seed(base, 0),
+            None,
+        )
+    } else {
+        // Many small fleets: parallelize over runs, keep each fleet
+        // single-sharded so threads do not multiply.
+        let accuracies = montecarlo::run_parallel(runs, base, |_, seed| {
+            fleet_run_accuracy(chain, n, config.horizon, seed, Some(1))
+        });
+        accuracies.iter().sum::<f64>() / accuracies.len().max(1) as f64
+    }
+}
 
 /// Runs the experiment for one model: simulated multi-user tracking
 /// accuracy vs the eq. (11) prediction, as a function of the population
@@ -30,17 +97,7 @@ pub fn run(config: &SyntheticConfig, kind: ModelKind) -> crate::Result<Figure> {
     let chain = build_model(kind, config)?;
     let mut simulated = Vec::with_capacity(POPULATIONS.len());
     for (i, &n) in POPULATIONS.iter().enumerate() {
-        let accuracies =
-            montecarlo::run_parallel(config.runs, config.seed ^ (0xAA00 + i as u64), |_, seed| {
-                let mut rng = StdRng::seed_from_u64(seed);
-                let observed: Vec<_> = (0..n)
-                    .map(|_| chain.sample_trajectory(config.horizon, &mut rng))
-                    .collect();
-                let detections = MlDetector.detect_prefixes(&chain, &observed);
-                // Track user 0 (all users are exchangeable).
-                time_average(&tracking_accuracy_series(&observed, 0, &detections))
-            });
-        simulated.push(accuracies.iter().sum::<f64>() / accuracies.len().max(1) as f64);
+        simulated.push(population_accuracy(&chain, n, config, 0xAA00 + i as u64));
     }
     let mut figure = Figure::new(
         format!("multiuser_{}", kind.letter()),
@@ -66,7 +123,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn simulation_matches_equation_11() {
+    fn simulation_matches_equation_11_through_fleet_scale() {
         let config = SyntheticConfig {
             runs: 2000,
             horizon: 40,
@@ -75,11 +132,25 @@ mod tests {
         let figure = run(&config, ModelKind::NonSkewed).unwrap();
         let sim = &figure.series[0].y;
         let formula = &figure.series[1].y;
-        for (s, f) in sim.iter().zip(formula) {
-            assert!((s - f).abs() < 0.05, "sim {s} vs formula {f}");
+        for ((s, f), &n) in sim.iter().zip(formula).zip(POPULATIONS.iter()) {
+            assert!((s - f).abs() < 0.05, "N = {n}: sim {s} vs formula {f}");
         }
         // Accuracy decreases with population but plateaus at the
         // collision probability.
         assert!(sim.last().unwrap() < &sim[0]);
+        let collision = sim.last().unwrap();
+        assert!(
+            (collision - formula.last().unwrap()).abs() < 0.05,
+            "fleet-scale plateau"
+        );
+    }
+
+    #[test]
+    fn fleet_accuracy_is_deterministic_in_the_seed() {
+        let config = SyntheticConfig::quick();
+        let chain = build_model(ModelKind::NonSkewed, &config).unwrap();
+        let a = fleet_run_accuracy(&chain, 200, 20, 99, None);
+        let b = fleet_run_accuracy(&chain, 200, 20, 99, Some(3));
+        assert_eq!(a, b, "shard count must not affect results");
     }
 }

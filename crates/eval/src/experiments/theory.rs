@@ -36,7 +36,9 @@ fn simulate_strategy(
             .expect("valid user");
         let mut observed = vec![user];
         observed.extend(chaffs);
-        let detections = MlDetector.detect_prefixes(chain, &observed);
+        let detections = MlDetector
+            .detect_prefixes(chain, &observed)
+            .expect("validated observations");
         time_average(&tracking_accuracy_series(&observed, 0, &detections))
     });
     accuracies.iter().sum::<f64>() / accuracies.len().max(1) as f64

@@ -15,7 +15,8 @@
 //! | `fig9` | trace: per-user accuracy, top-5 users with one chaff | [`experiments::fig9`] |
 //! | `fig10` | trace: advanced eavesdropper with two chaffs | [`experiments::fig10`] |
 //! | `theory` | eq. (11)/(12) and Theorem V.4 checks | [`experiments::theory`] |
-//! | `multiuser` | extension: coexisting users as natural chaffs | [`experiments::multiuser`] |
+//! | `multiuser` | extension: coexisting users as natural chaffs (fleet engine, N ≤ 10,000) | [`experiments::multiuser`] |
+//! | `fleet_scaling` | extension: fleet-engine throughput (user-slots/sec) vs N | [`experiments::fleet_scaling`] |
 //!
 //! All experiments are deterministic given their seed; Monte Carlo
 //! averaging runs on all cores via [`montecarlo`].

@@ -19,6 +19,8 @@
 //!   stationary distribution).
 //! * [`MarkovChain`] — a transition matrix bundled with its initial
 //!   (stationary) distribution; sampling and log-likelihoods.
+//! * [`LogLikelihoodTable`] — precomputed columnar log-likelihood kernel
+//!   for batch (fleet-scale) trajectory scoring.
 //! * [`Trajectory`] — a sequence of cells over discrete time slots.
 //! * [`models`] — the four synthetic mobility models of Sec. VII-A.
 //! * [`entropy`], [`mixing`], [`stationary`] — analysis helpers.
@@ -47,6 +49,7 @@ mod cell;
 mod chain;
 mod distribution;
 mod error;
+mod loglik;
 mod matrix;
 mod trajectory;
 
@@ -59,6 +62,7 @@ pub use cell::CellId;
 pub use chain::MarkovChain;
 pub use distribution::StateDistribution;
 pub use error::MarkovError;
+pub use loglik::{LogLikelihoodTable, DENSE_STATE_LIMIT};
 pub use matrix::TransitionMatrix;
 pub use trajectory::Trajectory;
 

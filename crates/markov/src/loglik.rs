@@ -1,0 +1,343 @@
+//! Columnar log-likelihood kernel: a precomputed log-transition table
+//! plus slot-major batch scoring for fleet-scale detection.
+//!
+//! [`MarkovChain::log_likelihood`] recomputes `ln` per step and walks the
+//! matrix row by row per trajectory — fine for one user, wasteful for a
+//! fleet. [`LogLikelihoodTable`] pays the `ln` cost once per model (dense
+//! table for small state spaces, sparse per-row tables above
+//! [`DENSE_STATE_LIMIT`]) and then scores arbitrarily many trajectories
+//! with pure lookups. [`LogLikelihoodTable::step_log_likelihoods_batch`]
+//! emits the increments *slot-major* (`out[t * n + i]`), which is exactly
+//! the access order of a per-slot cumulative-score update, so the batched
+//! detectors in `chaff-core` stream it with unit stride.
+
+use crate::{CellId, MarkovChain, Trajectory};
+
+/// Largest state-space size for which the dense `L × L` log table is
+/// materialized; larger models use sparse per-row tables (trace-driven
+/// matrices are extremely sparse, so the dense table would be mostly
+/// `-inf` padding).
+pub const DENSE_STATE_LIMIT: usize = 2048;
+
+/// Storage backing a [`LogLikelihoodTable`].
+#[derive(Debug, Clone)]
+enum TableStorage {
+    /// Row-major `n * n` log-probabilities (`-inf` on zero entries).
+    Dense(Vec<f64>),
+    /// CSR-style per-row support: `cols[row_starts[i]..row_starts[i+1]]`
+    /// are the sorted positive-probability destinations from `i`, with
+    /// matching log-probabilities in `logs`.
+    Sparse {
+        row_starts: Vec<usize>,
+        cols: Vec<u32>,
+        logs: Vec<f64>,
+    },
+}
+
+/// A precomputed log-likelihood table for one mobility model.
+///
+/// Holds `log π` and `log P` so that scoring a step is a table lookup
+/// instead of a `ln` evaluation. Build it once per model via
+/// [`MarkovChain::log_likelihood_table`] and reuse it across every
+/// trajectory in a fleet.
+///
+/// # Example
+///
+/// ```
+/// use chaff_markov::{MarkovChain, Trajectory, TransitionMatrix};
+///
+/// # fn main() -> Result<(), chaff_markov::MarkovError> {
+/// let m = TransitionMatrix::from_rows(vec![vec![0.9, 0.1], vec![0.3, 0.7]])?;
+/// let chain = MarkovChain::new(m)?;
+/// let table = chain.log_likelihood_table();
+/// let x = Trajectory::from_indices([0, 0, 1]);
+/// let steps = table.step_log_likelihoods_batch(&[x.clone()]);
+/// let total: f64 = steps.iter().sum();
+/// assert!((total - chain.log_likelihood(&x)).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogLikelihoodTable {
+    n: usize,
+    log_initial: Vec<f64>,
+    transitions: TableStorage,
+}
+
+impl LogLikelihoodTable {
+    /// Builds the table for `chain`, choosing dense or sparse storage by
+    /// state-space size.
+    pub fn new(chain: &MarkovChain) -> Self {
+        Self::with_storage(chain, chain.num_states() <= DENSE_STATE_LIMIT)
+    }
+
+    /// Builds the table with an explicit storage choice. Exposed so tests
+    /// and memory-constrained callers can force the sparse representation
+    /// below [`DENSE_STATE_LIMIT`].
+    pub fn with_storage(chain: &MarkovChain, dense: bool) -> Self {
+        let n = chain.num_states();
+        let log_initial: Vec<f64> = (0..n)
+            .map(|i| chain.initial().log_prob(CellId::new(i)))
+            .collect();
+        let transitions = if dense {
+            let mut data = vec![f64::NEG_INFINITY; n * n];
+            for i in 0..n {
+                let from = CellId::new(i);
+                for (to, p) in chain.matrix().successors(from) {
+                    data[i * n + to.index()] = p.ln();
+                }
+            }
+            TableStorage::Dense(data)
+        } else {
+            let mut row_starts = Vec::with_capacity(n + 1);
+            let mut cols = Vec::with_capacity(chain.matrix().nnz());
+            let mut logs = Vec::with_capacity(chain.matrix().nnz());
+            row_starts.push(0);
+            for i in 0..n {
+                let from = CellId::new(i);
+                for (to, p) in chain.matrix().successors(from) {
+                    cols.push(to.index() as u32);
+                    logs.push(p.ln());
+                }
+                row_starts.push(cols.len());
+            }
+            TableStorage::Sparse {
+                row_starts,
+                cols,
+                logs,
+            }
+        };
+        LogLikelihoodTable {
+            n,
+            log_initial,
+            transitions,
+        }
+    }
+
+    /// Number of cells in the state space.
+    #[inline]
+    pub fn num_states(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the table uses the dense `n × n` representation.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.transitions, TableStorage::Dense(_))
+    }
+
+    /// `log π(cell)`.
+    #[inline]
+    pub fn log_initial(&self, cell: CellId) -> f64 {
+        self.log_initial[cell.index()]
+    }
+
+    /// `log P(to | from)`; `-inf` when the transition has zero probability.
+    #[inline]
+    pub fn log_transition(&self, from: CellId, to: CellId) -> f64 {
+        match &self.transitions {
+            TableStorage::Dense(data) => data[from.index() * self.n + to.index()],
+            TableStorage::Sparse {
+                row_starts,
+                cols,
+                logs,
+            } => {
+                let range = row_starts[from.index()]..row_starts[from.index() + 1];
+                match cols[range.clone()].binary_search(&(to.index() as u32)) {
+                    Ok(offset) => logs[range.start + offset],
+                    Err(_) => f64::NEG_INFINITY,
+                }
+            }
+        }
+    }
+
+    /// The per-slot increment for slot `t`: `log π(x_t)` at the first slot,
+    /// `log P(x_t | x_{t-1})` afterwards.
+    #[inline]
+    pub fn step(&self, prev: Option<CellId>, cell: CellId) -> f64 {
+        match prev {
+            None => self.log_initial(cell),
+            Some(p) => self.log_transition(p, cell),
+        }
+    }
+
+    /// Scores many trajectories at once, returning the per-slot increments
+    /// *slot-major*: element `t * trajectories.len() + i` is trajectory
+    /// `i`'s increment at slot `t` (cf.
+    /// [`MarkovChain::step_log_likelihoods`], which is per-trajectory).
+    ///
+    /// All trajectories must have equal lengths and in-range cells —
+    /// callers (the batch detectors) validate; out-of-range cells panic
+    /// here via slice indexing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when trajectory lengths differ or a cell is out of range.
+    pub fn step_log_likelihoods_batch(&self, trajectories: &[Trajectory]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.step_log_likelihoods_batch_into(trajectories, &mut out);
+        out
+    }
+
+    /// [`step_log_likelihoods_batch`](Self::step_log_likelihoods_batch)
+    /// writing into a caller-provided buffer (cleared first), so fleet
+    /// drivers can reuse one allocation across rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when trajectory lengths differ or a cell is out of range.
+    pub fn step_log_likelihoods_batch_into(&self, trajectories: &[Trajectory], out: &mut Vec<f64>) {
+        out.clear();
+        let n = trajectories.len();
+        let horizon = trajectories.first().map_or(0, Trajectory::len);
+        out.resize(n * horizon, 0.0);
+        for (i, x) in trajectories.iter().enumerate() {
+            assert_eq!(x.len(), horizon, "equal-length trajectories");
+            let mut prev: Option<CellId> = None;
+            for (t, cell) in x.iter().enumerate() {
+                out[t * n + i] = self.step(prev, cell);
+                prev = Some(cell);
+            }
+        }
+    }
+
+    /// Full-trajectory log-likelihood via the table (matches
+    /// [`MarkovChain::log_likelihood`] bit-for-bit: both sum the same
+    /// increments in slot order).
+    pub fn log_likelihood(&self, trajectory: &Trajectory) -> f64 {
+        let mut acc = 0.0;
+        let mut prev: Option<CellId> = None;
+        for cell in trajectory.iter() {
+            acc += self.step(prev, cell);
+            prev = Some(cell);
+        }
+        acc
+    }
+}
+
+impl MarkovChain {
+    /// Builds the precomputed [`LogLikelihoodTable`] for this model.
+    ///
+    /// The table is immutable and self-contained; build it once and share
+    /// it (e.g. across detection shards) by reference.
+    pub fn log_likelihood_table(&self) -> LogLikelihoodTable {
+        LogLikelihoodTable::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TransitionMatrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain() -> MarkovChain {
+        let m = TransitionMatrix::from_rows(vec![
+            vec![0.9, 0.1, 0.0],
+            vec![0.3, 0.2, 0.5],
+            vec![0.0, 0.5, 0.5],
+        ])
+        .unwrap();
+        MarkovChain::new(m).unwrap()
+    }
+
+    #[test]
+    fn table_matches_chain_lookups() {
+        let c = chain();
+        let table = c.log_likelihood_table();
+        assert!(table.is_dense());
+        assert_eq!(table.num_states(), 3);
+        for i in 0..3 {
+            assert_eq!(
+                table.log_initial(CellId::new(i)),
+                c.initial().log_prob(CellId::new(i))
+            );
+            for j in 0..3 {
+                assert_eq!(
+                    table.log_transition(CellId::new(i), CellId::new(j)),
+                    c.matrix().log_prob(CellId::new(i), CellId::new(j)),
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_probability_transitions_are_neg_infinity() {
+        let table = chain().log_likelihood_table();
+        assert_eq!(
+            table.log_transition(CellId::new(0), CellId::new(2)),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn batch_layout_is_slot_major_and_matches_per_trajectory_steps() {
+        let c = chain();
+        let table = c.log_likelihood_table();
+        let mut rng = StdRng::seed_from_u64(11);
+        let xs: Vec<Trajectory> = (0..5).map(|_| c.sample_trajectory(13, &mut rng)).collect();
+        let batch = table.step_log_likelihoods_batch(&xs);
+        assert_eq!(batch.len(), 5 * 13);
+        for (i, x) in xs.iter().enumerate() {
+            let single = c.step_log_likelihoods(x);
+            for (t, &inc) in single.iter().enumerate() {
+                assert_eq!(batch[t * xs.len() + i], inc, "trajectory {i}, slot {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_of_empty_or_no_trajectories_is_empty() {
+        let table = chain().log_likelihood_table();
+        assert!(table.step_log_likelihoods_batch(&[]).is_empty());
+        assert!(table
+            .step_log_likelihoods_batch(&[Trajectory::new()])
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length trajectories")]
+    fn batch_rejects_ragged_input() {
+        let table = chain().log_likelihood_table();
+        table.step_log_likelihoods_batch(&[
+            Trajectory::from_indices([0, 1]),
+            Trajectory::from_indices([0]),
+        ]);
+    }
+
+    #[test]
+    fn table_log_likelihood_matches_chain() {
+        let c = chain();
+        let table = c.log_likelihood_table();
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..20 {
+            let x = c.sample_trajectory(25, &mut rng);
+            let a = table.log_likelihood(&x);
+            let b = c.log_likelihood(&x);
+            assert_eq!(a.to_bits(), b.to_bits(), "bit-for-bit equality");
+        }
+    }
+
+    #[test]
+    fn sparse_storage_agrees_with_dense_bit_for_bit() {
+        let c = chain();
+        let dense = LogLikelihoodTable::with_storage(&c, true);
+        let sparse = LogLikelihoodTable::with_storage(&c, false);
+        assert!(dense.is_dense());
+        assert!(!sparse.is_dense());
+        for i in 0..3 {
+            for j in 0..3 {
+                let a = dense.log_transition(CellId::new(i), CellId::new(j));
+                let b = sparse.log_transition(CellId::new(i), CellId::new(j));
+                assert_eq!(a.to_bits(), b.to_bits(), "({i},{j})");
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(13);
+        let xs: Vec<Trajectory> = (0..4).map(|_| c.sample_trajectory(9, &mut rng)).collect();
+        assert_eq!(
+            dense.step_log_likelihoods_batch(&xs),
+            sparse.step_log_likelihoods_batch(&xs)
+        );
+    }
+}

@@ -18,6 +18,13 @@ pub enum SimError {
         /// The cell where placement was attempted.
         cell: usize,
     },
+    /// An observation-log slot did not contain one location per service.
+    ObservationArity {
+        /// Number of services the log tracks.
+        expected: usize,
+        /// Number of locations supplied for the slot.
+        found: usize,
+    },
     /// An error bubbled up from the strategy/detector layer.
     Core(chaff_core::CoreError),
     /// An error bubbled up from the Markov substrate.
@@ -32,6 +39,12 @@ impl fmt::Display for SimError {
             }
             SimError::NoCapacity { cell } => {
                 write!(f, "no MEC capacity available around cell {cell}")
+            }
+            SimError::ObservationArity { expected, found } => {
+                write!(
+                    f,
+                    "observation slot has {found} locations for {expected} services"
+                )
             }
             SimError::Core(e) => write!(f, "strategy error: {e}"),
             SimError::Markov(e) => write!(f, "markov substrate error: {e}"),

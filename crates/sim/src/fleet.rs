@@ -1,0 +1,553 @@
+//! The fleet engine: sharded multi-user simulation over one shared MEC
+//! world.
+//!
+//! Sec. II-A of the paper observes that in a real deployment every
+//! coexisting user (and their chaffs) adds natural protection, making
+//! single-user results lower bounds. [`FleetSimulation`] makes that
+//! regime the first-class workload: `N` independent users — each with
+//! their own mobility draw and optionally their own chaff controllers —
+//! move through one MEC network with shared per-node capacity, and the
+//! eavesdropper observes the union of all service trajectories under one
+//! global anonymization shuffle.
+//!
+//! # Execution plan
+//!
+//! 1. **Generate (parallel).** Users are split into contiguous shards;
+//!    each shard thread simulates its users slot by slot (always-follow
+//!    placement, per-user chaff controllers) into its own arena of a
+//!    [`ShardedObservationLog`]. Every user draws from an RNG seeded by
+//!    SplitMix64 over `(fleet seed, user index)`, so results are
+//!    bit-identical for every shard count.
+//! 2. **Capacity replay (sequential, only when a capacity is set).** The
+//!    planned placements are replayed through one shared [`MecNetwork`]
+//!    in global service order, spilling to the nearest free node exactly
+//!    like the single-user simulator.
+//! 3. **Anonymize.** One Fisher–Yates permutation across all
+//!    `N · (1 + chaffs)` services, driven by the fleet seed.
+//!
+//! The outcome pairs with the batched detection core
+//! (`chaff_core::detector::BatchPrefixDetector`) for fleet-scale
+//! evaluation.
+
+use crate::network::MecNetwork;
+use crate::observer::ShardedObservationLog;
+use crate::{Result, SimError};
+use chaff_core::strategy::OnlineChaffController;
+use chaff_markov::{CellId, MarkovChain, Trajectory};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fleet configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Number of independent users `N`.
+    pub num_users: usize,
+    /// Chaff services launched per user (0 = natural protection only).
+    pub chaffs_per_user: usize,
+    /// Number of slots to simulate.
+    pub horizon: usize,
+    /// Optional uniform per-MEC service capacity, shared by the whole
+    /// fleet.
+    pub node_capacity: Option<usize>,
+    /// Whether to shuffle service order in the observation log.
+    pub anonymize: bool,
+    /// Master seed: drives every user's RNG and the anonymization
+    /// shuffle.
+    pub seed: u64,
+    /// Number of generation shards; `None` sizes from available
+    /// parallelism. Results never depend on this.
+    pub shards: Option<usize>,
+}
+
+impl FleetConfig {
+    /// Creates a fleet of `num_users` users over `horizon` slots with no
+    /// chaffs, no capacity limit, anonymization on and seed 0.
+    pub fn new(num_users: usize, horizon: usize) -> Self {
+        FleetConfig {
+            num_users,
+            chaffs_per_user: 0,
+            horizon,
+            node_capacity: None,
+            anonymize: true,
+            seed: 0,
+            shards: None,
+        }
+    }
+
+    /// Sets the number of chaffs per user.
+    pub fn with_chaffs(mut self, chaffs_per_user: usize) -> Self {
+        self.chaffs_per_user = chaffs_per_user;
+        self
+    }
+
+    /// Sets the shared per-node capacity.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.node_capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Pins the generation shard count (results are identical for every
+    /// value; this only controls parallelism).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
+    /// Disables observation-log shuffling.
+    pub fn without_anonymization(mut self) -> Self {
+        self.anonymize = false;
+        self
+    }
+
+    /// Services per user (the real one plus its chaffs).
+    pub fn services_per_user(&self) -> usize {
+        1 + self.chaffs_per_user
+    }
+
+    /// Total services across the fleet.
+    pub fn num_services(&self) -> usize {
+        self.num_users * self.services_per_user()
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.num_users == 0 {
+            return Err(SimError::InvalidConfig {
+                parameter: "num_users",
+                reason: "must be positive".into(),
+            });
+        }
+        if self.horizon == 0 {
+            return Err(SimError::InvalidConfig {
+                parameter: "horizon",
+                reason: "must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn effective_shards(&self) -> usize {
+        let requested = self.shards.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        requested.clamp(1, self.num_users.max(1))
+    }
+}
+
+/// Aggregate fleet counters (per-service ledgers would dwarf the
+/// trajectories at fleet scale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetStats {
+    /// Total service migrations (cell changes) across the fleet.
+    pub migrations: usize,
+    /// Placements diverted by capacity spills.
+    pub spills: usize,
+    /// Simulated user-slots (`num_users × horizon`), the throughput
+    /// denominator.
+    pub user_slots: usize,
+}
+
+/// Everything a fleet run produces.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// The eavesdropper's view: one trajectory per service (all users'
+    /// real services and chaffs together), shuffled when anonymization is
+    /// on.
+    pub observed: Vec<Trajectory>,
+    /// Ground truth: `user_observed_indices[u]` is the index of user
+    /// `u`'s real service inside [`observed`](FleetOutcome::observed).
+    pub user_observed_indices: Vec<usize>,
+    /// Each user's physical cell per slot.
+    pub user_cells: Vec<Trajectory>,
+    /// Aggregate counters.
+    pub stats: FleetStats,
+}
+
+/// A configured fleet simulation over one mobility model.
+///
+/// # Example
+///
+/// ```
+/// use chaff_core::detector::{BatchPrefixDetector, Detector};
+/// use chaff_markov::{models::ModelKind, MarkovChain};
+/// use chaff_sim::fleet::{FleetConfig, FleetSimulation};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let chain = MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng)?)?;
+/// let outcome = FleetSimulation::new(&chain, FleetConfig::new(200, 30).with_seed(7))
+///     .run_natural()?;
+/// assert_eq!(outcome.observed.len(), 200);
+/// let detections = BatchPrefixDetector::new().detect_prefixes(&chain, &outcome.observed)?;
+/// assert_eq!(detections.len(), 30);
+/// # Ok(())
+/// # }
+/// ```
+pub struct FleetSimulation<'a> {
+    chain: &'a MarkovChain,
+    config: FleetConfig,
+}
+
+/// One user's simulated block: its physical trajectory plus the planned
+/// trajectory of each of its services (real service first).
+#[derive(Debug, Clone, Default)]
+struct UserBlock {
+    user_cells: Trajectory,
+    services: Vec<Trajectory>,
+}
+
+impl<'a> FleetSimulation<'a> {
+    /// Creates a fleet simulation with always-follow placement.
+    pub fn new(chain: &'a MarkovChain, config: FleetConfig) -> Self {
+        FleetSimulation { chain, config }
+    }
+
+    /// Runs a fleet with no chaff services: every user's protection comes
+    /// from the other users (the paper's natural-chaff observation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and capacity errors; rejects a config
+    /// with `chaffs_per_user > 0` (those need
+    /// [`run_online`](FleetSimulation::run_online)).
+    pub fn run_natural(self) -> Result<FleetOutcome> {
+        if self.config.chaffs_per_user != 0 {
+            return Err(SimError::InvalidConfig {
+                parameter: "chaffs_per_user",
+                reason: "run_natural simulates chaff-free fleets; use run_online".into(),
+            });
+        }
+        self.run_online(|_, _| -> Box<dyn OnlineChaffController> {
+            unreachable!("no chaffs configured")
+        })
+    }
+
+    /// Runs the fleet with `make_controller(user, chaff)` building the
+    /// online chaff controller for chaff `chaff` of user `user`. The
+    /// factory is called from worker threads (hence `Sync`) and must be
+    /// deterministic in its arguments — all randomness should come from
+    /// the per-slot RNG the controller receives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and capacity errors.
+    pub fn run_online<F>(self, make_controller: F) -> Result<FleetOutcome>
+    where
+        F: Fn(usize, usize) -> Box<dyn OnlineChaffController + 'a> + Sync,
+    {
+        self.config.validate()?;
+        let blocks = self.generate(&make_controller);
+        self.assemble(blocks)
+    }
+
+    /// Phase 1: per-user trajectory generation, sharded over users.
+    fn generate<F>(&self, make_controller: &F) -> Vec<UserBlock>
+    where
+        F: Fn(usize, usize) -> Box<dyn OnlineChaffController + 'a> + Sync,
+    {
+        let n = self.config.num_users;
+        let shards = self.config.effective_shards();
+        let chunk = n.div_ceil(shards);
+        let mut blocks: Vec<UserBlock> = vec![UserBlock::default(); n];
+        if shards <= 1 {
+            for (u, block) in blocks.iter_mut().enumerate() {
+                *block = self.simulate_user(u, make_controller);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for (worker, slice) in blocks.chunks_mut(chunk).enumerate() {
+                    let this = &*self;
+                    scope.spawn(move || {
+                        let offset = worker * chunk;
+                        for (j, block) in slice.iter_mut().enumerate() {
+                            *block = this.simulate_user(offset + j, make_controller);
+                        }
+                    });
+                }
+            });
+        }
+        blocks
+    }
+
+    /// Simulates one user: strictly causal per-slot moves with
+    /// always-follow placement, mirroring `Simulation::run_online`.
+    fn simulate_user<F>(&self, user: usize, make_controller: &F) -> UserBlock
+    where
+        F: Fn(usize, usize) -> Box<dyn OnlineChaffController + 'a> + Sync,
+    {
+        let horizon = self.config.horizon;
+        let mut rng = StdRng::seed_from_u64(user_seed(self.config.seed, user as u64));
+        let mut controllers: Vec<Box<dyn OnlineChaffController + 'a>> =
+            (0..self.config.chaffs_per_user)
+                .map(|c| make_controller(user, c))
+                .collect();
+        let mut user_cells = Trajectory::with_capacity(horizon);
+        let mut services: Vec<Trajectory> = (0..self.config.services_per_user())
+            .map(|_| Trajectory::with_capacity(horizon))
+            .collect();
+        let mut user_now: Option<CellId> = None;
+        for _slot in 0..horizon {
+            let cell = match user_now {
+                None => self.chain.initial().sample(&mut rng),
+                Some(prev) => self.chain.step(prev, &mut rng),
+            };
+            user_now = Some(cell);
+            user_cells.push(cell);
+            // Always-follow: the real service co-locates with the user.
+            services[0].push(cell);
+            for (chaff, controller) in services[1..].iter_mut().zip(&mut controllers) {
+                chaff.push(controller.next(cell, &[], &mut rng));
+            }
+        }
+        UserBlock {
+            user_cells,
+            services,
+        }
+    }
+
+    /// Phases 2–3: optional shared-capacity replay, then one global
+    /// anonymization shuffle.
+    fn assemble(&self, blocks: Vec<UserBlock>) -> Result<FleetOutcome> {
+        let per_user = self.config.services_per_user();
+        let horizon = self.config.horizon;
+        let mut stats = FleetStats {
+            migrations: 0,
+            spills: 0,
+            user_slots: self.config.num_users * horizon,
+        };
+        let mut user_cells = Vec::with_capacity(blocks.len());
+        let mut planned: Vec<Trajectory> = Vec::with_capacity(self.config.num_services());
+        for block in blocks {
+            user_cells.push(block.user_cells);
+            planned.extend(block.services);
+        }
+        let log = if let Some(capacity) = self.config.node_capacity {
+            self.replay_with_capacity(&planned, capacity, &mut stats)?
+        } else {
+            // Fast path: without capacity limits the planned placement is
+            // the actual placement; count migrations per trajectory.
+            for t in &planned {
+                stats.migrations += t.as_slice().windows(2).filter(|w| w[0] != w[1]).count();
+            }
+            // The trajectories already exist, so a single arena suffices:
+            // sharding only matters for concurrent fills.
+            ShardedObservationLog::from_shards(vec![planned])
+        };
+        let (observed, user_observed_indices) = if self.config.anonymize {
+            let mut rng = StdRng::seed_from_u64(shuffle_seed(self.config.seed));
+            let (observed, perm) = log.into_anonymized(&mut rng);
+            let indices = (0..self.config.num_users)
+                .map(|u| perm[u * per_user])
+                .collect();
+            (observed, indices)
+        } else {
+            let observed = log.into_ordered();
+            let indices = (0..self.config.num_users).map(|u| u * per_user).collect();
+            (observed, indices)
+        };
+        Ok(FleetOutcome {
+            observed,
+            user_observed_indices,
+            user_cells,
+            stats,
+        })
+    }
+
+    /// Sequential replay through one shared MEC network: services are
+    /// visited in global index order per slot, so spills are deterministic
+    /// and identical for every shard count.
+    fn replay_with_capacity(
+        &self,
+        planned: &[Trajectory],
+        capacity: usize,
+        stats: &mut FleetStats,
+    ) -> Result<ShardedObservationLog> {
+        let horizon = self.config.horizon;
+        let mut network = MecNetwork::new(self.chain.num_states(), Some(capacity))?;
+        let mut log = ShardedObservationLog::new(planned.len(), self.config.effective_shards());
+        let mut actual: Vec<CellId> = Vec::with_capacity(planned.len());
+        let mut locations = Vec::with_capacity(planned.len());
+        for slot in 0..horizon {
+            locations.clear();
+            for (service, plan) in planned.iter().enumerate() {
+                let desired = plan.cell(slot);
+                let placed = if slot == 0 {
+                    let cell = network.place_nearest(desired)?;
+                    actual.push(cell);
+                    cell
+                } else {
+                    let prev = actual[service];
+                    let cell = network.migrate(prev, desired)?;
+                    if cell != prev {
+                        stats.migrations += 1;
+                    }
+                    actual[service] = cell;
+                    cell
+                };
+                if placed != desired {
+                    stats.spills += 1;
+                }
+                locations.push(placed);
+            }
+            log.record_slot(&locations)?;
+        }
+        Ok(log)
+    }
+}
+
+/// Derives user `u`'s RNG seed from the fleet seed — SplitMix64 over
+/// `base ^ u`, matching the Monte Carlo seed derivation in `chaff-eval`
+/// so streams never correlate across users.
+pub fn user_seed(base: u64, user: u64) -> u64 {
+    let mut z = base ^ user.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seed stream for the anonymization shuffle (kept separate from user
+/// streams so adding users never perturbs the permutation draw).
+fn shuffle_seed(base: u64) -> u64 {
+    user_seed(base, 0xF1EE_7000_0000_0001)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chaff_core::strategy::{CmlController, ImController};
+    use chaff_markov::models::ModelKind;
+
+    fn chain(seed: u64) -> MarkovChain {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn natural_fleet_produces_consistent_outcome() {
+        let c = chain(1);
+        let outcome = FleetSimulation::new(&c, FleetConfig::new(25, 12).with_seed(5))
+            .run_natural()
+            .unwrap();
+        assert_eq!(outcome.observed.len(), 25);
+        assert_eq!(outcome.user_cells.len(), 25);
+        assert_eq!(outcome.stats.user_slots, 25 * 12);
+        for (u, &idx) in outcome.user_observed_indices.iter().enumerate() {
+            assert_eq!(outcome.observed[idx], outcome.user_cells[u], "user {u}");
+        }
+    }
+
+    #[test]
+    fn results_are_identical_across_shard_counts() {
+        let c = chain(2);
+        let reference =
+            FleetSimulation::new(&c, FleetConfig::new(17, 9).with_seed(3).with_shards(1))
+                .run_natural()
+                .unwrap();
+        for shards in [2, 4, 17, 64] {
+            let outcome =
+                FleetSimulation::new(&c, FleetConfig::new(17, 9).with_seed(3).with_shards(shards))
+                    .run_natural()
+                    .unwrap();
+            assert_eq!(outcome.observed, reference.observed, "shards = {shards}");
+            assert_eq!(
+                outcome.user_observed_indices, reference.user_observed_indices,
+                "shards = {shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn chaff_controllers_run_per_user() {
+        let c = chain(3);
+        let config = FleetConfig::new(6, 10)
+            .with_chaffs(2)
+            .with_seed(11)
+            .without_anonymization();
+        let outcome = FleetSimulation::new(&c, config)
+            .run_online(|_, _| Box::new(CmlController::new(&c)))
+            .unwrap();
+        assert_eq!(outcome.observed.len(), 6 * 3);
+        // Without anonymization user u's real service sits at u * 3.
+        for (u, &idx) in outcome.user_observed_indices.iter().enumerate() {
+            assert_eq!(idx, u * 3);
+            assert_eq!(outcome.observed[idx], outcome.user_cells[u]);
+        }
+        // CML is deterministic: both chaffs of a user coincide.
+        for u in 0..6 {
+            assert_eq!(outcome.observed[u * 3 + 1], outcome.observed[u * 3 + 2]);
+        }
+    }
+
+    #[test]
+    fn capacity_one_keeps_services_disjoint() {
+        let c = chain(4);
+        let config = FleetConfig::new(3, 8)
+            .with_chaffs(1)
+            .with_capacity(1)
+            .with_seed(7)
+            .without_anonymization();
+        let outcome = FleetSimulation::new(&c, config)
+            .run_online(|_, _| Box::new(ImController::new(&c)))
+            .unwrap();
+        for t in 0..8 {
+            let mut cells: Vec<usize> =
+                outcome.observed.iter().map(|x| x.cell(t).index()).collect();
+            cells.sort_unstable();
+            cells.dedup();
+            assert_eq!(cells.len(), 6, "slot {t}");
+        }
+        assert!(outcome.stats.spills > 0, "co-location attempts must spill");
+    }
+
+    #[test]
+    fn user_streams_are_independent_of_population_size() {
+        // Growing the fleet must not change the trajectories of existing
+        // users (per-user seeding, not a shared stream).
+        let c = chain(5);
+        let small = FleetSimulation::new(&c, FleetConfig::new(4, 10).with_seed(21))
+            .run_natural()
+            .unwrap();
+        let large = FleetSimulation::new(&c, FleetConfig::new(9, 10).with_seed(21))
+            .run_natural()
+            .unwrap();
+        assert_eq!(small.user_cells, large.user_cells[..4].to_vec());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let c = chain(6);
+        assert!(FleetSimulation::new(&c, FleetConfig::new(0, 5))
+            .run_natural()
+            .is_err());
+        assert!(FleetSimulation::new(&c, FleetConfig::new(5, 0))
+            .run_natural()
+            .is_err());
+        assert!(
+            FleetSimulation::new(&c, FleetConfig::new(5, 5).with_chaffs(1))
+                .run_natural()
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn migrations_are_counted_on_the_fast_path() {
+        let c = chain(7);
+        let outcome = FleetSimulation::new(&c, FleetConfig::new(10, 20).with_seed(9))
+            .run_natural()
+            .unwrap();
+        let expected: usize = outcome
+            .user_cells
+            .iter()
+            .map(|t| t.as_slice().windows(2).filter(|w| w[0] != w[1]).count())
+            .sum();
+        assert_eq!(outcome.stats.migrations, expected);
+    }
+}

@@ -15,9 +15,12 @@
 //! * [`observer`] — the eavesdropper's observation log: anonymized but
 //!   linkable per-service trajectories, exactly what the detectors in
 //!   `chaff-core` consume;
-//! * [`sim`] — the driver, in two modes: fully online (per-slot chaff
-//!   controllers) and planned (offline strategies like OO that need the
-//!   user's whole trajectory).
+//! * [`sim`] — the single-user driver, in two modes: fully online
+//!   (per-slot chaff controllers) and planned (offline strategies like OO
+//!   that need the user's whole trajectory);
+//! * [`fleet`] — the fleet engine: sharded simulation of thousands to
+//!   hundreds of thousands of concurrent users through one shared MEC
+//!   world, paired with the batched detection core in `chaff-core`.
 //!
 //! # Example
 //!
@@ -44,6 +47,7 @@
 mod error;
 
 pub mod cost;
+pub mod fleet;
 pub mod migration;
 pub mod network;
 pub mod observer;

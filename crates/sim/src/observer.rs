@@ -6,9 +6,43 @@
 //! real (chaffs are independent instances of the same service type,
 //! Sec. II-B). The log therefore exposes per-service trajectories under
 //! shuffled indices, plus the ground-truth index for evaluation code only.
+//!
+//! Two implementations share those semantics:
+//!
+//! * [`ObservationLog`] — the single-simulation log (one user plus
+//!   chaffs);
+//! * [`ShardedObservationLog`] — the fleet-scale log: per-shard
+//!   trajectory arenas that can be filled concurrently, with one global
+//!   Fisher–Yates permutation at anonymization time so the result is
+//!   identical to a flat log regardless of the shard layout.
 
+use crate::{Result, SimError};
 use chaff_markov::{CellId, Trajectory};
 use rand::Rng;
+
+/// Samples a Fisher–Yates permutation of `0..n`: `perm[original]` is the
+/// post-shuffle position of `original`.
+fn fisher_yates<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Applies `perm` to `trajectories`: output slot `perm[original]` receives
+/// trajectory `original`.
+fn apply_permutation(trajectories: Vec<Trajectory>, perm: &[usize]) -> Vec<Trajectory> {
+    let mut shuffled: Vec<Option<Trajectory>> = vec![None; trajectories.len()];
+    for (original, trajectory) in trajectories.into_iter().enumerate() {
+        shuffled[perm[original]] = Some(trajectory);
+    }
+    shuffled
+        .into_iter()
+        .map(|t| t.expect("permutation is total"))
+        .collect()
+}
 
 /// Builder that records service locations slot by slot.
 #[derive(Debug, Clone)]
@@ -28,18 +62,22 @@ impl ObservationLog {
 
     /// Records the location of every service for the current slot.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `locations` does not match the number of services.
-    pub fn record_slot(&mut self, locations: &[CellId]) {
-        assert_eq!(
-            locations.len(),
-            self.trajectories.len(),
-            "one location per service"
-        );
+    /// Returns [`SimError::ObservationArity`] if `locations` does not
+    /// match the number of services — recoverable, so fleet-scale drivers
+    /// don't take down sibling users on one malformed slot.
+    pub fn record_slot(&mut self, locations: &[CellId]) -> Result<()> {
+        if locations.len() != self.trajectories.len() {
+            return Err(SimError::ObservationArity {
+                expected: self.trajectories.len(),
+                found: locations.len(),
+            });
+        }
         for (t, &cell) in self.trajectories.iter_mut().zip(locations) {
             t.push(cell);
         }
+        Ok(())
     }
 
     /// Number of services tracked.
@@ -51,35 +89,138 @@ impl ObservationLog {
     /// sees carries no ordering hint) and returns the trajectories
     /// together with the real service's post-shuffle index.
     pub fn into_anonymized<R: Rng + ?Sized>(self, rng: &mut R) -> (Vec<Trajectory>, usize) {
-        let n = self.trajectories.len();
-        // Fisher-Yates permutation of indices.
-        let mut perm: Vec<usize> = (0..n).collect();
-        for i in (1..n).rev() {
-            let j = rng.random_range(0..=i);
-            perm.swap(i, j);
-        }
-        let mut shuffled: Vec<Option<Trajectory>> = vec![None; n];
-        let mut user_index = 0;
-        for (original, trajectory) in self.trajectories.into_iter().enumerate() {
-            let target = perm[original];
-            if original == 0 {
-                user_index = target;
-            }
-            shuffled[target] = Some(trajectory);
-        }
-        (
-            shuffled
-                .into_iter()
-                .map(|t| t.expect("permutation is total"))
-                .collect(),
-            user_index,
-        )
+        let perm = fisher_yates(self.trajectories.len(), rng);
+        let user_index = perm.first().copied().unwrap_or(0);
+        (apply_permutation(self.trajectories, &perm), user_index)
     }
 
     /// Finalizes the log without shuffling (index 0 stays the real
     /// service). Used by deterministic tests.
     pub fn into_ordered(self) -> Vec<Trajectory> {
         self.trajectories
+    }
+}
+
+/// Fleet-scale observation log: contiguous per-shard trajectory arenas.
+///
+/// Shards partition the global service index space into contiguous
+/// ranges, so a fleet driver can hand each worker thread exclusive
+/// mutable access to its own arena (via
+/// [`arenas_mut`](ShardedObservationLog::arenas_mut)) and fill all of
+/// them concurrently with zero synchronization. Anonymization runs a
+/// *single* Fisher–Yates over one global permutation — the shard layout
+/// leaves no trace in what the eavesdropper sees.
+#[derive(Debug, Clone)]
+pub struct ShardedObservationLog {
+    /// Arena `s` holds services `starts[s]..starts[s + 1]`.
+    arenas: Vec<Vec<Trajectory>>,
+    starts: Vec<usize>,
+}
+
+impl ShardedObservationLog {
+    /// Creates a log for `num_services` services split into (at most)
+    /// `num_shards` balanced contiguous arenas.
+    pub fn new(num_services: usize, num_shards: usize) -> Self {
+        let shards = num_shards.clamp(1, num_services.max(1));
+        let chunk = num_services.div_ceil(shards).max(1);
+        let mut arenas = Vec::new();
+        let mut starts = vec![0];
+        let mut lo = 0;
+        while lo < num_services {
+            let hi = (lo + chunk).min(num_services);
+            arenas.push(vec![Trajectory::new(); hi - lo]);
+            starts.push(hi);
+            lo = hi;
+        }
+        if arenas.is_empty() {
+            arenas.push(Vec::new());
+            starts = vec![0, 0];
+        }
+        ShardedObservationLog { arenas, starts }
+    }
+
+    /// Builds the log directly from per-shard trajectory arenas (in
+    /// global service order): the zero-copy path for drivers that
+    /// generate whole trajectories shard by shard.
+    pub fn from_shards(arenas: Vec<Vec<Trajectory>>) -> Self {
+        let mut starts = Vec::with_capacity(arenas.len() + 1);
+        starts.push(0);
+        for arena in &arenas {
+            starts.push(starts.last().expect("non-empty") + arena.len());
+        }
+        if arenas.is_empty() {
+            return ShardedObservationLog::new(0, 1);
+        }
+        ShardedObservationLog { arenas, starts }
+    }
+
+    /// Total number of services tracked.
+    pub fn num_services(&self) -> usize {
+        *self.starts.last().expect("non-empty starts")
+    }
+
+    /// Number of shard arenas.
+    pub fn num_shards(&self) -> usize {
+        self.arenas.len()
+    }
+
+    /// The global service range `(lo, hi)` owned by shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= num_shards()`.
+    pub fn shard_range(&self, s: usize) -> (usize, usize) {
+        (self.starts[s], self.starts[s + 1])
+    }
+
+    /// Exclusive access to every arena with its global start index —
+    /// distribute these to worker threads (e.g. with
+    /// `std::thread::scope`) to fill the log concurrently.
+    pub fn arenas_mut(&mut self) -> Vec<(usize, &mut [Trajectory])> {
+        self.starts
+            .iter()
+            .copied()
+            .zip(self.arenas.iter_mut())
+            .map(|(lo, arena)| (lo, arena.as_mut_slice()))
+            .collect()
+    }
+
+    /// Records the location of every service for the current slot (the
+    /// streaming fill used by capacity-constrained replay).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ObservationArity`] if `locations` does not
+    /// match the number of services.
+    pub fn record_slot(&mut self, locations: &[CellId]) -> Result<()> {
+        if locations.len() != self.num_services() {
+            return Err(SimError::ObservationArity {
+                expected: self.num_services(),
+                found: locations.len(),
+            });
+        }
+        for (arena, lo) in self.arenas.iter_mut().zip(&self.starts) {
+            for (t, &cell) in arena.iter_mut().zip(&locations[*lo..]) {
+                t.push(cell);
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalizes the log: one global Fisher–Yates shuffle across all
+    /// shards. Returns the shuffled trajectories and the permutation
+    /// (`perm[original]` is the post-shuffle index of service
+    /// `original`), so callers can locate every ground-truth service.
+    pub fn into_anonymized<R: Rng + ?Sized>(self, rng: &mut R) -> (Vec<Trajectory>, Vec<usize>) {
+        let n = self.num_services();
+        let perm = fisher_yates(n, rng);
+        let flat: Vec<Trajectory> = self.arenas.into_iter().flatten().collect();
+        (apply_permutation(flat, &perm), perm)
+    }
+
+    /// Finalizes the log without shuffling (global service order).
+    pub fn into_ordered(self) -> Vec<Trajectory> {
+        self.arenas.into_iter().flatten().collect()
     }
 }
 
@@ -92,25 +233,36 @@ mod tests {
     #[test]
     fn records_per_service_trajectories() {
         let mut log = ObservationLog::new(2);
-        log.record_slot(&[CellId::new(0), CellId::new(5)]);
-        log.record_slot(&[CellId::new(1), CellId::new(5)]);
+        log.record_slot(&[CellId::new(0), CellId::new(5)]).unwrap();
+        log.record_slot(&[CellId::new(1), CellId::new(5)]).unwrap();
         let ts = log.into_ordered();
         assert_eq!(ts[0], Trajectory::from_indices([0, 1]));
         assert_eq!(ts[1], Trajectory::from_indices([5, 5]));
     }
 
     #[test]
-    #[should_panic(expected = "one location per service")]
-    fn slot_arity_is_checked() {
+    fn slot_arity_is_a_recoverable_error() {
         let mut log = ObservationLog::new(2);
-        log.record_slot(&[CellId::new(0)]);
+        let err = log.record_slot(&[CellId::new(0)]).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::ObservationArity {
+                expected: 2,
+                found: 1
+            }
+        ));
+        // The log stays usable after the rejected slot.
+        log.record_slot(&[CellId::new(0), CellId::new(1)]).unwrap();
+        assert_eq!(log.into_ordered()[0].len(), 1);
     }
 
     #[test]
     fn anonymization_preserves_the_multiset_and_tracks_the_user() {
         let mut log = ObservationLog::new(3);
-        log.record_slot(&[CellId::new(0), CellId::new(1), CellId::new(2)]);
-        log.record_slot(&[CellId::new(0), CellId::new(1), CellId::new(2)]);
+        log.record_slot(&[CellId::new(0), CellId::new(1), CellId::new(2)])
+            .unwrap();
+        log.record_slot(&[CellId::new(0), CellId::new(1), CellId::new(2)])
+            .unwrap();
         let original: Vec<Trajectory> = log.clone_for_test();
         let mut rng = StdRng::seed_from_u64(3);
         let (shuffled, user_index) = log.into_anonymized(&mut rng);
@@ -136,7 +288,8 @@ mod tests {
                 CellId::new(1),
                 CellId::new(2),
                 CellId::new(3),
-            ]);
+            ])
+            .unwrap();
             let mut rng = StdRng::seed_from_u64(seed);
             let (_, idx) = log.into_anonymized(&mut rng);
             if idx != 0 {
@@ -144,6 +297,89 @@ mod tests {
             }
         }
         assert!(seen_nonzero);
+    }
+
+    #[test]
+    fn sharded_log_partitions_services_contiguously() {
+        let log = ShardedObservationLog::new(10, 3);
+        assert_eq!(log.num_services(), 10);
+        assert_eq!(log.num_shards(), 3);
+        let mut covered = 0;
+        for s in 0..log.num_shards() {
+            let (lo, hi) = log.shard_range(s);
+            assert_eq!(lo, covered);
+            covered = hi;
+        }
+        assert_eq!(covered, 10);
+    }
+
+    #[test]
+    fn sharded_record_slot_matches_flat_log() {
+        let mut flat = ObservationLog::new(5);
+        let mut sharded = ShardedObservationLog::new(5, 2);
+        for t in 0..4 {
+            let locations: Vec<CellId> = (0..5).map(|i| CellId::new((i + t) % 5)).collect();
+            flat.record_slot(&locations).unwrap();
+            sharded.record_slot(&locations).unwrap();
+        }
+        assert_eq!(flat.into_ordered(), sharded.into_ordered());
+    }
+
+    #[test]
+    fn sharded_record_slot_rejects_wrong_arity() {
+        let mut log = ShardedObservationLog::new(3, 2);
+        assert!(matches!(
+            log.record_slot(&[CellId::new(0)]),
+            Err(SimError::ObservationArity {
+                expected: 3,
+                found: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn sharded_anonymization_is_one_global_shuffle() {
+        // Same seed, different shard layouts -> identical anonymized view.
+        let fill = |num_shards: usize| {
+            let mut log = ShardedObservationLog::new(6, num_shards);
+            for (lo, arena) in log.arenas_mut() {
+                for (j, t) in arena.iter_mut().enumerate() {
+                    *t = Trajectory::from_indices([lo + j, lo + j]);
+                }
+            }
+            log
+        };
+        let mut outputs = Vec::new();
+        for num_shards in [1, 2, 3, 6] {
+            let mut rng = StdRng::seed_from_u64(77);
+            let (shuffled, perm) = fill(num_shards).into_anonymized(&mut rng);
+            // perm maps originals to their observed slots.
+            for (original, &target) in perm.iter().enumerate() {
+                assert_eq!(
+                    shuffled[target],
+                    Trajectory::from_indices([original, original])
+                );
+            }
+            outputs.push(shuffled);
+        }
+        for o in &outputs[1..] {
+            assert_eq!(o, &outputs[0]);
+        }
+    }
+
+    #[test]
+    fn from_shards_preserves_global_order() {
+        let arenas = vec![
+            vec![Trajectory::from_indices([0]), Trajectory::from_indices([1])],
+            vec![Trajectory::from_indices([2])],
+        ];
+        let log = ShardedObservationLog::from_shards(arenas);
+        assert_eq!(log.num_services(), 3);
+        assert_eq!(log.shard_range(1), (2, 3));
+        let ordered = log.into_ordered();
+        for (i, t) in ordered.iter().enumerate() {
+            assert_eq!(t, &Trajectory::from_indices([i]));
+        }
     }
 
     impl ObservationLog {

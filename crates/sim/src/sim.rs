@@ -291,7 +291,7 @@ impl<'a> Simulation<'a> {
                 locations[0],
                 &self.config.cost_model,
             );
-            log.record_slot(&locations);
+            log.record_slot(&locations)?;
         }
         let (observed, user_observed_index) = if self.config.anonymize {
             log.into_anonymized(rng)

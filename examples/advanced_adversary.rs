@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut observed = vec![user];
             observed.extend(chaffs);
 
-            let basic = MlDetector.detect_prefixes(&chain, &observed);
+            let basic = MlDetector.detect_prefixes(&chain, &observed)?;
             basic_total += time_average(&tracking_accuracy_series(&observed, 0, &basic));
 
             let detector = AdvancedDetector::new(strategy.as_ref());

@@ -45,7 +45,7 @@ fn measure(
         // Online mode: strictly causal MO controllers, as a deployed
         // orchestrator would run them.
         let outcome = sim.run_online(|_| Box::new(MoController::new(chain)), &mut rng)?;
-        let detections = MlDetector.detect_prefixes(chain, &outcome.observed);
+        let detections = MlDetector.detect_prefixes(chain, &outcome.observed)?;
         // The eavesdropper tracks the *user*; under a lazy policy the
         // observed service trajectory is already a blurred version of the
         // user's physical movement, so we score against physical cells.

@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let chaffs = strategy.generate(&chain, &user, 1, &mut rng)?;
         let mut observed = vec![user.clone()];
         observed.extend(chaffs);
-        let detections = MlDetector.detect_prefixes(&chain, &observed);
+        let detections = MlDetector.detect_prefixes(&chain, &observed)?;
         let accuracy = time_average(&tracking_accuracy_series(&observed, 0, &detections));
         println!("{:<10} {:>18.4}", kind.to_string(), accuracy);
     }

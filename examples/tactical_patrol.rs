@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 SimConfig::new(HORIZON, 1).with_cost_model(CostModel::default()),
             )
             .run_planned(strategy.as_ref(), &mut rng)?;
-            let detections = MlDetector.detect_prefixes(&chain, &outcome.observed);
+            let detections = MlDetector.detect_prefixes(&chain, &outcome.observed)?;
             accuracy_total += time_average(&tracking_accuracy_series(
                 &outcome.observed,
                 outcome.user_observed_index,

@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Rank users by no-chaff trackability (prefix-ML detection).
-    let detections = MlDetector.detect_prefixes(model, pool);
+    let detections = MlDetector.detect_prefixes(model, pool)?;
     let mut ranked: Vec<(usize, f64)> = (0..pool.len())
         .map(|u| {
             let series = tracking_accuracy_series(pool, u, &detections);
@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let chaffs = OoStrategy.generate(model, &pool[user], 1, &mut rng)?;
         let mut observed = pool.to_vec();
         observed.extend(chaffs);
-        let detections = MlDetector.detect_prefixes(model, &observed);
+        let detections = MlDetector.detect_prefixes(model, &observed)?;
         let protected = time_average(&tracking_accuracy_series(&observed, user, &detections));
         println!(
             "{:<8} {:>10.3} {:>16.3}",

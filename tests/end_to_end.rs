@@ -47,7 +47,7 @@ fn anonymization_does_not_change_tracking_accuracy() {
             .run_planned(&ImStrategy, &mut rng_b)
             .unwrap();
         let score = |observed: &[mec_location_privacy::markov::Trajectory], user: usize| {
-            let detections = MlDetector.detect_prefixes(&c, observed);
+            let detections = MlDetector.detect_prefixes(&c, observed).unwrap();
             time_average(&tracking_accuracy_series(observed, user, &detections))
         };
         let a = score(&shuffled.observed, shuffled.user_observed_index);
@@ -75,7 +75,7 @@ fn trace_pipeline_feeds_strategies_end_to_end() {
         let chaffs = strategy.generate(model, &pool[user], 2, &mut rng).unwrap();
         let mut observed = pool.to_vec();
         observed.extend(chaffs);
-        let detections = MlDetector.detect_prefixes(model, &observed);
+        let detections = MlDetector.detect_prefixes(model, &observed).unwrap();
         let accuracy = time_average(&tracking_accuracy_series(&observed, user, &detections));
         assert!((0.0..=1.0).contains(&accuracy), "{}", strategy.name());
     }
@@ -93,7 +93,7 @@ fn oo_chaff_from_sim_defeats_basic_but_not_advanced_eavesdropper() {
             .run_planned(&OoStrategy, &mut rng)
             .unwrap();
         let user = outcome.user_observed_index;
-        let basic = MlDetector.detect_prefixes(&c, &outcome.observed);
+        let basic = MlDetector.detect_prefixes(&c, &outcome.observed).unwrap();
         basic_total += time_average(&tracking_accuracy_series(&outcome.observed, user, &basic));
         let detector = AdvancedDetector::new(&OoStrategy);
         let advanced = detector.detect_prefixes(&c, &outcome.observed).unwrap();
@@ -122,7 +122,7 @@ fn capacity_constraints_still_produce_usable_observations() {
         .run_planned(&ImStrategy, &mut rng)
         .unwrap();
     assert_eq!(outcome.observed.len(), 5);
-    let detections = MlDetector.detect_prefixes(&c, &outcome.observed);
+    let detections = MlDetector.detect_prefixes(&c, &outcome.observed).unwrap();
     assert_eq!(detections.len(), 30);
     // Capacity 1 means perfect anti-co-location: accuracy equals
     // detection accuracy of the user's own trajectory.

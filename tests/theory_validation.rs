@@ -94,7 +94,7 @@ fn theorem_v4_bound_dominates_simulated_cml_accuracy() {
             let chaff = CmlStrategy.generate(&chain, &user, 1, &mut rng).unwrap();
             let mut observed = vec![user];
             observed.extend(chaff);
-            let detections = MlDetector.detect_prefixes(&chain, &observed);
+            let detections = MlDetector.detect_prefixes(&chain, &observed).unwrap();
             total += time_average(&tracking_accuracy_series(&observed, 0, &detections));
         }
         let sim = total / runs as f64;
@@ -142,7 +142,7 @@ fn theorem_v5_bound_dominates_simulated_mo_accuracy() {
         let chaff = MoStrategy.generate(&chain, &user, 1, &mut rng).unwrap();
         let mut observed = vec![user];
         observed.extend(chaff);
-        let detections = MlDetector.detect_prefixes(&chain, &observed);
+        let detections = MlDetector.detect_prefixes(&chain, &observed).unwrap();
         let series = tracking_accuracy_series(&observed, 0, &detections);
         total += series[horizon - 1];
     }
@@ -164,7 +164,7 @@ fn im_with_many_chaffs_approaches_collision_floor() {
         let chaffs = ImStrategy.generate(&chain, &user, 29, &mut rng).unwrap();
         let mut observed = vec![user];
         observed.extend(chaffs);
-        let detections = MlDetector.detect_prefixes(&chain, &observed);
+        let detections = MlDetector.detect_prefixes(&chain, &observed).unwrap();
         total += time_average(&tracking_accuracy_series(&observed, 0, &detections));
     }
     let sim = total / runs as f64;

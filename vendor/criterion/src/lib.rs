@@ -9,9 +9,12 @@
 //!
 //! Measurement is a plain wall-clock mean over `sample_size` samples
 //! (after a warm-up period), printed as one line per benchmark — no
-//! statistics, plots or HTML reports. Swap the `vendor/criterion` path
-//! in the root manifest for the crates.io crate to get the real harness;
-//! the bench sources compile unchanged.
+//! statistics, plots or HTML reports. When the `CRITERION_JSON`
+//! environment variable names a file, each result is also appended there
+//! as one JSON-lines record (`{"benchmark": ..., "mean_ns": ...}`) so CI
+//! can archive machine-readable baselines. Swap the `vendor/criterion`
+//! path in the root manifest for the crates.io crate to get the real
+//! harness; the bench sources compile unchanged.
 
 #![forbid(unsafe_code)]
 
@@ -197,9 +200,49 @@ fn run_one(config: &Config, label: &str, mut f: impl FnMut(&mut Bencher)) {
     };
     f(&mut bencher);
     match bencher.mean_ns {
-        Some(ns) => println!("{label:<50} time: [{}]", format_ns(ns)),
+        Some(ns) => {
+            println!("{label:<50} time: [{}]", format_ns(ns));
+            append_json_record(label, ns);
+        }
         None => println!("{label:<50} time: [no measurement]"),
     }
+}
+
+/// When the `CRITERION_JSON` environment variable names a file, appends
+/// one JSON object per benchmark (`{"benchmark": ..., "mean_ns": ...}`,
+/// JSON-lines format) so CI can archive machine-readable baselines. The
+/// upstream crate writes its own JSON under `target/criterion`; this is
+/// the shim's lightweight equivalent.
+fn append_json_record(label: &str, mean_ns: f64) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    if let Err(e) = write_json_record(std::path::Path::new(&path), label, mean_ns) {
+        eprintln!("criterion shim: cannot write {path}: {e}");
+    }
+}
+
+/// Appends one JSON-lines record to `path`.
+fn write_json_record(path: &std::path::Path, label: &str, mean_ns: f64) -> std::io::Result<()> {
+    use std::io::Write;
+
+    let escaped: String = label
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let record = format!("{{\"benchmark\": \"{escaped}\", \"mean_ns\": {mean_ns:.1}}}\n");
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?
+        .write_all(record.as_bytes())
 }
 
 fn format_ns(ns: f64) -> String {
@@ -279,5 +322,23 @@ mod tests {
         assert!(format_ns(5.0e4).ends_with("µs"));
         assert!(format_ns(5.0e7).ends_with("ms"));
         assert!(format_ns(5.0e10).ends_with('s'));
+    }
+
+    #[test]
+    fn json_records_append_as_json_lines() {
+        let path =
+            std::env::temp_dir().join(format!("criterion-shim-json-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        write_json_record(&path, "group/\"quoted\"", 1234.5).unwrap();
+        write_json_record(&path, "plain", 7.0).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"benchmark\": \"group/\\\"quoted\\\"\", \"mean_ns\": 1234.5}"
+        );
+        assert_eq!(lines[1], "{\"benchmark\": \"plain\", \"mean_ns\": 7.0}");
     }
 }
