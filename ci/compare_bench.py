@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the BENCH_fleet baseline.
+
+Compares two criterion-shim JSON-lines files (one record per line,
+``{"benchmark": <name>, "mean_ns": <float>}``), joining on the benchmark
+name, and fails when any benchmark's ``mean_ns`` regressed more than the
+threshold (default 25%).
+
+Usage::
+
+    compare_bench.py BASELINE CURRENT [--threshold 0.25]
+
+Exit codes:
+
+* 0 — no regression (including: baseline missing or empty, which only
+  warns, so the very first run of a new benchmark or a fresh repository
+  never blocks CI);
+* 1 — at least one benchmark regressed beyond the threshold;
+* 2 — usage or unreadable *current* file (the current results must
+  exist: their absence means the bench step itself broke).
+
+Benchmarks present on only one side are reported informationally and
+never fail the gate (benches get added and retired); duplicate names
+within one file keep the last record (append-mode leftovers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Tuple
+
+
+def load_records(path: str) -> Dict[str, float]:
+    """Parses a JSON-lines bench file into ``{benchmark: mean_ns}``.
+
+    Unparsable lines are skipped with a warning on stderr — a truncated
+    record must not turn the gate into a hard failure. Duplicate names
+    keep the last occurrence.
+    """
+    records: Dict[str, float] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                name = record["benchmark"]
+                mean_ns = float(record["mean_ns"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                print(
+                    f"warning: {path}:{lineno}: skipping malformed record ({exc})",
+                    file=sys.stderr,
+                )
+                continue
+            records[str(name)] = mean_ns
+    return records
+
+
+def compare(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    threshold: float,
+) -> Tuple[List[str], List[str]]:
+    """Joins the two runs on benchmark name.
+
+    Returns ``(report_lines, regressions)`` where ``regressions`` lists
+    the benchmarks whose mean regressed more than ``threshold``
+    (fractional, e.g. 0.25 for +25%).
+    """
+    report: List[str] = []
+    regressions: List[str] = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            report.append(f"  [gone    ] {name}: baseline {baseline[name]:.1f} ns")
+            continue
+        if name not in baseline:
+            report.append(f"  [new     ] {name}: {current[name]:.1f} ns")
+            continue
+        base, cur = baseline[name], current[name]
+        ratio = (cur - base) / base if base > 0 else 0.0
+        tag = "ok      "
+        if ratio > threshold:
+            tag = "REGRESSED"
+            regressions.append(name)
+        elif ratio < -threshold:
+            tag = "improved"
+        report.append(
+            f"  [{tag}] {name}: {base:.1f} -> {cur:.1f} ns ({ratio:+.1%})"
+        )
+    return report, regressions
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="previous BENCH_fleet.json (may be absent)")
+    parser.add_argument("current", help="this run's BENCH_fleet.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional mean_ns regression that fails the gate (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    if not os.path.exists(args.current):
+        print(f"error: current bench results missing: {args.current}", file=sys.stderr)
+        return 2
+    current = load_records(args.current)
+    if not current:
+        print(f"error: current bench results empty: {args.current}", file=sys.stderr)
+        return 2
+
+    if not os.path.exists(args.baseline):
+        print(
+            f"warning: no baseline at {args.baseline}; skipping regression gate "
+            f"(first run, or artifact download failed)"
+        )
+        return 0
+    baseline = load_records(args.baseline)
+    if not baseline:
+        print(f"warning: baseline {args.baseline} is empty; skipping regression gate")
+        return 0
+
+    report, regressions = compare(baseline, current, args.threshold)
+    print(f"bench comparison (threshold +{args.threshold:.0%}):")
+    for line in report:
+        print(line)
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} benchmark(s) regressed more than "
+            f"{args.threshold:.0%}: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: no benchmark regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

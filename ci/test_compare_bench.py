@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Unit tests for the bench-regression gate (``ci/compare_bench.py``).
+
+Run with ``python3 ci/test_compare_bench.py`` (CI does, before the gate
+itself), so the gate's failure semantics — including the synthetic >25%
+regression — are themselves verified on every run.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from compare_bench import compare, load_records, main  # noqa: E402
+
+
+def write_jsonl(path, records):
+    with open(path, "w", encoding="utf-8") as handle:
+        for name, mean_ns in records:
+            handle.write(json.dumps({"benchmark": name, "mean_ns": mean_ns}) + "\n")
+
+
+class CompareTests(unittest.TestCase):
+    def test_within_threshold_passes(self):
+        baseline = {"a": 100.0, "b": 200.0}
+        current = {"a": 120.0, "b": 190.0}  # +20%, -5%
+        _, regressions = compare(baseline, current, 0.25)
+        self.assertEqual(regressions, [])
+
+    def test_synthetic_regression_beyond_threshold_fails(self):
+        baseline = {"fleet_pipeline/10000": 1000.0}
+        current = {"fleet_pipeline/10000": 1251.0}  # +25.1%
+        _, regressions = compare(baseline, current, 0.25)
+        self.assertEqual(regressions, ["fleet_pipeline/10000"])
+
+    def test_exactly_at_threshold_passes(self):
+        baseline = {"a": 100.0}
+        current = {"a": 125.0}  # exactly +25%
+        _, regressions = compare(baseline, current, 0.25)
+        self.assertEqual(regressions, [])
+
+    def test_new_and_gone_benchmarks_never_fail(self):
+        baseline = {"old": 10.0}
+        current = {"new": 99999.0}
+        report, regressions = compare(baseline, current, 0.25)
+        self.assertEqual(regressions, [])
+        self.assertTrue(any("gone" in line for line in report))
+        self.assertTrue(any("new" in line for line in report))
+
+    def test_improvements_are_labelled_not_failed(self):
+        baseline = {"a": 1000.0}
+        current = {"a": 100.0}
+        report, regressions = compare(baseline, current, 0.25)
+        self.assertEqual(regressions, [])
+        self.assertTrue(any("improved" in line for line in report))
+
+
+class LoadTests(unittest.TestCase):
+    def test_duplicates_keep_the_last_record(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "bench.json")
+            write_jsonl(path, [("a", 1.0), ("a", 2.0)])
+            self.assertEqual(load_records(path), {"a": 2.0})
+
+    def test_malformed_lines_are_skipped(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "bench.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write('{"benchmark": "good", "mean_ns": 5.0}\n')
+                handle.write("not json at all\n")
+                handle.write('{"benchmark": "no_mean"}\n')
+                handle.write('{"benchmark": "bad_mean", "mean_ns": "x"}\n')
+            self.assertEqual(load_records(path), {"good": 5.0})
+
+
+class MainExitCodeTests(unittest.TestCase):
+    def test_missing_baseline_warns_only(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            current = os.path.join(tmp, "current.json")
+            write_jsonl(current, [("a", 1.0)])
+            missing = os.path.join(tmp, "nope.json")
+            self.assertEqual(main([missing, current]), 0)
+
+    def test_empty_baseline_warns_only(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            current = os.path.join(tmp, "current.json")
+            baseline = os.path.join(tmp, "baseline.json")
+            write_jsonl(current, [("a", 1.0)])
+            open(baseline, "w").close()
+            self.assertEqual(main([baseline, current]), 0)
+
+    def test_missing_current_is_a_hard_error(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = os.path.join(tmp, "baseline.json")
+            write_jsonl(baseline, [("a", 1.0)])
+            self.assertEqual(main([baseline, os.path.join(tmp, "nope.json")]), 2)
+
+    def test_regression_exits_nonzero(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = os.path.join(tmp, "baseline.json")
+            current = os.path.join(tmp, "current.json")
+            write_jsonl(baseline, [("a", 100.0), ("b", 50.0)])
+            write_jsonl(current, [("a", 200.0), ("b", 50.0)])
+            self.assertEqual(main([baseline, current]), 1)
+
+    def test_clean_run_exits_zero(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = os.path.join(tmp, "baseline.json")
+            current = os.path.join(tmp, "current.json")
+            write_jsonl(baseline, [("a", 100.0)])
+            write_jsonl(current, [("a", 101.0)])
+            self.assertEqual(main([baseline, current]), 0)
+
+    def test_custom_threshold_is_respected(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = os.path.join(tmp, "baseline.json")
+            current = os.path.join(tmp, "current.json")
+            write_jsonl(baseline, [("a", 100.0)])
+            write_jsonl(current, [("a", 140.0)])
+            self.assertEqual(main([baseline, current, "--threshold", "0.5"]), 0)
+            self.assertEqual(main([baseline, current, "--threshold", "0.25"]), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

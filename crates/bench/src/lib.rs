@@ -14,6 +14,10 @@
 //!   core against the per-trajectory path at `N = 1,000` / `10,000`,
 //!   plus the end-to-end fleet pipeline (CI archives these as
 //!   `BENCH_fleet.json`);
+//! * `fleet_chaff` — the chaffed-fleet subsystem: policy-driven
+//!   simulation, detection over the enlarged `N · (1 + B)` candidate
+//!   set, the multi-class mixture kernel, and the end-to-end pipeline
+//!   (also part of the CI baseline, gated by `ci/compare_bench.py`);
 //! * `substrates` — Markov/stationary/Voronoi substrate operations.
 
 use chaff_markov::models::ModelKind;

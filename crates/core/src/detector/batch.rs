@@ -21,6 +21,12 @@
 //! exactly one shard, maxima merge with exact comparisons, and tie sets
 //! are emitted in increasing index order — so results are bit-for-bit
 //! independent of the shard count and equal to the per-trajectory path.
+//!
+//! For heterogeneous (multi-class) fleets,
+//! [`BatchPrefixDetector::detect_prefixes_with_tables`] scores the
+//! enlarged chaffed candidate set against one table per mobility-model
+//! class (best class per prefix), with the same sharded, reproducible
+//! semantics.
 
 use super::ml::validate_observations;
 use super::{argmax_set, Detection};
@@ -193,6 +199,56 @@ impl BatchPrefixDetector {
         })
     }
 
+    /// Chaff-aware, class-aware prefix detection for heterogeneous
+    /// fleets: scores every observed trajectory (real services *and*
+    /// chaffs) against **all** mobility-model classes, taking the best
+    /// class per prefix — a generalized-likelihood-ratio eavesdropper
+    /// that knows the population's model mix but not any service's
+    /// class. `tables` is one [`LogLikelihoodTable`] per class (e.g.
+    /// `MobilityRegistry::tables`), so memory stays `O(classes)`.
+    ///
+    /// With a single class this is *exactly*
+    /// [`detect_prefixes_with_table`](Self::detect_prefixes_with_table)
+    /// — bit-for-bit, so undefended homogeneous baselines are unchanged.
+    /// Like every path of this detector, results are independent of the
+    /// shard count: each trajectory's per-class accumulators advance in
+    /// slot order on exactly one shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns the usual observation-shape errors, plus
+    /// [`MarkovError::Empty`](chaff_markov::MarkovError::Empty) when no
+    /// tables are supplied and
+    /// [`MarkovError::DimensionMismatch`](chaff_markov::MarkovError::DimensionMismatch)
+    /// when the class tables disagree on the cell space.
+    pub fn detect_prefixes_with_tables(
+        &self,
+        tables: &[&LogLikelihoodTable],
+        observed: &[Trajectory],
+    ) -> Result<Vec<Detection>> {
+        let first = *tables
+            .first()
+            .ok_or(crate::CoreError::Markov(chaff_markov::MarkovError::Empty))?;
+        for table in &tables[1..] {
+            if table.num_states() != first.num_states() {
+                return Err(crate::CoreError::Markov(
+                    chaff_markov::MarkovError::DimensionMismatch {
+                        expected: first.num_states(),
+                        found: table.num_states(),
+                    },
+                ));
+            }
+        }
+        if tables.len() == 1 {
+            return self.detect_prefixes_with_table(first, observed);
+        }
+        validate_shape(observed)?;
+        let scores = self.run_sharded(observed, |range| {
+            shard_pass_mixture(tables, observed, range)
+        })?;
+        Ok(merge_detections(&scores))
+    }
+
     /// The sharded accumulation pass. `observed` must already be
     /// validated. `top_k == 0` skips top-k bookkeeping; `keep_block`
     /// materializes each shard's slice of the cumulative-score matrix
@@ -206,6 +262,22 @@ impl BatchPrefixDetector {
         top_k: usize,
         keep_block: bool,
     ) -> Result<ShardedScores> {
+        self.run_sharded(observed, |range| {
+            if keep_block {
+                Ok(shard_pass_block(table, observed, range, top_k))
+            } else {
+                shard_pass_light(table, observed, range)
+            }
+        })
+    }
+
+    /// The sharding scaffold shared by every pass: splits `observed` into
+    /// contiguous index ranges, runs `pass` per range (on scoped threads
+    /// when more than one range exists) and joins in shard order.
+    fn run_sharded<F>(&self, observed: &[Trajectory], pass: F) -> Result<ShardedScores>
+    where
+        F: Fn((usize, usize)) -> Result<ShardScores> + Sync,
+    {
         let n = observed.len();
         let horizon = observed.first().map_or(0, Trajectory::len);
         let shards = self.effective_shards(n);
@@ -214,13 +286,6 @@ impl BatchPrefixDetector {
             .map(|s| (s * chunk, ((s + 1) * chunk).min(n)))
             .filter(|(lo, hi)| lo < hi)
             .collect();
-        let pass = |range| {
-            if keep_block {
-                Ok(shard_pass_block(table, observed, range, top_k))
-            } else {
-                shard_pass_light(table, observed, range)
-            }
-        };
         let shards: Result<Vec<ShardScores>> = if ranges.len() <= 1 {
             pass(ranges.first().map_or((0, 0), |&r| r)).map(|s| vec![s])
         } else {
@@ -299,16 +364,94 @@ struct ShardedScores {
     shards: Vec<ShardScores>,
 }
 
-/// The detection-only shard pass: walks each trajectory once (unit
-/// stride), accumulating its score in a register and folding it into
-/// per-slot running max / tie-candidate trackers — no `N × T` block is
-/// ever written, and cells are range-checked on their first (and only)
-/// read instead of in a separate validation pass.
+/// Folds one cumulative score into a slot's running max / tie trackers.
+/// Calls must arrive in increasing trajectory index per slot so tie sets
+/// stay ascending.
 ///
 /// The running tie tracking is equivalent to `argmax_set`'s two-pass
 /// (exact max, then tolerance filter): the running max only grows, so a
 /// score outside tolerance of the running max can never re-enter, and
 /// every max update re-filters the surviving candidates.
+#[inline(always)]
+fn fold(best: &mut f64, slot: &mut Vec<(u32, f64)>, i: u32, acc: f64) {
+    if acc > *best {
+        *best = acc;
+        slot.retain(|&(_, s)| loglik_cmp(s, acc).is_eq());
+        slot.push((i, acc));
+    } else if loglik_cmp(acc, *best).is_eq() {
+        slot.push((i, acc));
+    }
+}
+
+/// The multi-class (mixture) shard pass behind
+/// [`BatchPrefixDetector::detect_prefixes_with_tables`]: each trajectory
+/// carries one accumulator per model class, and its prefix score at slot
+/// `t` is the *maximum* accumulator — the best class explanation of the
+/// prefix. Accumulation stays per-trajectory and slot-ordered, so results
+/// are bit-for-bit independent of the shard count.
+fn shard_pass_mixture(
+    tables: &[&LogLikelihoodTable],
+    observed: &[Trajectory],
+    (lo, hi): (usize, usize),
+) -> Result<ShardScores> {
+    let horizon = observed.first().map_or(0, Trajectory::len);
+    let states = tables[0].num_states();
+    let mut maxima = vec![f64::NEG_INFINITY; horizon];
+    let mut candidates: Vec<Vec<(u32, f64)>> = vec![Vec::new(); horizon];
+    let mut accs = vec![0.0f64; tables.len()];
+    for (j, x) in observed[lo..hi].iter().enumerate() {
+        let i = (lo + j) as u32;
+        accs.fill(0.0);
+        let mut prev = None;
+        for ((&cell, best), slot) in x
+            .as_slice()
+            .iter()
+            .zip(maxima.iter_mut())
+            .zip(candidates.iter_mut())
+        {
+            if cell.index() >= states {
+                return Err(crate::CoreError::CellOutOfRange {
+                    cell: cell.index(),
+                    states,
+                });
+            }
+            // Max over classes of the running per-class score; -inf
+            // accumulators are fine (impossible under every class).
+            let mut score = f64::NEG_INFINITY;
+            for (acc, table) in accs.iter_mut().zip(tables) {
+                *acc += table.step(prev, cell);
+                if *acc > score {
+                    score = *acc;
+                }
+            }
+            prev = Some(cell);
+            fold(best, slot, i, score);
+        }
+    }
+    let mut ties = Vec::new();
+    let mut tie_starts = Vec::with_capacity(horizon + 1);
+    tie_starts.push(0);
+    for slot in candidates {
+        ties.extend(slot);
+        tie_starts.push(ties.len());
+    }
+    Ok(ShardScores {
+        lo,
+        hi,
+        block: None,
+        maxima,
+        ties,
+        tie_starts,
+        top: Vec::new(),
+        top_starts: vec![0; horizon + 1],
+    })
+}
+
+/// The detection-only shard pass: walks each trajectory once (unit
+/// stride), accumulating its score in a register and folding it into
+/// per-slot running max / tie-candidate trackers — no `N × T` block is
+/// ever written, and cells are range-checked on their first (and only)
+/// read instead of in a separate validation pass.
 fn shard_pass_light(
     table: &LogLikelihoodTable,
     observed: &[Trajectory],
@@ -318,20 +461,6 @@ fn shard_pass_light(
     let states = table.num_states();
     let mut maxima = vec![f64::NEG_INFINITY; horizon];
     let mut candidates: Vec<Vec<(u32, f64)>> = vec![Vec::new(); horizon];
-
-    /// Folds one cumulative score into a slot's running max / tie
-    /// trackers. Calls must arrive in increasing trajectory index per
-    /// slot so tie sets stay ascending.
-    #[inline(always)]
-    fn fold(best: &mut f64, slot: &mut Vec<(u32, f64)>, i: u32, acc: f64) {
-        if acc > *best {
-            *best = acc;
-            slot.retain(|&(_, s)| loglik_cmp(s, acc).is_eq());
-            slot.push((i, acc));
-        } else if loglik_cmp(acc, *best).is_eq() {
-            slot.push((i, acc));
-        }
-    }
 
     let shard = &observed[lo..hi];
     // Two trajectories per iteration: their accumulators form independent
@@ -783,6 +912,100 @@ mod tests {
         assert!(matches!(
             d.detect(&chain, &out),
             Err(CoreError::CellOutOfRange { .. })
+        ));
+    }
+
+    fn two_class_tables(seed: u64) -> (MarkovChain, MarkovChain) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng).unwrap()).unwrap();
+        let b = MarkovChain::new(ModelKind::SpatiallySkewed.build(10, &mut rng).unwrap()).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn mixture_with_one_table_matches_single_table_path_bit_for_bit() {
+        let (chain, observed) = fleet(48, 53, 17);
+        let table = chain.log_likelihood_table();
+        let d = BatchPrefixDetector::with_shards(4);
+        let single = d.detect_prefixes_with_table(&table, &observed).unwrap();
+        let multi = d.detect_prefixes_with_tables(&[&table], &observed).unwrap();
+        assert_eq!(single, multi);
+    }
+
+    #[test]
+    fn mixture_matches_naive_max_over_class_reference() {
+        let (a, b) = two_class_tables(49);
+        let mut rng = StdRng::seed_from_u64(50);
+        let mut observed: Vec<Trajectory> =
+            (0..21).map(|_| a.sample_trajectory(15, &mut rng)).collect();
+        observed.extend((0..20).map(|_| b.sample_trajectory(15, &mut rng)));
+        let (ta, tb) = (a.log_likelihood_table(), b.log_likelihood_table());
+        let detections = BatchPrefixDetector::with_shards(3)
+            .detect_prefixes_with_tables(&[&ta, &tb], &observed)
+            .unwrap();
+        // Reference: per-trajectory prefix scores under each class, max
+        // per slot, then the shared argmax-set semantics.
+        let horizon = observed[0].len();
+        for (t, detection) in detections.iter().enumerate().take(horizon) {
+            let scores: Vec<f64> = observed
+                .iter()
+                .map(|x| a.prefix_log_likelihoods(x)[t].max(b.prefix_log_likelihoods(x)[t]))
+                .collect();
+            let expected = crate::detector::argmax_set(&scores, None);
+            assert_eq!(detection.tie_set(), &expected[..], "slot {t}");
+        }
+    }
+
+    #[test]
+    fn mixture_is_independent_of_shard_count() {
+        let (a, b) = two_class_tables(51);
+        let mut rng = StdRng::seed_from_u64(52);
+        let observed: Vec<Trajectory> = (0..37)
+            .map(|i| {
+                if i % 2 == 0 {
+                    a.sample_trajectory(12, &mut rng)
+                } else {
+                    b.sample_trajectory(12, &mut rng)
+                }
+            })
+            .collect();
+        let (ta, tb) = (a.log_likelihood_table(), b.log_likelihood_table());
+        let reference = BatchPrefixDetector::with_shards(1)
+            .detect_prefixes_with_tables(&[&ta, &tb], &observed)
+            .unwrap();
+        for shards in [2, 5, 37, 100] {
+            let detections = BatchPrefixDetector::with_shards(shards)
+                .detect_prefixes_with_tables(&[&ta, &tb], &observed)
+                .unwrap();
+            assert_eq!(detections, reference, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn mixture_rejects_empty_and_mismatched_tables() {
+        let (chain, observed) = fleet(53, 4, 6);
+        let d = BatchPrefixDetector::new();
+        assert!(matches!(
+            d.detect_prefixes_with_tables(&[], &observed),
+            Err(CoreError::Markov(chaff_markov::MarkovError::Empty))
+        ));
+        let table = chain.log_likelihood_table();
+        let mut rng = StdRng::seed_from_u64(54);
+        let other = MarkovChain::new(ModelKind::NonSkewed.build(7, &mut rng).unwrap()).unwrap();
+        let small = other.log_likelihood_table();
+        assert!(matches!(
+            d.detect_prefixes_with_tables(&[&table, &small], &observed),
+            Err(CoreError::Markov(
+                chaff_markov::MarkovError::DimensionMismatch {
+                    expected: 10,
+                    found: 7
+                }
+            ))
+        ));
+        // Shape errors match the single-table path.
+        assert!(matches!(
+            d.detect_prefixes_with_tables(&[&table, &table], &[]),
+            Err(CoreError::NoTrajectories)
         ));
     }
 

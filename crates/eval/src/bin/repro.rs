@@ -4,7 +4,7 @@
 //! repro <experiment> [--runs N] [--seed S] [--out DIR] [--quick]
 //!
 //! experiments: table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 theory
-//!              multiuser fleet_scaling all
+//!              multiuser fleet_scaling fleet_chaff all
 //! ```
 //!
 //! ASCII renderings go to stdout; CSV files go to `--out` (default
@@ -54,8 +54,8 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|theory|multiuser|fleet_scaling|all> \
-     [--runs N] [--seed S] [--out DIR] [--quick]"
+    "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|theory|multiuser|fleet_scaling|\
+     fleet_chaff|all> [--runs N] [--seed S] [--out DIR] [--quick]"
         .to_string()
 }
 
@@ -156,6 +156,23 @@ fn run_experiment(name: &str, args: &Args) -> chaff_eval::Result<()> {
                 &args.out,
             )?;
         }
+        "fleet_chaff" => {
+            let (populations, budgets): (&[usize], &[usize]) = if args.quick {
+                (
+                    &experiments::fleet_chaff::QUICK_POPULATIONS,
+                    &experiments::fleet_chaff::QUICK_BUDGETS,
+                )
+            } else {
+                (
+                    &experiments::fleet_chaff::POPULATIONS,
+                    &experiments::fleet_chaff::BUDGETS,
+                )
+            };
+            emit_table(
+                &experiments::fleet_chaff::run_with(&synth, populations, budgets)?,
+                &args.out,
+            )?;
+        }
         "all" => {
             for exp in [
                 "table1",
@@ -169,6 +186,7 @@ fn run_experiment(name: &str, args: &Args) -> chaff_eval::Result<()> {
                 "theory",
                 "multiuser",
                 "fleet_scaling",
+                "fleet_chaff",
             ] {
                 println!("==== {exp} ====");
                 run_experiment(exp, args)?;

@@ -7,6 +7,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet_chaff;
 pub mod fleet_scaling;
 pub mod multiuser;
 pub mod table1;

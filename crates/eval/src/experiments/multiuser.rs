@@ -31,8 +31,9 @@ use chaff_sim::fleet::{FleetConfig, FleetSimulation};
 pub const POPULATIONS: [usize; 8] = [2, 5, 10, 20, 50, 100, 1_000, 10_000];
 
 /// One fleet run: mean (over all designated users) time-average tracking
-/// accuracy.
-fn fleet_run_accuracy(
+/// accuracy. Crate-visible so the `fleet_chaff` experiment can assert
+/// its `B = 0` rows reproduce these numbers bit-for-bit.
+pub(crate) fn fleet_run_accuracy(
     chain: &MarkovChain,
     n: usize,
     horizon: usize,

@@ -21,6 +21,8 @@
 //!   (stationary) distribution; sampling and log-likelihoods.
 //! * [`LogLikelihoodTable`] — precomputed columnar log-likelihood kernel
 //!   for batch (fleet-scale) trajectory scoring.
+//! * [`MobilityRegistry`] — heterogeneous fleets: a small set of model
+//!   classes (one cached table each) mapped onto arbitrarily many users.
 //! * [`Trajectory`] — a sequence of cells over discrete time slots.
 //! * [`models`] — the four synthetic mobility models of Sec. VII-A.
 //! * [`entropy`], [`mixing`], [`stationary`] — analysis helpers.
@@ -51,6 +53,7 @@ mod distribution;
 mod error;
 mod loglik;
 mod matrix;
+mod registry;
 mod trajectory;
 
 pub mod entropy;
@@ -64,6 +67,7 @@ pub use distribution::StateDistribution;
 pub use error::MarkovError;
 pub use loglik::{LogLikelihoodTable, DENSE_STATE_LIMIT};
 pub use matrix::TransitionMatrix;
+pub use registry::MobilityRegistry;
 pub use trajectory::Trajectory;
 
 /// Convenient result alias for fallible operations in this crate.

@@ -1,0 +1,206 @@
+//! Heterogeneous-mobility registry: a small set of model *classes*
+//! shared by an arbitrarily large fleet.
+//!
+//! Real populations are not i.i.d. draws of one chain — commuters,
+//! couriers and tourists move differently (Esper et al., 2306.15740
+//! motivate exactly this dimension). Modeling every user with their own
+//! chain would cost `O(users)` tables at fleet scale; the registry
+//! instead keeps a handful of [`MarkovChain`] *classes*, precomputes one
+//! [`LogLikelihoodTable`] per class, and maps users onto classes with a
+//! deterministic round-robin, so the memory footprint stays
+//! `O(classes)` no matter how many users the fleet simulates.
+//!
+//! The round-robin assignment `class_of(u) = u mod num_classes` is
+//! deliberate: a user's class never changes when the fleet grows, which
+//! preserves the fleet engine's guarantee that adding users never
+//! perturbs existing users' trajectories.
+
+use crate::{LogLikelihoodTable, MarkovChain, MarkovError, Result};
+
+/// A registry of mobility model classes with per-class cached
+/// log-likelihood tables and a deterministic user→class mapping.
+///
+/// All classes must share one cell space (the MEC coverage layout is
+/// common to the whole fleet even when movement patterns differ).
+///
+/// # Example
+///
+/// ```
+/// use chaff_markov::{models::ModelKind, MarkovChain, MobilityRegistry};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), chaff_markov::MarkovError> {
+/// let mut rng = StdRng::seed_from_u64(9);
+/// let registry = MobilityRegistry::new(vec![
+///     MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng)?)?,
+///     MarkovChain::new(ModelKind::SpatiallySkewed.build(10, &mut rng)?)?,
+/// ])?;
+/// assert_eq!(registry.num_classes(), 2);
+/// assert_eq!(registry.class_of(0), 0);
+/// assert_eq!(registry.class_of(7), 1);
+/// assert_eq!(registry.table(1).num_states(), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MobilityRegistry {
+    chains: Vec<MarkovChain>,
+    tables: Vec<LogLikelihoodTable>,
+}
+
+impl MobilityRegistry {
+    /// Builds a registry from one chain per class, precomputing every
+    /// class's log-likelihood table up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::Empty`] when no classes are supplied and
+    /// [`MarkovError::DimensionMismatch`] when the classes disagree on
+    /// the number of cells.
+    pub fn new(chains: Vec<MarkovChain>) -> Result<Self> {
+        let first = chains.first().ok_or(MarkovError::Empty)?;
+        let states = first.num_states();
+        for chain in &chains {
+            if chain.num_states() != states {
+                return Err(MarkovError::DimensionMismatch {
+                    expected: states,
+                    found: chain.num_states(),
+                });
+            }
+        }
+        let tables = chains
+            .iter()
+            .map(MarkovChain::log_likelihood_table)
+            .collect();
+        Ok(MobilityRegistry { chains, tables })
+    }
+
+    /// A single-class registry (the homogeneous fleet as a degenerate
+    /// case).
+    pub fn single(chain: MarkovChain) -> Self {
+        let tables = vec![chain.log_likelihood_table()];
+        MobilityRegistry {
+            chains: vec![chain],
+            tables,
+        }
+    }
+
+    /// Number of model classes.
+    pub fn num_classes(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Number of cells in the (shared) state space.
+    pub fn num_states(&self) -> usize {
+        self.chains[0].num_states()
+    }
+
+    /// The class user `user` belongs to: deterministic round-robin, so a
+    /// user's class is independent of the fleet size.
+    #[inline]
+    pub fn class_of(&self, user: usize) -> usize {
+        user % self.chains.len()
+    }
+
+    /// The mobility chain of class `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= num_classes()`.
+    pub fn chain(&self, class: usize) -> &MarkovChain {
+        &self.chains[class]
+    }
+
+    /// The chain user `user` moves by.
+    pub fn chain_of(&self, user: usize) -> &MarkovChain {
+        &self.chains[self.class_of(user)]
+    }
+
+    /// The precomputed log-likelihood table of class `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= num_classes()`.
+    pub fn table(&self, class: usize) -> &LogLikelihoodTable {
+        &self.tables[class]
+    }
+
+    /// All per-class tables in class order — the detector-side view (the
+    /// eavesdropper knows the population's model mix, not any user's
+    /// class).
+    pub fn tables(&self) -> Vec<&LogLikelihoodTable> {
+        self.tables.iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain(kind: ModelKind, cells: usize, seed: u64) -> MarkovChain {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MarkovChain::new(kind.build(cells, &mut rng).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn round_robin_is_fleet_size_independent() {
+        let registry = MobilityRegistry::new(vec![
+            chain(ModelKind::NonSkewed, 6, 1),
+            chain(ModelKind::SpatiallySkewed, 6, 2),
+            chain(ModelKind::TemporallySkewed, 6, 3),
+        ])
+        .unwrap();
+        assert_eq!(registry.num_classes(), 3);
+        for user in 0..30 {
+            assert_eq!(registry.class_of(user), user % 3);
+        }
+    }
+
+    #[test]
+    fn tables_match_their_chains() {
+        let registry = MobilityRegistry::new(vec![
+            chain(ModelKind::NonSkewed, 5, 4),
+            chain(ModelKind::SpatiallySkewed, 5, 5),
+        ])
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        for class in 0..registry.num_classes() {
+            let x = registry.chain(class).sample_trajectory(12, &mut rng);
+            let a = registry.table(class).log_likelihood(&x);
+            let b = registry.chain(class).log_likelihood(&x);
+            assert_eq!(a.to_bits(), b.to_bits(), "class {class}");
+        }
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched_cell_spaces() {
+        assert!(matches!(
+            MobilityRegistry::new(Vec::new()),
+            Err(MarkovError::Empty)
+        ));
+        let err = MobilityRegistry::new(vec![
+            chain(ModelKind::NonSkewed, 5, 7),
+            chain(ModelKind::NonSkewed, 6, 8),
+        ])
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            MarkovError::DimensionMismatch {
+                expected: 5,
+                found: 6
+            }
+        ));
+    }
+
+    #[test]
+    fn single_class_registry_wraps_one_chain() {
+        let registry = MobilityRegistry::single(chain(ModelKind::NonSkewed, 4, 9));
+        assert_eq!(registry.num_classes(), 1);
+        assert_eq!(registry.num_states(), 4);
+        assert_eq!(registry.class_of(123), 0);
+        assert_eq!(registry.tables().len(), 1);
+    }
+}

@@ -24,6 +24,12 @@ pub enum SimError {
         expected: usize,
         /// Number of locations supplied for the slot.
         found: usize,
+        /// The slot being recorded when the mismatch was detected.
+        slot: usize,
+        /// The user owning the first divergent service index, when the
+        /// log knows the fleet's per-user layout (the last user when
+        /// extra locations overflow the fleet).
+        user: Option<usize>,
     },
     /// An error bubbled up from the strategy/detector layer.
     Core(chaff_core::CoreError),
@@ -40,11 +46,20 @@ impl fmt::Display for SimError {
             SimError::NoCapacity { cell } => {
                 write!(f, "no MEC capacity available around cell {cell}")
             }
-            SimError::ObservationArity { expected, found } => {
+            SimError::ObservationArity {
+                expected,
+                found,
+                slot,
+                user,
+            } => {
                 write!(
                     f,
-                    "observation slot has {found} locations for {expected} services"
-                )
+                    "observation slot {slot} has {found} locations for {expected} services"
+                )?;
+                if let Some(user) = user {
+                    write!(f, " (first divergence in user {user}'s services)")?;
+                }
+                Ok(())
             }
             SimError::Core(e) => write!(f, "strategy error: {e}"),
             SimError::Markov(e) => write!(f, "markov substrate error: {e}"),

@@ -5,35 +5,58 @@
 //! coexisting user (and their chaffs) adds natural protection, making
 //! single-user results lower bounds. [`FleetSimulation`] makes that
 //! regime the first-class workload: `N` independent users — each with
-//! their own mobility draw and optionally their own chaff controllers —
+//! their own mobility draw and optionally their own chaff services —
 //! move through one MEC network with shared per-node capacity, and the
 //! eavesdropper observes the union of all service trajectories under one
 //! global anonymization shuffle.
+//!
+//! # The chaff-policy layer
+//!
+//! The chaff-based arXiv version (He et al., 1709.03133) frames the
+//! defense as a *budgeted multi-user game*: each user buys some number of
+//! chaff services. [`FleetChaffPolicy`] is that layer: it assigns every
+//! user an online chaff strategy ([`FleetChaffStrategy`]: IM, CML or MO)
+//! and a per-user budget via a [`BudgetAllocation`] — uniform (`B` chaffs
+//! each), proportional (a fleet-wide total spread deterministically
+//! across users), or class-based (budget per mobility class).
+//! [`FleetSimulation::run_chaffed`] drives a whole fleet under one
+//! policy; budget `B = 0` reproduces the undefended fleet bit-for-bit.
+//!
+//! # Heterogeneous mobility
+//!
+//! A fleet may mix mobility-model *classes* (commuters vs couriers):
+//! construct with [`FleetSimulation::with_registry`] over a
+//! [`MobilityRegistry`], and each user moves by (and its chaffs mimic)
+//! the chain of its class — memory stays `O(classes)`, not `O(users)`.
 //!
 //! # Execution plan
 //!
 //! 1. **Generate (parallel).** Users are split into contiguous shards;
 //!    each shard thread simulates its users slot by slot (always-follow
-//!    placement, per-user chaff controllers) into its own arena of a
-//!    [`ShardedObservationLog`]. Every user draws from an RNG seeded by
-//!    SplitMix64 over `(fleet seed, user index)`, so results are
-//!    bit-identical for every shard count.
+//!    placement, per-user chaff controllers) into per-user blocks that
+//!    land in a [`ShardedObservationLog`]. Every user draws from an RNG
+//!    seeded by SplitMix64 over `(fleet seed, user index)`, and every
+//!    chaff from its own stream over `(fleet seed, user, chaff)` — so
+//!    results are bit-identical for every shard count, growing the fleet
+//!    never perturbs existing users' streams, and growing a user's chaff
+//!    budget never perturbs the user's own trajectory.
 //! 2. **Capacity replay (sequential, only when a capacity is set).** The
 //!    planned placements are replayed through one shared [`MecNetwork`]
 //!    in global service order, spilling to the nearest free node exactly
 //!    like the single-user simulator.
-//! 3. **Anonymize.** One Fisher–Yates permutation across all
-//!    `N · (1 + chaffs)` services, driven by the fleet seed.
+//! 3. **Anonymize.** One Fisher–Yates permutation across all services,
+//!    driven by the fleet seed.
 //!
 //! The outcome pairs with the batched detection core
-//! (`chaff_core::detector::BatchPrefixDetector`) for fleet-scale
-//! evaluation.
+//! (`chaff_core::detector::BatchPrefixDetector`, whose
+//! `detect_prefixes_with_tables` scores heterogeneous chaffed candidate
+//! sets) for fleet-scale evaluation.
 
 use crate::network::MecNetwork;
 use crate::observer::ShardedObservationLog;
 use crate::{Result, SimError};
-use chaff_core::strategy::OnlineChaffController;
-use chaff_markov::{CellId, MarkovChain, Trajectory};
+use chaff_core::strategy::{CmlController, ImController, MoController, OnlineChaffController};
+use chaff_markov::{CellId, MarkovChain, MobilityRegistry, Trajectory};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -42,7 +65,10 @@ use rand::SeedableRng;
 pub struct FleetConfig {
     /// Number of independent users `N`.
     pub num_users: usize,
-    /// Chaff services launched per user (0 = natural protection only).
+    /// Chaff services launched per user by the *uniform legacy path*
+    /// ([`FleetSimulation::run_online`]); [`FleetSimulation::run_chaffed`]
+    /// takes budgets from its [`FleetChaffPolicy`] instead and requires
+    /// this to stay 0.
     pub chaffs_per_user: usize,
     /// Number of slots to simulate.
     pub horizon: usize,
@@ -51,8 +77,8 @@ pub struct FleetConfig {
     pub node_capacity: Option<usize>,
     /// Whether to shuffle service order in the observation log.
     pub anonymize: bool,
-    /// Master seed: drives every user's RNG and the anonymization
-    /// shuffle.
+    /// Master seed: drives every user's RNG, every chaff's RNG and the
+    /// anonymization shuffle.
     pub seed: u64,
     /// Number of generation shards; `None` sizes from available
     /// parallelism. Results never depend on this.
@@ -74,7 +100,7 @@ impl FleetConfig {
         }
     }
 
-    /// Sets the number of chaffs per user.
+    /// Sets the number of chaffs per user (uniform legacy path only).
     pub fn with_chaffs(mut self, chaffs_per_user: usize) -> Self {
         self.chaffs_per_user = chaffs_per_user;
         self
@@ -105,12 +131,14 @@ impl FleetConfig {
         self
     }
 
-    /// Services per user (the real one plus its chaffs).
+    /// Services per user (the real one plus its uniform chaffs) on the
+    /// legacy uniform path.
     pub fn services_per_user(&self) -> usize {
         1 + self.chaffs_per_user
     }
 
-    /// Total services across the fleet.
+    /// Total services across the fleet under the uniform budget (policy
+    /// runs compute the true total from their allocation).
     pub fn num_services(&self) -> usize {
         self.num_users * self.services_per_user()
     }
@@ -141,6 +169,186 @@ impl FleetConfig {
     }
 }
 
+/// An online chaff strategy a fleet policy can assign to users. Only the
+/// paper's *online* strategies qualify — offline ones (ML, OO) need the
+/// whole user trajectory in advance, which the strictly causal fleet
+/// driver never has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FleetChaffStrategy {
+    /// Impersonating (Sec. IV-A): an independent draw of the user's
+    /// chain; the only strategy whose protection grows with budget
+    /// against the ML detector.
+    Im,
+    /// Constrained maximum likelihood (Sec. V-C1): greedy most-likely
+    /// moves that never co-locate with the user.
+    Cml,
+    /// Myopic online (Algorithm 2): one-step lookahead on likelihood and
+    /// co-location.
+    Mo,
+}
+
+impl FleetChaffStrategy {
+    /// Builds the per-slot controller for one chaff over `chain`.
+    pub fn controller<'a>(self, chain: &'a MarkovChain) -> Box<dyn OnlineChaffController + 'a> {
+        match self {
+            FleetChaffStrategy::Im => Box::new(ImController::new(chain)),
+            FleetChaffStrategy::Cml => Box::new(CmlController::new(chain)),
+            FleetChaffStrategy::Mo => Box::new(MoController::new(chain)),
+        }
+    }
+}
+
+impl std::fmt::Display for FleetChaffStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FleetChaffStrategy::Im => "IM",
+            FleetChaffStrategy::Cml => "CML",
+            FleetChaffStrategy::Mo => "MO",
+        })
+    }
+}
+
+/// How a [`FleetChaffPolicy`] distributes chaff budget over users.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BudgetAllocation {
+    /// Every user gets exactly `B` chaffs.
+    Uniform(usize),
+    /// A fleet-wide total spread proportionally (i.e. as evenly as
+    /// integers allow): user `u` gets `total / N` chaffs plus one more
+    /// when `u < total mod N`. Deterministic and independent of sharding.
+    Proportional {
+        /// Total chaff services across the whole fleet.
+        total: usize,
+    },
+    /// Budget per mobility class (indexed like the fleet's
+    /// [`MobilityRegistry`]; a homogeneous fleet has exactly one class).
+    PerClass(Vec<usize>),
+}
+
+/// How a [`FleetChaffPolicy`] assigns chaff strategies to users.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrategyAllocation {
+    /// Every user runs the same strategy.
+    Uniform(FleetChaffStrategy),
+    /// One strategy per mobility class.
+    PerClass(Vec<FleetChaffStrategy>),
+}
+
+/// The fleet-scale chaff-policy layer: assigns each user an online chaff
+/// strategy and a per-user budget.
+///
+/// Budgets and strategies are pure functions of `(user, class, N)`, so a
+/// policy is deterministic, shard-independent, and stable under fleet
+/// growth for the uniform and class-based allocations (the proportional
+/// allocation depends on `N` by design — it spreads a fixed total).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetChaffPolicy {
+    allocation: BudgetAllocation,
+    strategies: StrategyAllocation,
+}
+
+impl FleetChaffPolicy {
+    /// Every user runs `strategy` with exactly `budget` chaffs.
+    pub fn uniform(strategy: FleetChaffStrategy, budget: usize) -> Self {
+        FleetChaffPolicy {
+            allocation: BudgetAllocation::Uniform(budget),
+            strategies: StrategyAllocation::Uniform(strategy),
+        }
+    }
+
+    /// Every user runs `strategy`; a fleet-wide `total` of chaffs is
+    /// spread as evenly as integers allow (low user indices take the
+    /// remainder).
+    pub fn proportional(strategy: FleetChaffStrategy, total: usize) -> Self {
+        FleetChaffPolicy {
+            allocation: BudgetAllocation::Proportional { total },
+            strategies: StrategyAllocation::Uniform(strategy),
+        }
+    }
+
+    /// Class-based assignment: class `c` users run `classes[c].0` with
+    /// `classes[c].1` chaffs each. The length must match the fleet's
+    /// number of mobility classes (checked at run time).
+    pub fn per_class(classes: Vec<(FleetChaffStrategy, usize)>) -> Self {
+        let (strategies, budgets) = classes.into_iter().unzip();
+        FleetChaffPolicy {
+            allocation: BudgetAllocation::PerClass(budgets),
+            strategies: StrategyAllocation::PerClass(strategies),
+        }
+    }
+
+    /// A custom combination of allocation and strategy assignment.
+    pub fn new(allocation: BudgetAllocation, strategies: StrategyAllocation) -> Self {
+        FleetChaffPolicy {
+            allocation,
+            strategies,
+        }
+    }
+
+    /// The chaff budget of `user` (in class `class`, fleet size
+    /// `num_users`).
+    pub fn budget_of(&self, user: usize, class: usize, num_users: usize) -> usize {
+        match &self.allocation {
+            BudgetAllocation::Uniform(b) => *b,
+            BudgetAllocation::Proportional { total } => {
+                total / num_users + usize::from(user < total % num_users)
+            }
+            BudgetAllocation::PerClass(budgets) => budgets[class],
+        }
+    }
+
+    /// The chaff strategy of a user in class `class`.
+    pub fn strategy_of(&self, class: usize) -> FleetChaffStrategy {
+        match &self.strategies {
+            StrategyAllocation::Uniform(s) => *s,
+            StrategyAllocation::PerClass(v) => v[class],
+        }
+    }
+
+    /// Total chaff services this policy launches across a fleet of
+    /// `num_users` users mapped to classes by `class_of`.
+    pub fn total_budget(
+        &self,
+        num_users: usize,
+        mut class_of: impl FnMut(usize) -> usize,
+    ) -> usize {
+        match &self.allocation {
+            BudgetAllocation::Uniform(b) => b * num_users,
+            BudgetAllocation::Proportional { total } => *total,
+            BudgetAllocation::PerClass(_) => (0..num_users)
+                .map(|u| self.budget_of(u, class_of(u), num_users))
+                .sum(),
+        }
+    }
+
+    /// Checks class-indexed tables against the fleet's class count.
+    fn validate(&self, num_classes: usize) -> Result<()> {
+        if let BudgetAllocation::PerClass(budgets) = &self.allocation {
+            if budgets.len() != num_classes {
+                return Err(SimError::InvalidConfig {
+                    parameter: "policy.budgets",
+                    reason: format!(
+                        "{} per-class budgets for {num_classes} mobility classes",
+                        budgets.len()
+                    ),
+                });
+            }
+        }
+        if let StrategyAllocation::PerClass(strategies) = &self.strategies {
+            if strategies.len() != num_classes {
+                return Err(SimError::InvalidConfig {
+                    parameter: "policy.strategies",
+                    reason: format!(
+                        "{} per-class strategies for {num_classes} mobility classes",
+                        strategies.len()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Aggregate fleet counters (per-service ledgers would dwarf the
 /// trajectories at fleet scale).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -152,6 +360,8 @@ pub struct FleetStats {
     /// Simulated user-slots (`num_users × horizon`), the throughput
     /// denominator.
     pub user_slots: usize,
+    /// Chaff services launched across the fleet (0 on undefended runs).
+    pub chaff_services: usize,
 }
 
 /// Everything a fleet run produces.
@@ -170,29 +380,69 @@ pub struct FleetOutcome {
     pub stats: FleetStats,
 }
 
-/// A configured fleet simulation over one mobility model.
+/// The mobility substrate a fleet runs on: one shared chain, or a
+/// registry of model classes.
+#[derive(Clone, Copy)]
+enum FleetModel<'a> {
+    Homogeneous(&'a MarkovChain),
+    Heterogeneous(&'a MobilityRegistry),
+}
+
+impl FleetModel<'_> {
+    fn num_classes(&self) -> usize {
+        match self {
+            FleetModel::Homogeneous(_) => 1,
+            FleetModel::Heterogeneous(r) => r.num_classes(),
+        }
+    }
+
+    fn class_of(&self, user: usize) -> usize {
+        match self {
+            FleetModel::Homogeneous(_) => 0,
+            FleetModel::Heterogeneous(r) => r.class_of(user),
+        }
+    }
+
+    fn chain_of(&self, user: usize) -> &MarkovChain {
+        match self {
+            FleetModel::Homogeneous(c) => c,
+            FleetModel::Heterogeneous(r) => r.chain_of(user),
+        }
+    }
+
+    fn num_states(&self) -> usize {
+        match self {
+            FleetModel::Homogeneous(c) => c.num_states(),
+            FleetModel::Heterogeneous(r) => r.num_states(),
+        }
+    }
+}
+
+/// A configured fleet simulation over one mobility model or a registry of
+/// model classes.
 ///
 /// # Example
 ///
 /// ```
 /// use chaff_core::detector::{BatchPrefixDetector, Detector};
 /// use chaff_markov::{models::ModelKind, MarkovChain};
-/// use chaff_sim::fleet::{FleetConfig, FleetSimulation};
+/// use chaff_sim::fleet::{FleetChaffPolicy, FleetChaffStrategy, FleetConfig, FleetSimulation};
 /// use rand::{rngs::StdRng, SeedableRng};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut rng = StdRng::seed_from_u64(1);
 /// let chain = MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng)?)?;
+/// let policy = FleetChaffPolicy::uniform(FleetChaffStrategy::Im, 2);
 /// let outcome = FleetSimulation::new(&chain, FleetConfig::new(200, 30).with_seed(7))
-///     .run_natural()?;
-/// assert_eq!(outcome.observed.len(), 200);
+///     .run_chaffed(&policy)?;
+/// assert_eq!(outcome.observed.len(), 200 * 3); // real + 2 chaffs each
 /// let detections = BatchPrefixDetector::new().detect_prefixes(&chain, &outcome.observed)?;
 /// assert_eq!(detections.len(), 30);
 /// # Ok(())
 /// # }
 /// ```
 pub struct FleetSimulation<'a> {
-    chain: &'a MarkovChain,
+    model: FleetModel<'a>,
     config: FleetConfig,
 }
 
@@ -205,9 +455,23 @@ struct UserBlock {
 }
 
 impl<'a> FleetSimulation<'a> {
-    /// Creates a fleet simulation with always-follow placement.
+    /// Creates a homogeneous fleet simulation (every user moves by
+    /// `chain`) with always-follow placement.
     pub fn new(chain: &'a MarkovChain, config: FleetConfig) -> Self {
-        FleetSimulation { chain, config }
+        FleetSimulation {
+            model: FleetModel::Homogeneous(chain),
+            config,
+        }
+    }
+
+    /// Creates a heterogeneous fleet over a registry of mobility-model
+    /// classes: user `u` moves by (and its chaffs mimic)
+    /// `registry.chain_of(u)`.
+    pub fn with_registry(registry: &'a MobilityRegistry, config: FleetConfig) -> Self {
+        FleetSimulation {
+            model: FleetModel::Heterogeneous(registry),
+            config,
+        }
     }
 
     /// Runs a fleet with no chaff services: every user's protection comes
@@ -217,7 +481,8 @@ impl<'a> FleetSimulation<'a> {
     ///
     /// Propagates configuration and capacity errors; rejects a config
     /// with `chaffs_per_user > 0` (those need
-    /// [`run_online`](FleetSimulation::run_online)).
+    /// [`run_online`](FleetSimulation::run_online) or
+    /// [`run_chaffed`](FleetSimulation::run_chaffed)).
     pub fn run_natural(self) -> Result<FleetOutcome> {
         if self.config.chaffs_per_user != 0 {
             return Err(SimError::InvalidConfig {
@@ -225,16 +490,50 @@ impl<'a> FleetSimulation<'a> {
                 reason: "run_natural simulates chaff-free fleets; use run_online".into(),
             });
         }
-        self.run_online(|_, _| -> Box<dyn OnlineChaffController> {
-            unreachable!("no chaffs configured")
-        })
+        self.run_with(
+            |_| 0,
+            |_, _| -> Box<dyn OnlineChaffController> { unreachable!("no chaffs configured") },
+        )
     }
 
-    /// Runs the fleet with `make_controller(user, chaff)` building the
-    /// online chaff controller for chaff `chaff` of user `user`. The
-    /// factory is called from worker threads (hence `Sync`) and must be
-    /// deterministic in its arguments — all randomness should come from
-    /// the per-slot RNG the controller receives.
+    /// Runs the fleet under a chaff policy: each user gets the strategy
+    /// and budget the policy assigns to it (by user index and mobility
+    /// class), with every chaff drawing from its own deterministic RNG
+    /// stream. A policy whose budgets are all zero reproduces
+    /// [`run_natural`](FleetSimulation::run_natural) bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and capacity errors; rejects class-based
+    /// policies whose tables do not match the fleet's class count, and a
+    /// config with nonzero `chaffs_per_user` (ambiguous with the policy).
+    pub fn run_chaffed(self, policy: &FleetChaffPolicy) -> Result<FleetOutcome> {
+        if self.config.chaffs_per_user != 0 {
+            return Err(SimError::InvalidConfig {
+                parameter: "chaffs_per_user",
+                reason: "run_chaffed takes budgets from the policy; leave chaffs_per_user at 0"
+                    .into(),
+            });
+        }
+        policy.validate(self.model.num_classes())?;
+        let n = self.config.num_users;
+        let model = self.model;
+        self.run_with(
+            |user| policy.budget_of(user, model.class_of(user), n),
+            |user, _chaff| {
+                let class = model.class_of(user);
+                policy.strategy_of(class).controller(model.chain_of(user))
+            },
+        )
+    }
+
+    /// Runs the fleet with the uniform legacy interface:
+    /// `make_controller(user, chaff)` builds the online chaff controller
+    /// for chaff `chaff` of user `user`, and every user launches
+    /// `config.chaffs_per_user` chaffs. The factory is called from worker
+    /// threads (hence `Sync`) and must be deterministic in its arguments —
+    /// all randomness should come from the per-slot RNG the controller
+    /// receives (each chaff has its own deterministic stream).
     ///
     /// # Errors
     ///
@@ -243,14 +542,26 @@ impl<'a> FleetSimulation<'a> {
     where
         F: Fn(usize, usize) -> Box<dyn OnlineChaffController + 'a> + Sync,
     {
+        let uniform = self.config.chaffs_per_user;
+        self.run_with(|_| uniform, make_controller)
+    }
+
+    /// The shared driver: `budget_of(user)` chaffs per user, controllers
+    /// from `make_controller`.
+    fn run_with<B, F>(self, budget_of: B, make_controller: F) -> Result<FleetOutcome>
+    where
+        B: Fn(usize) -> usize + Sync,
+        F: Fn(usize, usize) -> Box<dyn OnlineChaffController + 'a> + Sync,
+    {
         self.config.validate()?;
-        let blocks = self.generate(&make_controller);
+        let blocks = self.generate(&budget_of, &make_controller);
         self.assemble(blocks)
     }
 
     /// Phase 1: per-user trajectory generation, sharded over users.
-    fn generate<F>(&self, make_controller: &F) -> Vec<UserBlock>
+    fn generate<B, F>(&self, budget_of: &B, make_controller: &F) -> Vec<UserBlock>
     where
+        B: Fn(usize) -> usize + Sync,
         F: Fn(usize, usize) -> Box<dyn OnlineChaffController + 'a> + Sync,
     {
         let n = self.config.num_users;
@@ -259,7 +570,7 @@ impl<'a> FleetSimulation<'a> {
         let mut blocks: Vec<UserBlock> = vec![UserBlock::default(); n];
         if shards <= 1 {
             for (u, block) in blocks.iter_mut().enumerate() {
-                *block = self.simulate_user(u, make_controller);
+                *block = self.simulate_user(u, budget_of(u), make_controller);
             }
         } else {
             std::thread::scope(|scope| {
@@ -268,7 +579,8 @@ impl<'a> FleetSimulation<'a> {
                     scope.spawn(move || {
                         let offset = worker * chunk;
                         for (j, block) in slice.iter_mut().enumerate() {
-                            *block = this.simulate_user(offset + j, make_controller);
+                            let u = offset + j;
+                            *block = this.simulate_user(u, budget_of(u), make_controller);
                         }
                     });
                 }
@@ -278,33 +590,40 @@ impl<'a> FleetSimulation<'a> {
     }
 
     /// Simulates one user: strictly causal per-slot moves with
-    /// always-follow placement, mirroring `Simulation::run_online`.
-    fn simulate_user<F>(&self, user: usize, make_controller: &F) -> UserBlock
+    /// always-follow placement, mirroring `Simulation::run_online`. The
+    /// user and each chaff draw from separate deterministic streams, so
+    /// the chaff budget never perturbs the user's own trajectory.
+    fn simulate_user<F>(&self, user: usize, budget: usize, make_controller: &F) -> UserBlock
     where
         F: Fn(usize, usize) -> Box<dyn OnlineChaffController + 'a> + Sync,
     {
         let horizon = self.config.horizon;
+        let chain = self.model.chain_of(user);
         let mut rng = StdRng::seed_from_u64(user_seed(self.config.seed, user as u64));
-        let mut controllers: Vec<Box<dyn OnlineChaffController + 'a>> =
-            (0..self.config.chaffs_per_user)
-                .map(|c| make_controller(user, c))
-                .collect();
+        let mut chaff_lanes: Vec<(Box<dyn OnlineChaffController + 'a>, StdRng)> = (0..budget)
+            .map(|c| {
+                let seed = chaff_seed(self.config.seed, user as u64, c as u64);
+                (make_controller(user, c), StdRng::seed_from_u64(seed))
+            })
+            .collect();
         let mut user_cells = Trajectory::with_capacity(horizon);
-        let mut services: Vec<Trajectory> = (0..self.config.services_per_user())
+        let mut services: Vec<Trajectory> = (0..=budget)
             .map(|_| Trajectory::with_capacity(horizon))
             .collect();
         let mut user_now: Option<CellId> = None;
         for _slot in 0..horizon {
             let cell = match user_now {
-                None => self.chain.initial().sample(&mut rng),
-                Some(prev) => self.chain.step(prev, &mut rng),
+                None => chain.initial().sample(&mut rng),
+                Some(prev) => chain.step(prev, &mut rng),
             };
             user_now = Some(cell);
             user_cells.push(cell);
             // Always-follow: the real service co-locates with the user.
             services[0].push(cell);
-            for (chaff, controller) in services[1..].iter_mut().zip(&mut controllers) {
-                chaff.push(controller.next(cell, &[], &mut rng));
+            for (chaff, (controller, chaff_rng)) in
+                services[1..].iter_mut().zip(chaff_lanes.iter_mut())
+            {
+                chaff.push(controller.next(cell, &[], chaff_rng));
             }
         }
         UserBlock {
@@ -316,21 +635,30 @@ impl<'a> FleetSimulation<'a> {
     /// Phases 2–3: optional shared-capacity replay, then one global
     /// anonymization shuffle.
     fn assemble(&self, blocks: Vec<UserBlock>) -> Result<FleetOutcome> {
-        let per_user = self.config.services_per_user();
+        let n = self.config.num_users;
         let horizon = self.config.horizon;
+        // Per-user service offsets: user `u` owns global services
+        // `service_starts[u]..service_starts[u + 1]` (real service first).
+        let mut service_starts = Vec::with_capacity(n + 1);
+        service_starts.push(0usize);
+        for block in &blocks {
+            service_starts.push(service_starts.last().expect("non-empty") + block.services.len());
+        }
+        let num_services = *service_starts.last().expect("non-empty");
         let mut stats = FleetStats {
             migrations: 0,
             spills: 0,
-            user_slots: self.config.num_users * horizon,
+            user_slots: n * horizon,
+            chaff_services: num_services - n,
         };
         let mut user_cells = Vec::with_capacity(blocks.len());
-        let mut planned: Vec<Trajectory> = Vec::with_capacity(self.config.num_services());
+        let mut planned: Vec<Trajectory> = Vec::with_capacity(num_services);
         for block in blocks {
             user_cells.push(block.user_cells);
             planned.extend(block.services);
         }
         let log = if let Some(capacity) = self.config.node_capacity {
-            self.replay_with_capacity(&planned, capacity, &mut stats)?
+            self.replay_with_capacity(&planned, &service_starts, capacity, &mut stats)?
         } else {
             // Fast path: without capacity limits the planned placement is
             // the actual placement; count migrations per trajectory.
@@ -344,13 +672,11 @@ impl<'a> FleetSimulation<'a> {
         let (observed, user_observed_indices) = if self.config.anonymize {
             let mut rng = StdRng::seed_from_u64(shuffle_seed(self.config.seed));
             let (observed, perm) = log.into_anonymized(&mut rng);
-            let indices = (0..self.config.num_users)
-                .map(|u| perm[u * per_user])
-                .collect();
+            let indices = (0..n).map(|u| perm[service_starts[u]]).collect();
             (observed, indices)
         } else {
             let observed = log.into_ordered();
-            let indices = (0..self.config.num_users).map(|u| u * per_user).collect();
+            let indices = service_starts[..n].to_vec();
             (observed, indices)
         };
         Ok(FleetOutcome {
@@ -367,12 +693,14 @@ impl<'a> FleetSimulation<'a> {
     fn replay_with_capacity(
         &self,
         planned: &[Trajectory],
+        service_starts: &[usize],
         capacity: usize,
         stats: &mut FleetStats,
     ) -> Result<ShardedObservationLog> {
         let horizon = self.config.horizon;
-        let mut network = MecNetwork::new(self.chain.num_states(), Some(capacity))?;
-        let mut log = ShardedObservationLog::new(planned.len(), self.config.effective_shards());
+        let mut network = MecNetwork::new(self.model.num_states(), Some(capacity))?;
+        let mut log = ShardedObservationLog::new(planned.len(), self.config.effective_shards())
+            .with_user_layout(service_starts.to_vec());
         let mut actual: Vec<CellId> = Vec::with_capacity(planned.len());
         let mut locations = Vec::with_capacity(planned.len());
         for slot in 0..horizon {
@@ -413,6 +741,14 @@ pub fn user_seed(base: u64, user: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derives the RNG seed for chaff `chaff` of user `user`: a second
+/// SplitMix64 scramble over the user's seed under a chaff-lane salt, so
+/// chaff streams are independent of the user's own stream (the budget
+/// never perturbs the user's trajectory) and of each other.
+pub fn chaff_seed(base: u64, user: u64, chaff: u64) -> u64 {
+    user_seed(user_seed(base, user) ^ 0xC4AF_F000_0000_0000, chaff)
+}
+
 /// Seed stream for the anonymization shuffle (kept separate from user
 /// streams so adding users never perturbs the permutation draw).
 fn shuffle_seed(base: u64) -> u64 {
@@ -430,6 +766,23 @@ mod tests {
         MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng).unwrap()).unwrap()
     }
 
+    fn registry(seed: u64, classes: usize) -> MobilityRegistry {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kinds = [
+            ModelKind::NonSkewed,
+            ModelKind::SpatiallySkewed,
+            ModelKind::TemporallySkewed,
+        ];
+        MobilityRegistry::new(
+            (0..classes)
+                .map(|c| {
+                    MarkovChain::new(kinds[c % kinds.len()].build(10, &mut rng).unwrap()).unwrap()
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
     #[test]
     fn natural_fleet_produces_consistent_outcome() {
         let c = chain(1);
@@ -439,6 +792,7 @@ mod tests {
         assert_eq!(outcome.observed.len(), 25);
         assert_eq!(outcome.user_cells.len(), 25);
         assert_eq!(outcome.stats.user_slots, 25 * 12);
+        assert_eq!(outcome.stats.chaff_services, 0);
         for (u, &idx) in outcome.user_observed_indices.iter().enumerate() {
             assert_eq!(outcome.observed[idx], outcome.user_cells[u], "user {u}");
         }
@@ -475,6 +829,7 @@ mod tests {
             .run_online(|_, _| Box::new(CmlController::new(&c)))
             .unwrap();
         assert_eq!(outcome.observed.len(), 6 * 3);
+        assert_eq!(outcome.stats.chaff_services, 12);
         // Without anonymization user u's real service sits at u * 3.
         for (u, &idx) in outcome.user_observed_indices.iter().enumerate() {
             assert_eq!(idx, u * 3);
@@ -535,6 +890,13 @@ mod tests {
                 .run_natural()
                 .is_err()
         );
+        // run_chaffed rejects the ambiguous uniform legacy knob.
+        let policy = FleetChaffPolicy::uniform(FleetChaffStrategy::Im, 1);
+        assert!(
+            FleetSimulation::new(&c, FleetConfig::new(5, 5).with_chaffs(1))
+                .run_chaffed(&policy)
+                .is_err()
+        );
     }
 
     #[test]
@@ -549,5 +911,169 @@ mod tests {
             .map(|t| t.as_slice().windows(2).filter(|w| w[0] != w[1]).count())
             .sum();
         assert_eq!(outcome.stats.migrations, expected);
+    }
+
+    #[test]
+    fn uniform_policy_launches_budget_chaffs_per_user() {
+        let c = chain(8);
+        let policy = FleetChaffPolicy::uniform(FleetChaffStrategy::Im, 3);
+        let outcome = FleetSimulation::new(&c, FleetConfig::new(7, 9).with_seed(13))
+            .run_chaffed(&policy)
+            .unwrap();
+        assert_eq!(outcome.observed.len(), 7 * 4);
+        assert_eq!(outcome.stats.chaff_services, 21);
+        for (u, &idx) in outcome.user_observed_indices.iter().enumerate() {
+            assert_eq!(outcome.observed[idx], outcome.user_cells[u], "user {u}");
+        }
+    }
+
+    #[test]
+    fn proportional_allocation_spreads_the_total_with_low_index_remainder() {
+        let policy = FleetChaffPolicy::proportional(FleetChaffStrategy::Im, 7);
+        let budgets: Vec<usize> = (0..5).map(|u| policy.budget_of(u, 0, 5)).collect();
+        assert_eq!(budgets, vec![2, 2, 1, 1, 1]);
+        assert_eq!(budgets.iter().sum::<usize>(), 7);
+        assert_eq!(policy.total_budget(5, |_| 0), 7);
+
+        let c = chain(9);
+        let outcome = FleetSimulation::new(
+            &c,
+            FleetConfig::new(5, 6).with_seed(17).without_anonymization(),
+        )
+        .run_chaffed(&policy)
+        .unwrap();
+        assert_eq!(outcome.observed.len(), 5 + 7);
+        // Real services sit at the per-user prefix offsets 0, 3, 6, 8, 10.
+        assert_eq!(outcome.user_observed_indices, vec![0, 3, 6, 8, 10]);
+    }
+
+    #[test]
+    fn class_based_policies_follow_the_registry() {
+        let r = registry(10, 2);
+        let policy = FleetChaffPolicy::per_class(vec![
+            (FleetChaffStrategy::Im, 2),
+            (FleetChaffStrategy::Cml, 0),
+        ]);
+        let outcome = FleetSimulation::with_registry(
+            &r,
+            FleetConfig::new(6, 8).with_seed(19).without_anonymization(),
+        )
+        .run_chaffed(&policy)
+        .unwrap();
+        // Users 0, 2, 4 are class 0 (budget 2); users 1, 3, 5 class 1
+        // (budget 0): 3 * 3 + 3 * 1 services.
+        assert_eq!(outcome.observed.len(), 12);
+        assert_eq!(outcome.stats.chaff_services, 6);
+        assert_eq!(policy.total_budget(6, |u| r.class_of(u)), 6);
+
+        // Wrong class arity is rejected.
+        let bad = FleetChaffPolicy::per_class(vec![(FleetChaffStrategy::Im, 1)]);
+        assert!(FleetSimulation::with_registry(&r, FleetConfig::new(6, 8))
+            .run_chaffed(&bad)
+            .is_err());
+    }
+
+    #[test]
+    fn zero_budget_policy_reproduces_the_undefended_fleet() {
+        let c = chain(11);
+        let natural = FleetSimulation::new(&c, FleetConfig::new(23, 14).with_seed(29))
+            .run_natural()
+            .unwrap();
+        let policy = FleetChaffPolicy::uniform(FleetChaffStrategy::Cml, 0);
+        let chaffed = FleetSimulation::new(&c, FleetConfig::new(23, 14).with_seed(29))
+            .run_chaffed(&policy)
+            .unwrap();
+        assert_eq!(chaffed.observed, natural.observed);
+        assert_eq!(chaffed.user_observed_indices, natural.user_observed_indices);
+        assert_eq!(chaffed.user_cells, natural.user_cells);
+        assert_eq!(chaffed.stats, natural.stats);
+    }
+
+    #[test]
+    fn chaff_budget_does_not_perturb_user_trajectories() {
+        let c = chain(12);
+        let undefended = FleetSimulation::new(&c, FleetConfig::new(9, 11).with_seed(31))
+            .run_natural()
+            .unwrap();
+        for budget in [1, 3] {
+            let policy = FleetChaffPolicy::uniform(FleetChaffStrategy::Im, budget);
+            let chaffed = FleetSimulation::new(&c, FleetConfig::new(9, 11).with_seed(31))
+                .run_chaffed(&policy)
+                .unwrap();
+            assert_eq!(chaffed.user_cells, undefended.user_cells, "B = {budget}");
+        }
+    }
+
+    #[test]
+    fn chaffed_results_are_identical_across_shard_counts() {
+        let r = registry(13, 3);
+        let policy = FleetChaffPolicy::proportional(FleetChaffStrategy::Im, 11);
+        let run = |shards: usize| {
+            FleetSimulation::with_registry(
+                &r,
+                FleetConfig::new(10, 7).with_seed(37).with_shards(shards),
+            )
+            .run_chaffed(&policy)
+            .unwrap()
+        };
+        let reference = run(1);
+        for shards in [2, 5, 10, 32] {
+            let outcome = run(shards);
+            assert_eq!(outcome.observed, reference.observed, "shards = {shards}");
+            assert_eq!(
+                outcome.user_observed_indices, reference.user_observed_indices,
+                "shards = {shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn heterogeneous_users_follow_their_class_chains() {
+        // A 2-class registry where class 1 is the (deterministic-ish)
+        // temporally skewed walk: check users use distinct chains by
+        // verifying per-class log-likelihood dominance on average.
+        let r = registry(14, 2);
+        let outcome = FleetSimulation::with_registry(
+            &r,
+            FleetConfig::new(40, 30)
+                .with_seed(41)
+                .without_anonymization(),
+        )
+        .run_natural()
+        .unwrap();
+        let mut own = 0.0;
+        let mut other = 0.0;
+        for (u, cells) in outcome.user_cells.iter().enumerate() {
+            let class = r.class_of(u);
+            own += r.chain(class).log_likelihood(cells);
+            other += r.chain(1 - class).log_likelihood(cells);
+        }
+        assert!(
+            own > other,
+            "users should be better explained by their own class ({own} vs {other})"
+        );
+    }
+
+    #[test]
+    fn chaff_streams_are_distinct_across_lanes() {
+        let c = chain(15);
+        let policy = FleetChaffPolicy::uniform(FleetChaffStrategy::Im, 2);
+        let outcome = FleetSimulation::new(
+            &c,
+            FleetConfig::new(4, 25)
+                .with_seed(43)
+                .without_anonymization(),
+        )
+        .run_chaffed(&policy)
+        .unwrap();
+        // IM chaffs draw independently: the two lanes of a user must not
+        // be identical (overwhelmingly unlikely over 25 slots).
+        for u in 0..4 {
+            assert_ne!(
+                outcome.observed[u * 3 + 1],
+                outcome.observed[u * 3 + 2],
+                "user {u} chaff lanes collide"
+            );
+        }
     }
 }

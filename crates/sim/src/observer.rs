@@ -31,6 +31,16 @@ fn fisher_yates<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<usize> {
     perm
 }
 
+/// The user owning global service index `service` under the per-user
+/// prefix layout `starts` (`n + 1` entries, last = total services).
+/// Indices at or past the total clamp to the last user.
+fn owner_of(starts: &[usize], service: usize) -> usize {
+    match starts.binary_search(&service) {
+        Ok(u) => u.min(starts.len().saturating_sub(2)),
+        Err(pos) => pos.saturating_sub(1),
+    }
+}
+
 /// Applies `perm` to `trajectories`: output slot `perm[original]` receives
 /// trajectory `original`.
 fn apply_permutation(trajectories: Vec<Trajectory>, perm: &[usize]) -> Vec<Trajectory> {
@@ -64,14 +74,17 @@ impl ObservationLog {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::ObservationArity`] if `locations` does not
-    /// match the number of services — recoverable, so fleet-scale drivers
-    /// don't take down sibling users on one malformed slot.
+    /// Returns [`SimError::ObservationArity`] (naming the offending
+    /// slot) if `locations` does not match the number of services —
+    /// recoverable, so fleet-scale drivers don't take down sibling users
+    /// on one malformed slot.
     pub fn record_slot(&mut self, locations: &[CellId]) -> Result<()> {
         if locations.len() != self.trajectories.len() {
             return Err(SimError::ObservationArity {
                 expected: self.trajectories.len(),
                 found: locations.len(),
+                slot: self.trajectories.first().map_or(0, Trajectory::len),
+                user: None,
             });
         }
         for (t, &cell) in self.trajectories.iter_mut().zip(locations) {
@@ -115,6 +128,9 @@ pub struct ShardedObservationLog {
     /// Arena `s` holds services `starts[s]..starts[s + 1]`.
     arenas: Vec<Vec<Trajectory>>,
     starts: Vec<usize>,
+    /// Optional fleet layout: `user_starts[u]..user_starts[u + 1]` are
+    /// the services of user `u`. Only used to attribute errors to users.
+    user_starts: Option<Vec<usize>>,
 }
 
 impl ShardedObservationLog {
@@ -136,7 +152,11 @@ impl ShardedObservationLog {
             arenas.push(Vec::new());
             starts = vec![0, 0];
         }
-        ShardedObservationLog { arenas, starts }
+        ShardedObservationLog {
+            arenas,
+            starts,
+            user_starts: None,
+        }
     }
 
     /// Builds the log directly from per-shard trajectory arenas (in
@@ -151,7 +171,20 @@ impl ShardedObservationLog {
         if arenas.is_empty() {
             return ShardedObservationLog::new(0, 1);
         }
-        ShardedObservationLog { arenas, starts }
+        ShardedObservationLog {
+            arenas,
+            starts,
+            user_starts: None,
+        }
+    }
+
+    /// Attaches the fleet's per-user service layout
+    /// (`user_starts[u]..user_starts[u + 1]` are user `u`'s services, the
+    /// final entry being the total), so arity errors can name the
+    /// offending user instead of only a global position.
+    pub fn with_user_layout(mut self, user_starts: Vec<usize>) -> Self {
+        self.user_starts = Some(user_starts);
+        self
     }
 
     /// Total number of services tracked.
@@ -191,12 +224,22 @@ impl ShardedObservationLog {
     /// # Errors
     ///
     /// Returns [`SimError::ObservationArity`] if `locations` does not
-    /// match the number of services.
+    /// match the number of services, naming the offending slot and —
+    /// when a user layout is attached via
+    /// [`with_user_layout`](ShardedObservationLog::with_user_layout) —
+    /// the user owning the first divergent service index.
     pub fn record_slot(&mut self, locations: &[CellId]) -> Result<()> {
-        if locations.len() != self.num_services() {
+        let expected = self.num_services();
+        if locations.len() != expected {
+            let divergent = locations.len().min(expected);
             return Err(SimError::ObservationArity {
-                expected: self.num_services(),
+                expected,
                 found: locations.len(),
+                slot: self.slots_recorded(),
+                user: self
+                    .user_starts
+                    .as_deref()
+                    .map(|starts| owner_of(starts, divergent)),
             });
         }
         for (arena, lo) in self.arenas.iter_mut().zip(&self.starts) {
@@ -205,6 +248,16 @@ impl ShardedObservationLog {
             }
         }
         Ok(())
+    }
+
+    /// Number of slots recorded so far (the length of the first
+    /// non-empty arena's first trajectory; streaming fills keep all
+    /// trajectories in lockstep).
+    fn slots_recorded(&self) -> usize {
+        self.arenas
+            .iter()
+            .find_map(|arena| arena.first())
+            .map_or(0, Trajectory::len)
     }
 
     /// Finalizes the log: one global Fisher–Yates shuffle across all
@@ -248,11 +301,16 @@ mod tests {
             err,
             SimError::ObservationArity {
                 expected: 2,
-                found: 1
+                found: 1,
+                slot: 0,
+                user: None
             }
         ));
         // The log stays usable after the rejected slot.
         log.record_slot(&[CellId::new(0), CellId::new(1)]).unwrap();
+        // A later mismatch names the later slot.
+        let err = log.record_slot(&[CellId::new(0)]).unwrap_err();
+        assert!(matches!(err, SimError::ObservationArity { slot: 1, .. }));
         assert_eq!(log.into_ordered()[0].len(), 1);
     }
 
@@ -332,8 +390,55 @@ mod tests {
             log.record_slot(&[CellId::new(0)]),
             Err(SimError::ObservationArity {
                 expected: 3,
-                found: 1
+                found: 1,
+                slot: 0,
+                user: None
             })
+        ));
+    }
+
+    #[test]
+    fn arity_errors_name_the_offending_user_and_slot() {
+        // Fleet layout: user 0 owns services 0..3, user 1 owns 3..5.
+        let mut log = ShardedObservationLog::new(5, 2).with_user_layout(vec![0, 3, 5]);
+        let full: Vec<CellId> = (0..5).map(CellId::new).collect();
+        log.record_slot(&full).unwrap();
+        log.record_slot(&full).unwrap();
+        // Slot 2, four locations: the first missing service is index 4,
+        // owned by user 1.
+        let err = log.record_slot(&full[..4]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::ObservationArity {
+                    expected: 5,
+                    found: 4,
+                    slot: 2,
+                    user: Some(1)
+                }
+            ),
+            "got {err:?}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("slot 2"), "{msg}");
+        assert!(msg.contains("user 1"), "{msg}");
+        // A location missing inside user 0's range points at user 0.
+        let err = log.record_slot(&full[..2]).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::ObservationArity { user: Some(0), .. }
+        ));
+        // Extra locations overflow the fleet: attributed to the last user.
+        let six: Vec<CellId> = (0..6).map(CellId::new).collect();
+        let err = log.record_slot(&six).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::ObservationArity {
+                expected: 5,
+                found: 6,
+                slot: 2,
+                user: Some(1)
+            }
         ));
     }
 

@@ -1,0 +1,135 @@
+//! Property-based determinism tests for the chaffed fleet engine.
+//!
+//! ISSUE 3's contract: a [`FleetSimulation`] with chaff enabled must be
+//! bit-for-bit identical across shard counts and across re-runs with the
+//! same master seed, and a budget of `B = 0` must exactly reproduce the
+//! undefended fleet results.
+
+use chaff_markov::{models::ModelKind, MarkovChain, MobilityRegistry};
+use chaff_sim::fleet::{
+    BudgetAllocation, FleetChaffPolicy, FleetChaffStrategy, FleetConfig, FleetOutcome,
+    FleetSimulation, StrategyAllocation,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn chain(seed: u64, cells: usize) -> MarkovChain {
+    let mut rng = StdRng::seed_from_u64(seed);
+    MarkovChain::new(ModelKind::NonSkewed.build(cells, &mut rng).unwrap()).unwrap()
+}
+
+fn registry(seed: u64, cells: usize, classes: usize) -> MobilityRegistry {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kinds = [
+        ModelKind::NonSkewed,
+        ModelKind::SpatiallySkewed,
+        ModelKind::TemporallySkewed,
+    ];
+    MobilityRegistry::new(
+        (0..classes)
+            .map(|c| {
+                MarkovChain::new(kinds[c % kinds.len()].build(cells, &mut rng).unwrap()).unwrap()
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn strategy_from(tag: u8) -> FleetChaffStrategy {
+    match tag % 3 {
+        0 => FleetChaffStrategy::Im,
+        1 => FleetChaffStrategy::Cml,
+        _ => FleetChaffStrategy::Mo,
+    }
+}
+
+fn outcomes_equal(a: &FleetOutcome, b: &FleetOutcome) {
+    assert_eq!(a.observed, b.observed);
+    assert_eq!(a.user_observed_indices, b.user_observed_indices);
+    assert_eq!(a.user_cells, b.user_cells);
+    assert_eq!(a.stats, b.stats);
+}
+
+proptest! {
+    #[test]
+    fn chaffed_fleets_are_bit_for_bit_reproducible_across_shards_and_reruns(
+        model_seed in 0u64..1_000,
+        fleet_seed in 0u64..1_000,
+        num_users in 2usize..16,
+        horizon in 1usize..12,
+        budget in 0usize..4,
+        strategy_tag in 0u8..3,
+        classes in 1usize..4,
+        shards in 2usize..32,
+    ) {
+        let r = registry(model_seed, 8, classes);
+        let policy = FleetChaffPolicy::uniform(strategy_from(strategy_tag), budget);
+        let run = |shard_count: usize| {
+            FleetSimulation::with_registry(
+                &r,
+                FleetConfig::new(num_users, horizon)
+                    .with_seed(fleet_seed)
+                    .with_shards(shard_count),
+            )
+            .run_chaffed(&policy)
+            .unwrap()
+        };
+        let reference = run(1);
+        // Re-run with the same seed and shard count: identical.
+        outcomes_equal(&reference, &run(1));
+        // Any other shard count: identical.
+        outcomes_equal(&reference, &run(shards));
+        outcomes_equal(&reference, &run(num_users));
+    }
+
+    #[test]
+    fn zero_budget_reproduces_the_undefended_fleet_exactly(
+        model_seed in 0u64..1_000,
+        fleet_seed in 0u64..1_000,
+        num_users in 2usize..16,
+        horizon in 1usize..12,
+        strategy_tag in 0u8..3,
+        alloc_tag in 0u8..3,
+    ) {
+        let c = chain(model_seed, 8);
+        let strategy = strategy_from(strategy_tag);
+        // Every allocation shape that yields all-zero budgets must
+        // collapse onto the undefended fleet.
+        let policy = match alloc_tag % 3 {
+            0 => FleetChaffPolicy::uniform(strategy, 0),
+            1 => FleetChaffPolicy::proportional(strategy, 0),
+            _ => FleetChaffPolicy::new(
+                BudgetAllocation::PerClass(vec![0]),
+                StrategyAllocation::Uniform(strategy),
+            ),
+        };
+        let config = FleetConfig::new(num_users, horizon).with_seed(fleet_seed);
+        let undefended = FleetSimulation::new(&c, config.clone())
+            .run_natural()
+            .unwrap();
+        let chaffed = FleetSimulation::new(&c, config)
+            .run_chaffed(&policy)
+            .unwrap();
+        outcomes_equal(&undefended, &chaffed);
+    }
+
+    #[test]
+    fn proportional_budgets_always_sum_to_the_total(
+        total in 0usize..40,
+        num_users in 1usize..24,
+    ) {
+        let policy = FleetChaffPolicy::proportional(FleetChaffStrategy::Im, total);
+        let sum: usize = (0..num_users)
+            .map(|u| policy.budget_of(u, 0, num_users))
+            .sum();
+        prop_assert_eq!(sum, total);
+        // Budgets differ by at most one across users (even spread).
+        let budgets: Vec<usize> = (0..num_users)
+            .map(|u| policy.budget_of(u, 0, num_users))
+            .collect();
+        let min = *budgets.iter().min().unwrap();
+        let max = *budgets.iter().max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+}

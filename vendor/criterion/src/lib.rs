@@ -12,9 +12,13 @@
 //! statistics, plots or HTML reports. When the `CRITERION_JSON`
 //! environment variable names a file, each result is also appended there
 //! as one JSON-lines record (`{"benchmark": ..., "mean_ns": ...}`) so CI
-//! can archive machine-readable baselines. Swap the `vendor/criterion`
-//! path in the root manifest for the crates.io crate to get the real
-//! harness; the bench sources compile unchanged.
+//! can archive machine-readable baselines. The file is truncated at
+//! harness start so stale records (e.g. surviving a cached `target/`)
+//! never pollute a baseline; multi-binary `cargo bench` invocations that
+//! should accumulate into one file set `CRITERION_RUN_TOKEN` to a
+//! per-invocation value. Swap the `vendor/criterion` path in the root
+//! manifest for the crates.io crate to get the real harness; the bench
+//! sources compile unchanged.
 
 #![forbid(unsafe_code)]
 
@@ -213,6 +217,12 @@ fn run_one(config: &Config, label: &str, mut f: impl FnMut(&mut Bencher)) {
 /// JSON-lines format) so CI can archive machine-readable baselines. The
 /// upstream crate writes its own JSON under `target/criterion`; this is
 /// the shim's lightweight equivalent.
+///
+/// The file is truncated once at harness start (before this process's
+/// first record) so stale records — e.g. left behind by a previous run
+/// against a cached `target/` — can never pollute an archived baseline;
+/// see [`prepare_json_output`] for how multi-binary `cargo bench`
+/// invocations accumulate into one file via `CRITERION_RUN_TOKEN`.
 fn append_json_record(label: &str, mean_ns: f64) {
     let Ok(path) = std::env::var("CRITERION_JSON") else {
         return;
@@ -220,9 +230,55 @@ fn append_json_record(label: &str, mean_ns: f64) {
     if path.is_empty() {
         return;
     }
-    if let Err(e) = write_json_record(std::path::Path::new(&path), label, mean_ns) {
-        eprintln!("criterion shim: cannot write {path}: {e}");
+    let path = std::path::PathBuf::from(path);
+    static PREPARE: std::sync::Once = std::sync::Once::new();
+    PREPARE.call_once(|| {
+        prepare_json_output(&path, std::env::var("CRITERION_RUN_TOKEN").ok().as_deref());
+    });
+    if let Err(e) = write_json_record(&path, label, mean_ns) {
+        eprintln!("criterion shim: cannot write {}: {e}", path.display());
     }
+}
+
+/// Truncates (or creates) the JSON-lines output at harness start.
+///
+/// Without a token, every bench binary starts the file fresh — correct
+/// for single-binary runs (`cargo bench --bench foo`), and never lets a
+/// stale file grow. When one `cargo bench` invocation runs *several*
+/// bench binaries that should accumulate into one baseline, set
+/// `CRITERION_RUN_TOKEN` to a value unique to the invocation (CI uses
+/// the workflow run id): the first binary that sees a new token
+/// truncates the file and stamps a `<file>.token` sentinel, and the
+/// sibling binaries of the same invocation append.
+fn prepare_json_output(path: &std::path::Path, token: Option<&str>) {
+    let truncate = |p: &std::path::Path| {
+        if let Err(e) = std::fs::write(p, b"") {
+            eprintln!("criterion shim: cannot truncate {}: {e}", p.display());
+        }
+    };
+    match token {
+        None => truncate(path),
+        Some(token) => {
+            let sentinel = sentinel_path(path);
+            let fresh = std::fs::read_to_string(&sentinel)
+                .map(|stamped| stamped == token)
+                .unwrap_or(false);
+            if !fresh {
+                truncate(path);
+                if let Err(e) = std::fs::write(&sentinel, token) {
+                    eprintln!("criterion shim: cannot stamp {}: {e}", sentinel.display());
+                }
+            }
+        }
+    }
+}
+
+/// The sidecar file recording which `CRITERION_RUN_TOKEN` last truncated
+/// a JSON output.
+fn sentinel_path(path: &std::path::Path) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".token");
+    std::path::PathBuf::from(os)
 }
 
 /// Appends one JSON-lines record to `path`.
@@ -340,5 +396,48 @@ mod tests {
             "{\"benchmark\": \"group/\\\"quoted\\\"\", \"mean_ns\": 1234.5}"
         );
         assert_eq!(lines[1], "{\"benchmark\": \"plain\", \"mean_ns\": 7.0}");
+    }
+
+    #[test]
+    fn harness_start_truncates_stale_output_without_a_token() {
+        let path =
+            std::env::temp_dir().join(format!("criterion-shim-trunc-{}.jsonl", std::process::id()));
+        std::fs::write(&path, "{\"benchmark\": \"stale\", \"mean_ns\": 1.0}\n").unwrap();
+        prepare_json_output(&path, None);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+        write_json_record(&path, "fresh", 2.0).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(content.lines().count(), 1);
+        assert!(content.contains("fresh"));
+        assert!(!content.contains("stale"));
+    }
+
+    #[test]
+    fn run_token_truncates_once_per_invocation_and_accumulates_within_it() {
+        let path =
+            std::env::temp_dir().join(format!("criterion-shim-token-{}.jsonl", std::process::id()));
+        let sentinel = sentinel_path(&path);
+        let _ = std::fs::remove_file(&sentinel);
+        std::fs::write(&path, "{\"benchmark\": \"stale\", \"mean_ns\": 1.0}\n").unwrap();
+
+        // First binary of run A truncates the stale file and stamps it.
+        prepare_json_output(&path, Some("run-A"));
+        write_json_record(&path, "a1", 1.0).unwrap();
+        // Sibling binary of the same run appends.
+        prepare_json_output(&path, Some("run-A"));
+        write_json_record(&path, "a2", 2.0).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(!content.contains("stale"));
+        assert_eq!(content.lines().count(), 2, "{content}");
+
+        // A new invocation (fresh token) starts the file over.
+        prepare_json_output(&path, Some("run-B"));
+        write_json_record(&path, "b1", 3.0).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&sentinel);
+        assert_eq!(content.lines().count(), 1);
+        assert!(content.contains("b1"));
     }
 }
