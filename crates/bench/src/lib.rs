@@ -18,6 +18,10 @@
 //!   simulation, detection over the enlarged `N · (1 + B)` candidate
 //!   set, the multi-class mixture kernel, and the end-to-end pipeline
 //!   (also part of the CI baseline, gated by `ci/compare_bench.py`);
+//! * `ingestion` — the trace pipeline: legacy single-threaded builder vs
+//!   the streamed, sharded engine (shard counts 1 and 4) and the
+//!   replica-amplified path (also baseline-gated, so trace-pipeline
+//!   throughput regressions fail CI like detection regressions);
 //! * `substrates` — Markov/stationary/Voronoi substrate operations.
 
 use chaff_markov::models::ModelKind;

@@ -4,7 +4,7 @@
 //! repro <experiment> [--runs N] [--seed S] [--out DIR] [--quick]
 //!
 //! experiments: table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 theory
-//!              multiuser fleet_scaling fleet_chaff all
+//!              multiuser fleet_scaling fleet_chaff trace_fleet all
 //! ```
 //!
 //! ASCII renderings go to stdout; CSV files go to `--out` (default
@@ -55,7 +55,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|theory|multiuser|fleet_scaling|\
-     fleet_chaff|all> [--runs N] [--seed S] [--out DIR] [--quick]"
+     fleet_chaff|trace_fleet|all> [--runs N] [--seed S] [--out DIR] [--quick]"
         .to_string()
 }
 
@@ -173,6 +173,25 @@ fn run_experiment(name: &str, args: &Args) -> chaff_eval::Result<()> {
                 &args.out,
             )?;
         }
+        "trace_fleet" => {
+            let mut config = if args.quick {
+                experiments::trace_fleet::TraceFleetConfig::quick()
+            } else {
+                experiments::trace_fleet::TraceFleetConfig::default()
+            };
+            if let Some(seed) = args.seed {
+                config.seed = seed;
+            }
+            let budgets: &[usize] = if args.quick {
+                &experiments::trace_fleet::QUICK_BUDGETS
+            } else {
+                &experiments::trace_fleet::BUDGETS
+            };
+            emit_table(
+                &experiments::trace_fleet::run_with(&config, budgets)?,
+                &args.out,
+            )?;
+        }
         "all" => {
             for exp in [
                 "table1",
@@ -187,6 +206,7 @@ fn run_experiment(name: &str, args: &Args) -> chaff_eval::Result<()> {
                 "multiuser",
                 "fleet_scaling",
                 "fleet_chaff",
+                "trace_fleet",
             ] {
                 println!("==== {exp} ====");
                 run_experiment(exp, args)?;

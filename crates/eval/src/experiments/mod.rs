@@ -12,6 +12,7 @@ pub mod fleet_scaling;
 pub mod multiuser;
 pub mod table1;
 pub mod theory;
+pub mod trace_fleet;
 
 use chaff_markov::models::ModelKind;
 use chaff_markov::MarkovChain;

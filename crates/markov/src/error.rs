@@ -61,6 +61,13 @@ pub enum MarkovError {
         /// Number of states in the space.
         states: usize,
     },
+    /// A mobility-class label was out of a registry's class range.
+    ClassOutOfRange {
+        /// The offending class label.
+        class: usize,
+        /// Number of classes in the registry.
+        classes: usize,
+    },
 }
 
 impl fmt::Display for MarkovError {
@@ -88,6 +95,12 @@ impl fmt::Display for MarkovError {
             }
             MarkovError::CellOutOfRange { cell, states } => {
                 write!(f, "cell {cell} out of range for {states} states")
+            }
+            MarkovError::ClassOutOfRange { class, classes } => {
+                write!(
+                    f,
+                    "class {class} out of range for {classes} mobility classes"
+                )
             }
         }
     }

@@ -46,6 +46,12 @@ use crate::{LogLikelihoodTable, MarkovChain, MarkovError, Result};
 pub struct MobilityRegistry {
     chains: Vec<MarkovChain>,
     tables: Vec<LogLikelihoodTable>,
+    /// Optional explicit user→class map; `class_of(u)` reads
+    /// `assignment[u % assignment.len()]`, falling back to plain
+    /// round-robin when absent. Trace-backed fleets use this to keep each
+    /// simulated user on the class its source trace node was clustered
+    /// into (replica blocks of an amplified fleet repeat the pattern).
+    assignment: Option<Vec<usize>>,
 }
 
 impl MobilityRegistry {
@@ -72,7 +78,44 @@ impl MobilityRegistry {
             .iter()
             .map(MarkovChain::log_likelihood_table)
             .collect();
-        Ok(MobilityRegistry { chains, tables })
+        Ok(MobilityRegistry {
+            chains,
+            tables,
+            assignment: None,
+        })
+    }
+
+    /// Builds a registry with an explicit user→class assignment pattern:
+    /// user `u` belongs to `assignment[u % assignment.len()]`.
+    ///
+    /// This is how empirically-clustered trace fleets are wired up: the
+    /// ingestion pipeline partitions trace nodes into model classes,
+    /// estimates one empirical chain per class, and passes the per-node
+    /// class labels here so fleet user `u` moves by the chain of trace
+    /// node `u mod nodes`. Like the round-robin default, the pattern is a
+    /// pure function of the user index — growing the fleet never
+    /// reassigns existing users.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::Empty`] when `chains` or `assignment` is
+    /// empty, [`MarkovError::DimensionMismatch`] when the classes
+    /// disagree on the number of cells, and
+    /// [`MarkovError::ClassOutOfRange`] when an assignment entry names a
+    /// class that does not exist.
+    pub fn with_assignment(chains: Vec<MarkovChain>, assignment: Vec<usize>) -> Result<Self> {
+        let mut registry = Self::new(chains)?;
+        if assignment.is_empty() {
+            return Err(MarkovError::Empty);
+        }
+        if let Some(&bad) = assignment.iter().find(|&&c| c >= registry.num_classes()) {
+            return Err(MarkovError::ClassOutOfRange {
+                class: bad,
+                classes: registry.num_classes(),
+            });
+        }
+        registry.assignment = Some(assignment);
+        Ok(registry)
     }
 
     /// A single-class registry (the homogeneous fleet as a degenerate
@@ -82,6 +125,7 @@ impl MobilityRegistry {
         MobilityRegistry {
             chains: vec![chain],
             tables,
+            assignment: None,
         }
     }
 
@@ -95,11 +139,16 @@ impl MobilityRegistry {
         self.chains[0].num_states()
     }
 
-    /// The class user `user` belongs to: deterministic round-robin, so a
-    /// user's class is independent of the fleet size.
+    /// The class user `user` belongs to: the explicit assignment pattern
+    /// when one was given ([`with_assignment`](Self::with_assignment)),
+    /// deterministic round-robin otherwise. Either way the class is a
+    /// pure function of the user index, independent of the fleet size.
     #[inline]
     pub fn class_of(&self, user: usize) -> usize {
-        user % self.chains.len()
+        match &self.assignment {
+            Some(map) => map[user % map.len()],
+            None => user % self.chains.len(),
+        }
     }
 
     /// The mobility chain of class `class`.
@@ -192,6 +241,38 @@ mod tests {
                 expected: 5,
                 found: 6
             }
+        ));
+    }
+
+    #[test]
+    fn explicit_assignment_patterns_repeat_and_are_validated() {
+        let chains = vec![
+            chain(ModelKind::NonSkewed, 6, 11),
+            chain(ModelKind::SpatiallySkewed, 6, 12),
+        ];
+        // A 3-node pattern: nodes 0 and 2 are class 1, node 1 is class 0.
+        let registry = MobilityRegistry::with_assignment(chains.clone(), vec![1, 0, 1]).unwrap();
+        assert_eq!(registry.num_classes(), 2);
+        for user in 0..12 {
+            assert_eq!(registry.class_of(user), [1, 0, 1][user % 3], "user {user}");
+        }
+        // Growing the fleet never reassigns existing users.
+        assert_eq!(registry.class_of(4), registry.class_of(4));
+
+        // Out-of-range class labels and empty patterns are rejected,
+        // with a class-worded (not cell-worded) error.
+        let err = MobilityRegistry::with_assignment(chains.clone(), vec![0, 2]).unwrap_err();
+        assert!(matches!(
+            err,
+            MarkovError::ClassOutOfRange {
+                class: 2,
+                classes: 2
+            }
+        ));
+        assert!(err.to_string().contains("mobility classes"), "{err}");
+        assert!(matches!(
+            MobilityRegistry::with_assignment(chains, Vec::new()),
+            Err(MarkovError::Empty)
         ));
     }
 

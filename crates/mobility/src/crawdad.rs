@@ -7,20 +7,27 @@
 //! redistributable; this parser lets the real files be dropped into the
 //! pipeline unchanged, while [`crate::taxi`] provides a synthetic
 //! stand-in with matching statistics.
+//!
+//! All errors are typed [`MobilityError`]s that name the offending node,
+//! so a single corrupt file in a 500-file directory is identifiable from
+//! the message alone. For streamed ingestion of a directory (one batch of
+//! files at a time instead of a fully materialized `Vec`), see
+//! [`crate::stream::CrawdadDirStream`].
 
-use crate::geo::GeoPoint;
+use crate::geo::{BoundingBox, GeoPoint};
 use crate::record::{NodeTrace, TraceRecord};
 use crate::{MobilityError, Result};
 use std::io::BufRead;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Parses one node file from any reader.
 ///
 /// # Errors
 ///
-/// Returns a parse error naming the 1-based line number on malformed
-/// input; blank lines are skipped.
+/// Returns a parse error naming the node and the 1-based line number on
+/// malformed input; blank lines are skipped.
 pub fn parse_node<R: BufRead>(node_id: impl Into<String>, reader: R) -> Result<NodeTrace> {
+    let node_id = node_id.into();
     let mut records = Vec::new();
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
@@ -28,25 +35,27 @@ pub fn parse_node<R: BufRead>(node_id: impl Into<String>, reader: R) -> Result<N
         if trimmed.is_empty() {
             continue;
         }
-        records.push(parse_line(trimmed, idx + 1)?);
+        records.push(parse_line(&node_id, trimmed, idx + 1)?);
     }
     Ok(NodeTrace::new(node_id, records))
 }
 
-fn parse_line(line: &str, line_no: usize) -> Result<TraceRecord> {
+fn parse_line(node: &str, line: &str, line_no: usize) -> Result<TraceRecord> {
     let mut fields = line.split_whitespace();
     let mut next_field = |name: &str| {
         fields.next().ok_or_else(|| MobilityError::Parse {
+            node: node.to_string(),
             line: line_no,
             reason: format!("missing field '{name}'"),
         })
     };
-    let lat: f64 = parse_field(next_field("latitude")?, "latitude", line_no)?;
-    let lon: f64 = parse_field(next_field("longitude")?, "longitude", line_no)?;
-    let occ: u8 = parse_field(next_field("occupancy")?, "occupancy", line_no)?;
-    let ts: i64 = parse_field(next_field("timestamp")?, "timestamp", line_no)?;
+    let lat: f64 = parse_field(node, next_field("latitude")?, "latitude", line_no)?;
+    let lon: f64 = parse_field(node, next_field("longitude")?, "longitude", line_no)?;
+    let occ: u8 = parse_field(node, next_field("occupancy")?, "occupancy", line_no)?;
+    let ts: i64 = parse_field(node, next_field("timestamp")?, "timestamp", line_no)?;
     if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
         return Err(MobilityError::Parse {
+            node: node.to_string(),
             line: line_no,
             reason: format!("coordinates out of range: {lat}, {lon}"),
         });
@@ -58,21 +67,50 @@ fn parse_line(line: &str, line_no: usize) -> Result<TraceRecord> {
     })
 }
 
-fn parse_field<T: std::str::FromStr>(raw: &str, name: &str, line_no: usize) -> Result<T> {
+fn parse_field<T: std::str::FromStr>(
+    node: &str,
+    raw: &str,
+    name: &str,
+    line_no: usize,
+) -> Result<T> {
     raw.parse().map_err(|_| MobilityError::Parse {
+        node: node.to_string(),
         line: line_no,
         reason: format!("invalid {name}: '{raw}'"),
     })
 }
 
-/// Loads every `new_*.txt` node file in a directory.
+/// Checks that every record of `trace` lies inside `bbox`.
+///
+/// The CRAWDAD files occasionally contain GPS glitches that teleport a
+/// taxi across the globe; quantizing such a record would silently assign
+/// it to a border cell, so strict ingestion rejects it instead.
 ///
 /// # Errors
 ///
-/// Propagates I/O and parse errors; an empty directory yields an empty
-/// vector (the caller decides whether that is fatal).
-pub fn load_directory(dir: &Path) -> Result<Vec<NodeTrace>> {
-    let mut traces = Vec::new();
+/// Returns [`MobilityError::OutOfBbox`] naming the node and the (0-based,
+/// time-sorted) record index of the first offender.
+pub fn check_bbox(trace: &NodeTrace, bbox: &BoundingBox) -> Result<()> {
+    for (record, r) in trace.records.iter().enumerate() {
+        if !bbox.contains(&r.point) {
+            return Err(MobilityError::OutOfBbox {
+                node: trace.node_id.clone(),
+                record,
+                lat: r.point.lat,
+                lon: r.point.lon,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Lists the `new_*.txt` node files of a CRAWDAD directory in sorted
+/// (deterministic) order.
+///
+/// # Errors
+///
+/// Propagates directory-reading I/O errors.
+pub fn node_files(dir: &Path) -> Result<Vec<PathBuf>> {
     let mut entries: Vec<_> = std::fs::read_dir(dir)?
         .collect::<std::io::Result<Vec<_>>>()?
         .into_iter()
@@ -85,7 +123,18 @@ pub fn load_directory(dir: &Path) -> Result<Vec<NodeTrace>> {
         })
         .collect();
     entries.sort();
-    for path in entries {
+    Ok(entries)
+}
+
+/// Loads every `new_*.txt` node file in a directory.
+///
+/// # Errors
+///
+/// Propagates I/O and parse errors; an empty directory yields an empty
+/// vector (the caller decides whether that is fatal).
+pub fn load_directory(dir: &Path) -> Result<Vec<NodeTrace>> {
+    let mut traces = Vec::new();
+    for path in node_files(dir)? {
         let stem = path
             .file_stem()
             .and_then(|s| s.to_str())
@@ -142,11 +191,12 @@ mod tests {
     }
 
     #[test]
-    fn reports_line_numbers_on_errors() {
+    fn reports_node_and_line_numbers_on_errors() {
         let bad = "37.7 -122.4 0 100\n37.7 -122.4 zero 100\n";
-        let err = parse_node("n", Cursor::new(bad)).unwrap_err();
+        let err = parse_node("new_bad", Cursor::new(bad)).unwrap_err();
         match err {
-            MobilityError::Parse { line, reason } => {
+            MobilityError::Parse { node, line, reason } => {
+                assert_eq!(node, "new_bad");
                 assert_eq!(line, 2);
                 assert!(reason.contains("occupancy"));
             }
@@ -165,6 +215,20 @@ mod tests {
         let err = parse_node("n", Cursor::new("37.7 -122.4 0\n")).unwrap_err();
         match err {
             MobilityError::Parse { reason, .. } => assert!(reason.contains("timestamp")),
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bbox_check_names_node_and_record() {
+        let trace = parse_node("new_glitchy", Cursor::new(SAMPLE)).unwrap();
+        assert!(check_bbox(&trace, &BoundingBox::san_francisco()).is_ok());
+        let london = BoundingBox::new(51.0, 52.0, -1.0, 1.0).unwrap();
+        match check_bbox(&trace, &london).unwrap_err() {
+            MobilityError::OutOfBbox { node, record, .. } => {
+                assert_eq!(node, "new_glitchy");
+                assert_eq!(record, 0);
+            }
             other => panic!("unexpected error: {other:?}"),
         }
     }
@@ -192,6 +256,8 @@ mod tests {
         let traces = load_directory(&dir).unwrap();
         assert_eq!(traces.len(), 2);
         assert_eq!(traces[0].node_id, "new_a");
+        let files = node_files(&dir).unwrap();
+        assert_eq!(files.len(), 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

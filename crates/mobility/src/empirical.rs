@@ -22,6 +22,142 @@ pub struct EmpiricalModel {
     num_transitions: u64,
 }
 
+/// A mergeable transition/occupancy *count* accumulator — the streaming
+/// half of [`EmpiricalModel::estimate`].
+///
+/// Counts are integers (`u64`), so merging per-shard accumulators is
+/// exact and commutative: the finished model is bit-for-bit identical no
+/// matter how trajectories were partitioned over shards or in what order
+/// the shards are merged. This is what lets the sharded ingestion
+/// pipeline guarantee shard-count-independent results.
+#[derive(Debug, Clone)]
+pub struct EmpiricalAccumulator {
+    num_cells: usize,
+    /// Row-major `num_cells × num_cells` transition counts.
+    counts: Vec<u64>,
+    /// Per-cell visit counts.
+    visits: Vec<u64>,
+    num_transitions: u64,
+}
+
+impl EmpiricalAccumulator {
+    /// Creates an empty accumulator over `num_cells` cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `num_cells == 0`.
+    pub fn new(num_cells: usize) -> Result<Self> {
+        if num_cells == 0 {
+            return Err(chaff_markov::MarkovError::Empty.into());
+        }
+        Ok(EmpiricalAccumulator {
+            num_cells,
+            counts: vec![0u64; num_cells * num_cells],
+            visits: vec![0u64; num_cells],
+            num_transitions: 0,
+        })
+    }
+
+    /// Number of cells in the state space.
+    pub fn num_cells(&self) -> usize {
+        self.num_cells
+    }
+
+    /// Transitions recorded so far.
+    pub fn num_transitions(&self) -> u64 {
+        self.num_transitions
+    }
+
+    /// Records one trajectory's visits and transitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the trajectory visits an out-of-range cell;
+    /// counts recorded before the offending step are kept (callers that
+    /// need all-or-nothing semantics should validate first).
+    pub fn record(&mut self, trajectory: &Trajectory) -> Result<()> {
+        let mut prev: Option<CellId> = None;
+        for cell in trajectory.iter() {
+            if cell.index() >= self.num_cells {
+                return Err(chaff_markov::MarkovError::CellOutOfRange {
+                    cell: cell.index(),
+                    states: self.num_cells,
+                }
+                .into());
+            }
+            self.visits[cell.index()] += 1;
+            if let Some(p) = prev {
+                self.counts[p.index() * self.num_cells + cell.index()] += 1;
+                self.num_transitions += 1;
+            }
+            prev = Some(cell);
+        }
+        Ok(())
+    }
+
+    /// Adds another accumulator's counts into this one (exact integer
+    /// sums — commutative and associative).
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension-mismatch error when the cell spaces differ.
+    pub fn merge(&mut self, other: &EmpiricalAccumulator) -> Result<()> {
+        if other.num_cells != self.num_cells {
+            return Err(chaff_markov::MarkovError::DimensionMismatch {
+                expected: self.num_cells,
+                found: other.num_cells,
+            }
+            .into());
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        for (a, b) in self.visits.iter_mut().zip(&other.visits) {
+            *a += b;
+        }
+        self.num_transitions += other.num_transitions;
+        Ok(())
+    }
+
+    /// Normalizes the accumulated counts into an [`EmpiricalModel`] —
+    /// identical math to [`EmpiricalModel::estimate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no slot was recorded at all.
+    pub fn finish(self, smoothing: f64) -> Result<EmpiricalModel> {
+        let num_cells = self.num_cells;
+        if self.visits.iter().all(|&v| v == 0) {
+            return Err(chaff_markov::MarkovError::Empty.into());
+        }
+        // Build rows: frequency + smoothing; unobserved rows self-loop.
+        // Counts are exact integers well below 2^53, so the f64 sums and
+        // ratios below are independent of accumulation order.
+        let mut rows = Vec::with_capacity(num_cells);
+        for i in 0..num_cells {
+            let row = &self.counts[i * num_cells..(i + 1) * num_cells];
+            let weights: Vec<f64> = row.iter().map(|&c| c as f64 + smoothing).collect();
+            let sum: f64 = weights.iter().sum();
+            if sum <= 0.0 {
+                let mut self_loop = vec![0.0; num_cells];
+                self_loop[i] = 1.0;
+                rows.push(self_loop);
+            } else {
+                rows.push(weights.iter().map(|w| w / sum).collect());
+            }
+        }
+        let matrix = TransitionMatrix::from_rows(rows)?;
+        let occupancy: Vec<f64> = self.visits.iter().map(|&v| v as f64 + smoothing).collect();
+        let initial = StateDistribution::from_weights(occupancy)?;
+        let chain = MarkovChain::with_initial(matrix, initial)?;
+        Ok(EmpiricalModel {
+            chain,
+            visits: self.visits,
+            num_transitions: self.num_transitions,
+        })
+    }
+}
+
 impl EmpiricalModel {
     /// Estimates the model.
     ///
@@ -30,65 +166,19 @@ impl EmpiricalModel {
     /// frequency estimates (recommended — smoothing densifies the matrix,
     /// which distorts the sparse-support structure the strategies exploit).
     ///
+    /// Implemented on top of [`EmpiricalAccumulator`], so a sharded
+    /// accumulate-and-merge produces bit-for-bit the same model.
+    ///
     /// # Errors
     ///
     /// Returns an error when `num_cells == 0`, when trajectories visit
     /// out-of-range cells, or when no slot was observed at all.
     pub fn estimate(trajectories: &[Trajectory], num_cells: usize, smoothing: f64) -> Result<Self> {
-        if num_cells == 0 {
-            return Err(chaff_markov::MarkovError::Empty.into());
-        }
-        let mut counts = vec![0.0f64; num_cells * num_cells];
-        let mut visits = vec![0u64; num_cells];
-        let mut num_transitions = 0u64;
+        let mut acc = EmpiricalAccumulator::new(num_cells)?;
         for trajectory in trajectories {
-            let mut prev: Option<CellId> = None;
-            for cell in trajectory.iter() {
-                if cell.index() >= num_cells {
-                    return Err(chaff_markov::MarkovError::CellOutOfRange {
-                        cell: cell.index(),
-                        states: num_cells,
-                    }
-                    .into());
-                }
-                visits[cell.index()] += 1;
-                if let Some(p) = prev {
-                    counts[p.index() * num_cells + cell.index()] += 1.0;
-                    num_transitions += 1;
-                }
-                prev = Some(cell);
-            }
+            acc.record(trajectory)?;
         }
-        if visits.iter().all(|&v| v == 0) {
-            return Err(chaff_markov::MarkovError::Empty.into());
-        }
-        // Build rows: frequency + smoothing; unobserved rows self-loop.
-        let mut rows = Vec::with_capacity(num_cells);
-        for i in 0..num_cells {
-            let row = &mut counts[i * num_cells..(i + 1) * num_cells];
-            if smoothing > 0.0 {
-                for w in row.iter_mut() {
-                    *w += smoothing;
-                }
-            }
-            let sum: f64 = row.iter().sum();
-            if sum <= 0.0 {
-                let mut self_loop = vec![0.0; num_cells];
-                self_loop[i] = 1.0;
-                rows.push(self_loop);
-            } else {
-                rows.push(row.iter().map(|w| w / sum).collect());
-            }
-        }
-        let matrix = TransitionMatrix::from_rows(rows)?;
-        let occupancy: Vec<f64> = visits.iter().map(|&v| v as f64 + smoothing).collect();
-        let initial = StateDistribution::from_weights(occupancy)?;
-        let chain = MarkovChain::with_initial(matrix, initial)?;
-        Ok(EmpiricalModel {
-            chain,
-            visits,
-            num_transitions,
-        })
+        acc.finish(smoothing)
     }
 
     /// The estimated chain (matrix + empirical steady state).
@@ -192,5 +282,45 @@ mod tests {
         let out_of_range = Trajectory::from_indices([5]);
         assert!(EmpiricalModel::estimate(&[out_of_range], 3, 0.0).is_err());
         assert!(EmpiricalModel::estimate(&[Trajectory::new()], 3, 0.0).is_err());
+        assert!(EmpiricalAccumulator::new(0).is_err());
+        let mut a = EmpiricalAccumulator::new(3).unwrap();
+        let b = EmpiricalAccumulator::new(4).unwrap();
+        assert!(a.merge(&b).is_err());
+        assert!(a.record(&Trajectory::from_indices([0, 7])).is_err());
+    }
+
+    #[test]
+    fn sharded_accumulation_matches_single_pass_bit_for_bit() {
+        let trajectories = vec![
+            Trajectory::from_indices([0, 1, 2, 1, 0]),
+            Trajectory::from_indices([2, 2, 0, 1, 1]),
+            Trajectory::from_indices([1, 0, 0, 2, 2]),
+            Trajectory::from_indices([0, 2, 1, 1, 0]),
+        ];
+        let reference = EmpiricalModel::estimate(&trajectories, 3, 0.0).unwrap();
+        // Partition over "shards" in several ways, merge in arbitrary
+        // order: the finished model must be bitwise identical.
+        for split in [1usize, 2, 3] {
+            let mut shards: Vec<EmpiricalAccumulator> = (0..split)
+                .map(|_| EmpiricalAccumulator::new(3).unwrap())
+                .collect();
+            for (i, t) in trajectories.iter().enumerate() {
+                shards[i % split].record(t).unwrap();
+            }
+            // Merge back-to-front to exercise order-independence.
+            let mut merged = EmpiricalAccumulator::new(3).unwrap();
+            for shard in shards.iter().rev() {
+                merged.merge(shard).unwrap();
+            }
+            let model = merged.finish(0.0).unwrap();
+            assert_eq!(model.chain().matrix(), reference.chain().matrix());
+            assert_eq!(model.visits(), reference.visits());
+            assert_eq!(model.num_transitions(), reference.num_transitions());
+            let pi_a = model.chain().initial().as_slice();
+            let pi_b = reference.chain().initial().as_slice();
+            for (a, b) in pi_a.iter().zip(pi_b) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 }

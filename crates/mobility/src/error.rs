@@ -15,10 +15,23 @@ pub enum MobilityError {
     NoTowers,
     /// A trace line could not be parsed.
     Parse {
+        /// The node whose file contained the malformed line.
+        node: String,
         /// 1-based line number.
         line: usize,
         /// Human-readable reason.
         reason: String,
+    },
+    /// A trace record fell outside the configured bounding box.
+    OutOfBbox {
+        /// The offending node.
+        node: String,
+        /// 0-based record index within the node's (time-sorted) trace.
+        record: usize,
+        /// Latitude of the offending record.
+        lat: f64,
+        /// Longitude of the offending record.
+        lon: f64,
     },
     /// A configuration value was out of range.
     InvalidConfig {
@@ -28,7 +41,13 @@ pub enum MobilityError {
         reason: String,
     },
     /// Every node was filtered out as inactive.
-    NoActiveNodes,
+    NoActiveNodes {
+        /// How many nodes were examined before concluding none survive.
+        examined: usize,
+        /// A representative dropped node and why it was dropped
+        /// (`"<node>: <reason>"`), when one is known.
+        example: Option<String>,
+    },
     /// An I/O error while reading trace files.
     Io(std::io::Error),
     /// An error bubbled up from the Markov substrate.
@@ -42,14 +61,33 @@ impl fmt::Display for MobilityError {
                 write!(f, "invalid bounding box: {reason}")
             }
             MobilityError::NoTowers => write!(f, "tower layout is empty"),
-            MobilityError::Parse { line, reason } => {
-                write!(f, "parse error at line {line}: {reason}")
+            MobilityError::Parse { node, line, reason } => {
+                write!(f, "node '{node}': parse error at line {line}: {reason}")
+            }
+            MobilityError::OutOfBbox {
+                node,
+                record,
+                lat,
+                lon,
+            } => {
+                write!(
+                    f,
+                    "node '{node}': record {record} at ({lat}, {lon}) lies outside \
+                     the configured bounding box"
+                )
             }
             MobilityError::InvalidConfig { parameter, reason } => {
                 write!(f, "invalid configuration for {parameter}: {reason}")
             }
-            MobilityError::NoActiveNodes => {
-                write!(f, "every node was filtered out as inactive")
+            MobilityError::NoActiveNodes { examined, example } => {
+                write!(
+                    f,
+                    "every node was filtered out as inactive ({examined} examined"
+                )?;
+                match example {
+                    Some(example) => write!(f, "; e.g. {example})"),
+                    None => write!(f, ")"),
+                }
             }
             MobilityError::Io(e) => write!(f, "trace i/o error: {e}"),
             MobilityError::Markov(e) => write!(f, "markov substrate error: {e}"),
@@ -86,12 +124,41 @@ mod tests {
     #[test]
     fn display_and_source() {
         let err = MobilityError::Parse {
+            node: "new_abc".into(),
             line: 3,
             reason: "expected 4 fields".into(),
         };
         assert!(err.to_string().contains("line 3"));
+        assert!(err.to_string().contains("new_abc"));
         assert!(err.source().is_none());
         let io: MobilityError = std::io::Error::other("boom").into();
         assert!(io.source().is_some());
+    }
+
+    #[test]
+    fn no_active_nodes_names_an_example() {
+        let bare = MobilityError::NoActiveNodes {
+            examined: 7,
+            example: None,
+        };
+        assert!(bare.to_string().contains("7 examined"));
+        let with_example = MobilityError::NoActiveNodes {
+            examined: 7,
+            example: Some("taxi_003: gap of 412 s exceeds 300 s".into()),
+        };
+        assert!(with_example.to_string().contains("taxi_003"));
+    }
+
+    #[test]
+    fn out_of_bbox_names_the_node_and_record() {
+        let err = MobilityError::OutOfBbox {
+            node: "new_x".into(),
+            record: 4,
+            lat: 51.5,
+            lon: -0.1,
+        };
+        let text = err.to_string();
+        assert!(text.contains("new_x"));
+        assert!(text.contains("record 4"));
     }
 }

@@ -45,32 +45,86 @@ impl SlotGrid {
     }
 }
 
-/// Regularizes one node onto the slot grid.
-///
-/// Returns `None` — the node is *inactive* and must be dropped — when the
-/// trace does not cover the whole window or has an update gap larger than
-/// `grid.max_gap_s` anywhere inside it. Otherwise returns one interpolated
-/// position per slot.
-pub fn regularize(trace: &NodeTrace, grid: &SlotGrid) -> Option<Vec<GeoPoint>> {
+/// Why a node was dropped by the inactivity filter — the typed diagnosis
+/// behind [`regularize`] returning `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InactivityReason {
+    /// The trace has no records (or the slot grid has no slots).
+    Empty,
+    /// The trace does not span the whole evaluation window.
+    DoesNotCoverWindow {
+        /// First record timestamp (the window starts at the grid start).
+        first: i64,
+        /// Last record timestamp (the window ends at the grid's last slot).
+        last: i64,
+    },
+    /// An inter-update gap inside the window exceeds the threshold.
+    GapTooLarge {
+        /// The offending gap, in seconds.
+        gap_s: i64,
+        /// Timestamp at which the gap starts.
+        at: i64,
+    },
+}
+
+impl std::fmt::Display for InactivityReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InactivityReason::Empty => write!(f, "trace has no records"),
+            InactivityReason::DoesNotCoverWindow { first, last } => {
+                write!(f, "records {first}..{last} do not cover the window")
+            }
+            InactivityReason::GapTooLarge { gap_s, at } => {
+                write!(f, "gap of {gap_s} s starting at {at} exceeds the threshold")
+            }
+        }
+    }
+}
+
+/// Diagnoses why `trace` would be dropped by [`regularize`], or `None`
+/// when the node is active. Exactly complements `regularize`:
+/// `regularize(t, g).is_none() == inactivity_reason(t, g).is_some()`.
+pub fn inactivity_reason(trace: &NodeTrace, grid: &SlotGrid) -> Option<InactivityReason> {
     let records = &trace.records;
     if records.is_empty() || grid.num_slots == 0 {
-        return None;
+        return Some(InactivityReason::Empty);
     }
     let window_start = grid.slot_time(0);
     let window_end = grid.slot_time(grid.num_slots - 1);
-    if records[0].timestamp > window_start || records.last()?.timestamp < window_end {
-        return None; // does not cover the window
+    let first = records[0].timestamp;
+    let last = records.last().expect("non-empty").timestamp;
+    if first > window_start || last < window_end {
+        return Some(InactivityReason::DoesNotCoverWindow { first, last });
     }
-    // Gap check restricted to the pairs that bracket the window.
     for w in records.windows(2) {
         let (a, b) = (w[0].timestamp, w[1].timestamp);
         if b < window_start || a > window_end {
             continue;
         }
         if b - a > grid.max_gap_s {
-            return None;
+            return Some(InactivityReason::GapTooLarge {
+                gap_s: b - a,
+                at: a,
+            });
         }
     }
+    None
+}
+
+/// Regularizes one node onto the slot grid.
+///
+/// Returns `None` — the node is *inactive* and must be dropped — when the
+/// trace does not cover the whole window or has an update gap larger than
+/// `grid.max_gap_s` anywhere inside it ([`inactivity_reason`] names the
+/// cause). Otherwise returns one interpolated position per slot.
+pub fn regularize(trace: &NodeTrace, grid: &SlotGrid) -> Option<Vec<GeoPoint>> {
+    // One shared drop predicate: delegating keeps the documented
+    // complement invariant with `inactivity_reason` structural rather
+    // than maintained in two hand-synchronized copies.
+    if inactivity_reason(trace, grid).is_some() {
+        return None;
+    }
+    let records = &trace.records;
     let mut out = Vec::with_capacity(grid.num_slots);
     let mut cursor = 0usize;
     for k in 0..grid.num_slots {
@@ -195,6 +249,56 @@ mod tests {
         let fleet = regularize_fleet(&[good, bad], &grid);
         assert_eq!(fleet.len(), 1);
         assert_eq!(fleet[0].0, "good");
+    }
+
+    #[test]
+    fn inactivity_reason_complements_regularize() {
+        let grid = SlotGrid::minutes(0, 5);
+        let cases = vec![
+            NodeTrace::new("empty", vec![]),
+            NodeTrace::new("late", vec![rec(100, 37.0), rec(400, 37.1)]),
+            NodeTrace::new("gappy", vec![rec(0, 37.0), rec(400, 37.1)]),
+            NodeTrace::new(
+                "good",
+                (0..6)
+                    .map(|i| rec(60 * i, 37.0 + 0.01 * i as f64))
+                    .collect(),
+            ),
+        ];
+        for trace in &cases {
+            assert_eq!(
+                regularize(trace, &grid).is_none(),
+                inactivity_reason(trace, &grid).is_some(),
+                "{}",
+                trace.node_id
+            );
+        }
+        assert_eq!(
+            inactivity_reason(&cases[0], &grid),
+            Some(InactivityReason::Empty)
+        );
+        assert!(matches!(
+            inactivity_reason(&cases[1], &grid),
+            Some(InactivityReason::DoesNotCoverWindow { first: 100, .. })
+        ));
+        assert_eq!(
+            inactivity_reason(&cases[2], &grid),
+            Some(InactivityReason::GapTooLarge { gap_s: 400, at: 0 })
+        );
+        // Reasons render with their numbers so error messages are useful.
+        let text = InactivityReason::GapTooLarge { gap_s: 400, at: 0 }.to_string();
+        assert!(text.contains("400"));
+    }
+
+    #[test]
+    fn empty_grid_marks_every_node_inactive() {
+        let trace = NodeTrace::new("n", vec![rec(0, 37.0)]);
+        let grid = SlotGrid::minutes(0, 0);
+        assert!(regularize(&trace, &grid).is_none());
+        assert_eq!(
+            inactivity_reason(&trace, &grid),
+            Some(InactivityReason::Empty)
+        );
     }
 
     #[test]

@@ -24,9 +24,15 @@
 //! * [`interpolate`] — inactive-node filtering and linear interpolation to
 //!   regular slots (the paper's footnote 11);
 //! * [`empirical`] — empirical Markov-model estimation from quantized
-//!   trajectories;
+//!   trajectories, including the mergeable integer-count accumulator the
+//!   sharded engine reduces over;
+//! * [`stream`] — streaming trace sources ([`stream::TraceStream`]):
+//!   per-node record batches from the synthetic generator (bit-for-bit
+//!   the eager stream), replica-amplified fleets for 10⁴–10⁵-node
+//!   ingestion, and batched CRAWDAD directory reading;
 //! * [`pipeline`] — the end-to-end dataset builder used by the evaluation
-//!   harness.
+//!   harness, with the legacy single-threaded `build()` kept as the
+//!   oracle and the sharded `build_streaming()` as the scaled engine.
 //!
 //! # Example
 //!
@@ -57,6 +63,7 @@ pub mod geo;
 pub mod interpolate;
 pub mod pipeline;
 pub mod record;
+pub mod stream;
 pub mod taxi;
 pub mod towers;
 pub mod voronoi;

@@ -10,11 +10,27 @@
 //!
 //! With the default parameters this mirrors the paper's numbers: ~959
 //! cells, up to 174 usable nodes, 100 slots.
+//!
+//! Two execution engines share the builder:
+//!
+//! * [`TraceDatasetBuilder::build`] — the legacy single-threaded path
+//!   that materializes the whole fleet first; kept as the bit-for-bit
+//!   oracle the streamed engine is property-tested against;
+//! * [`TraceDatasetBuilder::build_streaming`] — the scaled path: a
+//!   [`TraceStream`] source emits per-node record batches, worker threads
+//!   (`std::thread::scope`, like the fleet engine's sharding) run the
+//!   regularize→quantize stages per node, and per-shard
+//!   [`EmpiricalAccumulator`]s of integer transition counts are merged at
+//!   the end — so the resulting [`TraceDataset`] is identical for every
+//!   shard count and batch size. The [`replicas`](TraceDatasetBuilder::replicas)
+//!   knob amplifies the synthetic fleet to 10⁴–10⁵ nodes via per-replica
+//!   SplitMix64 seed streams.
 
-use crate::empirical::EmpiricalModel;
+use crate::empirical::{EmpiricalAccumulator, EmpiricalModel};
 use crate::geo::BoundingBox;
-use crate::interpolate::{regularize_fleet, SlotGrid};
+use crate::interpolate::{inactivity_reason, regularize, regularize_fleet, SlotGrid};
 use crate::record::NodeTrace;
+use crate::stream::{ReplicatedTaxiStream, TaxiTraceStream, TraceStream, VecTraceStream};
 use crate::taxi::{generate_fleet, TaxiFleetConfig};
 use crate::towers::{clustered_layout, min_separation_filter, DEFAULT_MIN_SEPARATION_M};
 use crate::voronoi::CellMap;
@@ -74,6 +90,9 @@ pub struct TraceDatasetBuilder {
     horizon_slots: usize,
     slot_s: i64,
     seed: u64,
+    shards: Option<usize>,
+    batch_nodes: usize,
+    replicas: usize,
     external_traces: Option<Vec<NodeTrace>>,
     external_towers: Option<Vec<crate::geo::GeoPoint>>,
 }
@@ -92,6 +111,9 @@ impl Default for TraceDatasetBuilder {
             horizon_slots: 100,
             slot_s: 60,
             seed: 20170605, // ICDCS'17 presentation date
+            shards: None,
+            batch_nodes: 256,
+            replicas: 1,
             external_traces: None,
             external_towers: None,
         }
@@ -135,6 +157,32 @@ impl TraceDatasetBuilder {
         self
     }
 
+    /// Pins the worker-thread count of
+    /// [`build_streaming`](TraceDatasetBuilder::build_streaming); `None`
+    /// (the default) sizes from available parallelism. Results never
+    /// depend on this.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
+    /// Nodes per streamed batch (streaming engine only; results never
+    /// depend on this — it trades peak memory against thread-dispatch
+    /// overhead).
+    pub fn batch_nodes(mut self, n: usize) -> Self {
+        self.batch_nodes = n.max(1);
+        self
+    }
+
+    /// Amplifies the synthetic fleet to `replicas` statistical copies of
+    /// the configured fleet, each drawn from an independent SplitMix64
+    /// seed stream (streaming engine only). `1` (the default) keeps the
+    /// legacy-identical single fleet.
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
     /// Overrides the fleet configuration entirely.
     pub fn fleet_config(mut self, config: TaxiFleetConfig) -> Self {
         self.fleet = config;
@@ -154,7 +202,39 @@ impl TraceDatasetBuilder {
         self
     }
 
-    /// Runs the pipeline.
+    /// Builds the tower layout and quantizer, consuming the tower portion
+    /// of the seed stream exactly like the legacy path.
+    fn build_cell_map(&self, rng: &mut StdRng) -> Result<CellMap> {
+        let bbox: BoundingBox = self.fleet.bbox;
+        let raw_towers = match &self.external_towers {
+            Some(t) => t.clone(),
+            None => clustered_layout(
+                self.num_towers,
+                self.tower_clusters,
+                self.tower_spread_m,
+                self.tower_background,
+                &bbox,
+                rng,
+            )?,
+        };
+        let towers = min_separation_filter(&raw_towers, self.min_separation_m);
+        CellMap::new(towers)
+    }
+
+    /// The fleet configuration with the duration extended a little beyond
+    /// the window so interpolation has a bracketing update at the last
+    /// slot.
+    fn window_fleet_config(&self) -> TaxiFleetConfig {
+        let mut fleet_config = self.fleet.clone();
+        fleet_config.duration_s = self.slot_s * self.horizon_slots as i64 + 2 * self.slot_s;
+        fleet_config
+    }
+
+    /// Runs the legacy single-threaded pipeline.
+    ///
+    /// Kept as the bit-for-bit oracle for the streamed engine
+    /// ([`build_streaming`](TraceDatasetBuilder::build_streaming) is
+    /// property-tested to agree exactly).
     ///
     /// # Errors
     ///
@@ -162,28 +242,12 @@ impl TraceDatasetBuilder {
     /// filtered out as inactive, or model estimation fails.
     pub fn build(self) -> Result<TraceDataset> {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let bbox: BoundingBox = self.fleet.bbox;
 
         // 1. Towers + separation filter.
-        let raw_towers = match self.external_towers {
-            Some(t) => t,
-            None => clustered_layout(
-                self.num_towers,
-                self.tower_clusters,
-                self.tower_spread_m,
-                self.tower_background,
-                &bbox,
-                &mut rng,
-            )?,
-        };
-        let towers = min_separation_filter(&raw_towers, self.min_separation_m);
-        let cell_map = CellMap::new(towers)?;
+        let cell_map = self.build_cell_map(&mut rng)?;
 
         // 2. Traces.
-        let mut fleet_config = self.fleet.clone();
-        // Generate a little beyond the window so interpolation has a
-        // bracketing update at the last slot.
-        fleet_config.duration_s = self.slot_s * self.horizon_slots as i64 + 2 * self.slot_s;
+        let fleet_config = self.window_fleet_config();
         let traces = match self.external_traces {
             Some(t) => t,
             None => generate_fleet(&fleet_config, &mut rng)?,
@@ -203,7 +267,10 @@ impl TraceDatasetBuilder {
         };
         let regular = regularize_fleet(&traces, &grid);
         if regular.is_empty() {
-            return Err(MobilityError::NoActiveNodes);
+            return Err(MobilityError::NoActiveNodes {
+                examined: traces.len(),
+                example: dropped_example(traces.first(), &grid),
+            });
         }
 
         // 4. Quantization.
@@ -223,11 +290,224 @@ impl TraceDatasetBuilder {
             model,
         })
     }
+
+    /// Runs the streaming, sharded pipeline.
+    ///
+    /// Stages 2–5 run incrementally: the source emits per-node record
+    /// batches, each batch's regularize→quantize work is split over
+    /// worker threads, and per-shard integer transition counts are merged
+    /// at the end. The result is **bit-for-bit identical** to
+    /// [`build`](TraceDatasetBuilder::build) for every shard count and
+    /// batch size (property-tested), while raw GPS records only ever live
+    /// one batch at a time. With
+    /// [`replicas`](TraceDatasetBuilder::replicas)` > 1` the synthetic
+    /// fleet is amplified instead (one independent seed stream per
+    /// replica).
+    ///
+    /// # Errors
+    ///
+    /// As [`build`](TraceDatasetBuilder::build); additionally rejects
+    /// `replicas == 0` and `replicas > 1` combined with external traces
+    /// (only the synthetic generator can be amplified).
+    pub fn build_streaming(mut self) -> Result<TraceDataset> {
+        if self.replicas == 0 {
+            return Err(MobilityError::InvalidConfig {
+                parameter: "replicas",
+                reason: "must be positive".into(),
+            });
+        }
+        if self.replicas > 1 && self.external_traces.is_some() {
+            return Err(MobilityError::InvalidConfig {
+                parameter: "replicas",
+                reason: "amplification applies to the synthetic fleet only; \
+                         external traces cannot be replicated"
+                    .into(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let cell_map = self.build_cell_map(&mut rng)?;
+        let fleet_config = self.window_fleet_config();
+        match self.external_traces.take() {
+            Some(traces) => {
+                let stream = VecTraceStream::new(traces);
+                self.ingest(cell_map, &fleet_config, stream)
+            }
+            None if self.replicas > 1 => {
+                let stream =
+                    ReplicatedTaxiStream::new(fleet_config.clone(), self.seed, self.replicas)?;
+                self.ingest(cell_map, &fleet_config, stream)
+            }
+            None => {
+                // Continue the tower RNG, exactly like the legacy path.
+                let stream = TaxiTraceStream::with_rng(fleet_config.clone(), rng)?;
+                self.ingest(cell_map, &fleet_config, stream)
+            }
+        }
+    }
+
+    /// Runs the streaming engine over an arbitrary external source (e.g.
+    /// a [`crate::stream::CrawdadDirStream`]), using the builder's tower
+    /// layout, slot grid and shard configuration.
+    ///
+    /// Sources whose [`TraceStream::window_start`] is unknown are drained
+    /// into memory first to locate the evaluation window (streaming is
+    /// preserved when the source can name its start).
+    ///
+    /// # Errors
+    ///
+    /// As [`build`](TraceDatasetBuilder::build), plus source errors.
+    pub fn build_from_stream<S: TraceStream>(self, stream: S) -> Result<TraceDataset> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let cell_map = self.build_cell_map(&mut rng)?;
+        let fleet_config = self.window_fleet_config();
+        self.ingest(cell_map, &fleet_config, stream)
+    }
+
+    /// The shared streaming engine: window location, sharded
+    /// regularize→quantize, accumulator merge, model estimation.
+    fn ingest<S: TraceStream>(
+        &self,
+        cell_map: CellMap,
+        fleet_config: &TaxiFleetConfig,
+        mut stream: S,
+    ) -> Result<TraceDataset> {
+        // Locate the evaluation window without draining when possible;
+        // buffer the whole stream otherwise (matching the legacy start
+        // derivation: min first-record timestamp).
+        let mut buffered;
+        let (start, stream): (i64, &mut dyn TraceStream) = match stream.window_start() {
+            Some(s) => (s, &mut stream),
+            None => {
+                let mut all = Vec::new();
+                loop {
+                    let batch = stream.next_batch(self.batch_nodes)?;
+                    if batch.is_empty() {
+                        break;
+                    }
+                    all.extend(batch);
+                }
+                buffered = VecTraceStream::new(all);
+                let s = buffered
+                    .window_start()
+                    .unwrap_or(fleet_config.start_timestamp);
+                (s, &mut buffered)
+            }
+        };
+        let grid = SlotGrid {
+            start_timestamp: start,
+            slot_s: self.slot_s,
+            num_slots: self.horizon_slots,
+            max_gap_s: crate::interpolate::DEFAULT_MAX_GAP_S,
+        };
+
+        let shards = self.effective_shards();
+        let mut accumulators: Vec<EmpiricalAccumulator> = (0..shards)
+            .map(|_| EmpiricalAccumulator::new(cell_map.num_cells()))
+            .collect::<Result<_>>()?;
+        let hint = stream.len_hint().unwrap_or(0);
+        let mut node_ids: Vec<String> = Vec::with_capacity(hint);
+        let mut trajectories: Vec<Trajectory> = Vec::with_capacity(hint);
+        let mut examined = 0usize;
+        let mut example: Option<String> = None;
+
+        loop {
+            let batch = stream.next_batch(self.batch_nodes)?;
+            if batch.is_empty() {
+                break;
+            }
+            examined += batch.len();
+            let mut results: Vec<Option<(String, Trajectory)>> = vec![None; batch.len()];
+            let chunk = batch.len().div_ceil(shards);
+            if shards <= 1 {
+                process_chunk(&batch, &mut results, &grid, &cell_map, &mut accumulators[0]);
+            } else {
+                std::thread::scope(|scope| {
+                    for ((traces, outs), acc) in batch
+                        .chunks(chunk)
+                        .zip(results.chunks_mut(chunk))
+                        .zip(accumulators.iter_mut())
+                    {
+                        let grid = &grid;
+                        let cell_map = &cell_map;
+                        scope.spawn(move || process_chunk(traces, outs, grid, cell_map, acc));
+                    }
+                });
+            }
+            for (trace, result) in batch.iter().zip(results) {
+                match result {
+                    Some((id, trajectory)) => {
+                        node_ids.push(id);
+                        trajectories.push(trajectory);
+                    }
+                    None => {
+                        if example.is_none() {
+                            example = dropped_example(Some(trace), &grid);
+                        }
+                    }
+                }
+            }
+        }
+        if trajectories.is_empty() {
+            return Err(MobilityError::NoActiveNodes { examined, example });
+        }
+
+        // Merge per-shard integer counts (exact, order-independent) and
+        // normalize once.
+        let mut merged = accumulators.swap_remove(0);
+        for acc in &accumulators {
+            merged.merge(acc)?;
+        }
+        let model = merged.finish(0.0)?;
+        Ok(TraceDataset {
+            cell_map,
+            node_ids,
+            trajectories,
+            model,
+        })
+    }
+
+    fn effective_shards(&self) -> usize {
+        self.shards
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+            .max(1)
+    }
+}
+
+/// One worker's share of a batch: regularize and quantize each node,
+/// recording survivors' transitions into the worker-local accumulator.
+fn process_chunk(
+    traces: &[NodeTrace],
+    outs: &mut [Option<(String, Trajectory)>],
+    grid: &SlotGrid,
+    cell_map: &CellMap,
+    acc: &mut EmpiricalAccumulator,
+) {
+    for (trace, out) in traces.iter().zip(outs.iter_mut()) {
+        if let Some(positions) = regularize(trace, grid) {
+            let trajectory = cell_map.quantize(&positions);
+            acc.record(&trajectory)
+                .expect("quantized cells are always in range");
+            *out = Some((trace.node_id.clone(), trajectory));
+        }
+    }
+}
+
+/// Formats the representative dropped-node message for
+/// [`MobilityError::NoActiveNodes`].
+fn dropped_example(trace: Option<&NodeTrace>, grid: &SlotGrid) -> Option<String> {
+    let trace = trace?;
+    let reason = inactivity_reason(trace, grid)?;
+    Some(format!("{}: {}", trace.node_id, reason))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::OnceLock;
 
     fn small() -> TraceDatasetBuilder {
         TraceDatasetBuilder::new()
@@ -237,9 +517,17 @@ mod tests {
             .seed(99)
     }
 
+    /// The shared small dataset: built once, reused by every test that
+    /// only *reads* it (rebuilding per assertion dominated this suite's
+    /// runtime before).
+    fn small_dataset() -> &'static TraceDataset {
+        static DATASET: OnceLock<TraceDataset> = OnceLock::new();
+        DATASET.get_or_init(|| small().build().unwrap())
+    }
+
     #[test]
     fn pipeline_produces_consistent_dataset() {
-        let ds = small().build().unwrap();
+        let ds = small_dataset();
         assert!(!ds.trajectories().is_empty());
         assert_eq!(ds.node_ids().len(), ds.trajectories().len());
         for t in ds.trajectories() {
@@ -252,7 +540,7 @@ mod tests {
 
     #[test]
     fn pipeline_is_deterministic_per_seed() {
-        let a = small().build().unwrap();
+        let a = small_dataset();
         let b = small().build().unwrap();
         assert_eq!(a.trajectories(), b.trajectories());
         let c = small().seed(100).build().unwrap();
@@ -264,7 +552,7 @@ mod tests {
         // The point of the hotspot fleet: the empirical steady state must
         // be far from uniform (Fig. 8b), i.e. collision probability well
         // above 1/L.
-        let ds = small().build().unwrap();
+        let ds = small_dataset();
         let pi = ds.model().initial();
         let uniform_floor = 1.0 / ds.model().num_states() as f64;
         assert!(
@@ -292,9 +580,14 @@ mod tests {
 
     #[test]
     fn paper_scale_configuration() {
-        // Full-scale smoke test at the paper's dimensions (kept fast by
-        // quantizing only; this is the configuration Fig. 8 uses).
-        let ds = TraceDatasetBuilder::new().seed(7).build().unwrap();
+        // Full-scale smoke test at the paper's dimensions, through the
+        // streaming engine (this is the configuration Fig. 8 uses; the
+        // streamed/legacy equality at this scale is covered by the parity
+        // proptests at reduced size).
+        let ds = TraceDatasetBuilder::new()
+            .seed(7)
+            .build_streaming()
+            .unwrap();
         let cells = ds.cell_map().num_cells();
         assert!(
             (700..=1_100).contains(&cells),
@@ -306,5 +599,45 @@ mod tests {
             ds.trajectories().len()
         );
         assert_eq!(ds.trajectories()[0].len(), 100);
+    }
+
+    #[test]
+    fn no_active_nodes_error_names_an_example() {
+        // One lonely record per node: nothing covers the window.
+        let traces = vec![NodeTrace::new(
+            "lonely",
+            vec![crate::record::TraceRecord {
+                point: crate::geo::GeoPoint::new(37.7, -122.4),
+                occupied: false,
+                timestamp: 1_213_000_000,
+            }],
+        )];
+        for build in [
+            small().with_traces(traces.clone()).build().unwrap_err(),
+            small()
+                .with_traces(traces.clone())
+                .build_streaming()
+                .unwrap_err(),
+        ] {
+            match build {
+                MobilityError::NoActiveNodes { examined, example } => {
+                    assert_eq!(examined, 1);
+                    let example = example.expect("example is derivable");
+                    assert!(example.contains("lonely"), "{example}");
+                }
+                other => panic!("unexpected error: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_default_equals_legacy_on_the_shared_fixture() {
+        // The cheap inline parity check (the exhaustive sweep over shard
+        // counts and seeds lives in tests/streaming.rs).
+        let streamed = small().build_streaming().unwrap();
+        let legacy = small_dataset();
+        assert_eq!(streamed.node_ids(), legacy.node_ids());
+        assert_eq!(streamed.trajectories(), legacy.trajectories());
+        assert_eq!(streamed.model().matrix(), legacy.model().matrix());
     }
 }

@@ -159,16 +159,27 @@ pub fn generate_fleet<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Vec<NodeTrace>> {
     config.validate()?;
-    let hotspots: Vec<GeoPoint> = (0..config.num_hotspots)
-        .map(|_| config.bbox.sample(rng))
-        .collect();
+    let hotspots = sample_hotspots(config, rng);
     let traces = (0..config.num_nodes)
         .map(|i| generate_taxi(i, config, &hotspots, rng))
         .collect();
     Ok(traces)
 }
 
-fn generate_taxi<R: Rng + ?Sized>(
+/// Draws the fleet's hotspot destinations — the first RNG consumption of
+/// [`generate_fleet`], split out so the streaming source
+/// (`crate::stream::TaxiTraceStream`) reproduces the eager generator's
+/// stream exactly.
+pub(crate) fn sample_hotspots<R: Rng + ?Sized>(
+    config: &TaxiFleetConfig,
+    rng: &mut R,
+) -> Vec<GeoPoint> {
+    (0..config.num_hotspots)
+        .map(|_| config.bbox.sample(rng))
+        .collect()
+}
+
+pub(crate) fn generate_taxi<R: Rng + ?Sized>(
     index: usize,
     config: &TaxiFleetConfig,
     hotspots: &[GeoPoint],
