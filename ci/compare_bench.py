@@ -2,9 +2,10 @@
 """Bench-regression gate for the BENCH_fleet baseline.
 
 Compares two criterion-shim JSON-lines files (one record per line,
-``{"benchmark": <name>, "mean_ns": <float>}``), joining on the benchmark
-name, and fails when any benchmark's ``mean_ns`` regressed more than the
-threshold (default 25%).
+``{"benchmark": <name>, "mean_ns": <float>[, "peak_rss_bytes": <int>]}``),
+joining on the benchmark name, and fails when any benchmark's ``mean_ns``
+— or its ``peak_rss_bytes``, where both sides report one — regressed
+more than the threshold (default 25%).
 
 Usage::
 
@@ -20,8 +21,10 @@ Exit codes:
   exist: their absence means the bench step itself broke).
 
 Benchmarks present on only one side are reported informationally and
-never fail the gate (benches get added and retired); duplicate names
-within one file keep the last record (append-mode leftovers).
+never fail the gate (benches get added and retired); a record missing
+``peak_rss_bytes`` on either side skips the RSS comparison for that
+benchmark (non-Linux shims omit the field); duplicate names within one
+file keep the last record (append-mode leftovers).
 """
 
 from __future__ import annotations
@@ -30,17 +33,25 @@ import argparse
 import json
 import os
 import sys
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+#: Gated metric key -> display unit (mean_ns is the one required
+#: per-record key; peak_rss_bytes is optional, see load_records).
+METRICS = {
+    "mean_ns": "ns",
+    "peak_rss_bytes": "bytes",
+}
 
 
-def load_records(path: str) -> Dict[str, float]:
-    """Parses a JSON-lines bench file into ``{benchmark: mean_ns}``.
+def load_records(path: str) -> Dict[str, Dict[str, float]]:
+    """Parses a JSON-lines bench file into ``{benchmark: {metric: value}}``.
 
-    Unparsable lines are skipped with a warning on stderr — a truncated
-    record must not turn the gate into a hard failure. Duplicate names
-    keep the last occurrence.
+    ``mean_ns`` is required per record; ``peak_rss_bytes`` is kept when
+    present and parseable. Unparsable lines are skipped with a warning on
+    stderr — a truncated record must not turn the gate into a hard
+    failure. Duplicate names keep the last occurrence.
     """
-    records: Dict[str, float] = {}
+    records: Dict[str, Dict[str, float]] = {}
     with open(path, "r", encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, 1):
             line = line.strip()
@@ -49,48 +60,86 @@ def load_records(path: str) -> Dict[str, float]:
             try:
                 record = json.loads(line)
                 name = record["benchmark"]
-                mean_ns = float(record["mean_ns"])
+                metrics = {"mean_ns": float(record["mean_ns"])}
             except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
                 print(
                     f"warning: {path}:{lineno}: skipping malformed record ({exc})",
                     file=sys.stderr,
                 )
                 continue
-            records[str(name)] = mean_ns
+            rss = record.get("peak_rss_bytes")
+            if rss is not None:
+                try:
+                    metrics["peak_rss_bytes"] = float(rss)
+                except (TypeError, ValueError):
+                    print(
+                        f"warning: {path}:{lineno}: ignoring bad peak_rss_bytes",
+                        file=sys.stderr,
+                    )
+            records[str(name)] = metrics
     return records
 
 
+def _compare_metric(
+    name: str,
+    metric: str,
+    base: Optional[float],
+    cur: Optional[float],
+    threshold: float,
+) -> Tuple[Optional[str], bool]:
+    """One benchmark × metric comparison: ``(report_line, regressed)``."""
+    if base is None or cur is None:
+        # Metric absent on either side: skipped, never a failure
+        # (missing mean_ns was already warned about by load_records).
+        return None, False
+    unit = METRICS[metric]
+    ratio = (cur - base) / base if base > 0 else 0.0
+    tag = "ok      "
+    regressed = False
+    if ratio > threshold:
+        tag = "REGRESSED"
+        regressed = True
+    elif ratio < -threshold:
+        tag = "improved"
+    line = f"  [{tag}] {name} [{metric}]: {base:.1f} -> {cur:.1f} {unit} ({ratio:+.1%})"
+    return line, regressed
+
+
 def compare(
-    baseline: Dict[str, float],
-    current: Dict[str, float],
+    baseline: Dict[str, Dict[str, float]],
+    current: Dict[str, Dict[str, float]],
     threshold: float,
 ) -> Tuple[List[str], List[str]]:
-    """Joins the two runs on benchmark name.
+    """Joins the two runs on benchmark name, per metric.
 
     Returns ``(report_lines, regressions)`` where ``regressions`` lists
-    the benchmarks whose mean regressed more than ``threshold``
-    (fractional, e.g. 0.25 for +25%).
+    ``benchmark [metric]`` entries whose value regressed more than
+    ``threshold`` (fractional, e.g. 0.25 for +25%). A metric absent on
+    either side is skipped for that benchmark.
     """
     report: List[str] = []
     regressions: List[str] = []
     for name in sorted(set(baseline) | set(current)):
         if name not in current:
-            report.append(f"  [gone    ] {name}: baseline {baseline[name]:.1f} ns")
+            report.append(
+                f"  [gone    ] {name}: baseline {baseline[name]['mean_ns']:.1f} ns"
+            )
             continue
         if name not in baseline:
-            report.append(f"  [new     ] {name}: {current[name]:.1f} ns")
+            report.append(f"  [new     ] {name}: {current[name]['mean_ns']:.1f} ns")
             continue
-        base, cur = baseline[name], current[name]
-        ratio = (cur - base) / base if base > 0 else 0.0
-        tag = "ok      "
-        if ratio > threshold:
-            tag = "REGRESSED"
-            regressions.append(name)
-        elif ratio < -threshold:
-            tag = "improved"
-        report.append(
-            f"  [{tag}] {name}: {base:.1f} -> {cur:.1f} ns ({ratio:+.1%})"
-        )
+        for metric in METRICS:
+            line, regressed = _compare_metric(
+                name,
+                metric,
+                baseline[name].get(metric),
+                current[name].get(metric),
+                threshold,
+            )
+            if line is not None:
+                report.append(line)
+            if regressed:
+                regressions.append(f"{name} [{metric}]")
     return report, regressions
 
 
@@ -102,7 +151,8 @@ def main(argv: List[str]) -> int:
         "--threshold",
         type=float,
         default=0.25,
-        help="fractional mean_ns regression that fails the gate (default 0.25)",
+        help="fractional regression (mean_ns or peak_rss_bytes) that fails "
+        "the gate (default 0.25)",
     )
     args = parser.parse_args(argv)
 
@@ -131,7 +181,7 @@ def main(argv: List[str]) -> int:
         print(line)
     if regressions:
         print(
-            f"FAIL: {len(regressions)} benchmark(s) regressed more than "
+            f"FAIL: {len(regressions)} benchmark metric(s) regressed more than "
             f"{args.threshold:.0%}: {', '.join(regressions)}",
             file=sys.stderr,
         )

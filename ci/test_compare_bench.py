@@ -3,7 +3,8 @@
 
 Run with ``python3 ci/test_compare_bench.py`` (CI does, before the gate
 itself), so the gate's failure semantics — including the synthetic >25%
-regression — are themselves verified on every run.
+regression in both ``mean_ns`` and ``peak_rss_bytes`` — are themselves
+verified on every run.
 """
 
 import json
@@ -18,44 +19,87 @@ from compare_bench import compare, load_records, main  # noqa: E402
 
 
 def write_jsonl(path, records):
+    """``records`` entries are ``(name, mean_ns)`` or ``(name, mean_ns, rss)``."""
     with open(path, "w", encoding="utf-8") as handle:
-        for name, mean_ns in records:
-            handle.write(json.dumps({"benchmark": name, "mean_ns": mean_ns}) + "\n")
+        for record in records:
+            payload = {"benchmark": record[0], "mean_ns": record[1]}
+            if len(record) > 2:
+                payload["peak_rss_bytes"] = record[2]
+            handle.write(json.dumps(payload) + "\n")
+
+
+def ns(value):
+    return {"mean_ns": value}
+
+
+def ns_rss(mean, rss):
+    return {"mean_ns": mean, "peak_rss_bytes": rss}
 
 
 class CompareTests(unittest.TestCase):
     def test_within_threshold_passes(self):
-        baseline = {"a": 100.0, "b": 200.0}
-        current = {"a": 120.0, "b": 190.0}  # +20%, -5%
+        baseline = {"a": ns(100.0), "b": ns(200.0)}
+        current = {"a": ns(120.0), "b": ns(190.0)}  # +20%, -5%
         _, regressions = compare(baseline, current, 0.25)
         self.assertEqual(regressions, [])
 
     def test_synthetic_regression_beyond_threshold_fails(self):
-        baseline = {"fleet_pipeline/10000": 1000.0}
-        current = {"fleet_pipeline/10000": 1251.0}  # +25.1%
+        baseline = {"fleet_pipeline/10000": ns(1000.0)}
+        current = {"fleet_pipeline/10000": ns(1251.0)}  # +25.1%
         _, regressions = compare(baseline, current, 0.25)
-        self.assertEqual(regressions, ["fleet_pipeline/10000"])
+        self.assertEqual(regressions, ["fleet_pipeline/10000 [mean_ns]"])
 
     def test_exactly_at_threshold_passes(self):
-        baseline = {"a": 100.0}
-        current = {"a": 125.0}  # exactly +25%
+        baseline = {"a": ns(100.0)}
+        current = {"a": ns(125.0)}  # exactly +25%
         _, regressions = compare(baseline, current, 0.25)
         self.assertEqual(regressions, [])
 
     def test_new_and_gone_benchmarks_never_fail(self):
-        baseline = {"old": 10.0}
-        current = {"new": 99999.0}
+        baseline = {"old": ns(10.0)}
+        current = {"new": ns(99999.0)}
         report, regressions = compare(baseline, current, 0.25)
         self.assertEqual(regressions, [])
         self.assertTrue(any("gone" in line for line in report))
         self.assertTrue(any("new" in line for line in report))
 
     def test_improvements_are_labelled_not_failed(self):
-        baseline = {"a": 1000.0}
-        current = {"a": 100.0}
+        baseline = {"a": ns(1000.0)}
+        current = {"a": ns(100.0)}
         report, regressions = compare(baseline, current, 0.25)
         self.assertEqual(regressions, [])
         self.assertTrue(any("improved" in line for line in report))
+
+    def test_peak_rss_regression_beyond_threshold_fails(self):
+        baseline = {"fleet_scale/pipeline/50000": ns_rss(1000.0, 100_000_000)}
+        current = {"fleet_scale/pipeline/50000": ns_rss(1000.0, 130_000_000)}  # +30%
+        report, regressions = compare(baseline, current, 0.25)
+        self.assertEqual(regressions, ["fleet_scale/pipeline/50000 [peak_rss_bytes]"])
+        self.assertTrue(any("peak_rss_bytes" in line for line in report))
+
+    def test_peak_rss_within_threshold_passes(self):
+        baseline = {"a": ns_rss(1000.0, 100_000_000)}
+        current = {"a": ns_rss(1100.0, 110_000_000)}  # +10% both
+        _, regressions = compare(baseline, current, 0.25)
+        self.assertEqual(regressions, [])
+
+    def test_both_metrics_can_regress_at_once(self):
+        baseline = {"a": ns_rss(100.0, 100.0)}
+        current = {"a": ns_rss(200.0, 200.0)}
+        _, regressions = compare(baseline, current, 0.25)
+        self.assertEqual(regressions, ["a [mean_ns]", "a [peak_rss_bytes]"])
+
+    def test_missing_rss_on_either_side_skips_the_rss_gate(self):
+        # Baseline predates RSS recording (or non-Linux shim): only
+        # mean_ns is compared, a huge RSS value cannot fail the gate.
+        baseline = {"a": ns(100.0)}
+        current = {"a": ns_rss(100.0, 10**12)}
+        report, regressions = compare(baseline, current, 0.25)
+        self.assertEqual(regressions, [])
+        self.assertFalse(any("peak_rss_bytes" in line for line in report))
+        # ... and the other way around.
+        _, regressions = compare(current, baseline, 0.25)
+        self.assertEqual(regressions, [])
 
 
 class LoadTests(unittest.TestCase):
@@ -63,7 +107,13 @@ class LoadTests(unittest.TestCase):
         with tempfile.TemporaryDirectory() as tmp:
             path = os.path.join(tmp, "bench.json")
             write_jsonl(path, [("a", 1.0), ("a", 2.0)])
-            self.assertEqual(load_records(path), {"a": 2.0})
+            self.assertEqual(load_records(path), {"a": ns(2.0)})
+
+    def test_rss_field_round_trips(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "bench.json")
+            write_jsonl(path, [("a", 1.0, 2048)])
+            self.assertEqual(load_records(path), {"a": ns_rss(1.0, 2048.0)})
 
     def test_malformed_lines_are_skipped(self):
         with tempfile.TemporaryDirectory() as tmp:
@@ -73,7 +123,10 @@ class LoadTests(unittest.TestCase):
                 handle.write("not json at all\n")
                 handle.write('{"benchmark": "no_mean"}\n')
                 handle.write('{"benchmark": "bad_mean", "mean_ns": "x"}\n')
-            self.assertEqual(load_records(path), {"good": 5.0})
+                handle.write('{"benchmark": "bad_rss", "mean_ns": 6.0, "peak_rss_bytes": "x"}\n')
+            self.assertEqual(
+                load_records(path), {"good": ns(5.0), "bad_rss": ns(6.0)}
+            )
 
 
 class MainExitCodeTests(unittest.TestCase):
@@ -106,12 +159,20 @@ class MainExitCodeTests(unittest.TestCase):
             write_jsonl(current, [("a", 200.0), ("b", 50.0)])
             self.assertEqual(main([baseline, current]), 1)
 
+    def test_rss_regression_exits_nonzero(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = os.path.join(tmp, "baseline.json")
+            current = os.path.join(tmp, "current.json")
+            write_jsonl(baseline, [("a", 100.0, 1000)])
+            write_jsonl(current, [("a", 100.0, 1500)])
+            self.assertEqual(main([baseline, current]), 1)
+
     def test_clean_run_exits_zero(self):
         with tempfile.TemporaryDirectory() as tmp:
             baseline = os.path.join(tmp, "baseline.json")
             current = os.path.join(tmp, "current.json")
-            write_jsonl(baseline, [("a", 100.0)])
-            write_jsonl(current, [("a", 101.0)])
+            write_jsonl(baseline, [("a", 100.0, 1000)])
+            write_jsonl(current, [("a", 101.0, 1010)])
             self.assertEqual(main([baseline, current]), 0)
 
     def test_custom_threshold_is_respected(self):

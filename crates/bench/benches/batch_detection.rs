@@ -25,7 +25,7 @@ fn fleet_observations(n: usize) -> (chaff_markov::MarkovChain, Vec<Trajectory>) 
     let outcome = FleetSimulation::new(&chain, FleetConfig::new(n, HORIZON).with_seed(32))
         .run_natural()
         .expect("valid fleet");
-    (chain, outcome.observed)
+    (chain, outcome.observed.to_trajectories())
 }
 
 /// Per-trajectory prefix detection (the `MlDetector` reference path).
@@ -92,7 +92,7 @@ fn bench_fleet_pipeline(c: &mut Criterion) {
                         .run_natural()
                         .unwrap();
                 BatchPrefixDetector::new()
-                    .detect_prefixes(&chain, black_box(&outcome.observed))
+                    .detect_prefixes_columnar(&chain, black_box(&outcome.observed))
                     .unwrap()
             })
         });

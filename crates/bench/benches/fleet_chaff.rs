@@ -29,7 +29,7 @@ fn chaffed_observations(budget: usize) -> (chaff_markov::MarkovChain, Vec<Trajec
     let outcome = FleetSimulation::new(&chain, FleetConfig::new(USERS, HORIZON).with_seed(36))
         .run_chaffed(&policy(budget))
         .expect("valid fleet");
-    (chain, outcome.observed)
+    (chain, outcome.observed.to_trajectories())
 }
 
 /// Chaffed fleet simulation at per-user budgets 1 and 2.
@@ -86,13 +86,14 @@ fn bench_detect_multi_class(c: &mut Criterion) {
         FleetSimulation::with_registry(&registry, FleetConfig::new(USERS, HORIZON).with_seed(40))
             .run_chaffed(&policy(1))
             .expect("valid fleet");
+    let observed = outcome.observed.to_trajectories();
     let tables = registry.tables();
     let detector = BatchPrefixDetector::new();
     let mut group = c.benchmark_group("fleet_chaff/detect_multi_class");
     group.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, _| {
         b.iter(|| {
             detector
-                .detect_prefixes_with_tables(&tables, black_box(&outcome.observed))
+                .detect_prefixes_with_tables(&tables, black_box(&observed))
                 .unwrap()
         })
     });
@@ -111,7 +112,7 @@ fn bench_pipeline(c: &mut Criterion) {
                 .run_chaffed(&policy(2))
                 .unwrap();
             BatchPrefixDetector::new()
-                .detect_prefixes_with_tables(&[&table], black_box(&outcome.observed))
+                .detect_prefixes_columnar_with_tables(&[&table], black_box(&outcome.observed))
                 .unwrap()
         })
     });

@@ -1,0 +1,98 @@
+//! Columnar fleet-store benchmarks: the `N = 10⁵` scaling rung.
+//!
+//! Tracks (a) columnar fleet generation straight into the sharded
+//! arena, (b) the streaming columnar detection kernel over the grid,
+//! and (c) the end-to-end chaffed pipeline at `N = 50,000`. Joins the
+//! CI `BENCH_fleet` baseline: `ci/compare_bench.py` gates both
+//! `mean_ns` and — via the criterion shim's per-benchmark `VmHWM`
+//! watermark — `peak_rss_bytes`, so a memory regression in the columnar
+//! store fails CI the same way a runtime regression does.
+
+use chaff_bench::fixture_chain;
+use chaff_core::detector::BatchPrefixDetector;
+use chaff_markov::models::ModelKind;
+use chaff_sim::fleet::{FleetChaffPolicy, FleetChaffStrategy, FleetConfig, FleetSimulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Matches `chaff_eval::experiments::fleet_scale::SCALE_HORIZON`.
+const HORIZON: usize = 24;
+const USERS: usize = 50_000;
+
+fn policy(budget: usize) -> FleetChaffPolicy {
+    FleetChaffPolicy::uniform(FleetChaffStrategy::Im, budget)
+}
+
+/// Columnar fleet generation (no chaffs): N users into one sharded
+/// arena, no per-trajectory allocations.
+fn bench_simulate(c: &mut Criterion) {
+    let chain = fixture_chain(ModelKind::NonSkewed, 10, 51);
+    let mut group = c.benchmark_group("fleet_scale/simulate");
+    group.bench_with_input(BenchmarkId::from_parameter(USERS), &USERS, |b, &n| {
+        b.iter(|| {
+            FleetSimulation::new(
+                &chain,
+                FleetConfig::new(n, HORIZON).with_seed(black_box(52)),
+            )
+            .run_natural()
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// Streaming columnar detection over a prebuilt observation grid.
+fn bench_detect_columnar(c: &mut Criterion) {
+    let chain = fixture_chain(ModelKind::NonSkewed, 10, 53);
+    let outcome = FleetSimulation::new(&chain, FleetConfig::new(USERS, HORIZON).with_seed(54))
+        .run_natural()
+        .expect("valid fleet");
+    let table = chain.log_likelihood_table();
+    let detector = BatchPrefixDetector::new();
+    let mut group = c.benchmark_group("fleet_scale/detect_columnar");
+    group.bench_with_input(BenchmarkId::from_parameter(USERS), &USERS, |b, _| {
+        b.iter(|| {
+            detector
+                .detect_prefixes_columnar_with_table(&table, black_box(&outcome.observed))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// End-to-end chaffed columnar pipeline: simulate N users at B = 2 and
+/// detect over the 3N-service grid.
+fn bench_pipeline(c: &mut Criterion) {
+    let chain = fixture_chain(ModelKind::NonSkewed, 10, 55);
+    let table = chain.log_likelihood_table();
+    let mut group = c.benchmark_group("fleet_scale/pipeline");
+    group.bench_with_input(BenchmarkId::from_parameter(USERS), &USERS, |b, &n| {
+        b.iter(|| {
+            let outcome = FleetSimulation::new(&chain, FleetConfig::new(n, HORIZON).with_seed(56))
+                .run_chaffed(&policy(2))
+                .unwrap();
+            BatchPrefixDetector::new()
+                .detect_prefixes_columnar_with_tables(&[&table], black_box(&outcome.observed))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = fleet_scale;
+    config = configured();
+    targets =
+        bench_simulate,
+        bench_detect_columnar,
+        bench_pipeline,
+}
+criterion_main!(fleet_scale);

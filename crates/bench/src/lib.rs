@@ -18,6 +18,11 @@
 //!   simulation, detection over the enlarged `N · (1 + B)` candidate
 //!   set, the multi-class mixture kernel, and the end-to-end pipeline
 //!   (also part of the CI baseline, gated by `ci/compare_bench.py`);
+//! * `fleet_scale` — the columnar fleet store at `N = 50,000`:
+//!   arena-backed generation, the streaming columnar detection kernel
+//!   and the end-to-end chaffed pipeline; its records carry
+//!   `peak_rss_bytes` so the CI gate catches memory regressions in the
+//!   columnar store, not just runtime regressions;
 //! * `ingestion` — the trace pipeline: legacy single-threaded builder vs
 //!   the streamed, sharded engine (shard counts 1 and 4) and the
 //!   replica-amplified path (also baseline-gated, so trace-pipeline

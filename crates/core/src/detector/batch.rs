@@ -31,7 +31,34 @@
 use super::ml::validate_observations;
 use super::{argmax_set, Detection};
 use crate::{loglik_cmp, Result};
-use chaff_markov::{LogLikelihoodTable, MarkovChain, Trajectory};
+use chaff_markov::{CellGrid, CellId, LogLikelihoodTable, MarkovChain, Trajectory};
+
+/// Largest supported population: candidate trackers store service
+/// indices as `u32` (half the footprint of `usize` at fleet scale), so
+/// populations beyond this are rejected with
+/// [`CoreError::PopulationTooLarge`](crate::CoreError::PopulationTooLarge)
+/// instead of silently truncating indices.
+pub const MAX_POPULATION: usize = u32::MAX as usize;
+
+/// Rejects populations whose service indices would not fit `u32`.
+fn ensure_population_fits(population: usize) -> Result<()> {
+    if population > MAX_POPULATION {
+        return Err(crate::CoreError::PopulationTooLarge {
+            population,
+            max: MAX_POPULATION,
+        });
+    }
+    Ok(())
+}
+
+/// The global service index `lo + j` as `u32` — exact because every
+/// entry path checks the population against [`MAX_POPULATION`] first
+/// (so `lo + j < n <= u32::MAX` and the cast can never truncate).
+#[inline(always)]
+fn service_index(lo: usize, j: usize) -> u32 {
+    debug_assert!(lo + j <= MAX_POPULATION);
+    (lo + j) as u32
+}
 
 /// Batched maximum-likelihood prefix detector for fleet-scale populations.
 ///
@@ -173,6 +200,7 @@ impl BatchPrefixDetector {
         top_k: usize,
     ) -> Result<PrefixScores> {
         validate_observations(chain, observed)?;
+        ensure_population_fits(observed.len())?;
         let table = chain.log_likelihood_table();
         let shard_scores = self.run(&table, observed, top_k, true)?;
         let detections = merge_detections(&shard_scores);
@@ -185,8 +213,12 @@ impl BatchPrefixDetector {
             let row = &mut scores[t * n..(t + 1) * n];
             for shard in &shard_scores.shards {
                 let width = shard.hi - shard.lo;
-                let block = shard.block.as_ref().expect("blocks kept");
-                row[shard.lo..shard.hi].copy_from_slice(&block[t * width..(t + 1) * width]);
+                // The block pass always materializes its slice
+                // (`keep_block` above); `Option::iter` keeps that
+                // invariant structural instead of a panic site.
+                for block in shard.block.iter() {
+                    row[shard.lo..shard.hi].copy_from_slice(&block[t * width..(t + 1) * width]);
+                }
             }
         }
         Ok(PrefixScores {
@@ -242,10 +274,94 @@ impl BatchPrefixDetector {
         if tables.len() == 1 {
             return self.detect_prefixes_with_table(first, observed);
         }
-        validate_shape(observed)?;
-        let scores = self.run_sharded(observed, |range| {
+        let horizon = validate_shape(observed)?;
+        let scores = self.run_sharded(observed.len(), horizon, |range| {
             shard_pass_mixture(tables, observed, range)
         })?;
+        Ok(merge_detections(&scores))
+    }
+
+    /// [`detect_prefixes`](Self::detect_prefixes) over a slot-major
+    /// [`CellGrid`] — the fleet engine's zero-copy detection path. The
+    /// streaming pass consumes the grid one slot row at a time, keeping
+    /// only `O(shard width)` running score state and the per-slot
+    /// argmax candidates: the full `N × T` score matrix is never
+    /// materialized. Detections are bit-for-bit equal to
+    /// [`detect_prefixes`](Self::detect_prefixes) over
+    /// [`CellGrid::to_trajectories`], for every shard count.
+    ///
+    /// # Errors
+    ///
+    /// Same validation errors as the per-trajectory path, plus
+    /// [`CoreError::PopulationTooLarge`](crate::CoreError::PopulationTooLarge)
+    /// past [`MAX_POPULATION`].
+    pub fn detect_prefixes_columnar(
+        &self,
+        chain: &MarkovChain,
+        observed: &CellGrid,
+    ) -> Result<Vec<Detection>> {
+        let table = chain.log_likelihood_table();
+        self.detect_prefixes_columnar_with_table(&table, observed)
+    }
+
+    /// [`detect_prefixes_columnar`](Self::detect_prefixes_columnar)
+    /// against a prebuilt [`LogLikelihoodTable`].
+    ///
+    /// # Errors
+    ///
+    /// See [`detect_prefixes_columnar`](Self::detect_prefixes_columnar).
+    pub fn detect_prefixes_columnar_with_table(
+        &self,
+        table: &LogLikelihoodTable,
+        observed: &CellGrid,
+    ) -> Result<Vec<Detection>> {
+        validate_grid(observed)?;
+        let scores =
+            self.run_sharded(observed.num_trajectories(), observed.horizon(), |range| {
+                shard_pass_columnar(table, observed, range)
+            })?;
+        Ok(merge_detections(&scores))
+    }
+
+    /// [`detect_prefixes_with_tables`](Self::detect_prefixes_with_tables)
+    /// over a slot-major [`CellGrid`]: the multi-class streaming kernel
+    /// for heterogeneous chaffed fleets. With a single class this is
+    /// *exactly*
+    /// [`detect_prefixes_columnar_with_table`](Self::detect_prefixes_columnar_with_table),
+    /// and results never depend on the shard count.
+    ///
+    /// # Errors
+    ///
+    /// Same errors as
+    /// [`detect_prefixes_with_tables`](Self::detect_prefixes_with_tables),
+    /// plus
+    /// [`CoreError::PopulationTooLarge`](crate::CoreError::PopulationTooLarge).
+    pub fn detect_prefixes_columnar_with_tables(
+        &self,
+        tables: &[&LogLikelihoodTable],
+        observed: &CellGrid,
+    ) -> Result<Vec<Detection>> {
+        let first = *tables
+            .first()
+            .ok_or(crate::CoreError::Markov(chaff_markov::MarkovError::Empty))?;
+        for table in &tables[1..] {
+            if table.num_states() != first.num_states() {
+                return Err(crate::CoreError::Markov(
+                    chaff_markov::MarkovError::DimensionMismatch {
+                        expected: first.num_states(),
+                        found: table.num_states(),
+                    },
+                ));
+            }
+        }
+        if tables.len() == 1 {
+            return self.detect_prefixes_columnar_with_table(first, observed);
+        }
+        validate_grid(observed)?;
+        let scores =
+            self.run_sharded(observed.num_trajectories(), observed.horizon(), |range| {
+                shard_pass_columnar_mixture(tables, observed, range)
+            })?;
         Ok(merge_detections(&scores))
     }
 
@@ -262,7 +378,8 @@ impl BatchPrefixDetector {
         top_k: usize,
         keep_block: bool,
     ) -> Result<ShardedScores> {
-        self.run_sharded(observed, |range| {
+        let horizon = observed.first().map_or(0, Trajectory::len);
+        self.run_sharded(observed.len(), horizon, |range| {
             if keep_block {
                 Ok(shard_pass_block(table, observed, range, top_k))
             } else {
@@ -271,15 +388,14 @@ impl BatchPrefixDetector {
         })
     }
 
-    /// The sharding scaffold shared by every pass: splits `observed` into
-    /// contiguous index ranges, runs `pass` per range (on scoped threads
-    /// when more than one range exists) and joins in shard order.
-    fn run_sharded<F>(&self, observed: &[Trajectory], pass: F) -> Result<ShardedScores>
+    /// The sharding scaffold shared by every pass: splits the population
+    /// of `n` trajectories into contiguous index ranges, runs `pass` per
+    /// range (on scoped threads when more than one range exists) and
+    /// joins in shard order.
+    fn run_sharded<F>(&self, n: usize, horizon: usize, pass: F) -> Result<ShardedScores>
     where
         F: Fn((usize, usize)) -> Result<ShardScores> + Sync,
     {
-        let n = observed.len();
-        let horizon = observed.first().map_or(0, Trajectory::len);
         let shards = self.effective_shards(n);
         let chunk = n.div_ceil(shards);
         let ranges: Vec<(usize, usize)> = (0..shards)
@@ -301,10 +417,15 @@ impl BatchPrefixDetector {
                 // win, so the same error *variant* surfaces for every
                 // shard count (the reported cell may differ from the
                 // sequential path's, which scans trajectory by
-                // trajectory rather than slot-paired).
+                // trajectory rather than slot-paired). A panicking shard
+                // is re-raised on the caller's thread rather than
+                // reported as a fresh panic site.
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("shard panicked"))
+                    .map(|h| match h.join() {
+                        Ok(result) => result,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
                     .collect()
             })
         };
@@ -322,6 +443,7 @@ fn validate_shape(observed: &[Trajectory]) -> Result<usize> {
     if observed.is_empty() {
         return Err(crate::CoreError::NoTrajectories);
     }
+    ensure_population_fits(observed.len())?;
     let horizon = observed[0].len();
     if horizon == 0 {
         return Err(crate::CoreError::EmptyTrajectory);
@@ -335,6 +457,159 @@ fn validate_shape(observed: &[Trajectory]) -> Result<usize> {
         }
     }
     Ok(horizon)
+}
+
+/// Validates a columnar observation grid (non-empty in both dimensions,
+/// population within the `u32` index space); cells are range-checked by
+/// the streaming pass on first read.
+fn validate_grid(observed: &CellGrid) -> Result<()> {
+    if observed.num_trajectories() == 0 {
+        return Err(crate::CoreError::NoTrajectories);
+    }
+    if observed.horizon() == 0 {
+        return Err(crate::CoreError::EmptyTrajectory);
+    }
+    ensure_population_fits(observed.num_trajectories())
+}
+
+/// Flattens per-slot candidate lists into the concatenated tie layout of
+/// [`ShardScores`] (no score block, no top-k) — the shared tail of every
+/// detection-only shard pass.
+fn light_shard_scores(
+    (lo, hi): (usize, usize),
+    maxima: Vec<f64>,
+    candidates: Vec<Vec<(u32, f64)>>,
+) -> ShardScores {
+    let horizon = maxima.len();
+    let mut ties = Vec::new();
+    let mut tie_starts = Vec::with_capacity(horizon + 1);
+    tie_starts.push(0);
+    for slot in candidates {
+        ties.extend(slot);
+        tie_starts.push(ties.len());
+    }
+    ShardScores {
+        lo,
+        hi,
+        block: None,
+        maxima,
+        ties,
+        tie_starts,
+        top: Vec::new(),
+        top_starts: vec![0; horizon + 1],
+    }
+}
+
+/// The columnar streaming shard pass behind
+/// [`BatchPrefixDetector::detect_prefixes_columnar_with_table`]: walks
+/// the grid slot row by slot row (unit stride, exactly the storage
+/// order), carrying one running cumulative score per owned trajectory
+/// and folding each into the per-slot max/tie trackers. State is
+/// `O(width + horizon)` — no `N × T` block, no per-trajectory
+/// allocation.
+///
+/// Scores are bit-for-bit those of the per-trajectory pass: each
+/// trajectory's increments are added in slot order either way, and per
+/// slot the fold visits trajectories in ascending index order.
+fn shard_pass_columnar(
+    table: &LogLikelihoodTable,
+    observed: &CellGrid,
+    (lo, hi): (usize, usize),
+) -> Result<ShardScores> {
+    let horizon = observed.horizon();
+    let states = table.num_states();
+    let width = hi - lo;
+    let mut maxima = vec![f64::NEG_INFINITY; horizon];
+    let mut candidates: Vec<Vec<(u32, f64)>> = vec![Vec::new(); horizon];
+    let mut accs = vec![0.0f64; width];
+    for ((t, best), slot) in (0..horizon)
+        .zip(maxima.iter_mut())
+        .zip(candidates.iter_mut())
+    {
+        let row = &observed.row(t)[lo..hi];
+        if t == 0 {
+            for (j, (&cell, acc)) in row.iter().zip(accs.iter_mut()).enumerate() {
+                if cell.index() >= states {
+                    return Err(crate::CoreError::CellOutOfRange {
+                        cell: cell.index(),
+                        states,
+                    });
+                }
+                *acc = table.log_initial(cell);
+                fold(best, slot, service_index(lo, j), *acc);
+            }
+        } else {
+            let prev_row = &observed.row(t - 1)[lo..hi];
+            for (j, ((&cell, &prev), acc)) in
+                row.iter().zip(prev_row).zip(accs.iter_mut()).enumerate()
+            {
+                if cell.index() >= states {
+                    return Err(crate::CoreError::CellOutOfRange {
+                        cell: cell.index(),
+                        states,
+                    });
+                }
+                // -inf + -inf is fine; +inf never occurs (increments
+                // are log-probs <= 0), so no NaN can appear.
+                *acc += table.log_transition(prev, cell);
+                fold(best, slot, service_index(lo, j), *acc);
+            }
+        }
+    }
+    Ok(light_shard_scores((lo, hi), maxima, candidates))
+}
+
+/// The columnar multi-class (mixture) shard pass behind
+/// [`BatchPrefixDetector::detect_prefixes_columnar_with_tables`]: one
+/// running accumulator per `(trajectory, class)` pair (class-major per
+/// trajectory), scoring each prefix by its best class — the same
+/// generalized-likelihood-ratio semantics, accumulation order and fold
+/// order as the per-trajectory mixture pass, so results are bit-for-bit
+/// equal and shard-count independent.
+fn shard_pass_columnar_mixture(
+    tables: &[&LogLikelihoodTable],
+    observed: &CellGrid,
+    (lo, hi): (usize, usize),
+) -> Result<ShardScores> {
+    let horizon = observed.horizon();
+    let states = tables[0].num_states();
+    let width = hi - lo;
+    let classes = tables.len();
+    let mut maxima = vec![f64::NEG_INFINITY; horizon];
+    let mut candidates: Vec<Vec<(u32, f64)>> = vec![Vec::new(); horizon];
+    // accs[j * classes + k]: trajectory `lo + j`'s running score under
+    // class `k`.
+    let mut accs = vec![0.0f64; width * classes];
+    let mut prev: Option<CellId>;
+    for ((t, best), slot) in (0..horizon)
+        .zip(maxima.iter_mut())
+        .zip(candidates.iter_mut())
+    {
+        let row = &observed.row(t)[lo..hi];
+        let prev_row = if t == 0 {
+            None
+        } else {
+            Some(observed.row(t - 1))
+        };
+        for (j, (&cell, lanes)) in row.iter().zip(accs.chunks_mut(classes)).enumerate() {
+            if cell.index() >= states {
+                return Err(crate::CoreError::CellOutOfRange {
+                    cell: cell.index(),
+                    states,
+                });
+            }
+            prev = prev_row.map(|r| r[lo + j]);
+            let mut score = f64::NEG_INFINITY;
+            for (acc, table) in lanes.iter_mut().zip(tables) {
+                *acc += table.step(prev, cell);
+                if *acc > score {
+                    score = *acc;
+                }
+            }
+            fold(best, slot, service_index(lo, j), score);
+        }
+    }
+    Ok(light_shard_scores((lo, hi), maxima, candidates))
 }
 
 /// One shard's per-slot extraction summaries (and, for the score-matrix
@@ -400,7 +675,7 @@ fn shard_pass_mixture(
     let mut candidates: Vec<Vec<(u32, f64)>> = vec![Vec::new(); horizon];
     let mut accs = vec![0.0f64; tables.len()];
     for (j, x) in observed[lo..hi].iter().enumerate() {
-        let i = (lo + j) as u32;
+        let i = service_index(lo, j);
         accs.fill(0.0);
         let mut prev = None;
         for ((&cell, best), slot) in x
@@ -428,23 +703,7 @@ fn shard_pass_mixture(
             fold(best, slot, i, score);
         }
     }
-    let mut ties = Vec::new();
-    let mut tie_starts = Vec::with_capacity(horizon + 1);
-    tie_starts.push(0);
-    for slot in candidates {
-        ties.extend(slot);
-        tie_starts.push(ties.len());
-    }
-    Ok(ShardScores {
-        lo,
-        hi,
-        block: None,
-        maxima,
-        ties,
-        tie_starts,
-        top: Vec::new(),
-        top_starts: vec![0; horizon + 1],
-    })
+    Ok(light_shard_scores((lo, hi), maxima, candidates))
 }
 
 /// The detection-only shard pass: walks each trajectory once (unit
@@ -470,7 +729,7 @@ fn shard_pass_light(
     let mut pairs = shard.chunks_exact(2);
     let mut j = 0usize;
     for pair in pairs.by_ref() {
-        let ia = (lo + j) as u32;
+        let ia = service_index(lo, j);
         let ib = ia + 1;
         let mut acc_a = 0.0f64;
         let mut acc_b = 0.0f64;
@@ -513,7 +772,7 @@ fn shard_pass_light(
         j += 2;
     }
     for x in pairs.remainder() {
-        let i = (lo + j) as u32;
+        let i = service_index(lo, j);
         let mut acc = 0.0f64;
         let mut prev = None;
         for ((&cell, best), slot) in x
@@ -534,23 +793,7 @@ fn shard_pass_light(
         }
         j += 1;
     }
-    let mut ties = Vec::new();
-    let mut tie_starts = Vec::with_capacity(horizon + 1);
-    tie_starts.push(0);
-    for slot in candidates {
-        ties.extend(slot);
-        tie_starts.push(ties.len());
-    }
-    Ok(ShardScores {
-        lo,
-        hi,
-        block: None,
-        maxima,
-        ties,
-        tie_starts,
-        top: Vec::new(),
-        top_starts: vec![0; horizon + 1],
-    })
+    Ok(light_shard_scores((lo, hi), maxima, candidates))
 }
 
 /// The score-matrix shard pass: fills this shard's slot-major block from
@@ -595,14 +838,14 @@ fn shard_pass_block(
         maxima.push(best);
         for (j, &s) in row.iter().enumerate() {
             if loglik_cmp(s, best).is_eq() {
-                ties.push(((lo + j) as u32, s));
+                ties.push((service_index(lo, j), s));
             }
         }
         tie_starts.push(ties.len());
         if top_k > 0 {
             let start = top.len();
             for (j, &s) in row.iter().enumerate() {
-                insert_top_k(&mut top, start, top_k, (lo + j) as u32, s);
+                insert_top_k(&mut top, start, top_k, service_index(lo, j), s);
             }
         }
         top_starts.push(top.len());
@@ -1006,6 +1249,94 @@ mod tests {
         assert!(matches!(
             d.detect_prefixes_with_tables(&[&table, &table], &[]),
             Err(CoreError::NoTrajectories)
+        ));
+    }
+
+    #[test]
+    fn populations_beyond_u32_are_rejected_not_truncated() {
+        // The cap itself cannot be exercised with a real allocation
+        // (2^32 trajectories), so the guard is tested directly: it is
+        // the only gate in front of every `as u32` index narrowing.
+        assert!(ensure_population_fits(MAX_POPULATION).is_ok());
+        let err = ensure_population_fits(MAX_POPULATION + 1).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::PopulationTooLarge { population, max }
+                if population == MAX_POPULATION + 1 && max == MAX_POPULATION
+        ));
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn columnar_detection_matches_trajectory_path_bit_for_bit() {
+        let (chain, observed) = fleet(55, 137, 23);
+        let grid = CellGrid::from_trajectories(&observed).unwrap();
+        let table = chain.log_likelihood_table();
+        let reference = MlDetector.detect_prefixes(&chain, &observed).unwrap();
+        for shards in [1, 2, 3, 8, 137, 500] {
+            let d = BatchPrefixDetector::with_shards(shards);
+            let columnar = d.detect_prefixes_columnar(&chain, &grid).unwrap();
+            assert_eq!(columnar, reference, "shards = {shards}");
+            let with_table = d
+                .detect_prefixes_columnar_with_table(&table, &grid)
+                .unwrap();
+            assert_eq!(with_table, reference, "shards = {shards} (table)");
+        }
+    }
+
+    #[test]
+    fn columnar_mixture_matches_trajectory_mixture_bit_for_bit() {
+        let (a, b) = two_class_tables(56);
+        let mut rng = StdRng::seed_from_u64(57);
+        let mut observed: Vec<Trajectory> =
+            (0..23).map(|_| a.sample_trajectory(15, &mut rng)).collect();
+        observed.extend((0..18).map(|_| b.sample_trajectory(15, &mut rng)));
+        let grid = CellGrid::from_trajectories(&observed).unwrap();
+        let (ta, tb) = (a.log_likelihood_table(), b.log_likelihood_table());
+        let reference = BatchPrefixDetector::with_shards(1)
+            .detect_prefixes_with_tables(&[&ta, &tb], &observed)
+            .unwrap();
+        for shards in [1, 2, 7, 41] {
+            let columnar = BatchPrefixDetector::with_shards(shards)
+                .detect_prefixes_columnar_with_tables(&[&ta, &tb], &grid)
+                .unwrap();
+            assert_eq!(columnar, reference, "shards = {shards}");
+        }
+        // The single-class dispatch is the single-table path.
+        let single = BatchPrefixDetector::with_shards(3)
+            .detect_prefixes_columnar_with_tables(&[&ta], &grid)
+            .unwrap();
+        assert_eq!(
+            single,
+            BatchPrefixDetector::with_shards(3)
+                .detect_prefixes_columnar_with_table(&ta, &grid)
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn columnar_rejects_what_the_trajectory_path_rejects() {
+        let (chain, observed) = fleet(58, 4, 6);
+        let d = BatchPrefixDetector::new();
+        let empty = CellGrid::new(0);
+        assert!(matches!(
+            d.detect_prefixes_columnar(&chain, &empty),
+            Err(CoreError::NoTrajectories)
+        ));
+        let no_slots = CellGrid::new(3);
+        assert!(matches!(
+            d.detect_prefixes_columnar(&chain, &no_slots),
+            Err(CoreError::EmptyTrajectory)
+        ));
+        let out = CellGrid::from_trajectories(&[Trajectory::from_indices([999, 1])]).unwrap();
+        assert!(matches!(
+            d.detect_prefixes_columnar(&chain, &out),
+            Err(CoreError::CellOutOfRange { .. })
+        ));
+        let grid = CellGrid::from_trajectories(&observed).unwrap();
+        assert!(matches!(
+            d.detect_prefixes_columnar_with_tables(&[], &grid),
+            Err(CoreError::Markov(chaff_markov::MarkovError::Empty))
         ));
     }
 

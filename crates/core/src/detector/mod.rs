@@ -29,7 +29,7 @@ pub mod batch;
 mod ml;
 
 pub use advanced::AdvancedDetector;
-pub use batch::{BatchPrefixDetector, PrefixScores};
+pub use batch::{BatchPrefixDetector, PrefixScores, MAX_POPULATION};
 pub use ml::MlDetector;
 
 use chaff_markov::{MarkovChain, Trajectory};

@@ -24,6 +24,16 @@ pub enum CoreError {
         /// Number of states in the model.
         states: usize,
     },
+    /// The observed population exceeds the batched detectors' `u32`
+    /// service-index space. Service indices are stored as `u32` in the
+    /// compact candidate trackers; populations beyond `u32::MAX` would
+    /// silently truncate, so they are rejected up front instead.
+    PopulationTooLarge {
+        /// Number of observed trajectories supplied.
+        population: usize,
+        /// Largest supported population.
+        max: usize,
+    },
     /// The trellis has no feasible path (all candidate moves have zero
     /// probability, e.g. because an avoid-set removed every successor).
     NoFeasiblePath,
@@ -44,6 +54,12 @@ impl fmt::Display for CoreError {
             }
             CoreError::CellOutOfRange { cell, states } => {
                 write!(f, "cell {cell} out of range for {states} states")
+            }
+            CoreError::PopulationTooLarge { population, max } => {
+                write!(
+                    f,
+                    "population of {population} trajectories exceeds the supported maximum {max}"
+                )
             }
             CoreError::NoFeasiblePath => write!(f, "no feasible chaff trajectory exists"),
             CoreError::Markov(e) => write!(f, "markov substrate error: {e}"),

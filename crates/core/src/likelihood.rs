@@ -94,7 +94,7 @@ fn sum_with_infinities(a: f64, b: f64) -> f64 {
 /// carry no distributional information for Fig. 6).
 pub fn empirical_cdf(mut samples: Vec<f64>) -> Vec<(f64, f64)> {
     samples.retain(|v| v.is_finite());
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    samples.sort_by(f64::total_cmp);
     let n = samples.len() as f64;
     samples
         .into_iter()

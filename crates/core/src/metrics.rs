@@ -11,7 +11,7 @@
 //! to the paper's "random guess among ties" without Monte Carlo noise.
 
 use crate::detector::Detection;
-use chaff_markov::Trajectory;
+use chaff_markov::{CellGrid, Trajectory};
 
 /// Per-slot tracking accuracy: element `t` is the probability that the
 /// detected trajectory co-locates with the user at slot `t`.
@@ -70,6 +70,112 @@ pub fn tracking_accuracy_series_fixed(
 /// `t` names the user's trajectory exactly.
 pub fn detection_accuracy_series(user_index: usize, detections: &[Detection]) -> Vec<f64> {
     detections.iter().map(|d| d.prob_of(user_index)).collect()
+}
+
+/// [`tracking_accuracy_series`] over a slot-major [`CellGrid`] — the
+/// fleet-scale path: slot `t` reads one contiguous grid row instead of
+/// gathering across `N` trajectory allocations.
+///
+/// # Panics
+///
+/// Panics if `detections` is longer than the grid's horizon or indices
+/// are out of range.
+pub fn tracking_accuracy_series_columnar(
+    observed: &CellGrid,
+    user_index: usize,
+    detections: &[Detection],
+) -> Vec<f64> {
+    detections
+        .iter()
+        .enumerate()
+        .map(|(t, d)| {
+            let row = observed.row(t);
+            let user_cell = row[user_index];
+            let tie = d.tie_set();
+            let hits = tie.iter().filter(|&&u| row[u] == user_cell).count();
+            hits as f64 / tie.len() as f64
+        })
+        .collect()
+}
+
+/// Mean (over the designated users) time-average tracking accuracy of a
+/// whole fleet, equal to averaging
+/// [`tracking_accuracy_series_columnar`] + [`time_average`] over every
+/// user — but computed per slot through a cell histogram of the tie
+/// set, so the cost is `O(N + |ties|)` per slot instead of the per-user
+/// `O(N · |ties|)`. At `N = 10⁶` with a small cell space the slot-0 tie
+/// set holds `~N / L` members, which makes the per-user path quadratic
+/// in `N`; this one stays linear.
+///
+/// `users[k]` is the observed index of designated user `k`'s real
+/// service; `num_cells` bounds the cell space. Returns 0 when there are
+/// no users or no detections.
+///
+/// # Panics
+///
+/// Panics if `detections` is longer than the grid's horizon, an index
+/// is out of range, or a tie-set cell is `>= num_cells`.
+pub fn mean_tracking_accuracy_columnar(
+    observed: &CellGrid,
+    users: &[usize],
+    detections: &[Detection],
+    num_cells: usize,
+) -> f64 {
+    if users.is_empty() || detections.is_empty() {
+        return 0.0;
+    }
+    let mut histogram = vec![0usize; num_cells];
+    let mut total = 0.0;
+    for (t, d) in detections.iter().enumerate() {
+        let row = observed.row(t);
+        let tie = d.tie_set();
+        for &i in tie {
+            histogram[row[i].index()] += 1;
+        }
+        // A user is tracked by every tie member sharing its cell.
+        let mut hits = 0usize;
+        for &u in users {
+            hits += histogram[row[u].index()];
+        }
+        total += hits as f64 / tie.len() as f64;
+        for &i in tie {
+            histogram[row[i].index()] = 0;
+        }
+    }
+    total / (users.len() * detections.len()) as f64
+}
+
+/// Mean (over the designated users) time-average detection accuracy of
+/// a whole fleet, equal to averaging [`detection_accuracy_series`] +
+/// [`time_average`] over every user — computed per slot through a
+/// membership table, `O(N + |ties|)` per slot instead of the per-user
+/// `O(N · |ties|)`.
+///
+/// `num_services` bounds the observed index space. Returns 0 when there
+/// are no users or no detections.
+///
+/// # Panics
+///
+/// Panics if an index in `users` or a tie set is `>= num_services`.
+pub fn mean_detection_accuracy(
+    num_services: usize,
+    users: &[usize],
+    detections: &[Detection],
+) -> f64 {
+    if users.is_empty() || detections.is_empty() {
+        return 0.0;
+    }
+    let mut is_user = vec![false; num_services];
+    for &u in users {
+        is_user[u] = true;
+    }
+    let mut total = 0.0;
+    for d in detections {
+        let tie = d.tie_set();
+        let named = tie.iter().filter(|&&i| is_user[i]).count();
+        total += named as f64 / tie.len() as f64;
+    }
+    total / (users.len() * detections.len()) as f64
 }
 
 /// Arithmetic mean of a series — the paper's time-average accuracy
@@ -157,6 +263,46 @@ mod tests {
     fn fixed_detection_replays_one_decision() {
         let acc = tracking_accuracy_series_fixed(&obs(), 0, &Detection::new(vec![1]));
         assert_eq!(acc, vec![1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn columnar_tracking_matches_the_trajectory_path() {
+        let grid = CellGrid::from_trajectories(&obs()).unwrap();
+        for tie in [vec![0], vec![1], vec![1, 2]] {
+            let detections = vec![Detection::new(tie); 3];
+            assert_eq!(
+                tracking_accuracy_series_columnar(&grid, 0, &detections),
+                tracking_accuracy_series(&obs(), 0, &detections)
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_fleet_metrics_match_the_per_user_paths() {
+        // Mixed tie sets including multi-way ties and chaff hits.
+        let grid = CellGrid::from_trajectories(&obs()).unwrap();
+        let detections = vec![
+            Detection::new(vec![1, 2]),
+            Detection::new(vec![0]),
+            Detection::new(vec![1]),
+        ];
+        let users = vec![0usize, 2];
+        let mut tracking = 0.0;
+        let mut detection = 0.0;
+        for &u in &users {
+            tracking += time_average(&tracking_accuracy_series_columnar(&grid, u, &detections));
+            detection += time_average(&detection_accuracy_series(u, &detections));
+        }
+        let fast_tracking = mean_tracking_accuracy_columnar(&grid, &users, &detections, 10);
+        let fast_detection = mean_detection_accuracy(3, &users, &detections);
+        assert!((fast_tracking - tracking / 2.0).abs() < 1e-12);
+        assert!((fast_detection - detection / 2.0).abs() < 1e-12);
+        // Empty inputs are zero, matching time_average's convention.
+        assert_eq!(
+            mean_tracking_accuracy_columnar(&grid, &[], &detections, 10),
+            0.0
+        );
+        assert_eq!(mean_detection_accuracy(3, &users, &[]), 0.0);
     }
 
     #[test]

@@ -43,7 +43,7 @@ impl ChaffStrategy for CmlStrategy {
             return None;
         }
         let mut controller = CmlController::new(chain);
-        let mut rng = NoRandomness;
+        let mut rng = UnusedRng(0);
         Some(replay_controller(&mut controller, observed, &mut rng))
     }
 }
@@ -124,19 +124,31 @@ pub(crate) fn pick_constrained_argmax(
     }
 }
 
-/// An `RngCore` that must never be used; deterministic strategies replay
-/// their controllers through interfaces that formally require randomness.
-struct NoRandomness;
+/// An `RngCore` for replaying *deterministic* controllers through
+/// interfaces that formally require randomness. The CML controller never
+/// consults it; should a future controller draw from it anyway, it
+/// yields a fixed SplitMix64 stream — the replay stays deterministic and
+/// the process stays up (this used to be a trio of `unreachable!` panic
+/// sites reachable through the public strategy API).
+struct UnusedRng(u64);
 
-impl RngCore for NoRandomness {
+impl RngCore for UnusedRng {
     fn next_u32(&mut self) -> u32 {
-        unreachable!("deterministic controller consumed randomness")
+        (self.next_u64() >> 32) as u32
     }
     fn next_u64(&mut self) -> u64 {
-        unreachable!("deterministic controller consumed randomness")
+        // SplitMix64: the workspace's standard stream-derivation mixer.
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
-    fn fill_bytes(&mut self, _dest: &mut [u8]) {
-        unreachable!("deterministic controller consumed randomness")
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
     }
 }
 

@@ -397,9 +397,11 @@ impl TheoremV5Bound {
     ///
     /// Returns `None` when the hypothesis never starts holding within `t`.
     pub fn time_average(&self, t: usize) -> Option<f64> {
-        // T0: the smallest horizon at which the per-slot condition holds.
-        let t0 = (1..=t).find(|&s| self.drift(s).is_some_and(|d| d >= 0.0))?;
-        let drift0 = self.drift(t0).expect("checked above");
+        // T0: the smallest horizon at which the per-slot condition holds
+        // (found together with its drift, so no second lookup can
+        // disagree).
+        let (t0, drift0) =
+            (1..=t).find_map(|s| self.drift(s).filter(|&d| d >= 0.0).map(|d| (s, d)))?;
         let span = self.constants.span() + 2.0 * self.epsilon * self.delta_prime;
         if !span.is_finite() || span <= 0.0 {
             return None;

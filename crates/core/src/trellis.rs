@@ -204,11 +204,12 @@ impl PartialOrd for HeapNode {
 impl Ord for HeapNode {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reverse cost ordering for a min-heap; break ties by slot then cell
-        // to keep the pop order deterministic.
+        // to keep the pop order deterministic. Costs are -log
+        // probabilities, never NaN, so total_cmp agrees with the partial
+        // order while staying panic-free.
         other
             .cost
-            .partial_cmp(&self.cost)
-            .expect("costs are never NaN")
+            .total_cmp(&self.cost)
             .then(other.slot.cmp(&self.slot))
             .then(other.cell.cmp(&self.cell))
     }

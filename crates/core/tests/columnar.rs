@@ -1,0 +1,164 @@
+//! Columnar-vs-legacy detection equivalence battery (ISSUE 5).
+//!
+//! The compact columnar store must be a pure representation change:
+//! `detect_prefixes{,_with_tables}` over a slot-major [`CellGrid`] must
+//! produce *bit-for-bit* the detections of the legacy per-trajectory
+//! layout, for every shard count — property-tested over random chains,
+//! populations and horizons across shards {1, 2, 7}, and pinned
+//! deterministically at `N = 10⁴`. The memory contract (4 bytes per
+//! cell, `O(users)` offsets) is asserted alongside.
+
+use chaff_core::detector::BatchPrefixDetector;
+use chaff_markov::{CellGrid, CellId, MarkovChain, Trajectory, TransitionMatrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A random ergodic chain of 3..=7 states with strictly positive entries.
+fn arb_chain() -> impl Strategy<Value = MarkovChain> {
+    (3usize..=7).prop_flat_map(|n| {
+        proptest::collection::vec(proptest::collection::vec(0.05f64..1.0, n), n).prop_map(|rows| {
+            MarkovChain::new(TransitionMatrix::from_weights(rows).expect("positive"))
+                .expect("ergodic")
+        })
+    })
+}
+
+/// A second chain over the same state space, for mixture detection.
+fn two_chains() -> impl Strategy<Value = (MarkovChain, MarkovChain)> {
+    (3usize..=6).prop_flat_map(|n| {
+        let rows = || proptest::collection::vec(proptest::collection::vec(0.05f64..1.0, n), n);
+        (rows(), rows()).prop_map(|(a, b)| {
+            (
+                MarkovChain::new(TransitionMatrix::from_weights(a).expect("positive"))
+                    .expect("ergodic"),
+                MarkovChain::new(TransitionMatrix::from_weights(b).expect("positive"))
+                    .expect("ergodic"),
+            )
+        })
+    })
+}
+
+fn sample_population(chain: &MarkovChain, n: usize, horizon: usize, seed: u64) -> Vec<Trajectory> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| chain.sample_trajectory(horizon, &mut rng))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn columnar_single_table_is_bit_for_bit_legacy(
+        chain in arb_chain(),
+        seed in 0u64..1_000,
+        n in 1usize..120,
+        horizon in 1usize..20,
+    ) {
+        let observed = sample_population(&chain, n, horizon, seed);
+        let grid = CellGrid::from_trajectories(&observed).unwrap();
+        let table = chain.log_likelihood_table();
+        let reference = BatchPrefixDetector::with_shards(1)
+            .detect_prefixes_with_table(&table, &observed)
+            .unwrap();
+        for shards in [1usize, 2, 7] {
+            let detector = BatchPrefixDetector::with_shards(shards);
+            let legacy = detector.detect_prefixes_with_table(&table, &observed).unwrap();
+            let columnar = detector
+                .detect_prefixes_columnar_with_table(&table, &grid)
+                .unwrap();
+            prop_assert_eq!(&legacy, &reference, "legacy shards = {}", shards);
+            prop_assert_eq!(&columnar, &reference, "columnar shards = {}", shards);
+        }
+    }
+
+    #[test]
+    fn columnar_mixture_is_bit_for_bit_legacy(
+        chains in two_chains(),
+        seed in 0u64..1_000,
+        n in 2usize..80,
+        horizon in 1usize..16,
+    ) {
+        let (a, b) = chains;
+        // Half the population moves by each class.
+        let mut observed = sample_population(&a, n / 2 + 1, horizon, seed);
+        observed.extend(sample_population(&b, n / 2, horizon, seed ^ 0xB));
+        let grid = CellGrid::from_trajectories(&observed).unwrap();
+        let (ta, tb) = (a.log_likelihood_table(), b.log_likelihood_table());
+        let reference = BatchPrefixDetector::with_shards(1)
+            .detect_prefixes_with_tables(&[&ta, &tb], &observed)
+            .unwrap();
+        for shards in [1usize, 2, 7] {
+            let detector = BatchPrefixDetector::with_shards(shards);
+            let legacy = detector
+                .detect_prefixes_with_tables(&[&ta, &tb], &observed)
+                .unwrap();
+            let columnar = detector
+                .detect_prefixes_columnar_with_tables(&[&ta, &tb], &grid)
+                .unwrap();
+            prop_assert_eq!(&legacy, &reference, "legacy shards = {}", shards);
+            prop_assert_eq!(&columnar, &reference, "columnar shards = {}", shards);
+        }
+    }
+
+    #[test]
+    fn grid_round_trip_preserves_trajectories(
+        chain in arb_chain(),
+        seed in 0u64..1_000,
+        n in 1usize..60,
+        horizon in 1usize..24,
+    ) {
+        let observed = sample_population(&chain, n, horizon, seed);
+        let grid = CellGrid::from_trajectories(&observed).unwrap();
+        prop_assert_eq!(grid.to_trajectories(), observed);
+        prop_assert_eq!(grid.cell_bytes(), n * horizon * std::mem::size_of::<CellId>());
+    }
+}
+
+/// The deterministic `N = 10⁴` rung of the satellite contract: columnar
+/// and legacy layouts agree bit-for-bit across shards {1, 2, 7} at the
+/// previous fleet ceiling.
+#[test]
+fn ten_thousand_trajectories_agree_across_layouts_and_shards() {
+    let mut rng = StdRng::seed_from_u64(1709);
+    let chain = MarkovChain::new(
+        chaff_markov::models::ModelKind::NonSkewed
+            .build(10, &mut rng)
+            .unwrap(),
+    )
+    .unwrap();
+    let observed = sample_population(&chain, 10_000, 15, 42);
+    let grid = CellGrid::from_trajectories(&observed).unwrap();
+    let table = chain.log_likelihood_table();
+    let reference = BatchPrefixDetector::with_shards(1)
+        .detect_prefixes_with_table(&table, &observed)
+        .unwrap();
+    for shards in [1usize, 2, 7] {
+        let detector = BatchPrefixDetector::with_shards(shards);
+        assert_eq!(
+            detector
+                .detect_prefixes_with_table(&table, &observed)
+                .unwrap(),
+            reference,
+            "legacy shards = {shards}"
+        );
+        assert_eq!(
+            detector
+                .detect_prefixes_columnar_with_table(&table, &grid)
+                .unwrap(),
+            reference,
+            "columnar shards = {shards}"
+        );
+        assert_eq!(
+            detector
+                .detect_prefixes_columnar_with_tables(&[&table], &grid)
+                .unwrap(),
+            reference,
+            "columnar mixture dispatch, shards = {shards}"
+        );
+    }
+    // Memory contract at the same scale: 4 bytes per cell, nothing per
+    // trajectory.
+    assert_eq!(grid.cell_bytes(), 10_000 * 15 * 4);
+}

@@ -4,7 +4,8 @@
 //! repro <experiment> [--runs N] [--seed S] [--out DIR] [--quick]
 //!
 //! experiments: table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 theory
-//!              multiuser fleet_scaling fleet_chaff trace_fleet all
+//!              multiuser fleet_scaling fleet_chaff fleet_scale
+//!              trace_fleet all
 //! ```
 //!
 //! ASCII renderings go to stdout; CSV files go to `--out` (default
@@ -55,7 +56,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|theory|multiuser|fleet_scaling|\
-     fleet_chaff|trace_fleet|all> [--runs N] [--seed S] [--out DIR] [--quick]"
+     fleet_chaff|fleet_scale|trace_fleet|all> [--runs N] [--seed S] [--out DIR] [--quick]"
         .to_string()
 }
 
@@ -173,6 +174,22 @@ fn run_experiment(name: &str, args: &Args) -> chaff_eval::Result<()> {
                 &args.out,
             )?;
         }
+        "fleet_scale" => {
+            let populations: &[usize] = if args.quick {
+                &experiments::fleet_scale::QUICK_POPULATIONS
+            } else {
+                &experiments::fleet_scale::POPULATIONS
+            };
+            emit_table(
+                &experiments::fleet_scale::run_with(
+                    &synth,
+                    populations,
+                    &experiments::fleet_scale::BUDGETS,
+                    experiments::fleet_scale::SCALE_HORIZON,
+                )?,
+                &args.out,
+            )?;
+        }
         "trace_fleet" => {
             let mut config = if args.quick {
                 experiments::trace_fleet::TraceFleetConfig::quick()
@@ -206,6 +223,7 @@ fn run_experiment(name: &str, args: &Args) -> chaff_eval::Result<()> {
                 "multiuser",
                 "fleet_scaling",
                 "fleet_chaff",
+                "fleet_scale",
                 "trace_fleet",
             ] {
                 println!("==== {exp} ====");

@@ -23,7 +23,9 @@
 use super::{build_model, SyntheticConfig};
 use crate::report::Table;
 use chaff_core::detector::BatchPrefixDetector;
-use chaff_core::metrics::{detection_accuracy_series, time_average, tracking_accuracy_series};
+use chaff_core::metrics::{
+    detection_accuracy_series, time_average, tracking_accuracy_series_columnar,
+};
 use chaff_core::theory::im_tracking_accuracy;
 use chaff_markov::models::ModelKind;
 use chaff_markov::MarkovChain;
@@ -94,15 +96,19 @@ pub fn measure(
     let started = Instant::now();
     let outcome = FleetSimulation::new(chain, config).run_chaffed(&policy)?;
     let table = chain.log_likelihood_table();
-    let detections = detector.detect_prefixes_with_tables(&[&table], &outcome.observed)?;
+    let detections = detector.detect_prefixes_columnar_with_tables(&[&table], &outcome.observed)?;
     let elapsed = started.elapsed().as_secs_f64();
     let mut tracking = 0.0;
     let mut detection = 0.0;
     for &u in &outcome.user_observed_indices {
-        tracking += time_average(&tracking_accuracy_series(&outcome.observed, u, &detections));
+        tracking += time_average(&tracking_accuracy_series_columnar(
+            &outcome.observed,
+            u,
+            &detections,
+        ));
         detection += time_average(&detection_accuracy_series(u, &detections));
     }
-    let services = outcome.observed.len();
+    let services = outcome.observed.num_trajectories();
     Ok(ChaffPoint {
         num_users,
         budget,

@@ -12,7 +12,7 @@
 use super::{build_model, SyntheticConfig};
 use crate::report::Table;
 use chaff_core::detector::BatchPrefixDetector;
-use chaff_core::metrics::{time_average, tracking_accuracy_series};
+use chaff_core::metrics::{time_average, tracking_accuracy_series_columnar};
 use chaff_core::theory::im_tracking_accuracy;
 use chaff_markov::models::ModelKind;
 use std::time::Instant;
@@ -60,13 +60,19 @@ pub fn measure(
 
     let detector = BatchPrefixDetector::new();
     let detect_started = Instant::now();
-    let detections = detector.detect_prefixes(chain, &outcome.observed)?;
+    let detections = detector.detect_prefixes_columnar(chain, &outcome.observed)?;
     let detect_elapsed = detect_started.elapsed().as_secs_f64();
 
     let total: f64 = outcome
         .user_observed_indices
         .iter()
-        .map(|&u| time_average(&tracking_accuracy_series(&outcome.observed, u, &detections)))
+        .map(|&u| {
+            time_average(&tracking_accuracy_series_columnar(
+                &outcome.observed,
+                u,
+                &detections,
+            ))
+        })
         .sum();
     let user_slots = outcome.stats.user_slots;
     Ok(ScalingPoint {

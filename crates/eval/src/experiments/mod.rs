@@ -8,6 +8,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod fleet_chaff;
+pub mod fleet_scale;
 pub mod fleet_scaling;
 pub mod multiuser;
 pub mod table1;

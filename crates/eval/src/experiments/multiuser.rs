@@ -20,7 +20,7 @@ use super::{build_model, SyntheticConfig};
 use crate::montecarlo;
 use crate::report::{Figure, Series};
 use chaff_core::detector::BatchPrefixDetector;
-use chaff_core::metrics::{time_average, tracking_accuracy_series};
+use chaff_core::metrics::{time_average, tracking_accuracy_series_columnar};
 use chaff_core::theory::im_tracking_accuracy;
 use chaff_markov::models::ModelKind;
 use chaff_markov::MarkovChain;
@@ -52,12 +52,18 @@ pub(crate) fn fleet_run_accuracy(
         .run_natural()
         .expect("valid fleet config");
     let detections = detector
-        .detect_prefixes(chain, &outcome.observed)
+        .detect_prefixes_columnar(chain, &outcome.observed)
         .expect("uniform fleet observations");
     let total: f64 = outcome
         .user_observed_indices
         .iter()
-        .map(|&u| time_average(&tracking_accuracy_series(&outcome.observed, u, &detections)))
+        .map(|&u| {
+            time_average(&tracking_accuracy_series_columnar(
+                &outcome.observed,
+                u,
+                &detections,
+            ))
+        })
         .sum();
     total / n as f64
 }

@@ -28,7 +28,9 @@
 
 use crate::report::Table;
 use chaff_core::detector::BatchPrefixDetector;
-use chaff_core::metrics::{detection_accuracy_series, time_average, tracking_accuracy_series};
+use chaff_core::metrics::{
+    detection_accuracy_series, time_average, tracking_accuracy_series_columnar,
+};
 use chaff_core::theory::im_tracking_accuracy;
 use chaff_markov::{MarkovChain, MobilityRegistry};
 use chaff_mobility::empirical::EmpiricalAccumulator;
@@ -221,15 +223,20 @@ pub fn measure(
     let policy = FleetChaffPolicy::uniform(FleetChaffStrategy::Im, budget);
     let started = Instant::now();
     let outcome = FleetSimulation::with_registry(registry, fleet_config).run_chaffed(&policy)?;
-    let detections = detector.detect_prefixes_with_tables(&registry.tables(), &outcome.observed)?;
+    let detections =
+        detector.detect_prefixes_columnar_with_tables(&registry.tables(), &outcome.observed)?;
     let elapsed = started.elapsed().as_secs_f64();
     let mut tracking = 0.0;
     let mut detection = 0.0;
     for &u in &outcome.user_observed_indices {
-        tracking += time_average(&tracking_accuracy_series(&outcome.observed, u, &detections));
+        tracking += time_average(&tracking_accuracy_series_columnar(
+            &outcome.observed,
+            u,
+            &detections,
+        ));
         detection += time_average(&detection_accuracy_series(u, &detections));
     }
-    let services = outcome.observed.len();
+    let services = outcome.observed.num_trajectories();
     Ok(TraceFleetPoint {
         num_users,
         cells: dataset.cell_map().num_cells(),

@@ -1,6 +1,7 @@
 //! Cell identifiers: the discrete locations (one MEC per cell) that all
 //! substrate types index into.
 
+use crate::MarkovError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -11,6 +12,17 @@ use std::fmt;
 /// Cell ids are dense indices `0..L` so they double as array indices
 /// throughout the workspace.
 ///
+/// # Representation
+///
+/// Stored as a `u32` (4 bytes), which halves the footprint of every
+/// trajectory arena and columnar observation log relative to a `usize`
+/// cell — the difference between fitting an `N = 10⁶` fleet in memory
+/// and not. Real cell spaces are bounded by the tower/MEC count, so
+/// `u32` is never the limit in practice; dataset boundaries that index
+/// cells from untrusted counts use the checked
+/// [`from_usize`](CellId::from_usize) instead of the panicking
+/// [`new`](CellId::new).
+///
 /// # Example
 ///
 /// ```
@@ -19,36 +31,66 @@ use std::fmt;
 /// let cell = CellId::new(3);
 /// assert_eq!(cell.index(), 3);
 /// assert_eq!(format!("{cell}"), "c3");
+/// assert_eq!(std::mem::size_of::<CellId>(), 4);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
-pub struct CellId(usize);
+pub struct CellId(u32);
 
 impl CellId {
+    /// The largest representable cell index.
+    pub const MAX_INDEX: usize = u32::MAX as usize;
+
     /// Creates a cell id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds [`CellId::MAX_INDEX`]; use
+    /// [`from_usize`](CellId::from_usize) at dataset boundaries where the
+    /// index is not already bounded by a validated state-space size.
     #[inline]
     pub const fn new(index: usize) -> Self {
-        CellId(index)
+        assert!(index <= CellId::MAX_INDEX, "cell index exceeds u32 range");
+        CellId(index as u32)
+    }
+
+    /// Checked conversion from a dense index, for dataset boundaries
+    /// (trace ingestion, tower quantization) where the cell count is not
+    /// yet bounded by a validated model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::CellIndexOverflow`] when `index` exceeds
+    /// [`CellId::MAX_INDEX`].
+    #[inline]
+    pub fn from_usize(index: usize) -> crate::Result<Self> {
+        u32::try_from(index)
+            .map(CellId)
+            .map_err(|_| MarkovError::CellIndexOverflow { index })
     }
 
     /// Returns the dense index of this cell.
     #[inline]
     pub const fn index(self) -> usize {
-        self.0
+        self.0 as usize
     }
 }
 
 impl From<usize> for CellId {
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds [`CellId::MAX_INDEX`] (see
+    /// [`CellId::new`]).
     #[inline]
     fn from(index: usize) -> Self {
-        CellId(index)
+        CellId::new(index)
     }
 }
 
 impl From<CellId> for usize {
     #[inline]
     fn from(cell: CellId) -> Self {
-        cell.0
+        cell.index()
     }
 }
 
@@ -79,5 +121,40 @@ mod tests {
     fn display_is_compact() {
         assert_eq!(CellId::new(0).to_string(), "c0");
         assert_eq!(CellId::new(958).to_string(), "c958");
+    }
+
+    #[test]
+    fn cells_are_four_bytes() {
+        // The whole point of the u32 representation: 4 bytes per cell in
+        // every trajectory arena and columnar log.
+        assert_eq!(std::mem::size_of::<CellId>(), 4);
+        assert_eq!(std::mem::size_of::<Option<CellId>>(), 8);
+    }
+
+    #[test]
+    fn checked_conversion_accepts_the_full_u32_range() {
+        assert_eq!(CellId::from_usize(0).unwrap(), CellId::new(0));
+        assert_eq!(
+            CellId::from_usize(CellId::MAX_INDEX).unwrap().index(),
+            CellId::MAX_INDEX
+        );
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    fn checked_conversion_rejects_oversized_indices() {
+        let err = CellId::from_usize(CellId::MAX_INDEX + 1).unwrap_err();
+        assert!(matches!(
+            err,
+            MarkovError::CellIndexOverflow { index } if index == CellId::MAX_INDEX + 1
+        ));
+        assert!(err.to_string().contains("cell index"));
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    #[should_panic(expected = "cell index exceeds u32 range")]
+    fn unchecked_constructor_panics_on_overflow() {
+        let _ = CellId::new(CellId::MAX_INDEX + 1);
     }
 }

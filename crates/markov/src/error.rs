@@ -61,6 +61,12 @@ pub enum MarkovError {
         /// Number of states in the space.
         states: usize,
     },
+    /// A dense cell index does not fit the compact `u32` representation
+    /// of [`CellId`](crate::CellId).
+    CellIndexOverflow {
+        /// The offending index.
+        index: usize,
+    },
     /// A mobility-class label was out of a registry's class range.
     ClassOutOfRange {
         /// The offending class label.
@@ -95,6 +101,9 @@ impl fmt::Display for MarkovError {
             }
             MarkovError::CellOutOfRange { cell, states } => {
                 write!(f, "cell {cell} out of range for {states} states")
+            }
+            MarkovError::CellIndexOverflow { index } => {
+                write!(f, "cell index {index} exceeds the u32 cell-id range")
             }
             MarkovError::ClassOutOfRange { class, classes } => {
                 write!(

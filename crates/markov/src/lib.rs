@@ -24,6 +24,10 @@
 //! * [`MobilityRegistry`] — heterogeneous fleets: a small set of model
 //!   classes (one cached table each) mapped onto arbitrarily many users.
 //! * [`Trajectory`] — a sequence of cells over discrete time slots.
+//! * [`CellGrid`] / [`TrajectoryArena`] — compact columnar storage for
+//!   fleet-scale populations: every cell of a uniform-horizon population
+//!   in one contiguous 4-byte-per-cell arena (slot-major for the
+//!   detectors, trajectory-major for the generators).
 //! * [`models`] — the four synthetic mobility models of Sec. VII-A.
 //! * [`entropy`], [`mixing`], [`stationary`] — analysis helpers.
 //!
@@ -49,6 +53,7 @@
 
 mod cell;
 mod chain;
+mod columnar;
 mod distribution;
 mod error;
 mod loglik;
@@ -63,6 +68,7 @@ pub mod stationary;
 
 pub use cell::CellId;
 pub use chain::MarkovChain;
+pub use columnar::{ArenaRowsMut, CellGrid, TrajectoryArena};
 pub use distribution::StateDistribution;
 pub use error::MarkovError;
 pub use loglik::{LogLikelihoodTable, DENSE_STATE_LIMIT};

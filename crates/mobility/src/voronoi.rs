@@ -32,11 +32,17 @@ impl CellMap {
     ///
     /// # Errors
     ///
-    /// Returns [`MobilityError::NoTowers`] when `towers` is empty.
+    /// Returns [`MobilityError::NoTowers`] when `towers` is empty, and
+    /// [`MarkovError::CellIndexOverflow`](chaff_markov::MarkovError::CellIndexOverflow)
+    /// when the tower count exceeds the compact `u32` [`CellId`] space —
+    /// this constructor is the dataset boundary where untrusted cell
+    /// counts enter, so the checked conversion runs once here and every
+    /// later `CellId::new(tower_index)` is guaranteed exact.
     pub fn new(towers: Vec<GeoPoint>) -> Result<Self> {
         if towers.is_empty() {
             return Err(MobilityError::NoTowers);
         }
+        CellId::from_usize(towers.len() - 1)?;
         let pad = 1e-4; // ~11 m
         let min_lat = towers.iter().map(|t| t.lat).fold(f64::INFINITY, f64::min) - pad;
         let max_lat = towers

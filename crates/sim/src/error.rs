@@ -31,6 +31,14 @@ pub enum SimError {
         /// extra locations overflow the fleet).
         user: Option<usize>,
     },
+    /// A fleet-wide chaff budget (or service count derived from it)
+    /// overflowed `usize`: a large per-user budget times a large
+    /// population must fail loudly instead of wrapping in release
+    /// builds.
+    BudgetOverflow {
+        /// Fleet size whose total budget overflowed.
+        users: usize,
+    },
     /// An error bubbled up from the strategy/detector layer.
     Core(chaff_core::CoreError),
     /// An error bubbled up from the Markov substrate.
@@ -60,6 +68,12 @@ impl fmt::Display for SimError {
                     write!(f, " (first divergence in user {user}'s services)")?;
                 }
                 Ok(())
+            }
+            SimError::BudgetOverflow { users } => {
+                write!(
+                    f,
+                    "total chaff budget overflows usize for a fleet of {users} users"
+                )
             }
             SimError::Core(e) => write!(f, "strategy error: {e}"),
             SimError::Markov(e) => write!(f, "markov substrate error: {e}"),

@@ -31,32 +31,41 @@
 //!
 //! # Execution plan
 //!
-//! 1. **Generate (parallel).** Users are split into contiguous shards;
-//!    each shard thread simulates its users slot by slot (always-follow
-//!    placement, per-user chaff controllers) into per-user blocks that
-//!    land in a [`ShardedObservationLog`]. Every user draws from an RNG
-//!    seeded by SplitMix64 over `(fleet seed, user index)`, and every
-//!    chaff from its own stream over `(fleet seed, user, chaff)` — so
-//!    results are bit-identical for every shard count, growing the fleet
-//!    never perturbs existing users' streams, and growing a user's chaff
+//! 1. **Layout.** Per-user budgets are pure functions of `(user, class,
+//!    N)`, so the per-user service offset table is computed up front —
+//!    with checked arithmetic, so a large budget × large `N` fails
+//!    loudly ([`SimError::BudgetOverflow`]) instead of wrapping.
+//! 2. **Generate (parallel, columnar).** Users are split into contiguous
+//!    shards; each shard thread simulates its users slot by slot
+//!    (always-follow placement, per-user chaff controllers) directly
+//!    into its own columnar arena of the [`ShardedObservationLog`] and
+//!    its row range of the ground-truth [`TrajectoryArena`] — one
+//!    contiguous 4-byte-per-cell allocation per shard, no
+//!    per-trajectory `Vec`s. Every user draws from an RNG seeded by
+//!    SplitMix64 over `(fleet seed, user index)`, and every chaff from
+//!    its own stream over `(fleet seed, user, chaff)` — so results are
+//!    bit-identical for every shard count, growing the fleet never
+//!    perturbs existing users' streams, and growing a user's chaff
 //!    budget never perturbs the user's own trajectory.
-//! 2. **Capacity replay (sequential, only when a capacity is set).** The
+//! 3. **Capacity replay (sequential, only when a capacity is set).** The
 //!    planned placements are replayed through one shared [`MecNetwork`]
 //!    in global service order, spilling to the nearest free node exactly
 //!    like the single-user simulator.
-//! 3. **Anonymize.** One Fisher–Yates permutation across all services,
-//!    driven by the fleet seed.
+//! 4. **Anonymize.** One Fisher–Yates permutation across all services,
+//!    driven by the fleet seed, scattered into one slot-major
+//!    [`CellGrid`].
 //!
-//! The outcome pairs with the batched detection core
+//! The outcome pairs with the streaming columnar detection core
 //! (`chaff_core::detector::BatchPrefixDetector`, whose
-//! `detect_prefixes_with_tables` scores heterogeneous chaffed candidate
-//! sets) for fleet-scale evaluation.
+//! `detect_prefixes_columnar_with_tables` scores heterogeneous chaffed
+//! candidate sets straight off the grid) for fleet-scale evaluation at
+//! `N = 10⁵–10⁶`.
 
 use crate::network::MecNetwork;
 use crate::observer::ShardedObservationLog;
 use crate::{Result, SimError};
 use chaff_core::strategy::{CmlController, ImController, MoController, OnlineChaffController};
-use chaff_markov::{CellId, MarkovChain, MobilityRegistry, Trajectory};
+use chaff_markov::{CellGrid, CellId, MarkovChain, MobilityRegistry, TrajectoryArena};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -138,9 +147,10 @@ impl FleetConfig {
     }
 
     /// Total services across the fleet under the uniform budget (policy
-    /// runs compute the true total from their allocation).
+    /// runs compute the true total from their allocation, with checked
+    /// arithmetic; this display-oriented helper saturates instead).
     pub fn num_services(&self) -> usize {
-        self.num_users * self.services_per_user()
+        self.num_users.saturating_mul(self.services_per_user())
     }
 
     fn validate(&self) -> Result<()> {
@@ -307,17 +317,25 @@ impl FleetChaffPolicy {
 
     /// Total chaff services this policy launches across a fleet of
     /// `num_users` users mapped to classes by `class_of`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BudgetOverflow`] when the total does not fit
+    /// `usize` — a large per-user budget times a large population must
+    /// not wrap silently in release builds.
     pub fn total_budget(
         &self,
         num_users: usize,
         mut class_of: impl FnMut(usize) -> usize,
-    ) -> usize {
+    ) -> Result<usize> {
+        let overflow = || SimError::BudgetOverflow { users: num_users };
         match &self.allocation {
-            BudgetAllocation::Uniform(b) => b * num_users,
-            BudgetAllocation::Proportional { total } => *total,
-            BudgetAllocation::PerClass(_) => (0..num_users)
-                .map(|u| self.budget_of(u, class_of(u), num_users))
-                .sum(),
+            BudgetAllocation::Uniform(b) => b.checked_mul(num_users).ok_or_else(overflow),
+            BudgetAllocation::Proportional { total } => Ok(*total),
+            BudgetAllocation::PerClass(_) => (0..num_users).try_fold(0usize, |acc, u| {
+                acc.checked_add(self.budget_of(u, class_of(u), num_users))
+                    .ok_or_else(overflow)
+            }),
         }
     }
 
@@ -365,17 +383,24 @@ pub struct FleetStats {
 }
 
 /// Everything a fleet run produces.
+///
+/// Both trajectory sets are columnar (one contiguous 4-byte-per-cell
+/// arena each): at `N = 10⁶` users the per-trajectory representation's
+/// allocation and pointer overhead alone would dwarf the cells.
 #[derive(Debug, Clone)]
 pub struct FleetOutcome {
-    /// The eavesdropper's view: one trajectory per service (all users'
-    /// real services and chaffs together), shuffled when anonymization is
-    /// on.
-    pub observed: Vec<Trajectory>,
+    /// The eavesdropper's view: one column per service (all users' real
+    /// services and chaffs together), shuffled when anonymization is on.
+    /// Feed it straight to
+    /// `BatchPrefixDetector::detect_prefixes_columnar_with_tables`; use
+    /// [`CellGrid::trajectory`]/[`CellGrid::to_trajectories`] to bridge
+    /// to per-trajectory consumers.
+    pub observed: CellGrid,
     /// Ground truth: `user_observed_indices[u]` is the index of user
     /// `u`'s real service inside [`observed`](FleetOutcome::observed).
     pub user_observed_indices: Vec<usize>,
-    /// Each user's physical cell per slot.
-    pub user_cells: Vec<Trajectory>,
+    /// Each user's physical cell per slot (row `u` = user `u`).
+    pub user_cells: TrajectoryArena,
     /// Aggregate counters.
     pub stats: FleetStats,
 }
@@ -424,7 +449,7 @@ impl FleetModel<'_> {
 /// # Example
 ///
 /// ```
-/// use chaff_core::detector::{BatchPrefixDetector, Detector};
+/// use chaff_core::detector::BatchPrefixDetector;
 /// use chaff_markov::{models::ModelKind, MarkovChain};
 /// use chaff_sim::fleet::{FleetChaffPolicy, FleetChaffStrategy, FleetConfig, FleetSimulation};
 /// use rand::{rngs::StdRng, SeedableRng};
@@ -435,8 +460,9 @@ impl FleetModel<'_> {
 /// let policy = FleetChaffPolicy::uniform(FleetChaffStrategy::Im, 2);
 /// let outcome = FleetSimulation::new(&chain, FleetConfig::new(200, 30).with_seed(7))
 ///     .run_chaffed(&policy)?;
-/// assert_eq!(outcome.observed.len(), 200 * 3); // real + 2 chaffs each
-/// let detections = BatchPrefixDetector::new().detect_prefixes(&chain, &outcome.observed)?;
+/// assert_eq!(outcome.observed.num_trajectories(), 200 * 3); // real + 2 chaffs each
+/// let detections =
+///     BatchPrefixDetector::new().detect_prefixes_columnar(&chain, &outcome.observed)?;
 /// assert_eq!(detections.len(), 30);
 /// # Ok(())
 /// # }
@@ -444,14 +470,6 @@ impl FleetModel<'_> {
 pub struct FleetSimulation<'a> {
     model: FleetModel<'a>,
     config: FleetConfig,
-}
-
-/// One user's simulated block: its physical trajectory plus the planned
-/// trajectory of each of its services (real service first).
-#[derive(Debug, Clone, Default)]
-struct UserBlock {
-    user_cells: Trajectory,
-    services: Vec<Trajectory>,
 }
 
 impl<'a> FleetSimulation<'a> {
@@ -490,9 +508,17 @@ impl<'a> FleetSimulation<'a> {
                 reason: "run_natural simulates chaff-free fleets; use run_online".into(),
             });
         }
+        // Zero budgets mean the factory is never consulted; if a layout
+        // bug ever asked for a controller anyway, that surfaces as a
+        // typed error instead of a panic.
         self.run_with(
             |_| 0,
-            |_, _| -> Box<dyn OnlineChaffController> { unreachable!("no chaffs configured") },
+            |user, _| {
+                Err(SimError::InvalidConfig {
+                    parameter: "chaffs_per_user",
+                    reason: format!("natural fleet requested a chaff controller for user {user}"),
+                })
+            },
         )
     }
 
@@ -522,7 +548,7 @@ impl<'a> FleetSimulation<'a> {
             |user| policy.budget_of(user, model.class_of(user), n),
             |user, _chaff| {
                 let class = model.class_of(user);
-                policy.strategy_of(class).controller(model.chain_of(user))
+                Ok(policy.strategy_of(class).controller(model.chain_of(user)))
             },
         )
     }
@@ -543,7 +569,7 @@ impl<'a> FleetSimulation<'a> {
         F: Fn(usize, usize) -> Box<dyn OnlineChaffController + 'a> + Sync,
     {
         let uniform = self.config.chaffs_per_user;
-        self.run_with(|_| uniform, make_controller)
+        self.run_with(|_| uniform, |user, chaff| Ok(make_controller(user, chaff)))
     }
 
     /// The shared driver: `budget_of(user)` chaffs per user, controllers
@@ -551,123 +577,220 @@ impl<'a> FleetSimulation<'a> {
     fn run_with<B, F>(self, budget_of: B, make_controller: F) -> Result<FleetOutcome>
     where
         B: Fn(usize) -> usize + Sync,
-        F: Fn(usize, usize) -> Box<dyn OnlineChaffController + 'a> + Sync,
+        F: Fn(usize, usize) -> Result<Box<dyn OnlineChaffController + 'a>> + Sync,
     {
         self.config.validate()?;
-        let blocks = self.generate(&budget_of, &make_controller);
-        self.assemble(blocks)
+        let service_starts = self.service_layout(&budget_of)?;
+        let (user_cells, planned) = self.generate(&service_starts, &make_controller)?;
+        self.assemble(user_cells, planned, &service_starts)
     }
 
-    /// Phase 1: per-user trajectory generation, sharded over users.
-    fn generate<B, F>(&self, budget_of: &B, make_controller: &F) -> Vec<UserBlock>
+    /// Phase 1 (layout): the per-user service offset table — user `u`
+    /// owns global services `service_starts[u]..service_starts[u + 1]`
+    /// (real service first, then its chaffs). Budgets are pure functions
+    /// of the user index, so the whole layout exists before any worker
+    /// starts; all sums are checked so oversized budgets fail typed.
+    fn service_layout<B>(&self, budget_of: &B) -> Result<Vec<usize>>
     where
         B: Fn(usize) -> usize + Sync,
-        F: Fn(usize, usize) -> Box<dyn OnlineChaffController + 'a> + Sync,
     {
         let n = self.config.num_users;
+        let overflow = || SimError::BudgetOverflow { users: n };
+        let mut service_starts = Vec::with_capacity(n + 1);
+        let mut total = 0usize;
+        service_starts.push(0);
+        for user in 0..n {
+            let services = budget_of(user).checked_add(1).ok_or_else(overflow)?;
+            total = total.checked_add(services).ok_or_else(overflow)?;
+            service_starts.push(total);
+        }
+        // The arenas hold `total × horizon` cells; guard that product
+        // here too, so oversized fleets fail typed before any columnar
+        // constructor can wrap its allocation size.
+        total
+            .checked_mul(self.config.horizon)
+            .ok_or_else(overflow)?;
+        Ok(service_starts)
+    }
+
+    /// Phase 2: per-user trajectory generation, sharded over users.
+    /// Each worker fills one columnar arena of the planned observation
+    /// log plus its row range of the ground-truth arena — zero
+    /// per-trajectory allocations.
+    fn generate<F>(
+        &self,
+        service_starts: &[usize],
+        make_controller: &F,
+    ) -> Result<(TrajectoryArena, ShardedObservationLog)>
+    where
+        F: Fn(usize, usize) -> Result<Box<dyn OnlineChaffController + 'a>> + Sync,
+    {
+        let n = self.config.num_users;
+        let horizon = self.config.horizon;
         let shards = self.config.effective_shards();
         let chunk = n.div_ceil(shards);
-        let mut blocks: Vec<UserBlock> = vec![UserBlock::default(); n];
-        if shards <= 1 {
-            for (u, block) in blocks.iter_mut().enumerate() {
-                *block = self.simulate_user(u, budget_of(u), make_controller);
+        // Worker `w` owns users `w * chunk..` and, through the offset
+        // table, their contiguous service range.
+        let user_ranges: Vec<(usize, usize)> = (0..shards)
+            .map(|w| (w * chunk, ((w + 1) * chunk).min(n)))
+            .filter(|(lo, hi)| lo < hi)
+            .collect();
+        let mut shard_starts: Vec<usize> = user_ranges
+            .iter()
+            .map(|&(lo, _)| service_starts[lo])
+            .collect();
+        shard_starts.push(service_starts[n]);
+        let mut planned = ShardedObservationLog::with_shard_starts(shard_starts, horizon)?;
+        let mut user_cells = TrajectoryArena::new(n, horizon);
+        let results: Vec<Result<()>> = {
+            let arenas = planned.arenas_mut();
+            let chunks = user_cells.chunks_of_rows_mut(chunk);
+            let workers = user_ranges.iter().zip(chunks).zip(arenas);
+            if user_ranges.len() <= 1 {
+                workers
+                    .map(|((&range, mut rows), (service_lo, arena))| {
+                        self.fill_shard(
+                            range,
+                            &mut rows,
+                            arena,
+                            service_lo,
+                            service_starts,
+                            make_controller,
+                        )
+                    })
+                    .collect()
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = workers
+                        .map(|((&range, mut rows), (service_lo, arena))| {
+                            let this = &*self;
+                            scope.spawn(move || {
+                                this.fill_shard(
+                                    range,
+                                    &mut rows,
+                                    arena,
+                                    service_lo,
+                                    service_starts,
+                                    make_controller,
+                                )
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| match h.join() {
+                            Ok(result) => result,
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        })
+                        .collect()
+                })
             }
-        } else {
-            std::thread::scope(|scope| {
-                for (worker, slice) in blocks.chunks_mut(chunk).enumerate() {
-                    let this = &*self;
-                    scope.spawn(move || {
-                        let offset = worker * chunk;
-                        for (j, block) in slice.iter_mut().enumerate() {
-                            let u = offset + j;
-                            *block = this.simulate_user(u, budget_of(u), make_controller);
-                        }
-                    });
-                }
-            });
+        };
+        // Join in shard order so the lowest erroring user wins
+        // deterministically.
+        for result in results {
+            result?;
         }
-        blocks
+        Ok((user_cells, planned))
+    }
+
+    /// One worker's generation pass over users `ulo..uhi`.
+    fn fill_shard<F>(
+        &self,
+        (ulo, uhi): (usize, usize),
+        rows: &mut chaff_markov::ArenaRowsMut<'_>,
+        arena: &mut CellGrid,
+        service_lo: usize,
+        service_starts: &[usize],
+        make_controller: &F,
+    ) -> Result<()>
+    where
+        F: Fn(usize, usize) -> Result<Box<dyn OnlineChaffController + 'a>> + Sync,
+    {
+        for (j, user) in (ulo..uhi).enumerate() {
+            let budget = service_starts[user + 1] - service_starts[user] - 1;
+            let col = service_starts[user] - service_lo;
+            self.simulate_user_into(user, budget, make_controller, rows.row_mut(j), arena, col)?;
+        }
+        Ok(())
     }
 
     /// Simulates one user: strictly causal per-slot moves with
-    /// always-follow placement, mirroring `Simulation::run_online`. The
-    /// user and each chaff draw from separate deterministic streams, so
-    /// the chaff budget never perturbs the user's own trajectory.
-    fn simulate_user<F>(&self, user: usize, budget: usize, make_controller: &F) -> UserBlock
+    /// always-follow placement, mirroring `Simulation::run_online`,
+    /// written straight into the columnar arenas. The user and each
+    /// chaff draw from separate deterministic streams, so the chaff
+    /// budget never perturbs the user's own trajectory.
+    fn simulate_user_into<F>(
+        &self,
+        user: usize,
+        budget: usize,
+        make_controller: &F,
+        user_row: &mut [CellId],
+        services: &mut CellGrid,
+        col: usize,
+    ) -> Result<()>
     where
-        F: Fn(usize, usize) -> Box<dyn OnlineChaffController + 'a> + Sync,
+        F: Fn(usize, usize) -> Result<Box<dyn OnlineChaffController + 'a>> + Sync,
     {
-        let horizon = self.config.horizon;
         let chain = self.model.chain_of(user);
         let mut rng = StdRng::seed_from_u64(user_seed(self.config.seed, user as u64));
         let mut chaff_lanes: Vec<(Box<dyn OnlineChaffController + 'a>, StdRng)> = (0..budget)
             .map(|c| {
                 let seed = chaff_seed(self.config.seed, user as u64, c as u64);
-                (make_controller(user, c), StdRng::seed_from_u64(seed))
+                Ok((make_controller(user, c)?, StdRng::seed_from_u64(seed)))
             })
-            .collect();
-        let mut user_cells = Trajectory::with_capacity(horizon);
-        let mut services: Vec<Trajectory> = (0..=budget)
-            .map(|_| Trajectory::with_capacity(horizon))
-            .collect();
+            .collect::<Result<_>>()?;
         let mut user_now: Option<CellId> = None;
-        for _slot in 0..horizon {
+        for (slot, user_slot) in user_row.iter_mut().enumerate() {
             let cell = match user_now {
                 None => chain.initial().sample(&mut rng),
                 Some(prev) => chain.step(prev, &mut rng),
             };
             user_now = Some(cell);
-            user_cells.push(cell);
+            *user_slot = cell;
             // Always-follow: the real service co-locates with the user.
-            services[0].push(cell);
-            for (chaff, (controller, chaff_rng)) in
-                services[1..].iter_mut().zip(chaff_lanes.iter_mut())
-            {
-                chaff.push(controller.next(cell, &[], chaff_rng));
+            services.set(slot, col, cell);
+            for (lane, (controller, chaff_rng)) in chaff_lanes.iter_mut().enumerate() {
+                services.set(slot, col + 1 + lane, controller.next(cell, &[], chaff_rng));
             }
         }
-        UserBlock {
-            user_cells,
-            services,
-        }
+        Ok(())
     }
 
-    /// Phases 2–3: optional shared-capacity replay, then one global
+    /// Phases 3–4: optional shared-capacity replay, then one global
     /// anonymization shuffle.
-    fn assemble(&self, blocks: Vec<UserBlock>) -> Result<FleetOutcome> {
+    fn assemble(
+        &self,
+        user_cells: TrajectoryArena,
+        planned: ShardedObservationLog,
+        service_starts: &[usize],
+    ) -> Result<FleetOutcome> {
         let n = self.config.num_users;
         let horizon = self.config.horizon;
-        // Per-user service offsets: user `u` owns global services
-        // `service_starts[u]..service_starts[u + 1]` (real service first).
-        let mut service_starts = Vec::with_capacity(n + 1);
-        service_starts.push(0usize);
-        for block in &blocks {
-            service_starts.push(service_starts.last().expect("non-empty") + block.services.len());
-        }
-        let num_services = *service_starts.last().expect("non-empty");
+        let num_services = planned.num_services();
         let mut stats = FleetStats {
             migrations: 0,
             spills: 0,
             user_slots: n * horizon,
             chaff_services: num_services - n,
         };
-        let mut user_cells = Vec::with_capacity(blocks.len());
-        let mut planned: Vec<Trajectory> = Vec::with_capacity(num_services);
-        for block in blocks {
-            user_cells.push(block.user_cells);
-            planned.extend(block.services);
-        }
         let log = if let Some(capacity) = self.config.node_capacity {
-            self.replay_with_capacity(&planned, &service_starts, capacity, &mut stats)?
+            self.replay_with_capacity(&planned, service_starts, capacity, &mut stats)?
         } else {
             // Fast path: without capacity limits the planned placement is
-            // the actual placement; count migrations per trajectory.
-            for t in &planned {
-                stats.migrations += t.as_slice().windows(2).filter(|w| w[0] != w[1]).count();
+            // the actual placement; count migrations row against row
+            // (contiguous columnar compares, no per-trajectory walk).
+            for arena in planned.shard_grids() {
+                for t in 1..arena.horizon() {
+                    stats.migrations += arena
+                        .row(t)
+                        .iter()
+                        .zip(arena.row(t - 1))
+                        .filter(|(now, prev)| now != prev)
+                        .count();
+                }
             }
-            // The trajectories already exist, so a single arena suffices:
-            // sharding only matters for concurrent fills.
-            ShardedObservationLog::from_shards(vec![planned])
+            planned
         };
         let (observed, user_observed_indices) = if self.config.anonymize {
             let mut rng = StdRng::seed_from_u64(shuffle_seed(self.config.seed));
@@ -675,7 +798,7 @@ impl<'a> FleetSimulation<'a> {
             let indices = (0..n).map(|u| perm[service_starts[u]]).collect();
             (observed, indices)
         } else {
-            let observed = log.into_ordered();
+            let observed = log.into_ordered()?;
             let indices = service_starts[..n].to_vec();
             (observed, indices)
         };
@@ -692,21 +815,23 @@ impl<'a> FleetSimulation<'a> {
     /// and identical for every shard count.
     fn replay_with_capacity(
         &self,
-        planned: &[Trajectory],
+        planned: &ShardedObservationLog,
         service_starts: &[usize],
         capacity: usize,
         stats: &mut FleetStats,
     ) -> Result<ShardedObservationLog> {
         let horizon = self.config.horizon;
+        let num_services = planned.num_services();
         let mut network = MecNetwork::new(self.model.num_states(), Some(capacity))?;
-        let mut log = ShardedObservationLog::new(planned.len(), self.config.effective_shards())
+        let mut log = ShardedObservationLog::new(num_services, self.config.effective_shards())
             .with_user_layout(service_starts.to_vec());
-        let mut actual: Vec<CellId> = Vec::with_capacity(planned.len());
-        let mut locations = Vec::with_capacity(planned.len());
+        let mut actual: Vec<CellId> = Vec::with_capacity(num_services);
+        let mut desired_row: Vec<CellId> = Vec::with_capacity(num_services);
+        let mut locations = Vec::with_capacity(num_services);
         for slot in 0..horizon {
+            planned.copy_slot_into(slot, &mut desired_row);
             locations.clear();
-            for (service, plan) in planned.iter().enumerate() {
-                let desired = plan.cell(slot);
+            for (service, &desired) in desired_row.iter().enumerate() {
                 let placed = if slot == 0 {
                     let cell = network.place_nearest(desired)?;
                     actual.push(cell);
@@ -789,12 +914,16 @@ mod tests {
         let outcome = FleetSimulation::new(&c, FleetConfig::new(25, 12).with_seed(5))
             .run_natural()
             .unwrap();
-        assert_eq!(outcome.observed.len(), 25);
-        assert_eq!(outcome.user_cells.len(), 25);
+        assert_eq!(outcome.observed.num_trajectories(), 25);
+        assert_eq!(outcome.user_cells.num_trajectories(), 25);
         assert_eq!(outcome.stats.user_slots, 25 * 12);
         assert_eq!(outcome.stats.chaff_services, 0);
         for (u, &idx) in outcome.user_observed_indices.iter().enumerate() {
-            assert_eq!(outcome.observed[idx], outcome.user_cells[u], "user {u}");
+            assert_eq!(
+                outcome.observed.trajectory(idx).as_slice(),
+                outcome.user_cells.row(u),
+                "user {u}"
+            );
         }
     }
 
@@ -828,16 +957,22 @@ mod tests {
         let outcome = FleetSimulation::new(&c, config)
             .run_online(|_, _| Box::new(CmlController::new(&c)))
             .unwrap();
-        assert_eq!(outcome.observed.len(), 6 * 3);
+        assert_eq!(outcome.observed.num_trajectories(), 6 * 3);
         assert_eq!(outcome.stats.chaff_services, 12);
         // Without anonymization user u's real service sits at u * 3.
         for (u, &idx) in outcome.user_observed_indices.iter().enumerate() {
             assert_eq!(idx, u * 3);
-            assert_eq!(outcome.observed[idx], outcome.user_cells[u]);
+            assert_eq!(
+                outcome.observed.trajectory(idx).as_slice(),
+                outcome.user_cells.row(u)
+            );
         }
         // CML is deterministic: both chaffs of a user coincide.
         for u in 0..6 {
-            assert_eq!(outcome.observed[u * 3 + 1], outcome.observed[u * 3 + 2]);
+            assert_eq!(
+                outcome.observed.trajectory(u * 3 + 1),
+                outcome.observed.trajectory(u * 3 + 2)
+            );
         }
     }
 
@@ -853,8 +988,7 @@ mod tests {
             .run_online(|_, _| Box::new(ImController::new(&c)))
             .unwrap();
         for t in 0..8 {
-            let mut cells: Vec<usize> =
-                outcome.observed.iter().map(|x| x.cell(t).index()).collect();
+            let mut cells: Vec<usize> = outcome.observed.row(t).iter().map(|c| c.index()).collect();
             cells.sort_unstable();
             cells.dedup();
             assert_eq!(cells.len(), 6, "slot {t}");
@@ -873,7 +1007,9 @@ mod tests {
         let large = FleetSimulation::new(&c, FleetConfig::new(9, 10).with_seed(21))
             .run_natural()
             .unwrap();
-        assert_eq!(small.user_cells, large.user_cells[..4].to_vec());
+        for u in 0..4 {
+            assert_eq!(small.user_cells.row(u), large.user_cells.row(u), "user {u}");
+        }
     }
 
     #[test]
@@ -905,10 +1041,11 @@ mod tests {
         let outcome = FleetSimulation::new(&c, FleetConfig::new(10, 20).with_seed(9))
             .run_natural()
             .unwrap();
-        let expected: usize = outcome
-            .user_cells
-            .iter()
-            .map(|t| t.as_slice().windows(2).filter(|w| w[0] != w[1]).count())
+        let expected: usize = (0..outcome.user_cells.num_trajectories())
+            .map(|u| {
+                let row = outcome.user_cells.row(u);
+                row.windows(2).filter(|w| w[0] != w[1]).count()
+            })
             .sum();
         assert_eq!(outcome.stats.migrations, expected);
     }
@@ -920,10 +1057,14 @@ mod tests {
         let outcome = FleetSimulation::new(&c, FleetConfig::new(7, 9).with_seed(13))
             .run_chaffed(&policy)
             .unwrap();
-        assert_eq!(outcome.observed.len(), 7 * 4);
+        assert_eq!(outcome.observed.num_trajectories(), 7 * 4);
         assert_eq!(outcome.stats.chaff_services, 21);
         for (u, &idx) in outcome.user_observed_indices.iter().enumerate() {
-            assert_eq!(outcome.observed[idx], outcome.user_cells[u], "user {u}");
+            assert_eq!(
+                outcome.observed.trajectory(idx).as_slice(),
+                outcome.user_cells.row(u),
+                "user {u}"
+            );
         }
     }
 
@@ -933,7 +1074,7 @@ mod tests {
         let budgets: Vec<usize> = (0..5).map(|u| policy.budget_of(u, 0, 5)).collect();
         assert_eq!(budgets, vec![2, 2, 1, 1, 1]);
         assert_eq!(budgets.iter().sum::<usize>(), 7);
-        assert_eq!(policy.total_budget(5, |_| 0), 7);
+        assert_eq!(policy.total_budget(5, |_| 0).unwrap(), 7);
 
         let c = chain(9);
         let outcome = FleetSimulation::new(
@@ -942,9 +1083,55 @@ mod tests {
         )
         .run_chaffed(&policy)
         .unwrap();
-        assert_eq!(outcome.observed.len(), 5 + 7);
+        assert_eq!(outcome.observed.num_trajectories(), 5 + 7);
         // Real services sit at the per-user prefix offsets 0, 3, 6, 8, 10.
         assert_eq!(outcome.user_observed_indices, vec![0, 3, 6, 8, 10]);
+    }
+
+    #[test]
+    fn budget_totals_fail_typed_instead_of_wrapping() {
+        // Uniform: budget × N at the usize boundary. In release builds
+        // the old unchecked multiply wrapped to a tiny total.
+        let huge = FleetChaffPolicy::uniform(FleetChaffStrategy::Im, usize::MAX / 2);
+        assert!(matches!(
+            huge.total_budget(3, |_| 0),
+            Err(SimError::BudgetOverflow { users: 3 })
+        ));
+        // The exact boundary still fits...
+        let fit = FleetChaffPolicy::uniform(FleetChaffStrategy::Im, usize::MAX / 3);
+        assert_eq!(fit.total_budget(3, |_| 0).unwrap(), usize::MAX / 3 * 3);
+        // ... and per-class sums are checked the same way.
+        let per_class = FleetChaffPolicy::per_class(vec![(FleetChaffStrategy::Im, usize::MAX / 2)]);
+        assert!(matches!(
+            per_class.total_budget(4, |_| 0),
+            Err(SimError::BudgetOverflow { users: 4 })
+        ));
+        // Proportional totals are exact by construction.
+        let prop = FleetChaffPolicy::proportional(FleetChaffStrategy::Im, usize::MAX);
+        assert_eq!(prop.total_budget(1_000, |_| 0).unwrap(), usize::MAX);
+    }
+
+    #[test]
+    fn oversized_per_user_budgets_are_rejected_by_the_driver() {
+        // The service layout (budget + 1 real service per user, summed
+        // over users) is checked before any allocation happens.
+        let c = chain(16);
+        let policy = FleetChaffPolicy::uniform(FleetChaffStrategy::Im, usize::MAX);
+        let err = FleetSimulation::new(&c, FleetConfig::new(2, 4))
+            .run_chaffed(&policy)
+            .unwrap_err();
+        assert!(
+            matches!(err, SimError::BudgetOverflow { users: 2 }),
+            "{err}"
+        );
+        let near = FleetChaffPolicy::uniform(FleetChaffStrategy::Im, usize::MAX / 2);
+        let err = FleetSimulation::new(&c, FleetConfig::new(3, 4))
+            .run_chaffed(&near)
+            .unwrap_err();
+        assert!(
+            matches!(err, SimError::BudgetOverflow { users: 3 }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -962,9 +1149,9 @@ mod tests {
         .unwrap();
         // Users 0, 2, 4 are class 0 (budget 2); users 1, 3, 5 class 1
         // (budget 0): 3 * 3 + 3 * 1 services.
-        assert_eq!(outcome.observed.len(), 12);
+        assert_eq!(outcome.observed.num_trajectories(), 12);
         assert_eq!(outcome.stats.chaff_services, 6);
-        assert_eq!(policy.total_budget(6, |u| r.class_of(u)), 6);
+        assert_eq!(policy.total_budget(6, |u| r.class_of(u)).unwrap(), 6);
 
         // Wrong class arity is rejected.
         let bad = FleetChaffPolicy::per_class(vec![(FleetChaffStrategy::Im, 1)]);
@@ -1043,10 +1230,11 @@ mod tests {
         .unwrap();
         let mut own = 0.0;
         let mut other = 0.0;
-        for (u, cells) in outcome.user_cells.iter().enumerate() {
+        for u in 0..outcome.user_cells.num_trajectories() {
+            let cells = outcome.user_cells.trajectory(u);
             let class = r.class_of(u);
-            own += r.chain(class).log_likelihood(cells);
-            other += r.chain(1 - class).log_likelihood(cells);
+            own += r.chain(class).log_likelihood(&cells);
+            other += r.chain(1 - class).log_likelihood(&cells);
         }
         assert!(
             own > other,
@@ -1070,8 +1258,8 @@ mod tests {
         // be identical (overwhelmingly unlikely over 25 slots).
         for u in 0..4 {
             assert_ne!(
-                outcome.observed[u * 3 + 1],
-                outcome.observed[u * 3 + 2],
+                outcome.observed.trajectory(u * 3 + 1),
+                outcome.observed.trajectory(u * 3 + 2),
                 "user {u} chaff lanes collide"
             );
         }

@@ -10,14 +10,19 @@
 //! Two implementations share those semantics:
 //!
 //! * [`ObservationLog`] — the single-simulation log (one user plus
-//!   chaffs);
-//! * [`ShardedObservationLog`] — the fleet-scale log: per-shard
-//!   trajectory arenas that can be filled concurrently, with one global
-//!   Fisher–Yates permutation at anonymization time so the result is
-//!   identical to a flat log regardless of the shard layout.
+//!   chaffs), per-trajectory storage at paper scale;
+//! * [`ShardedObservationLog`] — the fleet-scale log: **columnar**
+//!   per-shard arenas. Each shard holds one contiguous slot-major
+//!   [`CellGrid`] (4 bytes per cell, zero per-trajectory allocations)
+//!   over its contiguous service range, with an offset table mapping
+//!   shards to global service indices — `O(shards + users)` metadata on
+//!   top of the cells. Worker threads fill disjoint arenas concurrently;
+//!   anonymization runs a *single* Fisher–Yates over one global
+//!   permutation, so the shard layout leaves no trace in what the
+//!   eavesdropper sees.
 
 use crate::{Result, SimError};
-use chaff_markov::{CellId, Trajectory};
+use chaff_markov::{CellGrid, CellId, Trajectory};
 use rand::Rng;
 
 /// Samples a Fisher–Yates permutation of `0..n`: `perm[original]` is the
@@ -44,14 +49,11 @@ fn owner_of(starts: &[usize], service: usize) -> usize {
 /// Applies `perm` to `trajectories`: output slot `perm[original]` receives
 /// trajectory `original`.
 fn apply_permutation(trajectories: Vec<Trajectory>, perm: &[usize]) -> Vec<Trajectory> {
-    let mut shuffled: Vec<Option<Trajectory>> = vec![None; trajectories.len()];
+    let mut shuffled = vec![Trajectory::new(); trajectories.len()];
     for (original, trajectory) in trajectories.into_iter().enumerate() {
-        shuffled[perm[original]] = Some(trajectory);
+        shuffled[perm[original]] = trajectory;
     }
     shuffled
-        .into_iter()
-        .map(|t| t.expect("permutation is total"))
-        .collect()
 }
 
 /// Builder that records service locations slot by slot.
@@ -114,28 +116,41 @@ impl ObservationLog {
     }
 }
 
-/// Fleet-scale observation log: contiguous per-shard trajectory arenas.
+/// Fleet-scale observation log: compact columnar per-shard arenas.
 ///
 /// Shards partition the global service index space into contiguous
-/// ranges, so a fleet driver can hand each worker thread exclusive
-/// mutable access to its own arena (via
-/// [`arenas_mut`](ShardedObservationLog::arenas_mut)) and fill all of
-/// them concurrently with zero synchronization. Anonymization runs a
-/// *single* Fisher–Yates over one global permutation — the shard layout
-/// leaves no trace in what the eavesdropper sees.
+/// ranges; shard `s` stores its services' cells in one slot-major
+/// [`CellGrid`] (`arena.row(t)[j]` is the cell of global service
+/// `starts[s] + j` at slot `t`). A fleet driver hands each worker thread
+/// exclusive mutable access to its own arena (via
+/// [`arenas_mut`](ShardedObservationLog::arenas_mut)) and fills all of
+/// them concurrently with zero synchronization and zero per-trajectory
+/// allocations. Anonymization runs a *single* Fisher–Yates over one
+/// global permutation — the shard layout leaves no trace in what the
+/// eavesdropper sees.
+///
+/// Memory: `4 bytes × services × horizon` of cells
+/// ([`cell_bytes`](ShardedObservationLog::cell_bytes)) plus
+/// `O(shards + users)` offsets
+/// ([`offset_bytes`](ShardedObservationLog::offset_bytes)).
 #[derive(Debug, Clone)]
 pub struct ShardedObservationLog {
-    /// Arena `s` holds services `starts[s]..starts[s + 1]`.
-    arenas: Vec<Vec<Trajectory>>,
+    /// Arena `s` holds services `starts[s]..starts[s + 1]`, slot-major.
+    arenas: Vec<CellGrid>,
     starts: Vec<usize>,
+    /// Total services across all arenas (`starts` last entry, cached so
+    /// no slice access needs an unwrap).
+    num_services: usize,
     /// Optional fleet layout: `user_starts[u]..user_starts[u + 1]` are
     /// the services of user `u`. Only used to attribute errors to users.
     user_starts: Option<Vec<usize>>,
 }
 
 impl ShardedObservationLog {
-    /// Creates a log for `num_services` services split into (at most)
-    /// `num_shards` balanced contiguous arenas.
+    /// Creates a streaming log for `num_services` services split into
+    /// (at most) `num_shards` balanced contiguous arenas, with no slots
+    /// recorded yet (grow it with
+    /// [`record_slot`](ShardedObservationLog::record_slot)).
     pub fn new(num_services: usize, num_shards: usize) -> Self {
         let shards = num_shards.clamp(1, num_services.max(1));
         let chunk = num_services.div_ceil(shards).max(1);
@@ -144,38 +159,90 @@ impl ShardedObservationLog {
         let mut lo = 0;
         while lo < num_services {
             let hi = (lo + chunk).min(num_services);
-            arenas.push(vec![Trajectory::new(); hi - lo]);
+            arenas.push(CellGrid::new(hi - lo));
             starts.push(hi);
             lo = hi;
         }
         if arenas.is_empty() {
-            arenas.push(Vec::new());
+            arenas.push(CellGrid::new(0));
             starts = vec![0, 0];
         }
         ShardedObservationLog {
             arenas,
             starts,
+            num_services,
             user_starts: None,
         }
     }
 
-    /// Builds the log directly from per-shard trajectory arenas (in
-    /// global service order): the zero-copy path for drivers that
-    /// generate whole trajectories shard by shard.
-    pub fn from_shards(arenas: Vec<Vec<Trajectory>>) -> Self {
+    /// Creates a zero-filled log with explicit shard boundaries
+    /// (`shard_starts[s]..shard_starts[s + 1]` is shard `s`'s service
+    /// range) and a fixed horizon — the generation-side layout, where
+    /// each worker scatter-fills its arena via
+    /// [`arenas_mut`](ShardedObservationLog::arenas_mut).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when `shard_starts` is not a
+    /// monotone prefix table beginning at 0 with at least two entries.
+    pub fn with_shard_starts(shard_starts: Vec<usize>, horizon: usize) -> Result<Self> {
+        let valid = shard_starts.len() >= 2
+            && shard_starts.first() == Some(&0)
+            && shard_starts.windows(2).all(|w| w[0] <= w[1]);
+        if !valid {
+            return Err(SimError::InvalidConfig {
+                parameter: "shard_starts",
+                reason: "must be a monotone prefix table starting at 0".into(),
+            });
+        }
+        let num_services = shard_starts.last().copied().unwrap_or(0);
+        let arenas = shard_starts
+            .windows(2)
+            .map(|w| CellGrid::with_horizon(w[1] - w[0], horizon))
+            .collect();
+        Ok(ShardedObservationLog {
+            arenas,
+            starts: shard_starts,
+            num_services,
+            user_starts: None,
+        })
+    }
+
+    /// Builds the log directly from per-shard columnar arenas (in global
+    /// service order): the zero-copy path for drivers that generate
+    /// whole populations shard by shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ObservationArity`] when the arenas disagree
+    /// on the horizon (mixed-length populations cannot be anonymized
+    /// into one grid).
+    pub fn from_shards(arenas: Vec<CellGrid>) -> Result<Self> {
+        let horizon = arenas.first().map_or(0, CellGrid::horizon);
         let mut starts = Vec::with_capacity(arenas.len() + 1);
+        let mut total = 0usize;
         starts.push(0);
         for arena in &arenas {
-            starts.push(starts.last().expect("non-empty") + arena.len());
+            if arena.horizon() != horizon {
+                return Err(SimError::ObservationArity {
+                    expected: horizon,
+                    found: arena.horizon(),
+                    slot: horizon.min(arena.horizon()),
+                    user: None,
+                });
+            }
+            total += arena.num_trajectories();
+            starts.push(total);
         }
         if arenas.is_empty() {
-            return ShardedObservationLog::new(0, 1);
+            return Ok(ShardedObservationLog::new(0, 1));
         }
-        ShardedObservationLog {
+        Ok(ShardedObservationLog {
             arenas,
             starts,
+            num_services: total,
             user_starts: None,
-        }
+        })
     }
 
     /// Attaches the fleet's per-user service layout
@@ -189,12 +256,18 @@ impl ShardedObservationLog {
 
     /// Total number of services tracked.
     pub fn num_services(&self) -> usize {
-        *self.starts.last().expect("non-empty starts")
+        self.num_services
     }
 
     /// Number of shard arenas.
     pub fn num_shards(&self) -> usize {
         self.arenas.len()
+    }
+
+    /// Number of slots recorded so far (arenas always advance in
+    /// lockstep).
+    pub fn horizon(&self) -> usize {
+        self.arenas.first().map_or(0, CellGrid::horizon)
     }
 
     /// The global service range `(lo, hi)` owned by shard `s`.
@@ -206,16 +279,48 @@ impl ShardedObservationLog {
         (self.starts[s], self.starts[s + 1])
     }
 
+    /// Read access to the per-shard columnar arenas, in global service
+    /// order (shard `s` covers [`shard_range`](Self::shard_range)`(s)`).
+    pub fn shard_grids(&self) -> &[CellGrid] {
+        &self.arenas
+    }
+
     /// Exclusive access to every arena with its global start index —
     /// distribute these to worker threads (e.g. with
     /// `std::thread::scope`) to fill the log concurrently.
-    pub fn arenas_mut(&mut self) -> Vec<(usize, &mut [Trajectory])> {
+    pub fn arenas_mut(&mut self) -> Vec<(usize, &mut CellGrid)> {
         self.starts
             .iter()
             .copied()
             .zip(self.arenas.iter_mut())
-            .map(|(lo, arena)| (lo, arena.as_mut_slice()))
             .collect()
+    }
+
+    /// Bytes spent on cell storage across all arenas (4 bytes per cell).
+    pub fn cell_bytes(&self) -> usize {
+        self.arenas.iter().map(CellGrid::cell_bytes).sum()
+    }
+
+    /// Bytes spent on offset tables (per-shard starts plus the optional
+    /// per-user layout) — the `O(shards + users)` metadata overhead.
+    pub fn offset_bytes(&self) -> usize {
+        let entries = self.starts.len() + self.user_starts.as_ref().map_or(0, Vec::len);
+        entries * std::mem::size_of::<usize>()
+    }
+
+    /// Copies every service's planned cell for `slot` into `out`
+    /// (cleared first), in global service order — the read side of
+    /// capacity-constrained replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= horizon()`.
+    pub fn copy_slot_into(&self, slot: usize, out: &mut Vec<CellId>) {
+        out.clear();
+        out.reserve(self.num_services);
+        for arena in &self.arenas {
+            out.extend_from_slice(arena.row(slot));
+        }
     }
 
     /// Records the location of every service for the current slot (the
@@ -229,13 +334,13 @@ impl ShardedObservationLog {
     /// [`with_user_layout`](ShardedObservationLog::with_user_layout) —
     /// the user owning the first divergent service index.
     pub fn record_slot(&mut self, locations: &[CellId]) -> Result<()> {
-        let expected = self.num_services();
+        let expected = self.num_services;
         if locations.len() != expected {
             let divergent = locations.len().min(expected);
             return Err(SimError::ObservationArity {
                 expected,
                 found: locations.len(),
-                slot: self.slots_recorded(),
+                slot: self.horizon(),
                 user: self
                     .user_starts
                     .as_deref()
@@ -243,37 +348,61 @@ impl ShardedObservationLog {
             });
         }
         for (arena, lo) in self.arenas.iter_mut().zip(&self.starts) {
-            for (t, &cell) in arena.iter_mut().zip(&locations[*lo..]) {
-                t.push(cell);
-            }
+            let width = arena.num_trajectories();
+            arena.push_row(&locations[*lo..*lo + width])?;
         }
         Ok(())
     }
 
-    /// Number of slots recorded so far (the length of the first
-    /// non-empty arena's first trajectory; streaming fills keep all
-    /// trajectories in lockstep).
-    fn slots_recorded(&self) -> usize {
-        self.arenas
-            .iter()
-            .find_map(|arena| arena.first())
-            .map_or(0, Trajectory::len)
-    }
-
     /// Finalizes the log: one global Fisher–Yates shuffle across all
-    /// shards. Returns the shuffled trajectories and the permutation
-    /// (`perm[original]` is the post-shuffle index of service
-    /// `original`), so callers can locate every ground-truth service.
-    pub fn into_anonymized<R: Rng + ?Sized>(self, rng: &mut R) -> (Vec<Trajectory>, Vec<usize>) {
-        let n = self.num_services();
-        let perm = fisher_yates(n, rng);
-        let flat: Vec<Trajectory> = self.arenas.into_iter().flatten().collect();
-        (apply_permutation(flat, &perm), perm)
+    /// shards, scattered into a single slot-major [`CellGrid`]. Returns
+    /// the shuffled grid and the permutation (`perm[original]` is the
+    /// post-shuffle index of service `original`), so callers can locate
+    /// every ground-truth service.
+    pub fn into_anonymized<R: Rng + ?Sized>(self, rng: &mut R) -> (CellGrid, Vec<usize>) {
+        let ShardedObservationLog {
+            arenas,
+            starts,
+            num_services,
+            ..
+        } = self;
+        let perm = fisher_yates(num_services, rng);
+        let horizon = arenas.first().map_or(0, CellGrid::horizon);
+        let mut out = CellGrid::with_horizon(num_services, horizon);
+        // Consume arena by arena so each shard's cells are freed right
+        // after their scatter: peak memory stays at one output grid plus
+        // a single shard, not two full copies of the population.
+        for (arena, lo) in arenas.into_iter().zip(starts) {
+            for t in 0..horizon {
+                for (j, &cell) in arena.row(t).iter().enumerate() {
+                    out.set(t, perm[lo + j], cell);
+                }
+            }
+        }
+        (out, perm)
     }
 
     /// Finalizes the log without shuffling (global service order).
-    pub fn into_ordered(self) -> Vec<Trajectory> {
-        self.arenas.into_iter().flatten().collect()
+    ///
+    /// # Errors
+    ///
+    /// Every constructor keeps arena widths consistent with the offset
+    /// table, so the concatenation cannot fail today; a future
+    /// invariant break surfaces as the underlying arity error rather
+    /// than a silently truncated grid.
+    pub fn into_ordered(mut self) -> Result<CellGrid> {
+        if self.arenas.len() == 1 {
+            // Single arena: the shard *is* the global grid.
+            return Ok(self.arenas.remove(0));
+        }
+        let horizon = self.horizon();
+        let mut out = CellGrid::new(self.num_services);
+        let mut row: Vec<CellId> = Vec::with_capacity(self.num_services);
+        for t in 0..horizon {
+            self.copy_slot_into(t, &mut row);
+            out.push_row(&row)?;
+        }
+        Ok(out)
     }
 }
 
@@ -380,7 +509,10 @@ mod tests {
             flat.record_slot(&locations).unwrap();
             sharded.record_slot(&locations).unwrap();
         }
-        assert_eq!(flat.into_ordered(), sharded.into_ordered());
+        assert_eq!(
+            flat.into_ordered(),
+            sharded.into_ordered().unwrap().to_trajectories()
+        );
     }
 
     #[test]
@@ -447,9 +579,19 @@ mod tests {
         // Same seed, different shard layouts -> identical anonymized view.
         let fill = |num_shards: usize| {
             let mut log = ShardedObservationLog::new(6, num_shards);
+            for t in 0..2 {
+                let row: Vec<CellId> = (0..6).map(CellId::new).collect();
+                let _ = t;
+                log.record_slot(&row).unwrap();
+            }
+            // Overwrite via arenas so each service's cells encode its
+            // global index.
             for (lo, arena) in log.arenas_mut() {
-                for (j, t) in arena.iter_mut().enumerate() {
-                    *t = Trajectory::from_indices([lo + j, lo + j]);
+                let width = arena.num_trajectories();
+                for t in 0..2 {
+                    for j in 0..width {
+                        arena.set(t, j, CellId::new(lo + j));
+                    }
                 }
             }
             log
@@ -461,7 +603,7 @@ mod tests {
             // perm maps originals to their observed slots.
             for (original, &target) in perm.iter().enumerate() {
                 assert_eq!(
-                    shuffled[target],
+                    shuffled.trajectory(target),
                     Trajectory::from_indices([original, original])
                 );
             }
@@ -475,16 +617,74 @@ mod tests {
     #[test]
     fn from_shards_preserves_global_order() {
         let arenas = vec![
-            vec![Trajectory::from_indices([0]), Trajectory::from_indices([1])],
-            vec![Trajectory::from_indices([2])],
+            CellGrid::from_trajectories(&[
+                Trajectory::from_indices([0]),
+                Trajectory::from_indices([1]),
+            ])
+            .unwrap(),
+            CellGrid::from_trajectories(&[Trajectory::from_indices([2])]).unwrap(),
         ];
-        let log = ShardedObservationLog::from_shards(arenas);
+        let log = ShardedObservationLog::from_shards(arenas).unwrap();
         assert_eq!(log.num_services(), 3);
         assert_eq!(log.shard_range(1), (2, 3));
-        let ordered = log.into_ordered();
-        for (i, t) in ordered.iter().enumerate() {
+        let ordered = log.into_ordered().unwrap();
+        for (i, t) in ordered.to_trajectories().iter().enumerate() {
             assert_eq!(t, &Trajectory::from_indices([i]));
         }
+    }
+
+    #[test]
+    fn from_shards_rejects_mismatched_horizons() {
+        let arenas = vec![
+            CellGrid::from_trajectories(&[Trajectory::from_indices([0, 1])]).unwrap(),
+            CellGrid::from_trajectories(&[Trajectory::from_indices([2])]).unwrap(),
+        ];
+        assert!(matches!(
+            ShardedObservationLog::from_shards(arenas),
+            Err(SimError::ObservationArity { .. })
+        ));
+    }
+
+    #[test]
+    fn memory_footprint_is_four_bytes_per_cell_plus_offsets() {
+        let mut log = ShardedObservationLog::with_shard_starts(vec![0, 40, 100], 12).unwrap();
+        assert_eq!(log.cell_bytes(), 100 * 12 * 4);
+        // Offsets: 3 shard starts, no user layout yet.
+        assert_eq!(log.offset_bytes(), 3 * std::mem::size_of::<usize>());
+        log = log.with_user_layout((0..=50).map(|u| u * 2).collect());
+        assert_eq!(log.offset_bytes(), (3 + 51) * std::mem::size_of::<usize>());
+    }
+
+    #[test]
+    fn with_shard_starts_rejects_malformed_tables() {
+        assert!(ShardedObservationLog::with_shard_starts(vec![], 4).is_err());
+        assert!(ShardedObservationLog::with_shard_starts(vec![0], 4).is_err());
+        assert!(ShardedObservationLog::with_shard_starts(vec![1, 2], 4).is_err());
+        assert!(ShardedObservationLog::with_shard_starts(vec![0, 3, 2], 4).is_err());
+        assert!(ShardedObservationLog::with_shard_starts(vec![0, 2, 2, 5], 4).is_ok());
+    }
+
+    #[test]
+    fn copy_slot_into_reads_global_service_order() {
+        let mut log = ShardedObservationLog::new(4, 2);
+        log.record_slot(&[
+            CellId::new(9),
+            CellId::new(8),
+            CellId::new(7),
+            CellId::new(6),
+        ])
+        .unwrap();
+        let mut row = Vec::new();
+        log.copy_slot_into(0, &mut row);
+        assert_eq!(
+            row,
+            vec![
+                CellId::new(9),
+                CellId::new(8),
+                CellId::new(7),
+                CellId::new(6)
+            ]
+        );
     }
 
     impl ObservationLog {

@@ -211,10 +211,10 @@ impl<'a> Simulation<'a> {
             user_now = Some(cell);
             user_cells.push(cell);
             let service_prev = service_cells.last().unwrap_or(cell);
-            service_cells.push(self.policy.place(service_prev, cell));
             // The controllers observe the *service* trajectory — that is
             // what the eavesdropper will compare against.
-            let observed_cell = service_cells.last().expect("just pushed");
+            let observed_cell = self.policy.place(service_prev, cell);
+            service_cells.push(observed_cell);
             for (chaff, controller) in chaffs.iter_mut().zip(&mut controllers) {
                 chaff.push(controller.next(observed_cell, &[], rng));
             }

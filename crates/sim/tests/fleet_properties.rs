@@ -115,6 +115,31 @@ proptest! {
     }
 
     #[test]
+    fn columnar_outcome_costs_four_bytes_per_cell(
+        model_seed in 0u64..1_000,
+        fleet_seed in 0u64..1_000,
+        num_users in 2usize..16,
+        horizon in 1usize..12,
+        budget in 0usize..4,
+    ) {
+        // ISSUE 5's memory contract: the observed fleet is one columnar
+        // grid (4 bytes per cell), the ground truth one arena — no
+        // per-trajectory allocation anywhere in the outcome.
+        let c = chain(model_seed, 8);
+        let policy = FleetChaffPolicy::uniform(FleetChaffStrategy::Im, budget);
+        let outcome = FleetSimulation::new(
+            &c,
+            FleetConfig::new(num_users, horizon).with_seed(fleet_seed),
+        )
+        .run_chaffed(&policy)
+        .unwrap();
+        let services = num_users * (1 + budget);
+        prop_assert_eq!(outcome.observed.num_trajectories(), services);
+        prop_assert_eq!(outcome.observed.cell_bytes(), services * horizon * 4);
+        prop_assert_eq!(outcome.user_cells.cell_bytes(), num_users * horizon * 4);
+    }
+
+    #[test]
     fn proportional_budgets_always_sum_to_the_total(
         total in 0usize..40,
         num_users in 1usize..24,

@@ -11,8 +11,11 @@
 //! (after a warm-up period), printed as one line per benchmark — no
 //! statistics, plots or HTML reports. When the `CRITERION_JSON`
 //! environment variable names a file, each result is also appended there
-//! as one JSON-lines record (`{"benchmark": ..., "mean_ns": ...}`) so CI
-//! can archive machine-readable baselines. The file is truncated at
+//! as one JSON-lines record (`{"benchmark": ..., "mean_ns": ...}`, plus
+//! `"peak_rss_bytes"` on Linux — the benchmark's peak resident set,
+//! measured via a best-effort `VmHWM` watermark reset per benchmark) so
+//! CI can archive machine-readable baselines and gate memory
+//! regressions next to runtime regressions. The file is truncated at
 //! harness start so stale records (e.g. surviving a cached `target/`)
 //! never pollute a baseline; multi-binary `cargo bench` invocations that
 //! should accumulate into one file set `CRITERION_RUN_TOKEN` to a
@@ -202,14 +205,44 @@ fn run_one(config: &Config, label: &str, mut f: impl FnMut(&mut Bencher)) {
         config,
         mean_ns: None,
     };
+    // Clear the kernel's peak-RSS watermark so the value read after the
+    // run is (best-effort) this benchmark's own peak, not an earlier
+    // benchmark's.
+    reset_peak_rss();
     f(&mut bencher);
+    let peak_rss = peak_rss_bytes();
     match bencher.mean_ns {
         Some(ns) => {
             println!("{label:<50} time: [{}]", format_ns(ns));
-            append_json_record(label, ns);
+            append_json_record(label, ns, peak_rss);
         }
         None => println!("{label:<50} time: [no measurement]"),
     }
+}
+
+/// Parses the `VmHWM` (peak resident set size) line of a
+/// `/proc/<pid>/status` document, in kB.
+fn parse_vm_hwm_kb(status: &str) -> Option<u64> {
+    status.lines().find_map(|line| {
+        let rest = line.strip_prefix("VmHWM:")?;
+        rest.trim().strip_suffix("kB")?.trim().parse().ok()
+    })
+}
+
+/// The process's peak resident set size in bytes (Linux only; `None`
+/// where `/proc` is unavailable, in which case records simply omit the
+/// field and the RSS gate skips).
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    Some(parse_vm_hwm_kb(&status)? * 1024)
+}
+
+/// Best-effort reset of the peak-RSS watermark (`echo 5 >
+/// /proc/self/clear_refs`). When the write is not permitted the
+/// watermark stays monotone across the process — still comparable
+/// between CI runs, which execute benchmarks in a fixed order.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", b"5");
 }
 
 /// When the `CRITERION_JSON` environment variable names a file, appends
@@ -223,7 +256,7 @@ fn run_one(config: &Config, label: &str, mut f: impl FnMut(&mut Bencher)) {
 /// against a cached `target/` — can never pollute an archived baseline;
 /// see [`prepare_json_output`] for how multi-binary `cargo bench`
 /// invocations accumulate into one file via `CRITERION_RUN_TOKEN`.
-fn append_json_record(label: &str, mean_ns: f64) {
+fn append_json_record(label: &str, mean_ns: f64, peak_rss_bytes: Option<u64>) {
     let Ok(path) = std::env::var("CRITERION_JSON") else {
         return;
     };
@@ -235,7 +268,7 @@ fn append_json_record(label: &str, mean_ns: f64) {
     PREPARE.call_once(|| {
         prepare_json_output(&path, std::env::var("CRITERION_RUN_TOKEN").ok().as_deref());
     });
-    if let Err(e) = write_json_record(&path, label, mean_ns) {
+    if let Err(e) = write_json_record(&path, label, mean_ns, peak_rss_bytes) {
         eprintln!("criterion shim: cannot write {}: {e}", path.display());
     }
 }
@@ -281,8 +314,15 @@ fn sentinel_path(path: &std::path::Path) -> std::path::PathBuf {
     std::path::PathBuf::from(os)
 }
 
-/// Appends one JSON-lines record to `path`.
-fn write_json_record(path: &std::path::Path, label: &str, mean_ns: f64) -> std::io::Result<()> {
+/// Appends one JSON-lines record to `path`. `peak_rss_bytes` is
+/// included when the platform exposes it, so the CI gate can compare
+/// memory footprints next to runtimes.
+fn write_json_record(
+    path: &std::path::Path,
+    label: &str,
+    mean_ns: f64,
+    peak_rss_bytes: Option<u64>,
+) -> std::io::Result<()> {
     use std::io::Write;
 
     let escaped: String = label
@@ -293,7 +333,8 @@ fn write_json_record(path: &std::path::Path, label: &str, mean_ns: f64) -> std::
             c => vec![c],
         })
         .collect();
-    let record = format!("{{\"benchmark\": \"{escaped}\", \"mean_ns\": {mean_ns:.1}}}\n");
+    let rss = peak_rss_bytes.map_or(String::new(), |b| format!(", \"peak_rss_bytes\": {b}"));
+    let record = format!("{{\"benchmark\": \"{escaped}\", \"mean_ns\": {mean_ns:.1}{rss}}}\n");
     std::fs::OpenOptions::new()
         .create(true)
         .append(true)
@@ -385,8 +426,8 @@ mod tests {
         let path =
             std::env::temp_dir().join(format!("criterion-shim-json-{}.jsonl", std::process::id()));
         let _ = std::fs::remove_file(&path);
-        write_json_record(&path, "group/\"quoted\"", 1234.5).unwrap();
-        write_json_record(&path, "plain", 7.0).unwrap();
+        write_json_record(&path, "group/\"quoted\"", 1234.5, None).unwrap();
+        write_json_record(&path, "plain", 7.0, Some(2048)).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         let _ = std::fs::remove_file(&path);
         let lines: Vec<&str> = content.lines().collect();
@@ -395,7 +436,25 @@ mod tests {
             lines[0],
             "{\"benchmark\": \"group/\\\"quoted\\\"\", \"mean_ns\": 1234.5}"
         );
-        assert_eq!(lines[1], "{\"benchmark\": \"plain\", \"mean_ns\": 7.0}");
+        assert_eq!(
+            lines[1],
+            "{\"benchmark\": \"plain\", \"mean_ns\": 7.0, \"peak_rss_bytes\": 2048}"
+        );
+    }
+
+    #[test]
+    fn vm_hwm_parses_from_proc_status_text() {
+        let status = "Name:\tbench\nVmPeak:\t  999 kB\nVmHWM:\t  1536 kB\nThreads:\t1\n";
+        assert_eq!(parse_vm_hwm_kb(status), Some(1536));
+        assert_eq!(parse_vm_hwm_kb("Name:\tbench\n"), None);
+        assert_eq!(parse_vm_hwm_kb("VmHWM:\tgarbage kB\n"), None);
+    }
+
+    #[test]
+    fn peak_rss_is_positive_where_proc_exists() {
+        if let Some(bytes) = peak_rss_bytes() {
+            assert!(bytes > 0);
+        }
     }
 
     #[test]
@@ -405,7 +464,7 @@ mod tests {
         std::fs::write(&path, "{\"benchmark\": \"stale\", \"mean_ns\": 1.0}\n").unwrap();
         prepare_json_output(&path, None);
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
-        write_json_record(&path, "fresh", 2.0).unwrap();
+        write_json_record(&path, "fresh", 2.0, None).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         let _ = std::fs::remove_file(&path);
         assert_eq!(content.lines().count(), 1);
@@ -423,17 +482,17 @@ mod tests {
 
         // First binary of run A truncates the stale file and stamps it.
         prepare_json_output(&path, Some("run-A"));
-        write_json_record(&path, "a1", 1.0).unwrap();
+        write_json_record(&path, "a1", 1.0, None).unwrap();
         // Sibling binary of the same run appends.
         prepare_json_output(&path, Some("run-A"));
-        write_json_record(&path, "a2", 2.0).unwrap();
+        write_json_record(&path, "a2", 2.0, None).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(!content.contains("stale"));
         assert_eq!(content.lines().count(), 2, "{content}");
 
         // A new invocation (fresh token) starts the file over.
         prepare_json_output(&path, Some("run-B"));
-        write_json_record(&path, "b1", 3.0).unwrap();
+        write_json_record(&path, "b1", 3.0, None).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&sentinel);
