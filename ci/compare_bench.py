@@ -2,10 +2,14 @@
 """Bench-regression gate for the BENCH_fleet baseline.
 
 Compares two criterion-shim JSON-lines files (one record per line,
-``{"benchmark": <name>, "mean_ns": <float>[, "peak_rss_bytes": <int>]}``),
+``{"benchmark": <name>, "mean_ns": <float>[, "p50_ns": <float>,
+"p95_ns": <float>, "p99_ns": <float>][, "peak_rss_bytes": <int>]}``),
 joining on the benchmark name, and fails when any benchmark's ``mean_ns``
-— or its ``peak_rss_bytes``, where both sides report one — regressed
-more than the threshold (default 25%).
+— or its ``p99_ns`` tail latency or ``peak_rss_bytes``, where both sides
+report one — regressed more than the threshold (default 25%). ``p50_ns``
+and ``p95_ns`` are carried through for the artifact but not gated: the
+mean and the p99 tail bracket the distribution, and gating every
+percentile would triple the noise-driven false-failure rate.
 
 Usage::
 
@@ -36,20 +40,29 @@ import sys
 from typing import Dict, List, Optional, Tuple
 
 #: Gated metric key -> display unit (mean_ns is the one required
-#: per-record key; peak_rss_bytes is optional, see load_records).
+#: per-record key; p99_ns and peak_rss_bytes are optional, see
+#: load_records).
 METRICS = {
     "mean_ns": "ns",
+    "p99_ns": "ns",
     "peak_rss_bytes": "bytes",
 }
+
+#: Optional per-record keys carried into the parsed records (the first
+#: two for the archived artifact only; the gated optional metrics are
+#: the ones also listed in METRICS).
+OPTIONAL_KEYS = ("p50_ns", "p95_ns", "p99_ns", "peak_rss_bytes")
 
 
 def load_records(path: str) -> Dict[str, Dict[str, float]]:
     """Parses a JSON-lines bench file into ``{benchmark: {metric: value}}``.
 
-    ``mean_ns`` is required per record; ``peak_rss_bytes`` is kept when
-    present and parseable. Unparsable lines are skipped with a warning on
-    stderr — a truncated record must not turn the gate into a hard
-    failure. Duplicate names keep the last occurrence.
+    ``mean_ns`` is required per record; the latency percentiles
+    (``p50_ns``/``p95_ns``/``p99_ns``) and ``peak_rss_bytes`` are kept
+    when present and parseable (pre-percentile baselines simply lack
+    them, which skips those comparisons). Unparsable lines are skipped
+    with a warning on stderr — a truncated record must not turn the gate
+    into a hard failure. Duplicate names keep the last occurrence.
     """
     records: Dict[str, Dict[str, float]] = {}
     with open(path, "r", encoding="utf-8") as handle:
@@ -67,13 +80,15 @@ def load_records(path: str) -> Dict[str, Dict[str, float]]:
                     file=sys.stderr,
                 )
                 continue
-            rss = record.get("peak_rss_bytes")
-            if rss is not None:
+            for key in OPTIONAL_KEYS:
+                value = record.get(key)
+                if value is None:
+                    continue
                 try:
-                    metrics["peak_rss_bytes"] = float(rss)
+                    metrics[key] = float(value)
                 except (TypeError, ValueError):
                     print(
-                        f"warning: {path}:{lineno}: ignoring bad peak_rss_bytes",
+                        f"warning: {path}:{lineno}: ignoring bad {key}",
                         file=sys.stderr,
                     )
             records[str(name)] = metrics

@@ -19,12 +19,15 @@ from compare_bench import compare, load_records, main  # noqa: E402
 
 
 def write_jsonl(path, records):
-    """``records`` entries are ``(name, mean_ns)`` or ``(name, mean_ns, rss)``."""
+    """``records`` entries are ``(name, mean_ns)``, ``(name, mean_ns,
+    rss)``, or ``(name, mean_ns, rss, p99_ns)`` (rss may be ``None``)."""
     with open(path, "w", encoding="utf-8") as handle:
         for record in records:
             payload = {"benchmark": record[0], "mean_ns": record[1]}
-            if len(record) > 2:
+            if len(record) > 2 and record[2] is not None:
                 payload["peak_rss_bytes"] = record[2]
+            if len(record) > 3:
+                payload["p99_ns"] = record[3]
             handle.write(json.dumps(payload) + "\n")
 
 
@@ -34,6 +37,10 @@ def ns(value):
 
 def ns_rss(mean, rss):
     return {"mean_ns": mean, "peak_rss_bytes": rss}
+
+
+def ns_p99(mean, p99):
+    return {"mean_ns": mean, "p99_ns": p99}
 
 
 class CompareTests(unittest.TestCase):
@@ -88,6 +95,40 @@ class CompareTests(unittest.TestCase):
         current = {"a": ns_rss(200.0, 200.0)}
         _, regressions = compare(baseline, current, 0.25)
         self.assertEqual(regressions, ["a [mean_ns]", "a [peak_rss_bytes]"])
+
+    def test_p99_regression_beyond_threshold_fails(self):
+        # Mean flat, tail blown: exactly the regression a per-slot
+        # streaming engine can hide from a mean-only gate.
+        baseline = {"fleet_stream/slot/1000000": ns_p99(1000.0, 1200.0)}
+        current = {"fleet_stream/slot/1000000": ns_p99(1010.0, 1600.0)}  # +33% p99
+        report, regressions = compare(baseline, current, 0.25)
+        self.assertEqual(regressions, ["fleet_stream/slot/1000000 [p99_ns]"])
+        self.assertTrue(any("p99_ns" in line for line in report))
+
+    def test_p99_within_threshold_passes(self):
+        baseline = {"a": ns_p99(1000.0, 1200.0)}
+        current = {"a": ns_p99(1100.0, 1400.0)}  # +16.7% p99
+        _, regressions = compare(baseline, current, 0.25)
+        self.assertEqual(regressions, [])
+
+    def test_all_three_metrics_can_regress_at_once(self):
+        baseline = {"a": {"mean_ns": 100.0, "p99_ns": 100.0, "peak_rss_bytes": 100.0}}
+        current = {"a": {"mean_ns": 200.0, "p99_ns": 200.0, "peak_rss_bytes": 200.0}}
+        _, regressions = compare(baseline, current, 0.25)
+        self.assertEqual(
+            regressions, ["a [mean_ns]", "a [p99_ns]", "a [peak_rss_bytes]"]
+        )
+
+    def test_missing_p99_on_either_side_skips_the_p99_gate(self):
+        # Pre-percentile baselines only carry mean_ns: the new field
+        # must not fail the first gated run after the shim upgrade.
+        baseline = {"a": ns(100.0)}
+        current = {"a": ns_p99(100.0, 10**12)}
+        report, regressions = compare(baseline, current, 0.25)
+        self.assertEqual(regressions, [])
+        self.assertFalse(any("p99_ns" in line for line in report))
+        _, regressions = compare(current, baseline, 0.25)
+        self.assertEqual(regressions, [])
 
     def test_missing_rss_on_either_side_skips_the_rss_gate(self):
         # Baseline predates RSS recording (or non-Linux shim): only

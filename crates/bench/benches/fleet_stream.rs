@@ -1,0 +1,81 @@
+//! Streaming-engine benchmarks: per-slot step latency at scale.
+//!
+//! The batch benches measure whole-run throughput; an online observer
+//! cares about the latency of *one slot* — draw/ingest, chaff, ring
+//! push, incremental detection — and especially its tail, since one
+//! slow slot stalls the live window. Each `iter` sample here is a
+//! single [`StreamingFleetEngine::step`], so the criterion shim's
+//! `p50_ns`/`p95_ns`/`p99_ns` fields are exactly the per-slot latency
+//! percentiles, and the CI `BENCH_fleet` gate (`ci/compare_bench.py`)
+//! fails on a >25% p99 regression the same way it does for `mean_ns`
+//! and `peak_rss_bytes`.
+//!
+//! The engines are built with a horizon far beyond what the time
+//! budget can consume, so the routine never hits the end-of-horizon
+//! path mid-measurement; streaming state is horizon-independent, so
+//! the oversized horizon costs nothing.
+
+use chaff_bench::fixture_chain;
+use chaff_markov::models::ModelKind;
+use chaff_sim::fleet::{FleetChaffPolicy, FleetChaffStrategy, FleetConfig};
+use chaff_sim::streaming::StreamingFleetEngine;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Far more slots than the measurement budget can step through.
+const BENCH_HORIZON: usize = 1_000_000;
+
+/// Per-slot step at the acceptance rung, chaffed: N = 10⁵ users at
+/// B = 2, i.e. 300,000 observed services per slot.
+fn bench_step_chaffed(c: &mut Criterion) {
+    let chain = fixture_chain(ModelKind::NonSkewed, 10, 61);
+    let policy = FleetChaffPolicy::uniform(FleetChaffStrategy::Im, 2);
+    let users = 100_000usize;
+    let mut engine = StreamingFleetEngine::new(
+        &chain,
+        FleetConfig::new(users, BENCH_HORIZON).with_seed(62),
+        &policy,
+    )
+    .expect("valid streaming config");
+    let mut group = c.benchmark_group("fleet_stream/step_chaffed");
+    group.bench_with_input(BenchmarkId::from_parameter(users), &users, |b, _| {
+        b.iter(|| black_box(engine.step().unwrap()))
+    });
+    group.finish();
+}
+
+/// Per-slot step at the million-user rung (undefended): the acceptance
+/// latency-percentile surface for N = 10⁶.
+fn bench_step_million(c: &mut Criterion) {
+    let chain = fixture_chain(ModelKind::NonSkewed, 10, 63);
+    let policy = FleetChaffPolicy::uniform(FleetChaffStrategy::Im, 0);
+    let users = 1_000_000usize;
+    let mut engine = StreamingFleetEngine::new(
+        &chain,
+        FleetConfig::new(users, BENCH_HORIZON).with_seed(64),
+        &policy,
+    )
+    .expect("valid streaming config");
+    let mut group = c.benchmark_group("fleet_stream/step");
+    group.bench_with_input(BenchmarkId::from_parameter(users), &users, |b, _| {
+        b.iter(|| black_box(engine.step().unwrap()))
+    });
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = fleet_stream;
+    config = configured();
+    targets =
+        bench_step_chaffed,
+        bench_step_million,
+}
+criterion_main!(fleet_stream);

@@ -41,7 +41,7 @@ use chaff_markov::{CellGrid, CellId, LogLikelihoodTable, MarkovChain, Trajectory
 pub const MAX_POPULATION: usize = u32::MAX as usize;
 
 /// Rejects populations whose service indices would not fit `u32`.
-fn ensure_population_fits(population: usize) -> Result<()> {
+pub(super) fn ensure_population_fits(population: usize) -> Result<()> {
     if population > MAX_POPULATION {
         return Err(crate::CoreError::PopulationTooLarge {
             population,
@@ -55,7 +55,7 @@ fn ensure_population_fits(population: usize) -> Result<()> {
 /// entry path checks the population against [`MAX_POPULATION`] first
 /// (so `lo + j < n <= u32::MAX` and the cast can never truncate).
 #[inline(always)]
-fn service_index(lo: usize, j: usize) -> u32 {
+pub(super) fn service_index(lo: usize, j: usize) -> u32 {
     debug_assert!(lo + j <= MAX_POPULATION);
     (lo + j) as u32
 }
@@ -500,13 +500,108 @@ fn light_shard_scores(
     }
 }
 
+/// Advances one slot of the single-table columnar kernel: the cumulative
+/// score of trajectory `lo + j` moves from `accs[j]` to
+/// `accs[j] + increment(prev_row[j] -> row[j])` (or is initialized from
+/// `log_initial` when `prev_row` is `None`, i.e. at slot zero), and every
+/// updated score is folded into the slot's running max / tie trackers in
+/// ascending index order.
+///
+/// This is *the* per-slot inner loop of the batch columnar pass, shared
+/// verbatim with [`StreamingPrefixDetector`](super::StreamingPrefixDetector)
+/// so the online path is bit-for-bit the batch path by construction.
+#[allow(clippy::too_many_arguments)] // hot kernel: flat args keep the call free of wrapper structs
+pub(super) fn advance_slot_single(
+    table: &LogLikelihoodTable,
+    states: usize,
+    lo: usize,
+    row: &[CellId],
+    prev_row: Option<&[CellId]>,
+    accs: &mut [f64],
+    best: &mut f64,
+    slot: &mut Vec<(u32, f64)>,
+) -> Result<()> {
+    match prev_row {
+        None => {
+            for (j, (&cell, acc)) in row.iter().zip(accs.iter_mut()).enumerate() {
+                if cell.index() >= states {
+                    return Err(crate::CoreError::CellOutOfRange {
+                        cell: cell.index(),
+                        states,
+                    });
+                }
+                *acc = table.log_initial(cell);
+                fold(best, slot, service_index(lo, j), *acc);
+            }
+        }
+        Some(prev_row) => {
+            for (j, ((&cell, &prev), acc)) in
+                row.iter().zip(prev_row).zip(accs.iter_mut()).enumerate()
+            {
+                if cell.index() >= states {
+                    return Err(crate::CoreError::CellOutOfRange {
+                        cell: cell.index(),
+                        states,
+                    });
+                }
+                // -inf + -inf is fine; +inf never occurs (increments
+                // are log-probs <= 0), so no NaN can appear.
+                *acc += table.log_transition(prev, cell);
+                fold(best, slot, service_index(lo, j), *acc);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Advances one slot of the multi-class (mixture) columnar kernel: the
+/// class-major accumulator block `accs[j * classes + k]` advances every
+/// `(trajectory, class)` lane by one step, and trajectory `lo + j`'s
+/// prefix score — the *maximum* lane, the best class explanation — is
+/// folded into the slot trackers in ascending index order.
+///
+/// Shared between the batch mixture pass and
+/// [`StreamingPrefixDetector`](super::StreamingPrefixDetector), exactly
+/// like [`advance_slot_single`].
+#[allow(clippy::too_many_arguments)] // hot kernel: flat args keep the call free of wrapper structs
+pub(super) fn advance_slot_mixture(
+    tables: &[&LogLikelihoodTable],
+    states: usize,
+    lo: usize,
+    row: &[CellId],
+    prev_row: Option<&[CellId]>,
+    accs: &mut [f64],
+    best: &mut f64,
+    slot: &mut Vec<(u32, f64)>,
+) -> Result<()> {
+    let classes = tables.len();
+    for (j, (&cell, lanes)) in row.iter().zip(accs.chunks_mut(classes)).enumerate() {
+        if cell.index() >= states {
+            return Err(crate::CoreError::CellOutOfRange {
+                cell: cell.index(),
+                states,
+            });
+        }
+        let prev = prev_row.map(|r| r[j]);
+        let mut score = f64::NEG_INFINITY;
+        for (acc, table) in lanes.iter_mut().zip(tables) {
+            *acc += table.step(prev, cell);
+            if *acc > score {
+                score = *acc;
+            }
+        }
+        fold(best, slot, service_index(lo, j), score);
+    }
+    Ok(())
+}
+
 /// The columnar streaming shard pass behind
 /// [`BatchPrefixDetector::detect_prefixes_columnar_with_table`]: walks
 /// the grid slot row by slot row (unit stride, exactly the storage
 /// order), carrying one running cumulative score per owned trajectory
-/// and folding each into the per-slot max/tie trackers. State is
-/// `O(width + horizon)` — no `N × T` block, no per-trajectory
-/// allocation.
+/// and folding each into the per-slot max/tie trackers via
+/// [`advance_slot_single`]. State is `O(width + horizon)` — no `N × T`
+/// block, no per-trajectory allocation.
 ///
 /// Scores are bit-for-bit those of the per-trajectory pass: each
 /// trajectory's increments are added in slot order either way, and per
@@ -527,34 +622,12 @@ fn shard_pass_columnar(
         .zip(candidates.iter_mut())
     {
         let row = &observed.row(t)[lo..hi];
-        if t == 0 {
-            for (j, (&cell, acc)) in row.iter().zip(accs.iter_mut()).enumerate() {
-                if cell.index() >= states {
-                    return Err(crate::CoreError::CellOutOfRange {
-                        cell: cell.index(),
-                        states,
-                    });
-                }
-                *acc = table.log_initial(cell);
-                fold(best, slot, service_index(lo, j), *acc);
-            }
+        let prev_row = if t == 0 {
+            None
         } else {
-            let prev_row = &observed.row(t - 1)[lo..hi];
-            for (j, ((&cell, &prev), acc)) in
-                row.iter().zip(prev_row).zip(accs.iter_mut()).enumerate()
-            {
-                if cell.index() >= states {
-                    return Err(crate::CoreError::CellOutOfRange {
-                        cell: cell.index(),
-                        states,
-                    });
-                }
-                // -inf + -inf is fine; +inf never occurs (increments
-                // are log-probs <= 0), so no NaN can appear.
-                *acc += table.log_transition(prev, cell);
-                fold(best, slot, service_index(lo, j), *acc);
-            }
-        }
+            Some(&observed.row(t - 1)[lo..hi])
+        };
+        advance_slot_single(table, states, lo, row, prev_row, &mut accs, best, slot)?;
     }
     Ok(light_shard_scores((lo, hi), maxima, candidates))
 }
@@ -562,10 +635,11 @@ fn shard_pass_columnar(
 /// The columnar multi-class (mixture) shard pass behind
 /// [`BatchPrefixDetector::detect_prefixes_columnar_with_tables`]: one
 /// running accumulator per `(trajectory, class)` pair (class-major per
-/// trajectory), scoring each prefix by its best class — the same
-/// generalized-likelihood-ratio semantics, accumulation order and fold
-/// order as the per-trajectory mixture pass, so results are bit-for-bit
-/// equal and shard-count independent.
+/// trajectory), scoring each prefix by its best class via
+/// [`advance_slot_mixture`] — the same generalized-likelihood-ratio
+/// semantics, accumulation order and fold order as the per-trajectory
+/// mixture pass, so results are bit-for-bit equal and shard-count
+/// independent.
 fn shard_pass_columnar_mixture(
     tables: &[&LogLikelihoodTable],
     observed: &CellGrid,
@@ -580,7 +654,6 @@ fn shard_pass_columnar_mixture(
     // accs[j * classes + k]: trajectory `lo + j`'s running score under
     // class `k`.
     let mut accs = vec![0.0f64; width * classes];
-    let mut prev: Option<CellId>;
     for ((t, best), slot) in (0..horizon)
         .zip(maxima.iter_mut())
         .zip(candidates.iter_mut())
@@ -589,25 +662,9 @@ fn shard_pass_columnar_mixture(
         let prev_row = if t == 0 {
             None
         } else {
-            Some(observed.row(t - 1))
+            Some(&observed.row(t - 1)[lo..hi])
         };
-        for (j, (&cell, lanes)) in row.iter().zip(accs.chunks_mut(classes)).enumerate() {
-            if cell.index() >= states {
-                return Err(crate::CoreError::CellOutOfRange {
-                    cell: cell.index(),
-                    states,
-                });
-            }
-            prev = prev_row.map(|r| r[lo + j]);
-            let mut score = f64::NEG_INFINITY;
-            for (acc, table) in lanes.iter_mut().zip(tables) {
-                *acc += table.step(prev, cell);
-                if *acc > score {
-                    score = *acc;
-                }
-            }
-            fold(best, slot, service_index(lo, j), score);
-        }
+        advance_slot_mixture(tables, states, lo, row, prev_row, &mut accs, best, slot)?;
     }
     Ok(light_shard_scores((lo, hi), maxima, candidates))
 }
@@ -648,7 +705,7 @@ struct ShardedScores {
 /// score outside tolerance of the running max can never re-enter, and
 /// every max update re-filters the surviving candidates.
 #[inline(always)]
-fn fold(best: &mut f64, slot: &mut Vec<(u32, f64)>, i: u32, acc: f64) {
+pub(super) fn fold(best: &mut f64, slot: &mut Vec<(u32, f64)>, i: u32, acc: f64) {
     if acc > *best {
         *best = acc;
         slot.retain(|&(_, s)| loglik_cmp(s, acc).is_eq());
@@ -865,7 +922,13 @@ fn shard_pass_block(
 /// Inserts `(index, score)` into the slot's running top-k buffer
 /// (`buffer[start..]`), kept sorted best-first with ties broken towards
 /// the lower index. Scores are never NaN (sums of log-probabilities).
-fn insert_top_k(buffer: &mut Vec<(u32, f64)>, start: usize, k: usize, index: u32, score: f64) {
+pub(super) fn insert_top_k(
+    buffer: &mut Vec<(u32, f64)>,
+    start: usize,
+    k: usize,
+    index: u32,
+    score: f64,
+) {
     let slot = &buffer[start..];
     let pos = slot.partition_point(|&(i, s)| s > score || (s == score && i < index));
     if pos >= k {

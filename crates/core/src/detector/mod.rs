@@ -27,10 +27,12 @@
 mod advanced;
 pub mod batch;
 mod ml;
+pub mod streaming;
 
 pub use advanced::AdvancedDetector;
 pub use batch::{BatchPrefixDetector, PrefixScores, MAX_POPULATION};
 pub use ml::MlDetector;
+pub use streaming::StreamingPrefixDetector;
 
 use chaff_markov::{MarkovChain, Trajectory};
 

@@ -1,0 +1,544 @@
+//! Online (slot-at-a-time) prefix detection over a columnar stream.
+//!
+//! [`BatchPrefixDetector`](super::BatchPrefixDetector) consumes a finished
+//! [`CellGrid`](chaff_markov::CellGrid): the whole fleet must be simulated
+//! before the first detection. The paper's eavesdropper (eq. 11) is
+//! inherently online — it observes one service row per slot and tracks in
+//! real time. [`StreamingPrefixDetector`] is that adversary: feed it one
+//! observation row per slot ([`push_slot`](StreamingPrefixDetector::push_slot))
+//! and it returns the slot's [`Detection`] immediately, carrying only the
+//! running cumulative-score state between slots.
+//!
+//! Both paths share one per-slot kernel
+//! (`advance_slot_single` / `advance_slot_mixture` in `batch.rs`),
+//! so a streamed run is bit-for-bit the batch run *by construction*: the
+//! same accumulator updates in the same order, the same fold into the
+//! per-slot max/tie trackers, the same cross-shard merge semantics.
+//!
+//! State is `O(N · classes)` — independent of the horizon. The batch
+//! path's per-shard maxima/tie concatenations (sized by the horizon)
+//! never exist here; each slot's candidates are merged and discarded
+//! before the next row arrives.
+
+use super::{batch, Detection};
+use crate::{loglik_cmp, Result};
+use chaff_markov::{CellId, LogLikelihoodTable};
+
+/// Incremental maximum-likelihood prefix detector: one [`Detection`] per
+/// pushed slot row, bit-for-bit equal to
+/// [`BatchPrefixDetector::detect_prefixes_columnar_with_tables`](super::BatchPrefixDetector::detect_prefixes_columnar_with_tables)
+/// over the grid formed by the pushed rows, for every shard count.
+///
+/// # Example
+///
+/// ```
+/// use chaff_core::detector::{BatchPrefixDetector, StreamingPrefixDetector};
+/// use chaff_markov::{models::ModelKind, CellGrid, MarkovChain};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let chain = MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng)?)?;
+/// let observed: Vec<_> = (0..32).map(|_| chain.sample_trajectory(20, &mut rng)).collect();
+/// let grid = CellGrid::from_trajectories(&observed)?;
+///
+/// let batch = BatchPrefixDetector::new().detect_prefixes_columnar(&chain, &grid)?;
+/// let mut online = StreamingPrefixDetector::new(vec![chain.log_likelihood_table()], 32)?;
+/// for t in 0..grid.horizon() {
+///     assert_eq!(online.push_slot(grid.row(t))?, batch[t]);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingPrefixDetector {
+    /// One table per mobility-model class (generalized-likelihood-ratio
+    /// detection: best class per prefix). Owned, so the detector can be
+    /// embedded in long-lived engines without borrowing the model.
+    tables: Vec<LogLikelihoodTable>,
+    states: usize,
+    population: usize,
+    top_k: usize,
+    /// Contiguous index shards, each owning its slice of the running
+    /// class-major accumulator block.
+    lanes: Vec<ShardLane>,
+    /// The previous slot's row (empty before the first push) — the only
+    /// observation history the detector keeps.
+    prev_row: Vec<CellId>,
+    slots_seen: usize,
+    /// Global top-k of the most recent slot (empty when `top_k == 0`).
+    last_top: Vec<usize>,
+}
+
+/// One shard's running state: the index range it owns and the cumulative
+/// score accumulators for every `(trajectory, class)` lane in that range.
+#[derive(Debug, Clone)]
+struct ShardLane {
+    lo: usize,
+    hi: usize,
+    /// `accs[j * classes + k]`: trajectory `lo + j`'s running score under
+    /// class `k` (single-class layouts collapse to `accs[j]`).
+    accs: Vec<f64>,
+}
+
+/// One shard's per-slot extraction result, merged immediately after the
+/// slot completes (never retained across slots).
+struct SlotExtract {
+    best: f64,
+    /// Argmax candidates `(global index, score)`, ascending by index.
+    candidates: Vec<(u32, f64)>,
+    /// Shard-local top-k `(index, score)`, best first.
+    top: Vec<(u32, f64)>,
+}
+
+impl StreamingPrefixDetector {
+    /// Creates a detector for `population` concurrent services scored
+    /// against `tables` (one per mobility-model class), sizing its shard
+    /// count from `std::thread::available_parallelism`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::Empty`](chaff_markov::MarkovError::Empty)
+    /// when no tables are supplied,
+    /// [`MarkovError::DimensionMismatch`](chaff_markov::MarkovError::DimensionMismatch)
+    /// when the class tables disagree on the cell space,
+    /// [`CoreError::NoTrajectories`](crate::CoreError::NoTrajectories)
+    /// for an empty population and
+    /// [`CoreError::PopulationTooLarge`](crate::CoreError::PopulationTooLarge)
+    /// past [`MAX_POPULATION`](super::MAX_POPULATION).
+    pub fn new(tables: Vec<LogLikelihoodTable>, population: usize) -> Result<Self> {
+        let shards = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Self::with_shards(tables, population, shards)
+    }
+
+    /// [`new`](Self::new) with a pinned shard count (clamped to at least
+    /// one). Detections are identical for every shard count; this only
+    /// controls parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Same errors as [`new`](Self::new).
+    pub fn with_shards(
+        tables: Vec<LogLikelihoodTable>,
+        population: usize,
+        shards: usize,
+    ) -> Result<Self> {
+        let first = tables
+            .first()
+            .ok_or(crate::CoreError::Markov(chaff_markov::MarkovError::Empty))?;
+        let states = first.num_states();
+        for table in &tables[1..] {
+            if table.num_states() != states {
+                return Err(crate::CoreError::Markov(
+                    chaff_markov::MarkovError::DimensionMismatch {
+                        expected: states,
+                        found: table.num_states(),
+                    },
+                ));
+            }
+        }
+        if population == 0 {
+            return Err(crate::CoreError::NoTrajectories);
+        }
+        batch::ensure_population_fits(population)?;
+        // The same contiguous chunking as the batch scaffold, so each
+        // trajectory's accumulator lives on exactly one shard.
+        let shards = shards.max(1).clamp(1, population);
+        let chunk = population.div_ceil(shards);
+        let classes = tables.len();
+        let lanes = (0..shards)
+            .map(|s| (s * chunk, ((s + 1) * chunk).min(population)))
+            .filter(|&(lo, hi)| lo < hi)
+            .map(|(lo, hi)| ShardLane {
+                lo,
+                hi,
+                accs: vec![0.0f64; (hi - lo) * classes],
+            })
+            .collect();
+        Ok(StreamingPrefixDetector {
+            tables,
+            states,
+            population,
+            top_k: 0,
+            lanes,
+            prev_row: Vec::new(),
+            slots_seen: 0,
+            last_top: Vec::new(),
+        })
+    }
+
+    /// Enables per-slot global top-`k` ranking alongside the argmax
+    /// detection (retrieve with [`last_top_k`](Self::last_top_k)).
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = k.min(self.population);
+        self
+    }
+
+    /// Number of concurrent services the detector scores.
+    pub fn population(&self) -> usize {
+        self.population
+    }
+
+    /// Number of mobility-model classes (tables).
+    pub fn num_classes(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of slot rows pushed so far.
+    pub fn slots_seen(&self) -> usize {
+        self.slots_seen
+    }
+
+    /// Bytes of horizon-independent running state: the accumulator block
+    /// (`8 · N · classes`) plus the previous slot row (`4 · N`). This is
+    /// the detector's whole memory of the stream — it does not grow with
+    /// the number of slots pushed.
+    pub fn state_bytes(&self) -> usize {
+        let accs: usize = self.lanes.iter().map(|l| l.accs.len() * 8).sum();
+        accs + self.prev_row.capacity() * 4
+    }
+
+    /// The most recent slot's global top-k service indices, best first
+    /// (ties towards the lower index); empty before the first push or
+    /// when top-k is disabled.
+    pub fn last_top_k(&self) -> &[usize] {
+        &self.last_top
+    }
+
+    /// Consumes one slot row (the observed cell of every service at this
+    /// slot, in service order) and returns the slot's detection.
+    ///
+    /// The row is validated *before* any accumulator is touched, so a
+    /// failed push leaves the detector exactly as it was — the stream can
+    /// be resumed or abandoned with a clean partial result, never a
+    /// poisoned engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns
+    /// [`CoreError::LengthMismatch`](crate::CoreError::LengthMismatch)
+    /// when the row does not cover the population and
+    /// [`CoreError::CellOutOfRange`](crate::CoreError::CellOutOfRange)
+    /// when any cell falls outside the model's state space.
+    pub fn push_slot(&mut self, row: &[CellId]) -> Result<Detection> {
+        if row.len() != self.population {
+            return Err(crate::CoreError::LengthMismatch {
+                expected: self.population,
+                found: row.len(),
+            });
+        }
+        // Full-row range check up front: the shared kernels check again
+        // (they are the batch inner loop, verbatim), but by then half the
+        // accumulators could have advanced — this pass makes failure
+        // atomic.
+        for &cell in row {
+            if cell.index() >= self.states {
+                return Err(crate::CoreError::CellOutOfRange {
+                    cell: cell.index(),
+                    states: self.states,
+                });
+            }
+        }
+        let prev = if self.slots_seen == 0 {
+            None
+        } else {
+            Some(self.prev_row.as_slice())
+        };
+        let tables: Vec<&LogLikelihoodTable> = self.tables.iter().collect();
+        let states = self.states;
+        let top_k = self.top_k;
+        let extracts: Result<Vec<SlotExtract>> = if self.lanes.len() <= 1 {
+            self.lanes
+                .iter_mut()
+                .map(|lane| advance_lane(&tables, states, lane, row, prev, top_k))
+                .collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .lanes
+                    .iter_mut()
+                    .map(|lane| {
+                        let tables = &tables;
+                        scope.spawn(move || advance_lane(tables, states, lane, row, prev, top_k))
+                    })
+                    .collect();
+                // Join in shard order (lowest erroring shard wins, panics
+                // re-raised on the caller's thread) — the batch
+                // scaffold's semantics.
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(result) => result,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
+                    .collect()
+            })
+        };
+        let extracts = extracts?;
+        // Cross-shard merge: exact global max first, tolerance filter
+        // second, shards visited in index order — `merge_detections` for
+        // a single slot.
+        let mut best = f64::NEG_INFINITY;
+        for extract in &extracts {
+            if extract.best > best {
+                best = extract.best;
+            }
+        }
+        let mut tie_set = Vec::new();
+        for extract in &extracts {
+            for &(i, s) in &extract.candidates {
+                if loglik_cmp(s, best).is_eq() {
+                    tie_set.push(i as usize);
+                }
+            }
+        }
+        if self.top_k > 0 {
+            let mut merged: Vec<(u32, f64)> = Vec::new();
+            for extract in &extracts {
+                merged.extend_from_slice(&extract.top);
+            }
+            merged.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            merged.truncate(self.top_k);
+            self.last_top.clear();
+            self.last_top
+                .extend(merged.iter().map(|&(i, _)| i as usize));
+        }
+        self.prev_row.clear();
+        self.prev_row.extend_from_slice(row);
+        self.slots_seen += 1;
+        Ok(Detection::new(tie_set))
+    }
+}
+
+/// Advances one shard by one slot through the shared batch kernel and
+/// extracts the slot's argmax candidates (and optional top-k) from the
+/// refreshed accumulators.
+fn advance_lane(
+    tables: &[&LogLikelihoodTable],
+    states: usize,
+    lane: &mut ShardLane,
+    row: &[CellId],
+    prev: Option<&[CellId]>,
+    top_k: usize,
+) -> Result<SlotExtract> {
+    let mut best = f64::NEG_INFINITY;
+    let mut candidates = Vec::new();
+    let shard_row = &row[lane.lo..lane.hi];
+    let shard_prev = prev.map(|p| &p[lane.lo..lane.hi]);
+    // Dispatch exactly like the batch entry point: one table runs the
+    // single-table kernel, several run the mixture kernel.
+    if tables.len() == 1 {
+        batch::advance_slot_single(
+            tables[0],
+            states,
+            lane.lo,
+            shard_row,
+            shard_prev,
+            &mut lane.accs,
+            &mut best,
+            &mut candidates,
+        )?;
+    } else {
+        batch::advance_slot_mixture(
+            tables,
+            states,
+            lane.lo,
+            shard_row,
+            shard_prev,
+            &mut lane.accs,
+            &mut best,
+            &mut candidates,
+        )?;
+    }
+    let mut top = Vec::new();
+    if top_k > 0 {
+        let classes = tables.len();
+        for (j, lanes) in lane.accs.chunks(classes).enumerate() {
+            let mut score = f64::NEG_INFINITY;
+            for &acc in lanes {
+                if acc > score {
+                    score = acc;
+                }
+            }
+            batch::insert_top_k(&mut top, 0, top_k, batch::service_index(lane.lo, j), score);
+        }
+    }
+    Ok(SlotExtract {
+        best,
+        candidates,
+        top,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::BatchPrefixDetector;
+    use crate::CoreError;
+    use chaff_markov::models::ModelKind;
+    use chaff_markov::{CellGrid, MarkovChain, Trajectory};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fleet(seed: u64, n: usize, horizon: usize) -> (MarkovChain, CellGrid) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let chain = MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng).unwrap()).unwrap();
+        let observed: Vec<Trajectory> = (0..n)
+            .map(|_| chain.sample_trajectory(horizon, &mut rng))
+            .collect();
+        let grid = CellGrid::from_trajectories(&observed).unwrap();
+        (chain, grid)
+    }
+
+    fn two_class_grid(seed: u64, horizon: usize) -> (MarkovChain, MarkovChain, CellGrid) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng).unwrap()).unwrap();
+        let b = MarkovChain::new(ModelKind::SpatiallySkewed.build(10, &mut rng).unwrap()).unwrap();
+        let mut observed: Vec<Trajectory> = (0..23)
+            .map(|_| a.sample_trajectory(horizon, &mut rng))
+            .collect();
+        observed.extend((0..18).map(|_| b.sample_trajectory(horizon, &mut rng)));
+        let grid = CellGrid::from_trajectories(&observed).unwrap();
+        (a, b, grid)
+    }
+
+    #[test]
+    fn streamed_detections_match_batch_bit_for_bit() {
+        let (chain, grid) = fleet(61, 137, 23);
+        let reference = BatchPrefixDetector::with_shards(1)
+            .detect_prefixes_columnar(&chain, &grid)
+            .unwrap();
+        for shards in [1, 2, 7, 137, 500] {
+            let mut online = StreamingPrefixDetector::with_shards(
+                vec![chain.log_likelihood_table()],
+                grid.num_trajectories(),
+                shards,
+            )
+            .unwrap();
+            for (t, expected) in reference.iter().enumerate() {
+                let detection = online.push_slot(grid.row(t)).unwrap();
+                assert_eq!(&detection, expected, "slot {t}, shards {shards}");
+            }
+            assert_eq!(online.slots_seen(), grid.horizon());
+        }
+    }
+
+    #[test]
+    fn streamed_mixture_matches_batch_mixture_bit_for_bit() {
+        let (a, b, grid) = two_class_grid(62, 15);
+        let (ta, tb) = (a.log_likelihood_table(), b.log_likelihood_table());
+        let reference = BatchPrefixDetector::with_shards(1)
+            .detect_prefixes_columnar_with_tables(&[&ta, &tb], &grid)
+            .unwrap();
+        for shards in [1, 2, 7, 41] {
+            let mut online = StreamingPrefixDetector::with_shards(
+                vec![ta.clone(), tb.clone()],
+                grid.num_trajectories(),
+                shards,
+            )
+            .unwrap();
+            for (t, expected) in reference.iter().enumerate() {
+                let detection = online.push_slot(grid.row(t)).unwrap();
+                assert_eq!(&detection, expected, "slot {t}, shards {shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_top_k_matches_the_batch_ranking() {
+        let (chain, grid) = fleet(63, 29, 9);
+        let observed = grid.to_trajectories();
+        let scores = BatchPrefixDetector::with_shards(4)
+            .score_prefixes(&chain, &observed, 5)
+            .unwrap();
+        let mut online = StreamingPrefixDetector::with_shards(
+            vec![chain.log_likelihood_table()],
+            grid.num_trajectories(),
+            3,
+        )
+        .unwrap()
+        .with_top_k(5);
+        assert!(online.last_top_k().is_empty());
+        for t in 0..grid.horizon() {
+            online.push_slot(grid.row(t)).unwrap();
+            assert_eq!(online.last_top_k(), scores.top_k_at(t), "slot {t}");
+        }
+    }
+
+    #[test]
+    fn state_is_horizon_independent() {
+        let (chain, grid) = fleet(64, 50, 40);
+        let mut online =
+            StreamingPrefixDetector::with_shards(vec![chain.log_likelihood_table()], 50, 2)
+                .unwrap();
+        online.push_slot(grid.row(0)).unwrap();
+        let after_one = online.state_bytes();
+        for t in 1..grid.horizon() {
+            online.push_slot(grid.row(t)).unwrap();
+        }
+        assert_eq!(online.state_bytes(), after_one);
+        // 8 bytes of accumulator + 4 bytes of previous row per service.
+        assert_eq!(after_one, 50 * 8 + 50 * 4);
+    }
+
+    #[test]
+    fn rejects_invalid_construction() {
+        let (chain, _) = fleet(65, 4, 3);
+        assert!(matches!(
+            StreamingPrefixDetector::new(vec![], 4),
+            Err(CoreError::Markov(chaff_markov::MarkovError::Empty))
+        ));
+        assert!(matches!(
+            StreamingPrefixDetector::new(vec![chain.log_likelihood_table()], 0),
+            Err(CoreError::NoTrajectories)
+        ));
+        let mut rng = StdRng::seed_from_u64(66);
+        let other = MarkovChain::new(ModelKind::NonSkewed.build(7, &mut rng).unwrap()).unwrap();
+        assert!(matches!(
+            StreamingPrefixDetector::new(
+                vec![chain.log_likelihood_table(), other.log_likelihood_table()],
+                4
+            ),
+            Err(CoreError::Markov(
+                chaff_markov::MarkovError::DimensionMismatch {
+                    expected: 10,
+                    found: 7
+                }
+            ))
+        ));
+    }
+
+    #[test]
+    fn failed_pushes_leave_the_detector_unpoisoned() {
+        let (chain, grid) = fleet(67, 12, 8);
+        let make = || {
+            StreamingPrefixDetector::with_shards(vec![chain.log_likelihood_table()], 12, 3).unwrap()
+        };
+        let mut clean = make();
+        let mut poked = make();
+        let mut bad_row = grid.row(0).to_vec();
+        bad_row[7] = chaff_markov::CellId::new(999);
+        for t in 0..grid.horizon() {
+            // A wrong-arity row and an out-of-range row both fail...
+            assert!(matches!(
+                poked.push_slot(&grid.row(t)[..5]),
+                Err(CoreError::LengthMismatch {
+                    expected: 12,
+                    found: 5
+                })
+            ));
+            assert!(matches!(
+                poked.push_slot(&bad_row),
+                Err(CoreError::CellOutOfRange { cell: 999, .. })
+            ));
+            // ...without perturbing the stream: both detectors keep
+            // producing identical detections.
+            let expected = clean.push_slot(grid.row(t)).unwrap();
+            let got = poked.push_slot(grid.row(t)).unwrap();
+            assert_eq!(got, expected, "slot {t}");
+        }
+        assert_eq!(poked.slots_seen(), grid.horizon());
+    }
+}

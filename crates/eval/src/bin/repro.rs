@@ -5,7 +5,7 @@
 //!
 //! experiments: table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 theory
 //!              multiuser fleet_scaling fleet_chaff fleet_scale
-//!              trace_fleet all
+//!              fleet_stream trace_fleet all
 //! ```
 //!
 //! ASCII renderings go to stdout; CSV files go to `--out` (default
@@ -56,7 +56,8 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|theory|multiuser|fleet_scaling|\
-     fleet_chaff|fleet_scale|trace_fleet|all> [--runs N] [--seed S] [--out DIR] [--quick]"
+     fleet_chaff|fleet_scale|fleet_stream|trace_fleet|all> [--runs N] [--seed S] [--out DIR] \
+     [--quick]"
         .to_string()
 }
 
@@ -190,6 +191,21 @@ fn run_experiment(name: &str, args: &Args) -> chaff_eval::Result<()> {
                 &args.out,
             )?;
         }
+        "fleet_stream" => {
+            let populations: &[usize] = if args.quick {
+                &experiments::fleet_stream::QUICK_POPULATIONS
+            } else {
+                &experiments::fleet_stream::POPULATIONS
+            };
+            let (table, curves) = experiments::fleet_stream::run_with(
+                &synth,
+                populations,
+                &experiments::fleet_stream::BUDGETS,
+                experiments::fleet_stream::STREAM_HORIZON,
+            )?;
+            emit_table(&table, &args.out)?;
+            emit_figure(&curves, &args.out)?;
+        }
         "trace_fleet" => {
             let mut config = if args.quick {
                 experiments::trace_fleet::TraceFleetConfig::quick()
@@ -224,6 +240,7 @@ fn run_experiment(name: &str, args: &Args) -> chaff_eval::Result<()> {
                 "fleet_scaling",
                 "fleet_chaff",
                 "fleet_scale",
+                "fleet_stream",
                 "trace_fleet",
             ] {
                 println!("==== {exp} ====");

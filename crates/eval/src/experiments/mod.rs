@@ -10,6 +10,7 @@ pub mod fig9;
 pub mod fleet_chaff;
 pub mod fleet_scale;
 pub mod fleet_scaling;
+pub mod fleet_stream;
 pub mod multiuser;
 pub mod table1;
 pub mod theory;

@@ -1,0 +1,296 @@
+//! Per-slot pull over trace streams: the bridge from trace-major sources
+//! to the slot-major streaming fleet engine.
+//!
+//! A [`TraceStream`] is *trace-major*: each
+//! node's whole record history arrives as one unit. The streaming fleet
+//! engine in `chaff-sim` is *slot-major*: it wants one row — every
+//! user's cell at slot `t` — per step. [`SlotFeed`] converts between the
+//! two: it drains the stream one batch at a time (raw GPS records live
+//! only as long as their batch, exactly like
+//! [`build_streaming`](crate::pipeline::TraceDatasetBuilder::build_streaming)),
+//! regularizes and quantizes each active node into its compact cell
+//! trajectory, transposes to slot-major storage (4 bytes per cell), and
+//! then serves rows via [`next_row`](SlotFeed::next_row).
+//!
+//! The feed holds the quantized window — `O(nodes × slots)` at 4 bytes a
+//! cell, the irreducible cost of transposing a trace-major source — but
+//! never the raw records, which dominate real datasets by an order of
+//! magnitude. Model-driven streaming (the engine's own `step`) needs no
+//! feed and no window at all.
+
+use crate::interpolate::{regularize, SlotGrid};
+use crate::stream::TraceStream;
+use crate::voronoi::CellMap;
+use crate::{MobilityError, Result};
+use chaff_markov::CellId;
+
+/// Slot-major, pull-based view of a quantized trace window.
+///
+/// Build with [`from_stream`](SlotFeed::from_stream), then pull rows in
+/// slot order:
+///
+/// ```
+/// use chaff_mobility::feed::SlotFeed;
+/// use chaff_mobility::geo::BoundingBox;
+/// use chaff_mobility::interpolate::SlotGrid;
+/// use chaff_mobility::stream::{TaxiTraceStream, TraceStream};
+/// use chaff_mobility::taxi::TaxiFleetConfig;
+/// use chaff_mobility::towers::clustered_layout;
+/// use chaff_mobility::voronoi::CellMap;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let bbox = BoundingBox::san_francisco();
+/// let towers = clustered_layout(60, 3, 2_000.0, 0.3, &bbox, &mut rng)?;
+/// let cell_map = CellMap::new(towers)?;
+/// let config = TaxiFleetConfig { num_nodes: 8, ..TaxiFleetConfig::default() };
+/// let mut stream = TaxiTraceStream::new(config, 11)?;
+/// let grid = SlotGrid::minutes(stream.window_start().unwrap_or(0), 20);
+/// let mut feed = SlotFeed::from_stream(&mut stream, &cell_map, &grid, 4)?;
+/// let mut slots = 0;
+/// while let Some(row) = feed.next_row() {
+///     assert_eq!(row.len(), feed.num_nodes());
+///     slots += 1;
+/// }
+/// assert_eq!(slots, 20);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlotFeed {
+    /// Identifiers of the surviving nodes, in stream arrival order.
+    node_ids: Vec<String>,
+    /// Slot-major cells: `cells[t * num_nodes + j]` is node `j` at slot
+    /// `t`.
+    cells: Vec<CellId>,
+    num_slots: usize,
+    cursor: usize,
+    dropped: usize,
+}
+
+impl SlotFeed {
+    /// Drains `stream` in batches of `batch_nodes`, regularizing each
+    /// node onto `grid` and quantizing through `cell_map`. Nodes failing
+    /// the activity filter are dropped (counted in
+    /// [`dropped`](SlotFeed::dropped)), like the dataset pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates typed stream errors (I/O, parse, bounding-box faults
+    /// naming the offending node) and returns
+    /// [`MobilityError::NoActiveNodes`] when every emitted node is
+    /// filtered out.
+    pub fn from_stream(
+        stream: &mut dyn TraceStream,
+        cell_map: &CellMap,
+        grid: &SlotGrid,
+        batch_nodes: usize,
+    ) -> Result<Self> {
+        let mut node_ids = Vec::new();
+        let mut trajectories: Vec<Vec<CellId>> = Vec::new();
+        let mut examined = 0usize;
+        loop {
+            let batch = stream.next_batch(batch_nodes.max(1))?;
+            if batch.is_empty() {
+                break;
+            }
+            for trace in &batch {
+                examined += 1;
+                let Some(positions) = regularize(trace, grid) else {
+                    continue; // inactive in this window, like the pipeline
+                };
+                node_ids.push(trace.node_id.clone());
+                trajectories.push(cell_map.quantize(&positions).as_slice().to_vec());
+            }
+            // `batch` (the raw records) drops here; only the quantized
+            // cells persist.
+        }
+        if node_ids.is_empty() {
+            return Err(MobilityError::NoActiveNodes {
+                examined,
+                example: None,
+            });
+        }
+        // Transpose trace-major -> slot-major so every pulled row is one
+        // contiguous slice.
+        let n = node_ids.len();
+        let num_slots = grid.num_slots;
+        let mut cells = vec![CellId::new(0); n * num_slots];
+        for (j, trajectory) in trajectories.iter().enumerate() {
+            debug_assert_eq!(trajectory.len(), num_slots);
+            for (t, &cell) in trajectory.iter().enumerate() {
+                cells[t * n + j] = cell;
+            }
+        }
+        Ok(SlotFeed {
+            node_ids,
+            cells,
+            num_slots,
+            cursor: 0,
+            dropped: examined - n,
+        })
+    }
+
+    /// Number of surviving nodes (the width of every row).
+    pub fn num_nodes(&self) -> usize {
+        self.node_ids.len()
+    }
+
+    /// Number of slots in the window.
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// Identifiers of the surviving nodes, aligned with row positions.
+    pub fn node_ids(&self) -> &[String] {
+        &self.node_ids
+    }
+
+    /// Nodes the activity filter dropped while draining the stream.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// The row of an arbitrary slot, if within the window.
+    pub fn row(&self, t: usize) -> Option<&[CellId]> {
+        if t >= self.num_slots {
+            return None;
+        }
+        let n = self.num_nodes();
+        Some(&self.cells[t * n..(t + 1) * n])
+    }
+
+    /// Pulls the next row in slot order; `None` once the window is
+    /// exhausted.
+    pub fn next_row(&mut self) -> Option<&[CellId]> {
+        let t = self.cursor;
+        if t >= self.num_slots {
+            return None;
+        }
+        self.cursor += 1;
+        self.row(t)
+    }
+
+    /// Slots already pulled through [`next_row`](SlotFeed::next_row).
+    pub fn slots_pulled(&self) -> usize {
+        self.cursor
+    }
+
+    /// Resets the pull cursor to slot zero.
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::TraceDatasetBuilder;
+    use crate::stream::{TaxiTraceStream, VecTraceStream};
+    use crate::taxi::{generate_fleet, TaxiFleetConfig};
+    use crate::towers::clustered_layout;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_fleet() -> TaxiFleetConfig {
+        TaxiFleetConfig {
+            num_nodes: 10,
+            ..TaxiFleetConfig::default()
+        }
+    }
+
+    fn towers(seed: u64) -> Vec<crate::geo::GeoPoint> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        clustered_layout(
+            80,
+            3,
+            2_000.0,
+            0.3,
+            &crate::geo::BoundingBox::san_francisco(),
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    fn cell_map(seed: u64) -> CellMap {
+        CellMap::new(towers(seed)).unwrap()
+    }
+
+    #[test]
+    fn feed_rows_transpose_the_dataset_trajectories_bit_for_bit() {
+        // One fixed set of towers and traces, fed to both paths.
+        let mut rng = StdRng::seed_from_u64(77);
+        let towers = towers(77);
+        let traces = generate_fleet(&small_fleet(), &mut rng).unwrap();
+        // Oracle: the legacy pipeline.
+        let dataset = TraceDatasetBuilder::new()
+            .horizon_slots(30)
+            .with_towers(towers)
+            .with_traces(traces.clone())
+            .build()
+            .unwrap();
+        // Same traces through the per-slot feed, over the same quantizer.
+        let start = traces
+            .iter()
+            .filter_map(|t| t.records.first().map(|r| r.timestamp))
+            .min()
+            .unwrap();
+        let grid = SlotGrid::minutes(start, 30);
+        let mut stream = VecTraceStream::new(traces);
+        let mut feed = SlotFeed::from_stream(&mut stream, dataset.cell_map(), &grid, 3).unwrap();
+        assert_eq!(feed.num_nodes(), dataset.trajectories().len());
+        assert_eq!(feed.node_ids(), dataset.node_ids());
+        let mut t = 0;
+        while let Some(row) = feed.next_row() {
+            for (j, trajectory) in dataset.trajectories().iter().enumerate() {
+                assert_eq!(row[j], trajectory.get(t).unwrap(), "node {j}, slot {t}");
+            }
+            t += 1;
+        }
+        assert_eq!(t, 30);
+    }
+
+    #[test]
+    fn feed_is_batch_size_invariant() {
+        let map = cell_map(3);
+        let reference = {
+            let mut stream = TaxiTraceStream::new(small_fleet(), 21).unwrap();
+            let grid = SlotGrid::minutes(stream.window_start().unwrap(), 15);
+            SlotFeed::from_stream(&mut stream, &map, &grid, 1).unwrap()
+        };
+        for batch in [2usize, 5, 64] {
+            let mut stream = TaxiTraceStream::new(small_fleet(), 21).unwrap();
+            let grid = SlotGrid::minutes(stream.window_start().unwrap(), 15);
+            let feed = SlotFeed::from_stream(&mut stream, &map, &grid, batch).unwrap();
+            assert_eq!(feed.cells, reference.cells, "batch = {batch}");
+            assert_eq!(feed.node_ids, reference.node_ids);
+        }
+    }
+
+    #[test]
+    fn all_inactive_nodes_yield_a_typed_error() {
+        let map = cell_map(4);
+        // A window starting long after every record: nothing is active.
+        let mut stream = TaxiTraceStream::new(small_fleet(), 9).unwrap();
+        let grid = SlotGrid::minutes(i64::MAX / 2, 10);
+        match SlotFeed::from_stream(&mut stream, &map, &grid, 4) {
+            Err(MobilityError::NoActiveNodes { examined, .. }) => assert_eq!(examined, 10),
+            other => panic!("expected NoActiveNodes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pull_cursor_rewinds() {
+        let map = cell_map(5);
+        let mut stream = TaxiTraceStream::new(small_fleet(), 13).unwrap();
+        let grid = SlotGrid::minutes(stream.window_start().unwrap(), 8);
+        let mut feed = SlotFeed::from_stream(&mut stream, &map, &grid, 4).unwrap();
+        let first: Vec<CellId> = feed.next_row().unwrap().to_vec();
+        while feed.next_row().is_some() {}
+        assert_eq!(feed.slots_pulled(), 8);
+        feed.rewind();
+        assert_eq!(feed.slots_pulled(), 0);
+        assert_eq!(feed.next_row().unwrap(), &first[..]);
+    }
+}

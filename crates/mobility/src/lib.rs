@@ -32,7 +32,10 @@
 //!   ingestion, and batched CRAWDAD directory reading;
 //! * [`pipeline`] — the end-to-end dataset builder used by the evaluation
 //!   harness, with the legacy single-threaded `build()` kept as the
-//!   oracle and the sharded `build_streaming()` as the scaled engine.
+//!   oracle and the sharded `build_streaming()` as the scaled engine;
+//! * [`feed`] — the per-slot pull adapter ([`feed::SlotFeed`]): drains a
+//!   trace-major [`stream::TraceStream`] into a compact slot-major
+//!   window so the streaming fleet engine can ingest one row per slot.
 //!
 //! # Example
 //!
@@ -59,6 +62,7 @@ mod error;
 
 pub mod crawdad;
 pub mod empirical;
+pub mod feed;
 pub mod geo;
 pub mod interpolate;
 pub mod pipeline;

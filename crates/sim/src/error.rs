@@ -39,6 +39,19 @@ pub enum SimError {
         /// Fleet size whose total budget overflowed.
         users: usize,
     },
+    /// A per-slot ingest row fed to the streaming fleet engine was
+    /// unusable mid-stream: the engine names the offending user and slot
+    /// and leaves its state untouched, so the stream yields a clean
+    /// partial result instead of a poisoned engine.
+    StreamFault {
+        /// The user whose supplied cell (or missing entry) broke the
+        /// slot row.
+        user: usize,
+        /// The slot being ingested when the fault was detected.
+        slot: usize,
+        /// Human-readable description of the fault.
+        reason: String,
+    },
     /// An error bubbled up from the strategy/detector layer.
     Core(chaff_core::CoreError),
     /// An error bubbled up from the Markov substrate.
@@ -74,6 +87,9 @@ impl fmt::Display for SimError {
                     f,
                     "total chaff budget overflows usize for a fleet of {users} users"
                 )
+            }
+            SimError::StreamFault { user, slot, reason } => {
+                write!(f, "stream fault at slot {slot}, user {user}: {reason}")
             }
             SimError::Core(e) => write!(f, "strategy error: {e}"),
             SimError::Markov(e) => write!(f, "markov substrate error: {e}"),

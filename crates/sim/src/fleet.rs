@@ -153,7 +153,7 @@ impl FleetConfig {
         self.num_users.saturating_mul(self.services_per_user())
     }
 
-    fn validate(&self) -> Result<()> {
+    pub(crate) fn validate(&self) -> Result<()> {
         if self.num_users == 0 {
             return Err(SimError::InvalidConfig {
                 parameter: "num_users",
@@ -169,7 +169,7 @@ impl FleetConfig {
         Ok(())
     }
 
-    fn effective_shards(&self) -> usize {
+    pub(crate) fn effective_shards(&self) -> usize {
         let requested = self.shards.unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -340,7 +340,7 @@ impl FleetChaffPolicy {
     }
 
     /// Checks class-indexed tables against the fleet's class count.
-    fn validate(&self, num_classes: usize) -> Result<()> {
+    pub(crate) fn validate(&self, num_classes: usize) -> Result<()> {
         if let BudgetAllocation::PerClass(budgets) = &self.allocation {
             if budgets.len() != num_classes {
                 return Err(SimError::InvalidConfig {
@@ -406,36 +406,40 @@ pub struct FleetOutcome {
 }
 
 /// The mobility substrate a fleet runs on: one shared chain, or a
-/// registry of model classes.
+/// registry of model classes. Shared with the slot-at-a-time engine in
+/// [`crate::streaming`], which must mirror the batch engine's class
+/// lookups exactly.
 #[derive(Clone, Copy)]
-enum FleetModel<'a> {
+pub(crate) enum FleetModel<'a> {
+    /// Every user moves by the same chain.
     Homogeneous(&'a MarkovChain),
+    /// User `u` moves by the chain of its registry class.
     Heterogeneous(&'a MobilityRegistry),
 }
 
-impl FleetModel<'_> {
-    fn num_classes(&self) -> usize {
+impl<'a> FleetModel<'a> {
+    pub(crate) fn num_classes(&self) -> usize {
         match self {
             FleetModel::Homogeneous(_) => 1,
             FleetModel::Heterogeneous(r) => r.num_classes(),
         }
     }
 
-    fn class_of(&self, user: usize) -> usize {
+    pub(crate) fn class_of(&self, user: usize) -> usize {
         match self {
             FleetModel::Homogeneous(_) => 0,
             FleetModel::Heterogeneous(r) => r.class_of(user),
         }
     }
 
-    fn chain_of(&self, user: usize) -> &MarkovChain {
+    pub(crate) fn chain_of(&self, user: usize) -> &'a MarkovChain {
         match self {
             FleetModel::Homogeneous(c) => c,
             FleetModel::Heterogeneous(r) => r.chain_of(user),
         }
     }
 
-    fn num_states(&self) -> usize {
+    pub(crate) fn num_states(&self) -> usize {
         match self {
             FleetModel::Homogeneous(c) => c.num_states(),
             FleetModel::Heterogeneous(r) => r.num_states(),
@@ -585,32 +589,14 @@ impl<'a> FleetSimulation<'a> {
         self.assemble(user_cells, planned, &service_starts)
     }
 
-    /// Phase 1 (layout): the per-user service offset table — user `u`
-    /// owns global services `service_starts[u]..service_starts[u + 1]`
-    /// (real service first, then its chaffs). Budgets are pure functions
-    /// of the user index, so the whole layout exists before any worker
-    /// starts; all sums are checked so oversized budgets fail typed.
+    /// Phase 1 (layout): the per-user service offset table — see
+    /// [`service_layout`]. Budgets are pure functions of the user index,
+    /// so the whole layout exists before any worker starts.
     fn service_layout<B>(&self, budget_of: &B) -> Result<Vec<usize>>
     where
         B: Fn(usize) -> usize + Sync,
     {
-        let n = self.config.num_users;
-        let overflow = || SimError::BudgetOverflow { users: n };
-        let mut service_starts = Vec::with_capacity(n + 1);
-        let mut total = 0usize;
-        service_starts.push(0);
-        for user in 0..n {
-            let services = budget_of(user).checked_add(1).ok_or_else(overflow)?;
-            total = total.checked_add(services).ok_or_else(overflow)?;
-            service_starts.push(total);
-        }
-        // The arenas hold `total × horizon` cells; guard that product
-        // here too, so oversized fleets fail typed before any columnar
-        // constructor can wrap its allocation size.
-        total
-            .checked_mul(self.config.horizon)
-            .ok_or_else(overflow)?;
-        Ok(service_starts)
+        service_layout(self.config.num_users, self.config.horizon, budget_of)
     }
 
     /// Phase 2: per-user trajectory generation, sharded over users.
@@ -875,37 +861,52 @@ pub fn chaff_seed(base: u64, user: u64, chaff: u64) -> u64 {
 }
 
 /// Seed stream for the anonymization shuffle (kept separate from user
-/// streams so adding users never perturbs the permutation draw).
-fn shuffle_seed(base: u64) -> u64 {
+/// streams so adding users never perturbs the permutation draw). Shared
+/// with [`crate::streaming`], whose up-front permutation must be the
+/// batch engine's draw bit-for-bit.
+pub(crate) fn shuffle_seed(base: u64) -> u64 {
     user_seed(base, 0xF1EE_7000_0000_0001)
+}
+
+/// The per-user service offset table: user `u` owns global services
+/// `starts[u]..starts[u + 1]` (real service first, then its chaffs).
+/// Checked arithmetic throughout — oversized budgets fail typed
+/// ([`SimError::BudgetOverflow`]) before any allocation, including the
+/// `total × horizon` cell count the columnar stores would need. Shared by
+/// the batch engine and [`crate::streaming`], so both lay services out
+/// identically.
+pub(crate) fn service_layout<B>(
+    num_users: usize,
+    horizon: usize,
+    budget_of: B,
+) -> Result<Vec<usize>>
+where
+    B: Fn(usize) -> usize,
+{
+    let overflow = || SimError::BudgetOverflow { users: num_users };
+    let mut service_starts = Vec::with_capacity(num_users + 1);
+    let mut total = 0usize;
+    service_starts.push(0);
+    for user in 0..num_users {
+        let services = budget_of(user).checked_add(1).ok_or_else(overflow)?;
+        total = total.checked_add(services).ok_or_else(overflow)?;
+        service_starts.push(total);
+    }
+    total.checked_mul(horizon).ok_or_else(overflow)?;
+    Ok(service_starts)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use chaff_core::strategy::{CmlController, ImController};
-    use chaff_markov::models::ModelKind;
 
     fn chain(seed: u64) -> MarkovChain {
-        let mut rng = StdRng::seed_from_u64(seed);
-        MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng).unwrap()).unwrap()
+        crate::test_support::nonskewed_chain(seed, 10)
     }
 
     fn registry(seed: u64, classes: usize) -> MobilityRegistry {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let kinds = [
-            ModelKind::NonSkewed,
-            ModelKind::SpatiallySkewed,
-            ModelKind::TemporallySkewed,
-        ];
-        MobilityRegistry::new(
-            (0..classes)
-                .map(|c| {
-                    MarkovChain::new(kinds[c % kinds.len()].build(10, &mut rng).unwrap()).unwrap()
-                })
-                .collect(),
-        )
-        .unwrap()
+        crate::test_support::mixed_registry(seed, 10, classes)
     }
 
     #[test]

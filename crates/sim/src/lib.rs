@@ -20,7 +20,10 @@
 //!   that need the user's whole trajectory);
 //! * [`fleet`] — the fleet engine: sharded simulation of thousands to
 //!   hundreds of thousands of concurrent users through one shared MEC
-//!   world, paired with the batched detection core in `chaff-core`.
+//!   world, paired with the batched detection core in `chaff-core`;
+//! * [`streaming`] — the online counterpart: the same fleet advanced one
+//!   slot at a time with incremental detection and a horizon-independent
+//!   memory bound, bit-for-bit equal to the batch pipeline.
 //!
 //! # Example
 //!
@@ -52,6 +55,8 @@ pub mod migration;
 pub mod network;
 pub mod observer;
 pub mod sim;
+pub mod streaming;
+pub mod test_support;
 
 pub use error::SimError;
 

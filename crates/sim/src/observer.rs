@@ -26,8 +26,10 @@ use chaff_markov::{CellGrid, CellId, Trajectory};
 use rand::Rng;
 
 /// Samples a Fisher–Yates permutation of `0..n`: `perm[original]` is the
-/// post-shuffle position of `original`.
-fn fisher_yates<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<usize> {
+/// post-shuffle position of `original`. Shared with [`crate::streaming`],
+/// which draws the same permutation up front and scatters each slot row
+/// through it as the row is generated.
+pub(crate) fn fisher_yates<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<usize> {
     let mut perm: Vec<usize> = (0..n).collect();
     for i in (1..n).rev() {
         let j = rng.random_range(0..=i);

@@ -1,0 +1,73 @@
+//! Shared fleet-test fixtures.
+//!
+//! The fleet test batteries (`tests/fleet_properties.rs`,
+//! `tests/streaming_equivalence.rs`, the unit tests in [`crate::fleet`]
+//! and [`crate::streaming`]) all need the same scaffolding: a seeded
+//! mobility chain, a mixed-class registry, a strategy picked from a
+//! proptest tag, and a bit-for-bit outcome comparison. This module is
+//! that scaffolding, written once — it is compiled into the library so
+//! integration tests of this crate and downstream crates can share it,
+//! but it is test tooling, not simulator API.
+
+use crate::fleet::{FleetChaffStrategy, FleetOutcome};
+use chaff_markov::{models::ModelKind, MarkovChain, MobilityRegistry};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A seeded non-skewed mobility chain over `cells` cells — the default
+/// single-class fleet model.
+///
+/// # Panics
+///
+/// Panics if `cells` cannot form an ergodic model (e.g. zero).
+pub fn nonskewed_chain(seed: u64, cells: usize) -> MarkovChain {
+    let mut rng = StdRng::seed_from_u64(seed);
+    MarkovChain::new(ModelKind::NonSkewed.build(cells, &mut rng).unwrap()).unwrap()
+}
+
+/// A seeded registry of `classes` mobility models over a shared
+/// `cells`-cell space, cycling through the paper's model kinds
+/// (non-skewed, spatially skewed, temporally skewed) so multi-class
+/// fleets exercise genuinely different dynamics.
+///
+/// # Panics
+///
+/// Panics if the registry cannot be built (zero classes or cells).
+pub fn mixed_registry(seed: u64, cells: usize, classes: usize) -> MobilityRegistry {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kinds = [
+        ModelKind::NonSkewed,
+        ModelKind::SpatiallySkewed,
+        ModelKind::TemporallySkewed,
+    ];
+    MobilityRegistry::new(
+        (0..classes)
+            .map(|c| {
+                MarkovChain::new(kinds[c % kinds.len()].build(cells, &mut rng).unwrap()).unwrap()
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+/// Maps a proptest byte tag onto one of the online fleet strategies.
+pub fn strategy_from(tag: u8) -> FleetChaffStrategy {
+    match tag % 3 {
+        0 => FleetChaffStrategy::Im,
+        1 => FleetChaffStrategy::Cml,
+        _ => FleetChaffStrategy::Mo,
+    }
+}
+
+/// Asserts two fleet outcomes are bit-for-bit identical: observed grid,
+/// user service indices, ground-truth cells and stats.
+///
+/// # Panics
+///
+/// Panics (test-style) on the first differing field.
+pub fn assert_outcomes_equal(a: &FleetOutcome, b: &FleetOutcome) {
+    assert_eq!(a.observed, b.observed);
+    assert_eq!(a.user_observed_indices, b.user_observed_indices);
+    assert_eq!(a.user_cells, b.user_cells);
+    assert_eq!(a.stats, b.stats);
+}

@@ -5,51 +5,15 @@
 //! same master seed, and a budget of `B = 0` must exactly reproduce the
 //! undefended fleet results.
 
-use chaff_markov::{models::ModelKind, MarkovChain, MobilityRegistry};
 use chaff_sim::fleet::{
-    BudgetAllocation, FleetChaffPolicy, FleetChaffStrategy, FleetConfig, FleetOutcome,
-    FleetSimulation, StrategyAllocation,
+    BudgetAllocation, FleetChaffPolicy, FleetChaffStrategy, FleetConfig, FleetSimulation,
+    StrategyAllocation,
+};
+use chaff_sim::test_support::{
+    assert_outcomes_equal as outcomes_equal, mixed_registry as registry, nonskewed_chain as chain,
+    strategy_from,
 };
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-fn chain(seed: u64, cells: usize) -> MarkovChain {
-    let mut rng = StdRng::seed_from_u64(seed);
-    MarkovChain::new(ModelKind::NonSkewed.build(cells, &mut rng).unwrap()).unwrap()
-}
-
-fn registry(seed: u64, cells: usize, classes: usize) -> MobilityRegistry {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let kinds = [
-        ModelKind::NonSkewed,
-        ModelKind::SpatiallySkewed,
-        ModelKind::TemporallySkewed,
-    ];
-    MobilityRegistry::new(
-        (0..classes)
-            .map(|c| {
-                MarkovChain::new(kinds[c % kinds.len()].build(cells, &mut rng).unwrap()).unwrap()
-            })
-            .collect(),
-    )
-    .unwrap()
-}
-
-fn strategy_from(tag: u8) -> FleetChaffStrategy {
-    match tag % 3 {
-        0 => FleetChaffStrategy::Im,
-        1 => FleetChaffStrategy::Cml,
-        _ => FleetChaffStrategy::Mo,
-    }
-}
-
-fn outcomes_equal(a: &FleetOutcome, b: &FleetOutcome) {
-    assert_eq!(a.observed, b.observed);
-    assert_eq!(a.user_observed_indices, b.user_observed_indices);
-    assert_eq!(a.user_cells, b.user_cells);
-    assert_eq!(a.stats, b.stats);
-}
 
 proptest! {
     #[test]

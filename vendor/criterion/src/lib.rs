@@ -7,15 +7,17 @@
 //! `bench_with_input` and [`BenchmarkId`]), [`Bencher::iter`], and the
 //! [`criterion_group!`] / [`criterion_main!`] macros.
 //!
-//! Measurement is a plain wall-clock mean over `sample_size` samples
-//! (after a warm-up period), printed as one line per benchmark — no
-//! statistics, plots or HTML reports. When the `CRITERION_JSON`
-//! environment variable names a file, each result is also appended there
-//! as one JSON-lines record (`{"benchmark": ..., "mean_ns": ...}`, plus
+//! Measurement is wall-clock over `sample_size` samples (after a
+//! warm-up period), printed as one line per benchmark — no plots or
+//! HTML reports. When the `CRITERION_JSON` environment variable names a
+//! file, each result is also appended there as one JSON-lines record
+//! (`{"benchmark": ..., "mean_ns": ...}`, plus `"p50_ns"` / `"p95_ns"` /
+//! `"p99_ns"` nearest-rank percentiles over the per-sample times — the
+//! tail-latency view streaming benchmarks gate on — and
 //! `"peak_rss_bytes"` on Linux — the benchmark's peak resident set,
 //! measured via a best-effort `VmHWM` watermark reset per benchmark) so
-//! CI can archive machine-readable baselines and gate memory
-//! regressions next to runtime regressions. The file is truncated at
+//! CI can archive machine-readable baselines and gate memory and
+//! tail-latency regressions next to runtime regressions. The file is truncated at
 //! harness start so stale records (e.g. surviving a cached `target/`)
 //! never pollute a baseline; multi-binary `cargo bench` invocations that
 //! should accumulate into one file set `CRITERION_RUN_TOKEN` to a
@@ -160,14 +162,38 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// One benchmark's measurement: the mean plus nearest-rank percentiles
+/// over the per-sample times (each sample is the mean of one timed
+/// batch, so percentiles describe sample-to-sample variation — the
+/// tail-latency signal for per-slot streaming benches).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Mean wall-clock nanoseconds per call over all samples.
+    pub mean_ns: f64,
+    /// Median (50th percentile) of the per-sample times.
+    pub p50_ns: f64,
+    /// 95th percentile of the per-sample times.
+    pub p95_ns: f64,
+    /// 99th percentile of the per-sample times.
+    pub p99_ns: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted_ns: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted_ns.is_empty());
+    let rank = ((p / 100.0) * sorted_ns.len() as f64).ceil().max(1.0) as usize;
+    sorted_ns[rank.min(sorted_ns.len()) - 1]
+}
+
 /// Timer handle passed to each benchmark closure.
 pub struct Bencher<'a> {
     config: &'a Config,
-    mean_ns: Option<f64>,
+    measurement: Option<Measurement>,
 }
 
 impl Bencher<'_> {
-    /// Measures `routine`, recording the mean wall-clock time per call.
+    /// Measures `routine`, recording the mean wall-clock time per call
+    /// and per-sample percentiles.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // Warm up and estimate the per-iteration cost.
         let warm_start = Instant::now();
@@ -188,22 +214,31 @@ impl Bencher<'_> {
 
         let mut total = Duration::ZERO;
         let mut iters: u64 = 0;
+        let mut sample_ns = Vec::with_capacity(samples as usize);
         for _ in 0..samples {
             let start = Instant::now();
             for _ in 0..batch {
                 black_box(routine());
             }
-            total += start.elapsed();
+            let elapsed = start.elapsed();
+            sample_ns.push(elapsed.as_secs_f64() * 1e9 / batch as f64);
+            total += elapsed;
             iters += batch;
         }
-        self.mean_ns = Some(total.as_secs_f64() * 1e9 / iters as f64);
+        sample_ns.sort_by(f64::total_cmp);
+        self.measurement = Some(Measurement {
+            mean_ns: total.as_secs_f64() * 1e9 / iters as f64,
+            p50_ns: percentile(&sample_ns, 50.0),
+            p95_ns: percentile(&sample_ns, 95.0),
+            p99_ns: percentile(&sample_ns, 99.0),
+        });
     }
 }
 
 fn run_one(config: &Config, label: &str, mut f: impl FnMut(&mut Bencher)) {
     let mut bencher = Bencher {
         config,
-        mean_ns: None,
+        measurement: None,
     };
     // Clear the kernel's peak-RSS watermark so the value read after the
     // run is (best-effort) this benchmark's own peak, not an earlier
@@ -211,10 +246,14 @@ fn run_one(config: &Config, label: &str, mut f: impl FnMut(&mut Bencher)) {
     reset_peak_rss();
     f(&mut bencher);
     let peak_rss = peak_rss_bytes();
-    match bencher.mean_ns {
-        Some(ns) => {
-            println!("{label:<50} time: [{}]", format_ns(ns));
-            append_json_record(label, ns, peak_rss);
+    match bencher.measurement {
+        Some(m) => {
+            println!(
+                "{label:<50} time: [{}] p99: [{}]",
+                format_ns(m.mean_ns),
+                format_ns(m.p99_ns)
+            );
+            append_json_record(label, &m, peak_rss);
         }
         None => println!("{label:<50} time: [no measurement]"),
     }
@@ -256,7 +295,7 @@ fn reset_peak_rss() {
 /// against a cached `target/` — can never pollute an archived baseline;
 /// see [`prepare_json_output`] for how multi-binary `cargo bench`
 /// invocations accumulate into one file via `CRITERION_RUN_TOKEN`.
-fn append_json_record(label: &str, mean_ns: f64, peak_rss_bytes: Option<u64>) {
+fn append_json_record(label: &str, measurement: &Measurement, peak_rss_bytes: Option<u64>) {
     let Ok(path) = std::env::var("CRITERION_JSON") else {
         return;
     };
@@ -268,7 +307,7 @@ fn append_json_record(label: &str, mean_ns: f64, peak_rss_bytes: Option<u64>) {
     PREPARE.call_once(|| {
         prepare_json_output(&path, std::env::var("CRITERION_RUN_TOKEN").ok().as_deref());
     });
-    if let Err(e) = write_json_record(&path, label, mean_ns, peak_rss_bytes) {
+    if let Err(e) = write_json_record(&path, label, measurement, peak_rss_bytes) {
         eprintln!("criterion shim: cannot write {}: {e}", path.display());
     }
 }
@@ -314,13 +353,13 @@ fn sentinel_path(path: &std::path::Path) -> std::path::PathBuf {
     std::path::PathBuf::from(os)
 }
 
-/// Appends one JSON-lines record to `path`. `peak_rss_bytes` is
-/// included when the platform exposes it, so the CI gate can compare
-/// memory footprints next to runtimes.
+/// Appends one JSON-lines record to `path`: the mean, the per-sample
+/// latency percentiles (so CI can gate tail regressions), and
+/// `peak_rss_bytes` when the platform exposes it.
 fn write_json_record(
     path: &std::path::Path,
     label: &str,
-    mean_ns: f64,
+    measurement: &Measurement,
     peak_rss_bytes: Option<u64>,
 ) -> std::io::Result<()> {
     use std::io::Write;
@@ -334,7 +373,17 @@ fn write_json_record(
         })
         .collect();
     let rss = peak_rss_bytes.map_or(String::new(), |b| format!(", \"peak_rss_bytes\": {b}"));
-    let record = format!("{{\"benchmark\": \"{escaped}\", \"mean_ns\": {mean_ns:.1}{rss}}}\n");
+    let Measurement {
+        mean_ns,
+        p50_ns,
+        p95_ns,
+        p99_ns,
+    } = measurement;
+    let record = format!(
+        "{{\"benchmark\": \"{escaped}\", \"mean_ns\": {mean_ns:.1}, \
+         \"p50_ns\": {p50_ns:.1}, \"p95_ns\": {p95_ns:.1}, \
+         \"p99_ns\": {p99_ns:.1}{rss}}}\n"
+    );
     std::fs::OpenOptions::new()
         .create(true)
         .append(true)
@@ -421,25 +470,76 @@ mod tests {
         assert!(format_ns(5.0e10).ends_with('s'));
     }
 
+    fn flat(ns: f64) -> Measurement {
+        Measurement {
+            mean_ns: ns,
+            p50_ns: ns,
+            p95_ns: ns,
+            p99_ns: ns,
+        }
+    }
+
     #[test]
     fn json_records_append_as_json_lines() {
         let path =
             std::env::temp_dir().join(format!("criterion-shim-json-{}.jsonl", std::process::id()));
         let _ = std::fs::remove_file(&path);
-        write_json_record(&path, "group/\"quoted\"", 1234.5, None).unwrap();
-        write_json_record(&path, "plain", 7.0, Some(2048)).unwrap();
+        let first = Measurement {
+            mean_ns: 1234.5,
+            p50_ns: 1200.0,
+            p95_ns: 1500.25,
+            p99_ns: 1600.0,
+        };
+        write_json_record(&path, "group/\"quoted\"", &first, None).unwrap();
+        write_json_record(&path, "plain", &flat(7.0), Some(2048)).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         let _ = std::fs::remove_file(&path);
         let lines: Vec<&str> = content.lines().collect();
         assert_eq!(lines.len(), 2);
         assert_eq!(
             lines[0],
-            "{\"benchmark\": \"group/\\\"quoted\\\"\", \"mean_ns\": 1234.5}"
+            "{\"benchmark\": \"group/\\\"quoted\\\"\", \"mean_ns\": 1234.5, \
+             \"p50_ns\": 1200.0, \"p95_ns\": 1500.2, \"p99_ns\": 1600.0}"
         );
         assert_eq!(
             lines[1],
-            "{\"benchmark\": \"plain\", \"mean_ns\": 7.0, \"peak_rss_bytes\": 2048}"
+            "{\"benchmark\": \"plain\", \"mean_ns\": 7.0, \
+             \"p50_ns\": 7.0, \"p95_ns\": 7.0, \"p99_ns\": 7.0, \
+             \"peak_rss_bytes\": 2048}"
         );
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50.0);
+        assert_eq!(percentile(&sorted, 95.0), 95.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        // Small samples clamp sensibly: with 2 samples, p99 is the max.
+        assert_eq!(percentile(&[3.0, 9.0], 99.0), 9.0);
+        assert_eq!(percentile(&[3.0, 9.0], 50.0), 3.0);
+        assert_eq!(percentile(&[4.0], 99.0), 4.0);
+    }
+
+    #[test]
+    fn iter_produces_ordered_percentiles() {
+        let mut c = quick();
+        c.bench_function("ordered", |b| b.iter(|| std::hint::black_box(2u64.pow(10))));
+        // Internal invariant exercised through a direct Bencher run.
+        let config = Config {
+            sample_size: 8,
+            measurement_time: Duration::from_millis(8),
+            warm_up_time: Duration::from_millis(1),
+        };
+        let mut bencher = Bencher {
+            config: &config,
+            measurement: None,
+        };
+        bencher.iter(|| std::hint::black_box(1 + 1));
+        let m = bencher.measurement.expect("measured");
+        assert!(m.p50_ns <= m.p95_ns);
+        assert!(m.p95_ns <= m.p99_ns);
+        assert!(m.mean_ns > 0.0);
     }
 
     #[test]
@@ -464,7 +564,7 @@ mod tests {
         std::fs::write(&path, "{\"benchmark\": \"stale\", \"mean_ns\": 1.0}\n").unwrap();
         prepare_json_output(&path, None);
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
-        write_json_record(&path, "fresh", 2.0, None).unwrap();
+        write_json_record(&path, "fresh", &flat(2.0), None).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         let _ = std::fs::remove_file(&path);
         assert_eq!(content.lines().count(), 1);
@@ -482,17 +582,17 @@ mod tests {
 
         // First binary of run A truncates the stale file and stamps it.
         prepare_json_output(&path, Some("run-A"));
-        write_json_record(&path, "a1", 1.0, None).unwrap();
+        write_json_record(&path, "a1", &flat(1.0), None).unwrap();
         // Sibling binary of the same run appends.
         prepare_json_output(&path, Some("run-A"));
-        write_json_record(&path, "a2", 2.0, None).unwrap();
+        write_json_record(&path, "a2", &flat(2.0), None).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(!content.contains("stale"));
         assert_eq!(content.lines().count(), 2, "{content}");
 
         // A new invocation (fresh token) starts the file over.
         prepare_json_output(&path, Some("run-B"));
-        write_json_record(&path, "b1", 3.0, None).unwrap();
+        write_json_record(&path, "b1", &flat(3.0), None).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&sentinel);
