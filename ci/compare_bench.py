@@ -29,6 +29,16 @@ never fail the gate (benches get added and retired); a record missing
 ``peak_rss_bytes`` on either side skips the RSS comparison for that
 benchmark (non-Linux shims omit the field); duplicate names within one
 file keep the last record (append-mode leftovers).
+
+Files may also carry ``{"metadata": {...}}`` lines describing the
+measurement environment (worker-pool thread count, kernel lane width).
+These are never gated — a machine-shape change is context for a human
+reading a regression, not a regression itself — but both sides' merged
+metadata is printed with the report, and keys whose values differ
+between baseline and current are called out so a "regression" caused by
+a core-count change reads as a machine change. Because the gate joins on
+benchmark *name*, new benchmark groups (e.g. ``kernels/*``) are gated
+automatically once both sides record them.
 """
 
 from __future__ import annotations
@@ -60,7 +70,9 @@ def load_records(path: str) -> Dict[str, Dict[str, float]]:
     ``mean_ns`` is required per record; the latency percentiles
     (``p50_ns``/``p95_ns``/``p99_ns``) and ``peak_rss_bytes`` are kept
     when present and parseable (pre-percentile baselines simply lack
-    them, which skips those comparisons). Unparsable lines are skipped
+    them, which skips those comparisons). ``{"metadata": ...}`` lines
+    are environment stamps, not benchmarks — skipped here without a
+    warning (``load_metadata`` reads them). Unparsable lines are skipped
     with a warning on stderr — a truncated record must not turn the gate
     into a hard failure. Duplicate names keep the last occurrence.
     """
@@ -72,6 +84,8 @@ def load_records(path: str) -> Dict[str, Dict[str, float]]:
                 continue
             try:
                 record = json.loads(line)
+                if isinstance(record, dict) and "metadata" in record:
+                    continue
                 name = record["benchmark"]
                 metrics = {"mean_ns": float(record["mean_ns"])}
             except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
@@ -93,6 +107,54 @@ def load_records(path: str) -> Dict[str, Dict[str, float]]:
                     )
             records[str(name)] = metrics
     return records
+
+
+def load_metadata(path: str) -> Dict[str, object]:
+    """Merges a file's ``{"metadata": {...}}`` lines into one dict.
+
+    Later lines win on key collision (each bench binary stamps the same
+    environment, so collisions carry identical values in practice).
+    Returns an empty dict for a missing file or one with no metadata
+    lines — pre-metadata baselines are still comparable. Malformed lines
+    are ignored without a warning: ``load_records`` already owns
+    diagnostics for the lines that matter to the gate.
+    """
+    merged: Dict[str, object] = {}
+    if not os.path.exists(path):
+        return merged
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(record, dict):
+                continue
+            metadata = record.get("metadata")
+            if isinstance(metadata, dict):
+                merged.update(metadata)
+    return merged
+
+
+def _report_metadata(
+    baseline_meta: Dict[str, object], current_meta: Dict[str, object]
+) -> List[str]:
+    """Informational metadata lines, flagging baseline/current drift."""
+    lines: List[str] = []
+    for key in sorted(set(baseline_meta) | set(current_meta)):
+        base = baseline_meta.get(key)
+        cur = current_meta.get(key)
+        if base == cur:
+            lines.append(f"  [env     ] {key}: {cur}")
+        else:
+            lines.append(
+                f"  [env CHANGED] {key}: {base} -> {cur} "
+                f"(interpret regressions below with this in mind)"
+            )
+    return lines
 
 
 def _compare_metric(
@@ -192,6 +254,10 @@ def main(argv: List[str]) -> int:
 
     report, regressions = compare(baseline, current, args.threshold)
     print(f"bench comparison (threshold +{args.threshold:.0%}):")
+    for line in _report_metadata(
+        load_metadata(args.baseline), load_metadata(args.current)
+    ):
+        print(line)
     for line in report:
         print(line)
     if regressions:

@@ -15,7 +15,7 @@ import unittest
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from compare_bench import compare, load_records, main  # noqa: E402
+from compare_bench import compare, load_metadata, load_records, main  # noqa: E402
 
 
 def write_jsonl(path, records):
@@ -130,6 +130,21 @@ class CompareTests(unittest.TestCase):
         _, regressions = compare(current, baseline, 0.25)
         self.assertEqual(regressions, [])
 
+    def test_kernels_group_is_gated_like_any_other_benchmark(self):
+        # The microbenchmark group joins the baseline by name alone:
+        # no allowlist to update when a group is added, and a >25%
+        # kernel regression fails the gate exactly like a pipeline one.
+        baseline = {
+            "kernels/gather_add_dense/1000000": ns_p99(1000.0, 1100.0),
+            "kernels/argmax/1000000": ns(500.0),
+        }
+        current = {
+            "kernels/gather_add_dense/1000000": ns_p99(1400.0, 1100.0),  # +40%
+            "kernels/argmax/1000000": ns(510.0),
+        }
+        _, regressions = compare(baseline, current, 0.25)
+        self.assertEqual(regressions, ["kernels/gather_add_dense/1000000 [mean_ns]"])
+
     def test_missing_rss_on_either_side_skips_the_rss_gate(self):
         # Baseline predates RSS recording (or non-Linux shim): only
         # mean_ns is compared, a huge RSS value cannot fail the gate.
@@ -168,6 +183,45 @@ class LoadTests(unittest.TestCase):
             self.assertEqual(
                 load_records(path), {"good": ns(5.0), "bad_rss": ns(6.0)}
             )
+
+    def test_metadata_lines_are_skipped_without_a_warning(self):
+        # Environment stamps interleave with benchmark records in the
+        # same JSON-lines file; load_records must pass over them
+        # silently (no "malformed record" noise on every CI run).
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "bench.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write('{"metadata": {"worker_pool_threads": 8}}\n')
+                handle.write('{"benchmark": "a", "mean_ns": 5.0}\n')
+                handle.write('{"metadata": {"lane_width": 8}}\n')
+            import contextlib
+            import io
+
+            stderr = io.StringIO()
+            with contextlib.redirect_stderr(stderr):
+                records = load_records(path)
+            self.assertEqual(records, {"a": ns(5.0)})
+            self.assertEqual(stderr.getvalue(), "")
+
+    def test_load_metadata_merges_all_metadata_lines(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "bench.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write('{"metadata": {"worker_pool_threads": 8}}\n')
+                handle.write('{"benchmark": "a", "mean_ns": 5.0}\n')
+                handle.write('{"metadata": {"lane_width": 8}}\n')
+                handle.write("not json\n")
+            self.assertEqual(
+                load_metadata(path),
+                {"worker_pool_threads": 8, "lane_width": 8},
+            )
+
+    def test_load_metadata_tolerates_missing_file_and_no_stamps(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            self.assertEqual(load_metadata(os.path.join(tmp, "nope.json")), {})
+            path = os.path.join(tmp, "bench.json")
+            write_jsonl(path, [("a", 1.0)])
+            self.assertEqual(load_metadata(path), {})
 
 
 class MainExitCodeTests(unittest.TestCase):

@@ -8,7 +8,7 @@
 //! watermark — `peak_rss_bytes`, so a memory regression in the columnar
 //! store fails CI the same way a runtime regression does.
 
-use chaff_bench::fixture_chain;
+use chaff_bench::{fixture_chain, record_bench_metadata};
 use chaff_core::detector::BatchPrefixDetector;
 use chaff_markov::models::ModelKind;
 use chaff_sim::fleet::{FleetChaffPolicy, FleetChaffStrategy, FleetConfig, FleetSimulation};
@@ -80,6 +80,11 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
+/// Stamps pool size and lane width into the baseline before any record.
+fn bench_metadata(_c: &mut Criterion) {
+    record_bench_metadata();
+}
+
 fn configured() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -91,6 +96,7 @@ criterion_group! {
     name = fleet_scale;
     config = configured();
     targets =
+        bench_metadata,
         bench_simulate,
         bench_detect_columnar,
         bench_pipeline,

@@ -13,9 +13,13 @@
 //! The engines are built with a horizon far beyond what the time
 //! budget can consume, so the routine never hits the end-of-horizon
 //! path mid-measurement; streaming state is horizon-independent, so
-//! the oversized horizon costs nothing.
+//! the oversized horizon costs nothing. Each bench function builds its
+//! engine **once** and pre-warms it past the slot-ring depth before
+//! handing it to the measurement loop, so every measured sample is a
+//! steady-state step — construction, first-touch faulting and the
+//! ring's initial buffer growth never contaminate the percentiles.
 
-use chaff_bench::fixture_chain;
+use chaff_bench::{fixture_chain, record_bench_metadata};
 use chaff_markov::models::ModelKind;
 use chaff_sim::fleet::{FleetChaffPolicy, FleetChaffStrategy, FleetConfig};
 use chaff_sim::streaming::StreamingFleetEngine;
@@ -38,6 +42,7 @@ fn bench_step_chaffed(c: &mut Criterion) {
         &policy,
     )
     .expect("valid streaming config");
+    prewarm(&mut engine);
     let mut group = c.benchmark_group("fleet_stream/step_chaffed");
     group.bench_with_input(BenchmarkId::from_parameter(users), &users, |b, _| {
         b.iter(|| black_box(engine.step().unwrap()))
@@ -57,11 +62,31 @@ fn bench_step_million(c: &mut Criterion) {
         &policy,
     )
     .expect("valid streaming config");
+    prewarm(&mut engine);
     let mut group = c.benchmark_group("fleet_stream/step");
     group.bench_with_input(BenchmarkId::from_parameter(users), &users, |b, _| {
         b.iter(|| black_box(engine.step().unwrap()))
     });
     group.finish();
+}
+
+/// Steps the shared engine past its slot-ring depth outside measurement:
+/// the ring recycles buffers only once full, so the first `ring_depth`
+/// steps allocate where every later step does not. After this, the
+/// measured routine is pure steady-state — no construction, no buffer
+/// growth — and `p99_ns` is the per-slot tail, not a setup artifact.
+fn prewarm(engine: &mut StreamingFleetEngine) {
+    for _ in 0..=engine.ring_depth() {
+        engine
+            .step()
+            .expect("pre-warm step")
+            .expect("horizon covers pre-warm");
+    }
+}
+
+/// Stamps pool size and lane width into the baseline before any record.
+fn bench_metadata(_c: &mut Criterion) {
+    record_bench_metadata();
 }
 
 fn configured() -> Criterion {
@@ -75,6 +100,7 @@ criterion_group! {
     name = fleet_stream;
     config = configured();
     targets =
+        bench_metadata,
         bench_step_chaffed,
         bench_step_million,
 }

@@ -45,3 +45,20 @@ pub fn fixture_user(chain: &MarkovChain, horizon: usize, seed: u64) -> chaff_mar
     let mut rng = StdRng::seed_from_u64(seed);
     chain.sample_trajectory(horizon, &mut rng)
 }
+
+/// Stamps the measurement environment into the `CRITERION_JSON`
+/// baseline: the worker-pool thread count every sharded hot path
+/// dispatches onto, and the `f64` lane width the detection kernels chunk
+/// by. Call once per bench binary (a no-op when `CRITERION_JSON` is
+/// unset), so archived baselines record what machine shape produced
+/// them — a 2× "regression" after a move from 16 to 8 cores reads as a
+/// machine change, not a code change.
+pub fn record_bench_metadata() {
+    criterion::record_metadata(&[
+        (
+            "worker_pool_threads",
+            chaff_core::pool::global().threads() as u64,
+        ),
+        ("lane_width", chaff_markov::LANE_WIDTH as u64),
+    ]);
+}

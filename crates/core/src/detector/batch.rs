@@ -11,7 +11,9 @@
 //!    [`LogLikelihoodTable`] (columnar kernel, no `ln` on the hot path);
 //! 2. trajectories are split into contiguous index shards, and each shard
 //!    accumulates its slice of the flat `N × T` cumulative-score matrix
-//!    slot by slot via `std::thread::scope`;
+//!    slot by slot on the process-wide worker [`pool`](crate::pool) (no
+//!    per-call thread spawns) through the vectorized per-slot kernels of
+//!    [`kernel`];
 //! 3. every shard extracts its per-slot argmax candidates (and optional
 //!    top-k) *during* the accumulation pass, so building the per-slot
 //!    [`Detection`]s is a cheap cross-shard merge instead of a fresh
@@ -28,10 +30,11 @@
 //! class (best class per prefix), with the same sharded, reproducible
 //! semantics.
 
+use super::kernel::{self, fold};
 use super::ml::validate_observations;
 use super::{argmax_set, Detection};
 use crate::{loglik_cmp, Result};
-use chaff_markov::{CellGrid, CellId, LogLikelihoodTable, MarkovChain, Trajectory};
+use chaff_markov::{CellGrid, LogLikelihoodTable, MarkovChain, Trajectory};
 
 /// Largest supported population: candidate trackers store service
 /// indices as `u32` (half the footprint of `usize` at fleet scale), so
@@ -135,7 +138,7 @@ impl BatchPrefixDetector {
             }
         } else {
             let chunk = n.div_ceil(shards);
-            std::thread::scope(|scope| {
+            crate::pool::global().scope(|scope| {
                 for (slice, xs) in scores.chunks_mut(chunk).zip(observed.chunks(chunk)) {
                     let table = &table;
                     scope.spawn(move || {
@@ -381,7 +384,7 @@ impl BatchPrefixDetector {
         let horizon = observed.first().map_or(0, Trajectory::len);
         self.run_sharded(observed.len(), horizon, |range| {
             if keep_block {
-                Ok(shard_pass_block(table, observed, range, top_k))
+                shard_pass_block(table, observed, range, top_k)
             } else {
                 shard_pass_light(table, observed, range)
             }
@@ -390,8 +393,8 @@ impl BatchPrefixDetector {
 
     /// The sharding scaffold shared by every pass: splits the population
     /// of `n` trajectories into contiguous index ranges, runs `pass` per
-    /// range (on scoped threads when more than one range exists) and
-    /// joins in shard order.
+    /// range (on the shared worker pool when more than one range exists)
+    /// and collects results in shard order.
     fn run_sharded<F>(&self, n: usize, horizon: usize, pass: F) -> Result<ShardedScores>
     where
         F: Fn((usize, usize)) -> Result<ShardScores> + Sync,
@@ -405,29 +408,26 @@ impl BatchPrefixDetector {
         let shards: Result<Vec<ShardScores>> = if ranges.len() <= 1 {
             pass(ranges.first().map_or((0, 0), |&r| r)).map(|s| vec![s])
         } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = ranges
-                    .iter()
-                    .map(|&range| {
-                        let pass = &pass;
-                        scope.spawn(move || pass(range))
-                    })
-                    .collect();
-                // Joining in shard order makes the lowest erroring shard
-                // win, so the same error *variant* surfaces for every
-                // shard count (the reported cell may differ from the
-                // sequential path's, which scans trajectory by
-                // trajectory rather than slot-paired). A panicking shard
-                // is re-raised on the caller's thread rather than
-                // reported as a fresh panic site.
-                handles
-                    .into_iter()
-                    .map(|h| match h.join() {
-                        Ok(result) => result,
-                        Err(payload) => std::panic::resume_unwind(payload),
-                    })
-                    .collect()
-            })
+            // Dispatch onto the process-wide worker pool — repeated
+            // detection calls reuse the same parked threads instead of
+            // spawning per call. Collecting results in shard order makes
+            // the lowest erroring shard win, so the same error *variant*
+            // surfaces for every shard count (the reported cell may
+            // differ from the sequential path's, which scans trajectory
+            // by trajectory rather than slot-paired). A panicking shard
+            // is re-raised on the caller's thread by the pool scope,
+            // lowest shard first.
+            let mut slots: Vec<Option<Result<ShardScores>>> = ranges.iter().map(|_| None).collect();
+            crate::pool::global().scope(|scope| {
+                for (&range, slot) in ranges.iter().zip(slots.iter_mut()) {
+                    let pass = &pass;
+                    scope.spawn(move || *slot = Some(pass(range)));
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("pool scope ran every shard"))
+                .collect()
         };
         Ok(ShardedScores {
             horizon,
@@ -507,94 +507,6 @@ fn light_shard_scores(
 /// updated score is folded into the slot's running max / tie trackers in
 /// ascending index order.
 ///
-/// This is *the* per-slot inner loop of the batch columnar pass, shared
-/// verbatim with [`StreamingPrefixDetector`](super::StreamingPrefixDetector)
-/// so the online path is bit-for-bit the batch path by construction.
-#[allow(clippy::too_many_arguments)] // hot kernel: flat args keep the call free of wrapper structs
-pub(super) fn advance_slot_single(
-    table: &LogLikelihoodTable,
-    states: usize,
-    lo: usize,
-    row: &[CellId],
-    prev_row: Option<&[CellId]>,
-    accs: &mut [f64],
-    best: &mut f64,
-    slot: &mut Vec<(u32, f64)>,
-) -> Result<()> {
-    match prev_row {
-        None => {
-            for (j, (&cell, acc)) in row.iter().zip(accs.iter_mut()).enumerate() {
-                if cell.index() >= states {
-                    return Err(crate::CoreError::CellOutOfRange {
-                        cell: cell.index(),
-                        states,
-                    });
-                }
-                *acc = table.log_initial(cell);
-                fold(best, slot, service_index(lo, j), *acc);
-            }
-        }
-        Some(prev_row) => {
-            for (j, ((&cell, &prev), acc)) in
-                row.iter().zip(prev_row).zip(accs.iter_mut()).enumerate()
-            {
-                if cell.index() >= states {
-                    return Err(crate::CoreError::CellOutOfRange {
-                        cell: cell.index(),
-                        states,
-                    });
-                }
-                // -inf + -inf is fine; +inf never occurs (increments
-                // are log-probs <= 0), so no NaN can appear.
-                *acc += table.log_transition(prev, cell);
-                fold(best, slot, service_index(lo, j), *acc);
-            }
-        }
-    }
-    Ok(())
-}
-
-/// Advances one slot of the multi-class (mixture) columnar kernel: the
-/// class-major accumulator block `accs[j * classes + k]` advances every
-/// `(trajectory, class)` lane by one step, and trajectory `lo + j`'s
-/// prefix score — the *maximum* lane, the best class explanation — is
-/// folded into the slot trackers in ascending index order.
-///
-/// Shared between the batch mixture pass and
-/// [`StreamingPrefixDetector`](super::StreamingPrefixDetector), exactly
-/// like [`advance_slot_single`].
-#[allow(clippy::too_many_arguments)] // hot kernel: flat args keep the call free of wrapper structs
-pub(super) fn advance_slot_mixture(
-    tables: &[&LogLikelihoodTable],
-    states: usize,
-    lo: usize,
-    row: &[CellId],
-    prev_row: Option<&[CellId]>,
-    accs: &mut [f64],
-    best: &mut f64,
-    slot: &mut Vec<(u32, f64)>,
-) -> Result<()> {
-    let classes = tables.len();
-    for (j, (&cell, lanes)) in row.iter().zip(accs.chunks_mut(classes)).enumerate() {
-        if cell.index() >= states {
-            return Err(crate::CoreError::CellOutOfRange {
-                cell: cell.index(),
-                states,
-            });
-        }
-        let prev = prev_row.map(|r| r[j]);
-        let mut score = f64::NEG_INFINITY;
-        for (acc, table) in lanes.iter_mut().zip(tables) {
-            *acc += table.step(prev, cell);
-            if *acc > score {
-                score = *acc;
-            }
-        }
-        fold(best, slot, service_index(lo, j), score);
-    }
-    Ok(())
-}
-
 /// The columnar streaming shard pass behind
 /// [`BatchPrefixDetector::detect_prefixes_columnar_with_table`]: walks
 /// the grid slot row by slot row (unit stride, exactly the storage
@@ -612,7 +524,6 @@ fn shard_pass_columnar(
     (lo, hi): (usize, usize),
 ) -> Result<ShardScores> {
     let horizon = observed.horizon();
-    let states = table.num_states();
     let width = hi - lo;
     let mut maxima = vec![f64::NEG_INFINITY; horizon];
     let mut candidates: Vec<Vec<(u32, f64)>> = vec![Vec::new(); horizon];
@@ -627,7 +538,7 @@ fn shard_pass_columnar(
         } else {
             Some(&observed.row(t - 1)[lo..hi])
         };
-        advance_slot_single(table, states, lo, row, prev_row, &mut accs, best, slot)?;
+        kernel::advance_slot_single(table, lo, row, prev_row, &mut accs, best, slot)?;
     }
     Ok(light_shard_scores((lo, hi), maxima, candidates))
 }
@@ -646,14 +557,14 @@ fn shard_pass_columnar_mixture(
     (lo, hi): (usize, usize),
 ) -> Result<ShardScores> {
     let horizon = observed.horizon();
-    let states = tables[0].num_states();
     let width = hi - lo;
     let classes = tables.len();
     let mut maxima = vec![f64::NEG_INFINITY; horizon];
     let mut candidates: Vec<Vec<(u32, f64)>> = vec![Vec::new(); horizon];
-    // accs[j * classes + k]: trajectory `lo + j`'s running score under
-    // class `k`.
+    // Class-major: accs[k * width + j] is trajectory `lo + j`'s running
+    // score under class `k`, so each class advances contiguously.
     let mut accs = vec![0.0f64; width * classes];
+    let mut scores = vec![0.0f64; width];
     for ((t, best), slot) in (0..horizon)
         .zip(maxima.iter_mut())
         .zip(candidates.iter_mut())
@@ -664,7 +575,16 @@ fn shard_pass_columnar_mixture(
         } else {
             Some(&observed.row(t - 1)[lo..hi])
         };
-        advance_slot_mixture(tables, states, lo, row, prev_row, &mut accs, best, slot)?;
+        kernel::advance_slot_mixture(
+            tables,
+            lo,
+            row,
+            prev_row,
+            &mut accs,
+            &mut scores,
+            best,
+            slot,
+        )?;
     }
     Ok(light_shard_scores((lo, hi), maxima, candidates))
 }
@@ -694,25 +614,6 @@ struct ShardScores {
 struct ShardedScores {
     horizon: usize,
     shards: Vec<ShardScores>,
-}
-
-/// Folds one cumulative score into a slot's running max / tie trackers.
-/// Calls must arrive in increasing trajectory index per slot so tie sets
-/// stay ascending.
-///
-/// The running tie tracking is equivalent to `argmax_set`'s two-pass
-/// (exact max, then tolerance filter): the running max only grows, so a
-/// score outside tolerance of the running max can never re-enter, and
-/// every max update re-filters the surviving candidates.
-#[inline(always)]
-pub(super) fn fold(best: &mut f64, slot: &mut Vec<(u32, f64)>, i: u32, acc: f64) {
-    if acc > *best {
-        *best = acc;
-        slot.retain(|&(_, s)| loglik_cmp(s, acc).is_eq());
-        slot.push((i, acc));
-    } else if loglik_cmp(acc, *best).is_eq() {
-        slot.push((i, acc));
-    }
 }
 
 /// The multi-class (mixture) shard pass behind
@@ -862,10 +763,12 @@ fn shard_pass_block(
     observed: &[Trajectory],
     (lo, hi): (usize, usize),
     top_k: usize,
-) -> ShardScores {
+) -> Result<ShardScores> {
     let width = hi - lo;
     let horizon = observed.first().map_or(0, Trajectory::len);
-    let mut block = table.step_log_likelihoods_batch(&observed[lo..hi]);
+    let mut block = table
+        .step_log_likelihoods_batch(&observed[lo..hi])
+        .map_err(kernel::map_markov)?;
     let mut maxima = Vec::with_capacity(horizon);
     let mut ties = Vec::new();
     let mut tie_starts = Vec::with_capacity(horizon + 1);
@@ -907,7 +810,7 @@ fn shard_pass_block(
         }
         top_starts.push(top.len());
     }
-    ShardScores {
+    Ok(ShardScores {
         lo,
         hi,
         block: Some(block),
@@ -916,7 +819,7 @@ fn shard_pass_block(
         tie_starts,
         top,
         top_starts,
-    }
+    })
 }
 
 /// Inserts `(index, score)` into the slot's running top-k buffer

@@ -26,6 +26,7 @@
 
 mod advanced;
 pub mod batch;
+pub mod kernel;
 mod ml;
 pub mod streaming;
 

@@ -10,18 +10,22 @@
 //! running cumulative-score state between slots.
 //!
 //! Both paths share one per-slot kernel
-//! (`advance_slot_single` / `advance_slot_mixture` in `batch.rs`),
-//! so a streamed run is bit-for-bit the batch run *by construction*: the
-//! same accumulator updates in the same order, the same fold into the
-//! per-slot max/tie trackers, the same cross-shard merge semantics.
+//! ([`advance_slot_single`](super::kernel::advance_slot_single) /
+//! [`advance_slot_mixture`](super::kernel::advance_slot_mixture) in
+//! [`kernel`]), so a streamed run is bit-for-bit the batch
+//! run *by construction*: the same accumulator updates in the same order,
+//! the same two-pass argmax over the refreshed scores, the same
+//! cross-shard merge semantics. Multi-shard pushes dispatch onto the
+//! process-wide [`pool`] — a per-slot push never spawns an
+//! OS thread.
 //!
 //! State is `O(N · classes)` — independent of the horizon. The batch
 //! path's per-shard maxima/tie concatenations (sized by the horizon)
 //! never exist here; each slot's candidates are merged and discarded
 //! before the next row arrives.
 
-use super::{batch, Detection};
-use crate::{loglik_cmp, Result};
+use super::{batch, kernel, Detection};
+use crate::{loglik_cmp, pool, Result};
 use chaff_markov::{CellId, LogLikelihoodTable};
 
 /// Incremental maximum-likelihood prefix detector: one [`Detection`] per
@@ -70,24 +74,30 @@ pub struct StreamingPrefixDetector {
     last_top: Vec<usize>,
 }
 
-/// One shard's running state: the index range it owns and the cumulative
-/// score accumulators for every `(trajectory, class)` lane in that range.
+/// One shard's running state: the index range it owns, the cumulative
+/// score accumulators for every `(trajectory, class)` lane in that range,
+/// and the reusable per-slot scratch its shard pass writes into — owning
+/// the scratch keeps the steady-state push loop allocation-free.
 #[derive(Debug, Clone)]
 struct ShardLane {
     lo: usize,
     hi: usize,
-    /// `accs[j * classes + k]`: trajectory `lo + j`'s running score under
-    /// class `k` (single-class layouts collapse to `accs[j]`).
+    /// Class-major accumulator block: `accs[k * width + j]` is trajectory
+    /// `lo + j`'s running score under class `k` (`width == hi - lo`;
+    /// single-class layouts collapse to `accs[j]`) — the layout the
+    /// mixture kernel advances one contiguous class block at a time.
     accs: Vec<f64>,
-}
-
-/// One shard's per-slot extraction result, merged immediately after the
-/// slot completes (never retained across slots).
-struct SlotExtract {
+    /// Per-trajectory best-class scores of the current slot (mixture
+    /// only; empty — and unused — for single-class layouts, where `accs`
+    /// already *is* the per-trajectory score row).
+    scores: Vec<f64>,
+    /// The slot's shard-local exact maximum (reset every push).
     best: f64,
-    /// Argmax candidates `(global index, score)`, ascending by index.
+    /// Argmax candidates `(global index, score)`, ascending by index
+    /// (reset every push, capacity retained).
     candidates: Vec<(u32, f64)>,
-    /// Shard-local top-k `(index, score)`, best first.
+    /// Shard-local top-k `(index, score)`, best first (reset every push,
+    /// capacity retained).
     top: Vec<(u32, f64)>,
 }
 
@@ -155,6 +165,14 @@ impl StreamingPrefixDetector {
                 lo,
                 hi,
                 accs: vec![0.0f64; (hi - lo) * classes],
+                scores: if classes > 1 {
+                    vec![0.0f64; hi - lo]
+                } else {
+                    Vec::new()
+                },
+                best: f64::NEG_INFINITY,
+                candidates: Vec::new(),
+                top: Vec::new(),
             })
             .collect();
         Ok(StreamingPrefixDetector {
@@ -192,11 +210,16 @@ impl StreamingPrefixDetector {
     }
 
     /// Bytes of horizon-independent running state: the accumulator block
-    /// (`8 · N · classes`) plus the previous slot row (`4 · N`). This is
-    /// the detector's whole memory of the stream — it does not grow with
-    /// the number of slots pushed.
+    /// (`8 · N · classes`), the mixture best-class score row (`8 · N`,
+    /// absent for single-class layouts) and the previous slot row
+    /// (`4 · N`). This is the detector's whole memory of the stream — it
+    /// does not grow with the number of slots pushed.
     pub fn state_bytes(&self) -> usize {
-        let accs: usize = self.lanes.iter().map(|l| l.accs.len() * 8).sum();
+        let accs: usize = self
+            .lanes
+            .iter()
+            .map(|l| (l.accs.len() + l.scores.len()) * 8)
+            .sum();
         accs + self.prev_row.capacity() * 4
     }
 
@@ -246,49 +269,39 @@ impl StreamingPrefixDetector {
         } else {
             Some(self.prev_row.as_slice())
         };
-        let tables: Vec<&LogLikelihoodTable> = self.tables.iter().collect();
-        let states = self.states;
+        let tables = self.tables.as_slice();
         let top_k = self.top_k;
-        let extracts: Result<Vec<SlotExtract>> = if self.lanes.len() <= 1 {
-            self.lanes
-                .iter_mut()
-                .map(|lane| advance_lane(&tables, states, lane, row, prev, top_k))
-                .collect()
+        if self.lanes.len() <= 1 {
+            for lane in self.lanes.iter_mut() {
+                advance_lane(tables, lane, row, prev, top_k)?;
+            }
         } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .lanes
-                    .iter_mut()
-                    .map(|lane| {
-                        let tables = &tables;
-                        scope.spawn(move || advance_lane(tables, states, lane, row, prev, top_k))
-                    })
-                    .collect();
-                // Join in shard order (lowest erroring shard wins, panics
-                // re-raised on the caller's thread) — the batch
-                // scaffold's semantics.
-                handles
-                    .into_iter()
-                    .map(|h| match h.join() {
-                        Ok(result) => result,
-                        Err(payload) => std::panic::resume_unwind(payload),
-                    })
-                    .collect()
-            })
-        };
-        let extracts = extracts?;
+            // Dispatch the shard passes onto the process-wide worker pool
+            // (no per-push thread spawns); the pool scope re-raises shard
+            // panics lowest index first, and errors are collected in
+            // shard order — the batch scaffold's semantics.
+            let mut slots: Vec<Option<Result<()>>> = self.lanes.iter().map(|_| None).collect();
+            pool::global().scope(|scope| {
+                for (lane, slot) in self.lanes.iter_mut().zip(slots.iter_mut()) {
+                    scope.spawn(move || *slot = Some(advance_lane(tables, lane, row, prev, top_k)));
+                }
+            });
+            for slot in slots {
+                slot.expect("pool scope ran every shard lane")?;
+            }
+        }
         // Cross-shard merge: exact global max first, tolerance filter
         // second, shards visited in index order — `merge_detections` for
         // a single slot.
         let mut best = f64::NEG_INFINITY;
-        for extract in &extracts {
-            if extract.best > best {
-                best = extract.best;
+        for lane in &self.lanes {
+            if lane.best > best {
+                best = lane.best;
             }
         }
         let mut tie_set = Vec::new();
-        for extract in &extracts {
-            for &(i, s) in &extract.candidates {
+        for lane in &self.lanes {
+            for &(i, s) in &lane.candidates {
                 if loglik_cmp(s, best).is_eq() {
                     tie_set.push(i as usize);
                 }
@@ -296,8 +309,8 @@ impl StreamingPrefixDetector {
         }
         if self.top_k > 0 {
             let mut merged: Vec<(u32, f64)> = Vec::new();
-            for extract in &extracts {
-                merged.extend_from_slice(&extract.top);
+            for lane in &self.lanes {
+                merged.extend_from_slice(&lane.top);
             }
             merged.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
             merged.truncate(self.top_k);
@@ -312,64 +325,65 @@ impl StreamingPrefixDetector {
     }
 }
 
-/// Advances one shard by one slot through the shared batch kernel and
-/// extracts the slot's argmax candidates (and optional top-k) from the
-/// refreshed accumulators.
+/// Advances one shard by one slot through the shared vectorized kernel
+/// and extracts the slot's argmax candidates (and optional top-k) from
+/// the refreshed accumulators into the lane's reusable scratch.
 fn advance_lane(
-    tables: &[&LogLikelihoodTable],
-    states: usize,
+    tables: &[LogLikelihoodTable],
     lane: &mut ShardLane,
     row: &[CellId],
     prev: Option<&[CellId]>,
     top_k: usize,
-) -> Result<SlotExtract> {
-    let mut best = f64::NEG_INFINITY;
-    let mut candidates = Vec::new();
+) -> Result<()> {
+    lane.best = f64::NEG_INFINITY;
+    lane.candidates.clear();
+    lane.top.clear();
     let shard_row = &row[lane.lo..lane.hi];
     let shard_prev = prev.map(|p| &p[lane.lo..lane.hi]);
     // Dispatch exactly like the batch entry point: one table runs the
     // single-table kernel, several run the mixture kernel.
     if tables.len() == 1 {
-        batch::advance_slot_single(
-            tables[0],
-            states,
+        kernel::advance_slot_single(
+            &tables[0],
             lane.lo,
             shard_row,
             shard_prev,
             &mut lane.accs,
-            &mut best,
-            &mut candidates,
+            &mut lane.best,
+            &mut lane.candidates,
         )?;
     } else {
-        batch::advance_slot_mixture(
+        kernel::advance_slot_mixture(
             tables,
-            states,
             lane.lo,
             shard_row,
             shard_prev,
             &mut lane.accs,
-            &mut best,
-            &mut candidates,
+            &mut lane.scores,
+            &mut lane.best,
+            &mut lane.candidates,
         )?;
     }
-    let mut top = Vec::new();
     if top_k > 0 {
-        let classes = tables.len();
-        for (j, lanes) in lane.accs.chunks(classes).enumerate() {
-            let mut score = f64::NEG_INFINITY;
-            for &acc in lanes {
-                if acc > score {
-                    score = acc;
-                }
-            }
-            batch::insert_top_k(&mut top, 0, top_k, batch::service_index(lane.lo, j), score);
+        // The per-trajectory score row the kernel just refreshed: the
+        // accumulators themselves for one class, the materialized
+        // best-class row for a mixture.
+        let scores = if tables.len() == 1 {
+            &lane.accs
+        } else {
+            &lane.scores
+        };
+        for (j, &score) in scores.iter().enumerate() {
+            batch::insert_top_k(
+                &mut lane.top,
+                0,
+                top_k,
+                batch::service_index(lane.lo, j),
+                score,
+            );
         }
     }
-    Ok(SlotExtract {
-        best,
-        candidates,
-        top,
-    })
+    Ok(())
 }
 
 #[cfg(test)]

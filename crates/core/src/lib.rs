@@ -59,7 +59,7 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
@@ -67,6 +67,7 @@ mod error;
 pub mod detector;
 pub mod likelihood;
 pub mod metrics;
+pub mod pool;
 pub mod strategy;
 pub mod theory;
 pub mod trellis;

@@ -1,0 +1,354 @@
+//! Property battery holding the vectorized detection kernels to their
+//! bit-for-bit contract against the legacy scalar implementations.
+//!
+//! The chunked kernels (`row_max`, `lane_max_into`, `collect_ties`,
+//! `advance_slot_single`, `advance_slot_mixture`) must be *exactly* the
+//! scalar left-to-right scans they replaced — same accumulator bits, same
+//! exact maxima, same tie sets — for every width (lane multiples, the
+//! scalar remainder tail, and everything in between), for tie-dense rows
+//! where half the fleet sits inside the tolerance band, and for NaN-free
+//! score sets stressed with subnormals and infinities. The legacy
+//! reference is [`kernel::fold`] plus per-trajectory
+//! [`LogLikelihoodTable::step`] walks, recomputed here from first
+//! principles.
+
+use chaff_core::detector::kernel::{
+    self, advance_slot_mixture, advance_slot_single, collect_ties, fold, lane_max_into, row_max,
+    LANE_WIDTH,
+};
+use chaff_core::{loglik_cmp, LOG_LIKELIHOOD_TOLERANCE};
+use chaff_markov::{CellId, LogLikelihoodTable, MarkovChain, TransitionMatrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One non-NaN score: ordinary negative log-likelihood magnitudes, values
+/// packed inside the tolerance band (tie-dense), subnormals of both
+/// signs, and the `-inf` of an impossible transition.
+fn arb_score() -> impl Strategy<Value = f64> {
+    (0u8..10, -50.0f64..0.0, 0u64..=200).prop_map(|(sel, x, bits)| match sel {
+        0..=3 => x,
+        // Dense cluster inside/around the tolerance band of -1.0.
+        4 | 5 => -1.0 + (bits as f64 - 100.0) * (LOG_LIKELIHOOD_TOLERANCE / 50.0),
+        6 | 7 => f64::from_bits(bits + 1), // positive subnormals
+        8 => -f64::from_bits(bits + 1),    // negative subnormals
+        _ => f64::NEG_INFINITY,
+    })
+}
+
+/// Widths straddling the lane boundary: empty, sub-lane, exact multiples
+/// and multiples-plus-remainder.
+fn arb_width() -> impl Strategy<Value = usize> {
+    (0u8..4, 1usize..=4, 1usize..LANE_WIDTH).prop_map(|(sel, k, r)| match sel {
+        0 => 0,
+        1 => r,
+        2 => k * LANE_WIDTH,
+        _ => k * LANE_WIDTH + r,
+    })
+}
+
+fn arb_scores() -> impl Strategy<Value = Vec<f64>> {
+    arb_width().prop_flat_map(|w| proptest::collection::vec(arb_score(), w))
+}
+
+/// A random ergodic chain of 3..=6 states with strictly positive entries.
+fn arb_chain() -> impl Strategy<Value = MarkovChain> {
+    (3usize..=6).prop_flat_map(|n| {
+        proptest::collection::vec(proptest::collection::vec(0.05f64..1.0, n), n).prop_map(|rows| {
+            MarkovChain::new(TransitionMatrix::from_weights(rows).expect("positive"))
+                .expect("ergodic")
+        })
+    })
+}
+
+/// A uniform chain: every trajectory of equal length has an identical
+/// log-likelihood, so *every* slot ties across the whole population —
+/// the worst case for tie collection.
+fn uniform_chain(states: usize) -> MarkovChain {
+    let rows = vec![vec![1.0f64; states]; states];
+    MarkovChain::new(TransitionMatrix::from_weights(rows).expect("positive")).expect("ergodic")
+}
+
+/// Samples `width` trajectories of `horizon` slots as slot-major rows.
+fn sample_rows(chain: &MarkovChain, width: usize, horizon: usize, seed: u64) -> Vec<Vec<CellId>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trajectories: Vec<_> = (0..width)
+        .map(|_| chain.sample_trajectory(horizon, &mut rng))
+        .collect();
+    (0..horizon)
+        .map(|t| trajectories.iter().map(|x| x.as_slice()[t]).collect())
+        .collect()
+}
+
+/// The legacy per-slot argmax: scalar fold over the score row in index
+/// order, from a fresh `(-inf, empty)` state.
+fn legacy_argmax(scores: &[f64], lo: usize) -> (f64, Vec<(u32, f64)>) {
+    let mut best = f64::NEG_INFINITY;
+    let mut slot = Vec::new();
+    for (j, &s) in scores.iter().enumerate() {
+        fold(&mut best, &mut slot, (lo + j) as u32, s);
+    }
+    (best, slot)
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: index {i} ({x} vs {y})");
+    }
+}
+
+/// Drives the vectorized single-table kernel and the scalar
+/// `LogLikelihoodTable::step` + `fold` reference over the same stream and
+/// asserts bit identity of accumulators, maxima and tie candidates at
+/// every slot.
+fn check_single_kernel(table: &LogLikelihoodTable, rows: &[Vec<CellId>], lo: usize) {
+    let width = rows.first().map_or(0, Vec::len);
+    let mut accs = vec![0.0f64; width];
+    let mut ref_accs = vec![0.0f64; width];
+    for (t, row) in rows.iter().enumerate() {
+        let prev = if t == 0 {
+            None
+        } else {
+            Some(rows[t - 1].as_slice())
+        };
+        let mut best = f64::NEG_INFINITY;
+        let mut slot = Vec::new();
+        advance_slot_single(table, lo, row, prev, &mut accs, &mut best, &mut slot)
+            .expect("valid rows");
+
+        for (j, acc) in ref_accs.iter_mut().enumerate() {
+            *acc += table.step(prev.map(|p| p[j]), row[j]);
+        }
+        let (ref_best, ref_slot) = legacy_argmax(&ref_accs, lo);
+
+        assert_bits_eq(&accs, &ref_accs, "single accs");
+        assert_eq!(best.to_bits(), ref_best.to_bits(), "slot {t} best");
+        assert_eq!(slot, ref_slot, "slot {t} candidates");
+    }
+}
+
+/// Same as [`check_single_kernel`] for the class-major mixture kernel:
+/// the reference keeps user-major per-class accumulators and walks
+/// classes in ascending order with the legacy strict-`>` comparison.
+fn check_mixture_kernel(tables: &[LogLikelihoodTable], rows: &[Vec<CellId>], lo: usize) {
+    let width = rows.first().map_or(0, Vec::len);
+    let classes = tables.len();
+    let mut accs = vec![0.0f64; width * classes];
+    let mut scores = vec![0.0f64; width];
+    let mut ref_accs = vec![vec![0.0f64; classes]; width];
+    for (t, row) in rows.iter().enumerate() {
+        let prev = if t == 0 {
+            None
+        } else {
+            Some(rows[t - 1].as_slice())
+        };
+        let mut best = f64::NEG_INFINITY;
+        let mut slot = Vec::new();
+        advance_slot_mixture(
+            tables,
+            lo,
+            row,
+            prev,
+            &mut accs,
+            &mut scores,
+            &mut best,
+            &mut slot,
+        )
+        .expect("valid rows");
+
+        let mut ref_scores = vec![f64::NEG_INFINITY; width];
+        for (j, per_class) in ref_accs.iter_mut().enumerate() {
+            for (k, table) in tables.iter().enumerate() {
+                per_class[k] += table.step(prev.map(|p| p[j]), row[j]);
+                if per_class[k] > ref_scores[j] {
+                    ref_scores[j] = per_class[k];
+                }
+            }
+        }
+        let (ref_best, ref_slot) = legacy_argmax(&ref_scores, lo);
+
+        for j in 0..width {
+            for k in 0..classes {
+                assert_eq!(
+                    accs[k * width + j].to_bits(),
+                    ref_accs[j][k].to_bits(),
+                    "slot {t}: acc user {j} class {k}"
+                );
+            }
+        }
+        assert_bits_eq(&scores, &ref_scores, "mixture scores");
+        assert_eq!(best.to_bits(), ref_best.to_bits(), "slot {t} best");
+        assert_eq!(slot, ref_slot, "slot {t} candidates");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `row_max` equals the scalar left-to-right scan bitwise, including
+    /// subnormal-heavy and all-`-inf` score sets.
+    #[test]
+    fn row_max_matches_scalar_scan(scores in arb_scores()) {
+        let mut expected = f64::NEG_INFINITY;
+        for &s in &scores {
+            if s > expected {
+                expected = s;
+            }
+        }
+        prop_assert_eq!(row_max(&scores).to_bits(), expected.to_bits());
+    }
+
+    /// `lane_max_into` equals the elementwise strict-`>` scalar fold.
+    #[test]
+    fn lane_max_into_matches_elementwise_fold(
+        pair in arb_width().prop_flat_map(|w| (
+            proptest::collection::vec(arb_score(), w),
+            proptest::collection::vec(arb_score(), w),
+        ))
+    ) {
+        let (mut scores, block) = pair;
+        let expected: Vec<f64> = scores
+            .iter()
+            .zip(&block)
+            .map(|(&s, &b)| if b > s { b } else { s })
+            .collect();
+        lane_max_into(&mut scores, &block);
+        for (got, want) in scores.iter().zip(&expected) {
+            prop_assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    /// The two-pass argmax (`row_max` + `collect_ties`) reproduces the
+    /// legacy running fold's final `(best, candidates)` exactly, and its
+    /// tie indices equal the tolerance-equality set by definition.
+    #[test]
+    fn two_pass_argmax_matches_legacy_fold(scores in arb_scores(), lo in 0usize..1000) {
+        let best = row_max(&scores);
+        let mut candidates = Vec::new();
+        collect_ties(&scores, lo, best, &mut candidates);
+        let (ref_best, ref_candidates) = legacy_argmax(&scores, lo);
+        prop_assert_eq!(best.to_bits(), ref_best.to_bits());
+        prop_assert_eq!(&candidates, &ref_candidates);
+        let expected_ties: Vec<u32> = scores
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| loglik_cmp(s, best).is_eq())
+            .map(|(j, _)| (lo + j) as u32)
+            .collect();
+        let got: Vec<u32> = candidates.iter().map(|&(i, _)| i).collect();
+        prop_assert_eq!(got, expected_ties);
+    }
+
+    /// The vectorized single-table kernel is bit-for-bit the scalar
+    /// `step` + `fold` walk, for dense and sparse storage, across widths
+    /// on both sides of the lane boundary.
+    #[test]
+    fn single_kernel_matches_scalar_reference(
+        chain in arb_chain(),
+        width in arb_width(),
+        horizon in 1usize..8,
+        seed in 0u64..1000,
+        lo in 0usize..100,
+    ) {
+        let rows = sample_rows(&chain, width, horizon, seed);
+        for dense in [true, false] {
+            let table = LogLikelihoodTable::with_storage(&chain, dense);
+            check_single_kernel(&table, &rows, lo);
+        }
+    }
+
+    /// The class-major mixture kernel is bit-for-bit the user-major
+    /// ascending-class scalar walk.
+    #[test]
+    fn mixture_kernel_matches_scalar_reference(
+        a in arb_chain(),
+        width in arb_width(),
+        horizon in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        // Same state space for all classes: shuffle `a`'s rows to get a
+        // second distinct model over the same cells.
+        let n = a.num_states();
+        let rows_w: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| 0.05 + ((i * 7 + j * 3) % 11) as f64).collect())
+            .collect();
+        let b = MarkovChain::new(TransitionMatrix::from_weights(rows_w).expect("positive"))
+            .expect("ergodic");
+        let rows = sample_rows(&a, width, horizon, seed);
+        let tables = vec![
+            a.log_likelihood_table(),
+            b.log_likelihood_table(),
+            LogLikelihoodTable::with_storage(&a, false),
+        ];
+        check_mixture_kernel(&tables, &rows, 0);
+    }
+}
+
+/// Tie-dense stress: under a uniform chain every trajectory scores
+/// identically, so each slot's tie set must be the entire population —
+/// through the vectorized kernel, the legacy fold and `argmax_set` (via
+/// the public batch detector) alike.
+#[test]
+fn uniform_chain_ties_the_whole_population_every_slot() {
+    let chain = uniform_chain(5);
+    let table = chain.log_likelihood_table();
+    for width in [1usize, 7, 8, 9, 24, 31] {
+        let rows = sample_rows(&chain, width, 6, 99);
+        let mut accs = vec![0.0f64; width];
+        for (t, row) in rows.iter().enumerate() {
+            let prev = if t == 0 {
+                None
+            } else {
+                Some(rows[t - 1].as_slice())
+            };
+            let mut best = f64::NEG_INFINITY;
+            let mut slot = Vec::new();
+            advance_slot_single(&table, 0, row, prev, &mut accs, &mut best, &mut slot)
+                .expect("valid rows");
+            assert_eq!(slot.len(), width, "width {width}, slot {t}");
+            let indices: Vec<u32> = slot.iter().map(|&(i, _)| i).collect();
+            let expected: Vec<u32> = (0..width as u32).collect();
+            assert_eq!(indices, expected, "width {width}, slot {t}");
+        }
+    }
+}
+
+/// The kernel rejects bad shapes and out-of-range cells with the typed
+/// errors of the scalar path, before touching any accumulator.
+#[test]
+fn kernel_errors_are_typed_and_atomic() {
+    let chain = uniform_chain(4);
+    let table = chain.log_likelihood_table();
+    let row = vec![CellId::new(0), CellId::new(9)];
+    let mut accs = vec![1.25f64, 1.25];
+    let mut best = f64::NEG_INFINITY;
+    let mut slot = Vec::new();
+    let err = advance_slot_single(&table, 0, &row, None, &mut accs, &mut best, &mut slot)
+        .expect_err("cell 9 is out of range");
+    assert!(matches!(
+        err,
+        chaff_core::CoreError::CellOutOfRange { cell: 9, states: 4 }
+    ));
+    assert_eq!(accs, vec![1.25, 1.25], "accumulators untouched on error");
+
+    let short = vec![CellId::new(0)];
+    let err = advance_slot_single(&table, 0, &short, None, &mut accs, &mut best, &mut slot)
+        .expect_err("arity mismatch");
+    assert!(matches!(
+        err,
+        chaff_core::CoreError::LengthMismatch {
+            expected: 1,
+            found: 2
+        }
+    ));
+    assert_eq!(accs, vec![1.25, 1.25], "accumulators untouched on error");
+}
+
+/// Sanity pin: the lane width the kernels chunk by is re-exported
+/// unchanged from the substrate crate.
+#[test]
+fn lane_width_is_the_markov_lane_width() {
+    assert_eq!(LANE_WIDTH, chaff_markov::LANE_WIDTH);
+    assert_eq!(kernel::LANE_WIDTH, 8);
+}

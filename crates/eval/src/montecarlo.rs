@@ -1,9 +1,11 @@
 //! Seeded, parallel Monte Carlo execution.
 //!
 //! Every experiment averages over independent runs (the paper uses 1000).
-//! Runs are distributed over all cores with `std::thread::scope`; each run
-//! gets a deterministic seed derived from the experiment seed and its run
-//! index, so results are reproducible regardless of thread interleaving.
+//! Runs are distributed over all cores through the process-wide worker
+//! pool ([`chaff_core::pool`] — repeated sweeps never spawn fresh
+//! threads); each run gets a deterministic seed derived from the
+//! experiment seed and its run index, so results are reproducible
+//! regardless of thread interleaving.
 
 /// Derives the per-run seed from an experiment seed.
 ///
@@ -25,10 +27,8 @@ where
     T: Send,
     F: Fn(usize, u64) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(runs.max(1));
+    let pool = chaff_core::pool::global();
+    let threads = pool.threads().min(runs.max(1));
     if threads <= 1 || runs <= 1 {
         return (0..runs)
             .map(|i| f(i, run_seed(base_seed, i as u64)))
@@ -36,7 +36,7 @@ where
     }
     let mut results: Vec<Option<T>> = (0..runs).map(|_| None).collect();
     let chunk = runs.div_ceil(threads);
-    std::thread::scope(|scope| {
+    pool.scope(|scope| {
         for (worker, slice) in results.chunks_mut(chunk).enumerate() {
             let f = &f;
             scope.spawn(move || {

@@ -74,6 +74,15 @@ pub enum MarkovError {
         /// Number of classes in the registry.
         classes: usize,
     },
+    /// Two sequences that must have equal lengths do not (ragged
+    /// trajectory batches, or observation rows whose arity disagrees
+    /// with the accumulator block they advance).
+    LengthMismatch {
+        /// The required length.
+        expected: usize,
+        /// The offending length.
+        found: usize,
+    },
 }
 
 impl fmt::Display for MarkovError {
@@ -109,6 +118,12 @@ impl fmt::Display for MarkovError {
                 write!(
                     f,
                     "class {class} out of range for {classes} mobility classes"
+                )
+            }
+            MarkovError::LengthMismatch { expected, found } => {
+                write!(
+                    f,
+                    "sequence length {found} differs from expected {expected}"
                 )
             }
         }

@@ -71,7 +71,7 @@ pub use chain::MarkovChain;
 pub use columnar::{ArenaRowsMut, CellGrid, TrajectoryArena};
 pub use distribution::StateDistribution;
 pub use error::MarkovError;
-pub use loglik::{LogLikelihoodTable, DENSE_STATE_LIMIT};
+pub use loglik::{LogLikelihoodTable, DENSE_STATE_LIMIT, LANE_WIDTH};
 pub use matrix::TransitionMatrix;
 pub use registry::MobilityRegistry;
 pub use trajectory::Trajectory;

@@ -11,13 +11,23 @@
 //! the access order of a per-slot cumulative-score update, so the batched
 //! detectors in `chaff-core` stream it with unit stride.
 
-use crate::{CellId, MarkovChain, Trajectory};
+use crate::{CellId, MarkovChain, MarkovError, Result, Trajectory};
 
 /// Largest state-space size for which the dense `L × L` log table is
 /// materialized; larger models use sparse per-row tables (trace-driven
 /// matrices are extremely sparse, so the dense table would be mostly
 /// `-inf` padding).
 pub const DENSE_STATE_LIMIT: usize = 2048;
+
+/// Fixed chunk width (in `f64` lanes) used by the batched kernels.
+///
+/// [`LogLikelihoodTable::add_step_batch`] and the argmax kernels in
+/// `chaff-core` process users in chunks of this many lanes so the
+/// autovectorizer can lower the straight-line chunk bodies to SIMD
+/// (eight `f64`s fill an AVX-512 register, or two AVX2 registers).
+/// Chunking never changes results: each user's accumulator receives
+/// exactly the same single add per slot regardless of the chunk width.
+pub const LANE_WIDTH: usize = 8;
 
 /// Storage backing a [`LogLikelihoodTable`].
 #[derive(Debug, Clone)]
@@ -51,7 +61,7 @@ enum TableStorage {
 /// let chain = MarkovChain::new(m)?;
 /// let table = chain.log_likelihood_table();
 /// let x = Trajectory::from_indices([0, 0, 1]);
-/// let steps = table.step_log_likelihoods_batch(&[x.clone()]);
+/// let steps = table.step_log_likelihoods_batch(&[x.clone()])?;
 /// let total: f64 = steps.iter().sum();
 /// assert!((total - chain.log_likelihood(&x)).abs() < 1e-12);
 /// # Ok(())
@@ -140,13 +150,7 @@ impl LogLikelihoodTable {
                 row_starts,
                 cols,
                 logs,
-            } => {
-                let range = row_starts[from.index()]..row_starts[from.index() + 1];
-                match cols[range.clone()].binary_search(&(to.index() as u32)) {
-                    Ok(offset) => logs[range.start + offset],
-                    Err(_) => f64::NEG_INFINITY,
-                }
-            }
+            } => sparse_walk(row_starts, cols, logs, from, to),
         }
     }
 
@@ -160,44 +164,110 @@ impl LogLikelihoodTable {
         }
     }
 
+    /// Advances a block of running scores by one slot: for every lane `j`,
+    /// `accs[j] += step(prev[j], row[j])` — `log π(row[j])` when `prev` is
+    /// `None` (slot zero), `log P(row[j] | prev[j])` afterwards.
+    ///
+    /// This is the gather/add phase of the fleet detectors' per-slot
+    /// kernel, factored into the table so the storage `match` is hoisted
+    /// out of the inner loop (the legacy per-element [`step`](Self::step)
+    /// re-dispatched on every lookup) and the loop bodies process users in
+    /// [`LANE_WIDTH`] chunks. Each accumulator receives exactly one add,
+    /// so results are bit-for-bit those of the scalar per-element walk in
+    /// any chunking. `-inf + -inf` is fine; `+inf` never occurs
+    /// (increments are log-probs ≤ 0), so no NaN can appear.
+    ///
+    /// Both rows are validated before any accumulator is touched: a
+    /// failed call leaves `accs` untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::LengthMismatch`] when `prev` or `accs` disagrees
+    /// with `row` on arity, [`MarkovError::CellOutOfRange`] (lowest lane
+    /// first) when a cell falls outside the state space.
+    pub fn add_step_batch(
+        &self,
+        prev: Option<&[CellId]>,
+        row: &[CellId],
+        accs: &mut [f64],
+    ) -> Result<()> {
+        if accs.len() != row.len() {
+            return Err(MarkovError::LengthMismatch {
+                expected: row.len(),
+                found: accs.len(),
+            });
+        }
+        validate_cells(row, self.n)?;
+        match prev {
+            None => add_initial(&self.log_initial, row, accs),
+            Some(prev) => {
+                if prev.len() != row.len() {
+                    return Err(MarkovError::LengthMismatch {
+                        expected: row.len(),
+                        found: prev.len(),
+                    });
+                }
+                validate_cells(prev, self.n)?;
+                match &self.transitions {
+                    TableStorage::Dense(data) => add_dense(data, self.n, prev, row, accs),
+                    TableStorage::Sparse {
+                        row_starts,
+                        cols,
+                        logs,
+                    } => add_sparse(row_starts, cols, logs, prev, row, accs),
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Scores many trajectories at once, returning the per-slot increments
     /// *slot-major*: element `t * trajectories.len() + i` is trajectory
     /// `i`'s increment at slot `t` (cf.
     /// [`MarkovChain::step_log_likelihoods`], which is per-trajectory).
     ///
-    /// All trajectories must have equal lengths and in-range cells —
-    /// callers (the batch detectors) validate; out-of-range cells panic
-    /// here via slice indexing.
+    /// # Errors
     ///
-    /// # Panics
-    ///
-    /// Panics when trajectory lengths differ or a cell is out of range.
-    pub fn step_log_likelihoods_batch(&self, trajectories: &[Trajectory]) -> Vec<f64> {
+    /// [`MarkovError::LengthMismatch`] for ragged batches,
+    /// [`MarkovError::CellOutOfRange`] for cells outside the state space.
+    pub fn step_log_likelihoods_batch(&self, trajectories: &[Trajectory]) -> Result<Vec<f64>> {
         let mut out = Vec::new();
-        self.step_log_likelihoods_batch_into(trajectories, &mut out);
-        out
+        self.step_log_likelihoods_batch_into(trajectories, &mut out)?;
+        Ok(out)
     }
 
     /// [`step_log_likelihoods_batch`](Self::step_log_likelihoods_batch)
     /// writing into a caller-provided buffer (cleared first), so fleet
-    /// drivers can reuse one allocation across rounds.
+    /// drivers can reuse one allocation across rounds. On error the
+    /// buffer's contents are unspecified (but valid).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when trajectory lengths differ or a cell is out of range.
-    pub fn step_log_likelihoods_batch_into(&self, trajectories: &[Trajectory], out: &mut Vec<f64>) {
+    /// See [`step_log_likelihoods_batch`](Self::step_log_likelihoods_batch).
+    pub fn step_log_likelihoods_batch_into(
+        &self,
+        trajectories: &[Trajectory],
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
         out.clear();
         let n = trajectories.len();
         let horizon = trajectories.first().map_or(0, Trajectory::len);
         out.resize(n * horizon, 0.0);
         for (i, x) in trajectories.iter().enumerate() {
-            assert_eq!(x.len(), horizon, "equal-length trajectories");
+            if x.len() != horizon {
+                return Err(MarkovError::LengthMismatch {
+                    expected: horizon,
+                    found: x.len(),
+                });
+            }
+            validate_cells(x.as_slice(), self.n)?;
             let mut prev: Option<CellId> = None;
             for (t, cell) in x.iter().enumerate() {
                 out[t * n + i] = self.step(prev, cell);
                 prev = Some(cell);
             }
         }
+        Ok(())
     }
 
     /// Full-trajectory log-likelihood via the table (matches
@@ -211,6 +281,105 @@ impl LogLikelihoodTable {
             prev = Some(cell);
         }
         acc
+    }
+}
+
+/// The CSR row walk: binary search of `to` in `from`'s sorted support.
+///
+/// Factored out of [`LogLikelihoodTable::log_transition`] so both the
+/// scalar lookup and the batched sparse gather loop inline the identical
+/// walk (same comparisons, same `-inf` miss) instead of re-dispatching
+/// on the storage enum per element.
+#[inline(always)]
+fn sparse_walk(row_starts: &[usize], cols: &[u32], logs: &[f64], from: CellId, to: CellId) -> f64 {
+    let range = row_starts[from.index()]..row_starts[from.index() + 1];
+    match cols[range.clone()].binary_search(&(to.index() as u32)) {
+        Ok(offset) => logs[range.start + offset],
+        Err(_) => f64::NEG_INFINITY,
+    }
+}
+
+/// Checks every cell of `row` against the state-space size, reporting the
+/// lowest offending lane. The all-clear scan is branch-free per element
+/// (a vectorizable compare-reduce); the error path re-scans to name the
+/// first bad cell, but only runs on failure.
+#[inline]
+fn validate_cells(row: &[CellId], states: usize) -> Result<()> {
+    if row.iter().all(|c| c.index() < states) {
+        return Ok(());
+    }
+    let bad = row
+        .iter()
+        .find(|c| c.index() >= states)
+        .expect("re-scan of a failed all() finds the witness");
+    Err(MarkovError::CellOutOfRange {
+        cell: bad.index(),
+        states,
+    })
+}
+
+/// Slot-zero gather/add: `accs[j] += log π(row[j])`, in `LANE_WIDTH`
+/// chunks. Cells are pre-validated by the caller.
+fn add_initial(log_initial: &[f64], row: &[CellId], accs: &mut [f64]) {
+    let mut cells = row.chunks_exact(LANE_WIDTH);
+    let mut lanes = accs.chunks_exact_mut(LANE_WIDTH);
+    for (cell, lane) in (&mut cells).zip(&mut lanes) {
+        for i in 0..LANE_WIDTH {
+            lane[i] += log_initial[cell[i].index()];
+        }
+    }
+    for (cell, acc) in cells.remainder().iter().zip(lanes.into_remainder()) {
+        *acc += log_initial[cell.index()];
+    }
+}
+
+/// Dense transition gather/add: `accs[j] += log P(row[j] | prev[j])` from
+/// the row-major `n × n` table, in `LANE_WIDTH` chunks. Both rows are
+/// pre-validated, so every `prev * n + row` index is in bounds.
+fn add_dense(data: &[f64], n: usize, prev: &[CellId], row: &[CellId], accs: &mut [f64]) {
+    let mut prevs = prev.chunks_exact(LANE_WIDTH);
+    let mut cells = row.chunks_exact(LANE_WIDTH);
+    let mut lanes = accs.chunks_exact_mut(LANE_WIDTH);
+    for ((from, to), lane) in (&mut prevs).zip(&mut cells).zip(&mut lanes) {
+        for i in 0..LANE_WIDTH {
+            lane[i] += data[from[i].index() * n + to[i].index()];
+        }
+    }
+    for ((from, to), acc) in prevs
+        .remainder()
+        .iter()
+        .zip(cells.remainder())
+        .zip(lanes.into_remainder())
+    {
+        *acc += data[from.index() * n + to.index()];
+    }
+}
+
+/// Sparse transition gather/add: the inlined CSR row walk per lane, in
+/// `LANE_WIDTH` chunks. Both rows are pre-validated.
+fn add_sparse(
+    row_starts: &[usize],
+    cols: &[u32],
+    logs: &[f64],
+    prev: &[CellId],
+    row: &[CellId],
+    accs: &mut [f64],
+) {
+    let mut prevs = prev.chunks_exact(LANE_WIDTH);
+    let mut cells = row.chunks_exact(LANE_WIDTH);
+    let mut lanes = accs.chunks_exact_mut(LANE_WIDTH);
+    for ((from, to), lane) in (&mut prevs).zip(&mut cells).zip(&mut lanes) {
+        for i in 0..LANE_WIDTH {
+            lane[i] += sparse_walk(row_starts, cols, logs, from[i], to[i]);
+        }
+    }
+    for ((from, to), acc) in prevs
+        .remainder()
+        .iter()
+        .zip(cells.remainder())
+        .zip(lanes.into_remainder())
+    {
+        *acc += sparse_walk(row_starts, cols, logs, *from, *to);
     }
 }
 
@@ -277,7 +446,7 @@ mod tests {
         let table = c.log_likelihood_table();
         let mut rng = StdRng::seed_from_u64(11);
         let xs: Vec<Trajectory> = (0..5).map(|_| c.sample_trajectory(13, &mut rng)).collect();
-        let batch = table.step_log_likelihoods_batch(&xs);
+        let batch = table.step_log_likelihoods_batch(&xs).unwrap();
         assert_eq!(batch.len(), 5 * 13);
         for (i, x) in xs.iter().enumerate() {
             let single = c.step_log_likelihoods(x);
@@ -290,20 +459,118 @@ mod tests {
     #[test]
     fn batch_of_empty_or_no_trajectories_is_empty() {
         let table = chain().log_likelihood_table();
-        assert!(table.step_log_likelihoods_batch(&[]).is_empty());
+        assert!(table.step_log_likelihoods_batch(&[]).unwrap().is_empty());
         assert!(table
             .step_log_likelihoods_batch(&[Trajectory::new()])
+            .unwrap()
             .is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "equal-length trajectories")]
-    fn batch_rejects_ragged_input() {
+    fn batch_rejects_ragged_input_with_typed_error() {
         let table = chain().log_likelihood_table();
-        table.step_log_likelihoods_batch(&[
+        let result = table.step_log_likelihoods_batch(&[
             Trajectory::from_indices([0, 1]),
             Trajectory::from_indices([0]),
         ]);
+        assert_eq!(
+            result.unwrap_err(),
+            MarkovError::LengthMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
+    }
+
+    #[test]
+    fn batch_rejects_out_of_range_cells_with_typed_error() {
+        let table = chain().log_likelihood_table();
+        let result = table.step_log_likelihoods_batch(&[Trajectory::from_indices([0, 9])]);
+        assert_eq!(
+            result.unwrap_err(),
+            MarkovError::CellOutOfRange { cell: 9, states: 3 }
+        );
+    }
+
+    #[test]
+    fn add_step_batch_matches_scalar_steps_bit_for_bit() {
+        let c = chain();
+        let mut rng = StdRng::seed_from_u64(14);
+        // Widths straddling the lane count exercise both the chunked and
+        // the remainder paths; 8 and 16 are exact multiples.
+        for width in [1usize, 3, 7, 8, 9, 16, 21] {
+            for table in [
+                LogLikelihoodTable::with_storage(&c, true),
+                LogLikelihoodTable::with_storage(&c, false),
+            ] {
+                let xs: Vec<Trajectory> = (0..width)
+                    .map(|_| c.sample_trajectory(6, &mut rng))
+                    .collect();
+                let mut accs = vec![0.0f64; width];
+                let mut prev_row: Option<Vec<CellId>> = None;
+                for t in 0..6 {
+                    let row: Vec<CellId> = xs.iter().map(|x| x.cell(t)).collect();
+                    table
+                        .add_step_batch(prev_row.as_deref(), &row, &mut accs)
+                        .unwrap();
+                    for (j, x) in xs.iter().enumerate() {
+                        let expected: f64 = {
+                            let mut acc = 0.0;
+                            let mut prev = None;
+                            for cell in x.iter().take(t + 1) {
+                                acc += table.step(prev, cell);
+                                prev = Some(cell);
+                            }
+                            acc
+                        };
+                        assert_eq!(
+                            accs[j].to_bits(),
+                            expected.to_bits(),
+                            "width {width}, slot {t}, lane {j}"
+                        );
+                    }
+                    prev_row = Some(row);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_step_batch_rejects_bad_shapes_and_cells_atomically() {
+        let table = chain().log_likelihood_table();
+        let row = vec![CellId::new(0), CellId::new(1)];
+        let mut accs = vec![1.5f64; 2];
+        assert_eq!(
+            table
+                .add_step_batch(None, &row, &mut accs[..1])
+                .unwrap_err(),
+            MarkovError::LengthMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
+        assert_eq!(
+            table
+                .add_step_batch(Some(&row[..1]), &row, &mut accs)
+                .unwrap_err(),
+            MarkovError::LengthMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
+        let bad = vec![CellId::new(0), CellId::new(7)];
+        assert_eq!(
+            table.add_step_batch(None, &bad, &mut accs).unwrap_err(),
+            MarkovError::CellOutOfRange { cell: 7, states: 3 }
+        );
+        assert_eq!(
+            table
+                .add_step_batch(Some(&bad), &row, &mut accs)
+                .unwrap_err(),
+            MarkovError::CellOutOfRange { cell: 7, states: 3 }
+        );
+        // Every failure above left the accumulators untouched.
+        assert_eq!(accs, vec![1.5, 1.5]);
     }
 
     #[test]

@@ -17,8 +17,9 @@
 //!   that materializes the whole fleet first; kept as the bit-for-bit
 //!   oracle the streamed engine is property-tested against;
 //! * [`TraceDatasetBuilder::build_streaming`] — the scaled path: a
-//!   [`TraceStream`] source emits per-node record batches, worker threads
-//!   (`std::thread::scope`, like the fleet engine's sharding) run the
+//!   [`TraceStream`] source emits per-node record batches, the
+//!   process-wide worker pool ([`chaff_core::pool`], like the fleet
+//!   engine's sharding) runs the
 //!   regularize→quantize stages per node, and per-shard
 //!   [`EmpiricalAccumulator`]s of integer transition counts are merged at
 //!   the end — so the resulting [`TraceDataset`] is identical for every
@@ -421,7 +422,10 @@ impl TraceDatasetBuilder {
             if shards <= 1 {
                 process_chunk(&batch, &mut results, &grid, &cell_map, &mut accumulators[0]);
             } else {
-                std::thread::scope(|scope| {
+                // Every ingested batch reuses the process-wide worker
+                // pool — a long trace stream dispatches thousands of
+                // batches without spawning a single thread per batch.
+                chaff_core::pool::global().scope(|scope| {
                     for ((traces, outs), acc) in batch
                         .chunks(chunk)
                         .zip(results.chunks_mut(chunk))

@@ -646,33 +646,34 @@ impl<'a> FleetSimulation<'a> {
                     })
                     .collect()
             } else {
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = workers
-                        .map(|((&range, mut rows), (service_lo, arena))| {
-                            let this = &*self;
-                            scope.spawn(move || {
-                                this.fill_shard(
-                                    range,
-                                    &mut rows,
-                                    arena,
-                                    service_lo,
-                                    service_starts,
-                                    make_controller,
-                                )
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| match h.join() {
-                            Ok(result) => result,
-                            Err(payload) => std::panic::resume_unwind(payload),
-                        })
-                        .collect()
-                })
+                // Generation shards run on the process-wide worker pool
+                // (no per-run thread spawns); the pool re-raises worker
+                // panics lowest shard first.
+                let mut slots: Vec<Option<Result<()>>> = user_ranges.iter().map(|_| None).collect();
+                chaff_core::pool::global().scope(|scope| {
+                    for (((&range, mut rows), (service_lo, arena)), slot) in
+                        workers.zip(slots.iter_mut())
+                    {
+                        let this = &*self;
+                        scope.spawn(move || {
+                            *slot = Some(this.fill_shard(
+                                range,
+                                &mut rows,
+                                arena,
+                                service_lo,
+                                service_starts,
+                                make_controller,
+                            ));
+                        });
+                    }
+                });
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("pool scope ran every generation shard"))
+                    .collect()
             }
         };
-        // Join in shard order so the lowest erroring user wins
+        // Collect in shard order so the lowest erroring user wins
         // deterministically.
         for result in results {
             result?;

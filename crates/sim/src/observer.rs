@@ -288,8 +288,8 @@ impl ShardedObservationLog {
     }
 
     /// Exclusive access to every arena with its global start index —
-    /// distribute these to worker threads (e.g. with
-    /// `std::thread::scope`) to fill the log concurrently.
+    /// distribute these to worker threads (e.g. jobs on the shared
+    /// `chaff_core::pool`) to fill the log concurrently.
     pub fn arenas_mut(&mut self) -> Vec<(usize, &mut CellGrid)> {
         self.starts
             .iter()

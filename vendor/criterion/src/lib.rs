@@ -17,7 +17,11 @@
 //! `"peak_rss_bytes"` on Linux — the benchmark's peak resident set,
 //! measured via a best-effort `VmHWM` watermark reset per benchmark) so
 //! CI can archive machine-readable baselines and gate memory and
-//! tail-latency regressions next to runtime regressions. The file is truncated at
+//! tail-latency regressions next to runtime regressions. Bench binaries
+//! can additionally stamp the measurement environment into the same file
+//! as `{"metadata": {...}}` lines via [`record_metadata`] (worker-pool
+//! size, vector lane width); downstream tooling reports those
+//! informationally. The file is truncated at
 //! harness start so stale records (e.g. surviving a cached `target/`)
 //! never pollute a baseline; multi-binary `cargo bench` invocations that
 //! should accumulate into one file set `CRITERION_RUN_TOKEN` to a
@@ -296,20 +300,61 @@ fn reset_peak_rss() {
 /// see [`prepare_json_output`] for how multi-binary `cargo bench`
 /// invocations accumulate into one file via `CRITERION_RUN_TOKEN`.
 fn append_json_record(label: &str, measurement: &Measurement, peak_rss_bytes: Option<u64>) {
-    let Ok(path) = std::env::var("CRITERION_JSON") else {
+    let Some(path) = json_output_path() else {
         return;
     };
+    if let Err(e) = write_json_record(&path, label, measurement, peak_rss_bytes) {
+        eprintln!("criterion shim: cannot write {}: {e}", path.display());
+    }
+}
+
+/// The `CRITERION_JSON` output path, with the truncate-at-start
+/// preparation applied exactly once per process (shared by benchmark
+/// records and [`record_metadata`] lines, whichever comes first).
+fn json_output_path() -> Option<std::path::PathBuf> {
+    let path = std::env::var("CRITERION_JSON").ok()?;
     if path.is_empty() {
-        return;
+        return None;
     }
     let path = std::path::PathBuf::from(path);
     static PREPARE: std::sync::Once = std::sync::Once::new();
     PREPARE.call_once(|| {
         prepare_json_output(&path, std::env::var("CRITERION_RUN_TOKEN").ok().as_deref());
     });
-    if let Err(e) = write_json_record(&path, label, measurement, peak_rss_bytes) {
+    Some(path)
+}
+
+/// Appends one `{"metadata": {...}}` record to the `CRITERION_JSON`
+/// output (JSON-lines, through the same truncate-at-start path as
+/// benchmark records), so baselines carry the measurement environment —
+/// worker-pool size, vector lane width — next to the numbers they
+/// contextualize. Downstream tooling (`ci/compare_bench.py`) reports
+/// metadata informationally and never gates on it. A no-op when
+/// `CRITERION_JSON` is unset; keys must be plain identifiers (they are
+/// embedded unescaped).
+pub fn record_metadata(entries: &[(&str, u64)]) {
+    let Some(path) = json_output_path() else {
+        return;
+    };
+    if let Err(e) = write_metadata_record(&path, entries) {
         eprintln!("criterion shim: cannot write {}: {e}", path.display());
     }
+}
+
+/// Serializes one metadata record as a JSON line.
+fn write_metadata_record(path: &std::path::Path, entries: &[(&str, u64)]) -> std::io::Result<()> {
+    use std::io::Write;
+
+    let fields: Vec<String> = entries
+        .iter()
+        .map(|(key, value)| format!("\"{key}\": {value}"))
+        .collect();
+    let record = format!("{{\"metadata\": {{{}}}}}\n", fields.join(", "));
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?
+        .write_all(record.as_bytes())
 }
 
 /// Truncates (or creates) the JSON-lines output at harness start.
@@ -507,6 +552,24 @@ mod tests {
              \"p50_ns\": 7.0, \"p95_ns\": 7.0, \"p99_ns\": 7.0, \
              \"peak_rss_bytes\": 2048}"
         );
+    }
+
+    #[test]
+    fn metadata_records_serialize_as_a_json_line() {
+        let path =
+            std::env::temp_dir().join(format!("criterion-shim-meta-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        write_metadata_record(&path, &[("worker_pool_threads", 4), ("lane_width", 8)]).unwrap();
+        write_json_record(&path, "bench", &flat(1.0), None).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"metadata\": {\"worker_pool_threads\": 4, \"lane_width\": 8}}"
+        );
+        assert!(lines[1].contains("\"benchmark\": \"bench\""));
     }
 
     #[test]
