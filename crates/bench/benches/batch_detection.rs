@@ -9,7 +9,7 @@
 //! numbers.
 
 use chaff_bench::fixture_chain;
-use chaff_core::detector::{BatchPrefixDetector, MlDetector};
+use chaff_core::detector::{BatchPrefixDetector, DetectInput, MlDetector};
 use chaff_markov::models::ModelKind;
 use chaff_markov::Trajectory;
 use chaff_sim::fleet::{FleetConfig, FleetSimulation};
@@ -53,7 +53,7 @@ fn bench_prefix_batch(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 detector
-                    .detect_prefixes(&chain, black_box(&observed))
+                    .detect_prefixes(DetectInput::new(&chain, black_box(&observed)))
                     .unwrap()
             })
         });
@@ -72,7 +72,7 @@ fn bench_prefix_batch_cached_table(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 detector
-                    .detect_prefixes_with_table(&table, black_box(&observed))
+                    .detect_prefixes(DetectInput::new(&table, black_box(&observed)))
                     .unwrap()
             })
         });
@@ -92,7 +92,7 @@ fn bench_fleet_pipeline(c: &mut Criterion) {
                         .run_natural()
                         .unwrap();
                 BatchPrefixDetector::new()
-                    .detect_prefixes_columnar(&chain, black_box(&outcome.observed))
+                    .detect_prefixes(DetectInput::new(&chain, black_box(&outcome.observed)))
                     .unwrap()
             })
         });

@@ -8,7 +8,7 @@
 //! >25% regressions (see `ci/compare_bench.py`).
 
 use chaff_bench::fixture_chain;
-use chaff_core::detector::BatchPrefixDetector;
+use chaff_core::detector::{BatchPrefixDetector, DetectInput};
 use chaff_markov::models::ModelKind;
 use chaff_markov::{MobilityRegistry, Trajectory};
 use chaff_sim::fleet::{FleetChaffPolicy, FleetChaffStrategy, FleetConfig, FleetSimulation};
@@ -65,7 +65,7 @@ fn bench_detect(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, _| {
             b.iter(|| {
                 detector
-                    .detect_prefixes_with_tables(&[&table], black_box(&observed))
+                    .detect_prefixes(DetectInput::new(&[&table], black_box(&observed)))
                     .unwrap()
             })
         });
@@ -93,7 +93,7 @@ fn bench_detect_multi_class(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, _| {
         b.iter(|| {
             detector
-                .detect_prefixes_with_tables(&tables, black_box(&observed))
+                .detect_prefixes(DetectInput::new(&tables, black_box(&observed)))
                 .unwrap()
         })
     });
@@ -112,7 +112,7 @@ fn bench_pipeline(c: &mut Criterion) {
                 .run_chaffed(&policy(2))
                 .unwrap();
             BatchPrefixDetector::new()
-                .detect_prefixes_columnar_with_tables(&[&table], black_box(&outcome.observed))
+                .detect_prefixes(DetectInput::new(&[&table], black_box(&outcome.observed)))
                 .unwrap()
         })
     });

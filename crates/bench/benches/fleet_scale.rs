@@ -9,7 +9,7 @@
 //! store fails CI the same way a runtime regression does.
 
 use chaff_bench::{fixture_chain, record_bench_metadata};
-use chaff_core::detector::BatchPrefixDetector;
+use chaff_core::detector::{BatchPrefixDetector, DetectInput};
 use chaff_markov::models::ModelKind;
 use chaff_sim::fleet::{FleetChaffPolicy, FleetChaffStrategy, FleetConfig, FleetSimulation};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -54,7 +54,7 @@ fn bench_detect_columnar(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::from_parameter(USERS), &USERS, |b, _| {
         b.iter(|| {
             detector
-                .detect_prefixes_columnar_with_table(&table, black_box(&outcome.observed))
+                .detect_prefixes(DetectInput::new(&table, black_box(&outcome.observed)))
                 .unwrap()
         })
     });
@@ -73,7 +73,7 @@ fn bench_pipeline(c: &mut Criterion) {
                 .run_chaffed(&policy(2))
                 .unwrap();
             BatchPrefixDetector::new()
-                .detect_prefixes_columnar_with_tables(&[&table], black_box(&outcome.observed))
+                .detect_prefixes(DetectInput::new(&[&table], black_box(&outcome.observed)))
                 .unwrap()
         })
     });

@@ -24,12 +24,21 @@
 //! are emitted in increasing index order — so results are bit-for-bit
 //! independent of the shard count and equal to the per-trajectory path.
 //!
-//! For heterogeneous (multi-class) fleets,
-//! [`BatchPrefixDetector::detect_prefixes_with_tables`] scores the
-//! enlarged chaffed candidate set against one table per mobility-model
-//! class (best class per prefix), with the same sharded, reproducible
-//! semantics.
+//! All of this sits behind **one entry point**:
+//! [`BatchPrefixDetector::detect_prefixes`] takes a [`DetectInput`]
+//! pairing a model ([`DetectModel`]: chain, table, per-class tables, or
+//! registry) with an observation set ([`DetectObservations`]:
+//! trajectories, a columnar grid, or a paged [`SlotRowSource`] stream)
+//! and dispatches to the matching execution plan. Heterogeneous
+//! (multi-class) models score the enlarged chaffed candidate set against
+//! one table per mobility-model class (best class per prefix), with the
+//! same sharded, reproducible semantics; paged observations run through
+//! the online kernel ([`StreamingPrefixDetector`](super::StreamingPrefixDetector))
+//! in `O(N)` state, so fleet stores larger than RAM stream straight into
+//! detection. The six pre-redesign `detect_prefixes*` variants remain
+//! one release as `#[deprecated]` shims over the unified entry.
 
+use super::input::{DetectInput, DetectModel, DetectObservations, SlotRowSource};
 use super::kernel::{self, fold};
 use super::ml::validate_observations;
 use super::{argmax_set, Detection};
@@ -74,7 +83,7 @@ pub(super) fn service_index(lo: usize, j: usize) -> u32 {
 /// # Example
 ///
 /// ```
-/// use chaff_core::detector::{BatchPrefixDetector, Detector, MlDetector};
+/// use chaff_core::detector::{BatchPrefixDetector, DetectInput, MlDetector};
 /// use chaff_markov::{models::ModelKind, MarkovChain};
 /// use rand::{rngs::StdRng, SeedableRng};
 ///
@@ -82,7 +91,7 @@ pub(super) fn service_index(lo: usize, j: usize) -> u32 {
 /// let mut rng = StdRng::seed_from_u64(5);
 /// let chain = MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng)?)?;
 /// let observed: Vec<_> = (0..64).map(|_| chain.sample_trajectory(30, &mut rng)).collect();
-/// let batch = BatchPrefixDetector::new().detect_prefixes(&chain, &observed)?;
+/// let batch = BatchPrefixDetector::new().detect_prefixes(DetectInput::new(&chain, &observed))?;
 /// let single = MlDetector.detect_prefixes(&chain, &observed)?;
 /// assert_eq!(batch, single);
 /// # Ok(())
@@ -152,41 +161,181 @@ impl BatchPrefixDetector {
         Ok(Detection::new(argmax_set(&scores, None)))
     }
 
-    /// Detects once per slot using trajectory prefixes. Produces exactly
-    /// the `Detection` sequence of
-    /// [`MlDetector::detect_prefixes`](super::MlDetector::detect_prefixes).
+    /// Detects once per slot using observation prefixes — the unified
+    /// entry point over every *(model, observations)* pairing (see
+    /// [`DetectInput`]). Produces exactly the `Detection` sequence of
+    /// [`MlDetector::detect_prefixes`](super::MlDetector::detect_prefixes)
+    /// for every combination: the representation changes the execution
+    /// plan, never the result.
+    ///
+    /// ```
+    /// use chaff_core::detector::{BatchPrefixDetector, DetectInput, MlDetector};
+    /// use chaff_markov::{models::ModelKind, MarkovChain};
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut rng = StdRng::seed_from_u64(5);
+    /// let chain = MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng)?)?;
+    /// let observed: Vec<_> = (0..64).map(|_| chain.sample_trajectory(30, &mut rng)).collect();
+    /// let batch = BatchPrefixDetector::new().detect_prefixes(DetectInput::new(&chain, &observed))?;
+    /// let single = MlDetector.detect_prefixes(&chain, &observed)?;
+    /// assert_eq!(batch, single);
+    /// # Ok(())
+    /// # }
+    /// ```
     ///
     /// # Errors
     ///
-    /// Same validation errors as [`MlDetector::detect`](super::MlDetector::detect).
-    pub fn detect_prefixes(
+    /// The observation-shape errors of
+    /// [`MlDetector::detect`](super::MlDetector::detect), plus
+    /// [`MarkovError::Empty`](chaff_markov::MarkovError::Empty) /
+    /// [`MarkovError::DimensionMismatch`](chaff_markov::MarkovError::DimensionMismatch)
+    /// for empty or inconsistent multi-class table sets,
+    /// [`CoreError::PopulationTooLarge`](crate::CoreError::PopulationTooLarge)
+    /// past [`MAX_POPULATION`], and
+    /// [`CoreError::RowSource`](crate::CoreError::RowSource) when a paged
+    /// source fails or disagrees with its declared horizon.
+    pub fn detect_prefixes(&self, input: DetectInput<'_>) -> Result<Vec<Detection>> {
+        let DetectInput {
+            model,
+            observations,
+        } = input;
+        // Resolve the model to a per-class table slice; the `Chain` arm
+        // owns its freshly built table, the others borrow the caller's.
+        let built_table;
+        let single_ref: [&LogLikelihoodTable; 1];
+        let registry_refs: Vec<&LogLikelihoodTable>;
+        let tables: &[&LogLikelihoodTable] = match model {
+            DetectModel::Chain(chain) => {
+                built_table = chain.log_likelihood_table();
+                single_ref = [&built_table];
+                &single_ref
+            }
+            DetectModel::Table(table) => {
+                single_ref = [table];
+                &single_ref
+            }
+            DetectModel::Tables(tables) => tables,
+            DetectModel::Registry(registry) => {
+                registry_refs = registry.tables();
+                &registry_refs
+            }
+        };
+        match observations {
+            DetectObservations::Trajectories(observed) => {
+                self.prefixes_trajectories(tables, observed)
+            }
+            DetectObservations::Columnar(grid) => self.prefixes_columnar(tables, grid),
+            DetectObservations::Paged(source) => self.prefixes_paged(tables, source),
+        }
+    }
+
+    /// Per-trajectory workhorse: single-table fast path, mixture pass
+    /// otherwise. Shapes are checked up front; cell ranges are checked
+    /// inside the sharded pass (fused with the first read of each tile)
+    /// so the hot path never walks the observation set twice.
+    fn prefixes_trajectories(
         &self,
-        chain: &MarkovChain,
+        tables: &[&LogLikelihoodTable],
         observed: &[Trajectory],
     ) -> Result<Vec<Detection>> {
-        let table = chain.log_likelihood_table();
-        self.detect_prefixes_with_table(&table, observed)
+        let first = validate_tables(tables)?;
+        let horizon = validate_shape(observed)?;
+        let scores = if tables.len() == 1 {
+            self.run(first, observed, 0, false)?
+        } else {
+            self.run_sharded(observed.len(), horizon, |range| {
+                shard_pass_mixture(tables, observed, range)
+            })?
+        };
+        Ok(merge_detections(&scores))
+    }
+
+    /// Columnar workhorse: streams the slot-major grid row by row,
+    /// keeping only `O(shard width)` running state — the full `N × T`
+    /// score matrix is never materialized. Bit-for-bit equal to the
+    /// per-trajectory workhorse over [`CellGrid::to_trajectories`], for
+    /// every shard count.
+    fn prefixes_columnar(
+        &self,
+        tables: &[&LogLikelihoodTable],
+        observed: &CellGrid,
+    ) -> Result<Vec<Detection>> {
+        let first = validate_tables(tables)?;
+        validate_grid(observed)?;
+        let scores =
+            self.run_sharded(observed.num_trajectories(), observed.horizon(), |range| {
+                if tables.len() == 1 {
+                    shard_pass_columnar(first, observed, range)
+                } else {
+                    shard_pass_columnar_mixture(tables, observed, range)
+                }
+            })?;
+        Ok(merge_detections(&scores))
+    }
+
+    /// Paged workhorse: pulls slot rows from the source and pushes them
+    /// through a [`StreamingPrefixDetector`](super::StreamingPrefixDetector)
+    /// sized like this detector's shards — the same per-slot kernels as
+    /// the columnar pass, so detections are bit-for-bit equal to loading
+    /// the whole grid, while state stays `O(N · classes)` regardless of
+    /// how large the backing store is.
+    fn prefixes_paged(
+        &self,
+        tables: &[&LogLikelihoodTable],
+        source: &mut dyn SlotRowSource,
+    ) -> Result<Vec<Detection>> {
+        validate_tables(tables)?;
+        let n = source.num_trajectories();
+        let horizon = source.horizon();
+        if n == 0 {
+            return Err(crate::CoreError::NoTrajectories);
+        }
+        if horizon == 0 {
+            return Err(crate::CoreError::EmptyTrajectory);
+        }
+        ensure_population_fits(n)?;
+        let owned: Vec<LogLikelihoodTable> = tables.iter().map(|&t| t.clone()).collect();
+        let mut online =
+            super::StreamingPrefixDetector::with_shards(owned, n, self.effective_shards(n))?;
+        let mut out = Vec::with_capacity(horizon);
+        while let Some(row) = source.next_row()? {
+            if out.len() == horizon {
+                return Err(crate::CoreError::RowSource {
+                    slot: out.len(),
+                    reason: format!("source ran past its declared horizon of {horizon} slots"),
+                });
+            }
+            out.push(online.push_slot(row)?);
+        }
+        if out.len() != horizon {
+            return Err(crate::CoreError::RowSource {
+                slot: out.len(),
+                reason: format!(
+                    "source ended after {} of {horizon} declared slot rows",
+                    out.len()
+                ),
+            });
+        }
+        Ok(out)
     }
 
     /// [`detect_prefixes`](Self::detect_prefixes) against a prebuilt
-    /// [`LogLikelihoodTable`], so fleet drivers amortize the table across
-    /// many detection rounds.
+    /// [`LogLikelihoodTable`].
     ///
     /// # Errors
     ///
-    /// Same validation errors as [`MlDetector::detect`](super::MlDetector::detect),
-    /// validated against the table's state space.
+    /// Same validation errors as [`detect_prefixes`](Self::detect_prefixes).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use detect_prefixes(DetectInput::new(&table, observed))"
+    )]
     pub fn detect_prefixes_with_table(
         &self,
         table: &LogLikelihoodTable,
         observed: &[Trajectory],
     ) -> Result<Vec<Detection>> {
-        // Shapes are checked up front; cell ranges are checked inside the
-        // sharded pass (fused with the first read of each tile) so the
-        // hot path never walks the observation set twice.
-        validate_shape(observed)?;
-        let scores = self.run(table, observed, 0, false)?;
-        Ok(merge_detections(&scores))
+        self.prefixes_trajectories(&[table], observed)
     }
 
     /// Scores every prefix, returning the full flat `N × T`
@@ -234,138 +383,76 @@ impl BatchPrefixDetector {
         })
     }
 
-    /// Chaff-aware, class-aware prefix detection for heterogeneous
-    /// fleets: scores every observed trajectory (real services *and*
-    /// chaffs) against **all** mobility-model classes, taking the best
-    /// class per prefix — a generalized-likelihood-ratio eavesdropper
-    /// that knows the population's model mix but not any service's
-    /// class. `tables` is one [`LogLikelihoodTable`] per class (e.g.
-    /// `MobilityRegistry::tables`), so memory stays `O(classes)`.
-    ///
-    /// With a single class this is *exactly*
-    /// [`detect_prefixes_with_table`](Self::detect_prefixes_with_table)
-    /// — bit-for-bit, so undefended homogeneous baselines are unchanged.
-    /// Like every path of this detector, results are independent of the
-    /// shard count: each trajectory's per-class accumulators advance in
-    /// slot order on exactly one shard.
+    /// Class-aware prefix detection against one [`LogLikelihoodTable`]
+    /// per mobility-model class.
     ///
     /// # Errors
     ///
-    /// Returns the usual observation-shape errors, plus
-    /// [`MarkovError::Empty`](chaff_markov::MarkovError::Empty) when no
-    /// tables are supplied and
-    /// [`MarkovError::DimensionMismatch`](chaff_markov::MarkovError::DimensionMismatch)
-    /// when the class tables disagree on the cell space.
+    /// Same validation errors as [`detect_prefixes`](Self::detect_prefixes).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use detect_prefixes(DetectInput::new(DetectModel::Tables(tables), observed))"
+    )]
     pub fn detect_prefixes_with_tables(
         &self,
         tables: &[&LogLikelihoodTable],
         observed: &[Trajectory],
     ) -> Result<Vec<Detection>> {
-        let first = *tables
-            .first()
-            .ok_or(crate::CoreError::Markov(chaff_markov::MarkovError::Empty))?;
-        for table in &tables[1..] {
-            if table.num_states() != first.num_states() {
-                return Err(crate::CoreError::Markov(
-                    chaff_markov::MarkovError::DimensionMismatch {
-                        expected: first.num_states(),
-                        found: table.num_states(),
-                    },
-                ));
-            }
-        }
-        if tables.len() == 1 {
-            return self.detect_prefixes_with_table(first, observed);
-        }
-        let horizon = validate_shape(observed)?;
-        let scores = self.run_sharded(observed.len(), horizon, |range| {
-            shard_pass_mixture(tables, observed, range)
-        })?;
-        Ok(merge_detections(&scores))
+        self.prefixes_trajectories(tables, observed)
     }
 
     /// [`detect_prefixes`](Self::detect_prefixes) over a slot-major
-    /// [`CellGrid`] — the fleet engine's zero-copy detection path. The
-    /// streaming pass consumes the grid one slot row at a time, keeping
-    /// only `O(shard width)` running score state and the per-slot
-    /// argmax candidates: the full `N × T` score matrix is never
-    /// materialized. Detections are bit-for-bit equal to
-    /// [`detect_prefixes`](Self::detect_prefixes) over
-    /// [`CellGrid::to_trajectories`], for every shard count.
+    /// [`CellGrid`].
     ///
     /// # Errors
     ///
-    /// Same validation errors as the per-trajectory path, plus
-    /// [`CoreError::PopulationTooLarge`](crate::CoreError::PopulationTooLarge)
-    /// past [`MAX_POPULATION`].
+    /// Same validation errors as [`detect_prefixes`](Self::detect_prefixes).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use detect_prefixes(DetectInput::new(&chain, &grid))"
+    )]
     pub fn detect_prefixes_columnar(
         &self,
         chain: &MarkovChain,
         observed: &CellGrid,
     ) -> Result<Vec<Detection>> {
         let table = chain.log_likelihood_table();
-        self.detect_prefixes_columnar_with_table(&table, observed)
+        self.prefixes_columnar(&[&table], observed)
     }
 
-    /// [`detect_prefixes_columnar`](Self::detect_prefixes_columnar)
-    /// against a prebuilt [`LogLikelihoodTable`].
+    /// [`detect_prefixes`](Self::detect_prefixes) over a slot-major
+    /// [`CellGrid`] against a prebuilt table.
     ///
     /// # Errors
     ///
-    /// See [`detect_prefixes_columnar`](Self::detect_prefixes_columnar).
+    /// Same validation errors as [`detect_prefixes`](Self::detect_prefixes).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use detect_prefixes(DetectInput::new(&table, &grid))"
+    )]
     pub fn detect_prefixes_columnar_with_table(
         &self,
         table: &LogLikelihoodTable,
         observed: &CellGrid,
     ) -> Result<Vec<Detection>> {
-        validate_grid(observed)?;
-        let scores =
-            self.run_sharded(observed.num_trajectories(), observed.horizon(), |range| {
-                shard_pass_columnar(table, observed, range)
-            })?;
-        Ok(merge_detections(&scores))
+        self.prefixes_columnar(&[table], observed)
     }
 
-    /// [`detect_prefixes_with_tables`](Self::detect_prefixes_with_tables)
-    /// over a slot-major [`CellGrid`]: the multi-class streaming kernel
-    /// for heterogeneous chaffed fleets. With a single class this is
-    /// *exactly*
-    /// [`detect_prefixes_columnar_with_table`](Self::detect_prefixes_columnar_with_table),
-    /// and results never depend on the shard count.
+    /// Class-aware prefix detection over a slot-major [`CellGrid`].
     ///
     /// # Errors
     ///
-    /// Same errors as
-    /// [`detect_prefixes_with_tables`](Self::detect_prefixes_with_tables),
-    /// plus
-    /// [`CoreError::PopulationTooLarge`](crate::CoreError::PopulationTooLarge).
+    /// Same validation errors as [`detect_prefixes`](Self::detect_prefixes).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use detect_prefixes(DetectInput::new(DetectModel::Tables(tables), &grid))"
+    )]
     pub fn detect_prefixes_columnar_with_tables(
         &self,
         tables: &[&LogLikelihoodTable],
         observed: &CellGrid,
     ) -> Result<Vec<Detection>> {
-        let first = *tables
-            .first()
-            .ok_or(crate::CoreError::Markov(chaff_markov::MarkovError::Empty))?;
-        for table in &tables[1..] {
-            if table.num_states() != first.num_states() {
-                return Err(crate::CoreError::Markov(
-                    chaff_markov::MarkovError::DimensionMismatch {
-                        expected: first.num_states(),
-                        found: table.num_states(),
-                    },
-                ));
-            }
-        }
-        if tables.len() == 1 {
-            return self.detect_prefixes_columnar_with_table(first, observed);
-        }
-        validate_grid(observed)?;
-        let scores =
-            self.run_sharded(observed.num_trajectories(), observed.horizon(), |range| {
-                shard_pass_columnar_mixture(tables, observed, range)
-            })?;
-        Ok(merge_detections(&scores))
+        self.prefixes_columnar(tables, observed)
     }
 
     /// The sharded accumulation pass. `observed` must already be
@@ -434,6 +521,26 @@ impl BatchPrefixDetector {
             shards: shards?,
         })
     }
+}
+
+/// Validates a per-class table set: non-empty, all tables over the same
+/// cell space. Returns the first table (the whole set for single-class
+/// dispatch decisions).
+fn validate_tables<'a>(tables: &[&'a LogLikelihoodTable]) -> Result<&'a LogLikelihoodTable> {
+    let first = *tables
+        .first()
+        .ok_or(crate::CoreError::Markov(chaff_markov::MarkovError::Empty))?;
+    for table in &tables[1..] {
+        if table.num_states() != first.num_states() {
+            return Err(crate::CoreError::Markov(
+                chaff_markov::MarkovError::DimensionMismatch {
+                    expected: first.num_states(),
+                    found: table.num_states(),
+                },
+            ));
+        }
+    }
+    Ok(first)
 }
 
 /// Validates the shape of an observation set (non-empty, equal lengths)
@@ -1003,7 +1110,7 @@ mod tests {
         let single = MlDetector.detect_prefixes(&chain, &observed).unwrap();
         for shards in [1, 2, 3, 8, 137, 500] {
             let batch = BatchPrefixDetector::with_shards(shards)
-                .detect_prefixes(&chain, &observed)
+                .detect_prefixes(DetectInput::new(&chain, &observed))
                 .unwrap();
             assert_eq!(batch, single, "shards = {shards}");
         }
@@ -1090,7 +1197,7 @@ mod tests {
             *slot = x.clone();
         }
         let detections = BatchPrefixDetector::with_shards(3)
-            .detect_prefixes(&chain, &observed)
+            .detect_prefixes(DetectInput::new(&chain, &observed))
             .unwrap();
         for d in &detections {
             assert_eq!(d.tie_set(), &[0, 1, 2, 3, 4, 5]);
@@ -1101,12 +1208,13 @@ mod tests {
     fn rejects_what_the_single_path_rejects() {
         let (chain, _) = fleet(47, 2, 4);
         let d = BatchPrefixDetector::new();
+        let none: &[Trajectory] = &[];
         assert!(matches!(
-            d.detect_prefixes(&chain, &[]),
+            d.detect_prefixes(DetectInput::new(&chain, none)),
             Err(CoreError::NoTrajectories)
         ));
         assert!(matches!(
-            d.detect_prefixes(&chain, &[Trajectory::new()]),
+            d.detect_prefixes(DetectInput::new(&chain, &[Trajectory::new()])),
             Err(CoreError::EmptyTrajectory)
         ));
         let ragged = vec![
@@ -1114,7 +1222,7 @@ mod tests {
             Trajectory::from_indices([0]),
         ];
         assert!(matches!(
-            d.detect_prefixes(&chain, &ragged),
+            d.detect_prefixes(DetectInput::new(&chain, &ragged)),
             Err(CoreError::LengthMismatch { .. })
         ));
         let out = vec![Trajectory::from_indices([999])];
@@ -1136,8 +1244,12 @@ mod tests {
         let (chain, observed) = fleet(48, 53, 17);
         let table = chain.log_likelihood_table();
         let d = BatchPrefixDetector::with_shards(4);
-        let single = d.detect_prefixes_with_table(&table, &observed).unwrap();
-        let multi = d.detect_prefixes_with_tables(&[&table], &observed).unwrap();
+        let single = d
+            .detect_prefixes(DetectInput::new(&table, &observed))
+            .unwrap();
+        let multi = d
+            .detect_prefixes(DetectInput::new(&[&table], &observed))
+            .unwrap();
         assert_eq!(single, multi);
     }
 
@@ -1150,7 +1262,7 @@ mod tests {
         observed.extend((0..20).map(|_| b.sample_trajectory(15, &mut rng)));
         let (ta, tb) = (a.log_likelihood_table(), b.log_likelihood_table());
         let detections = BatchPrefixDetector::with_shards(3)
-            .detect_prefixes_with_tables(&[&ta, &tb], &observed)
+            .detect_prefixes(DetectInput::new(&[&ta, &tb], &observed))
             .unwrap();
         // Reference: per-trajectory prefix scores under each class, max
         // per slot, then the shared argmax-set semantics.
@@ -1180,11 +1292,11 @@ mod tests {
             .collect();
         let (ta, tb) = (a.log_likelihood_table(), b.log_likelihood_table());
         let reference = BatchPrefixDetector::with_shards(1)
-            .detect_prefixes_with_tables(&[&ta, &tb], &observed)
+            .detect_prefixes(DetectInput::new(&[&ta, &tb], &observed))
             .unwrap();
         for shards in [2, 5, 37, 100] {
             let detections = BatchPrefixDetector::with_shards(shards)
-                .detect_prefixes_with_tables(&[&ta, &tb], &observed)
+                .detect_prefixes(DetectInput::new(&[&ta, &tb], &observed))
                 .unwrap();
             assert_eq!(detections, reference, "shards = {shards}");
         }
@@ -1194,8 +1306,9 @@ mod tests {
     fn mixture_rejects_empty_and_mismatched_tables() {
         let (chain, observed) = fleet(53, 4, 6);
         let d = BatchPrefixDetector::new();
+        let no_tables: &[&LogLikelihoodTable] = &[];
         assert!(matches!(
-            d.detect_prefixes_with_tables(&[], &observed),
+            d.detect_prefixes(DetectInput::new(no_tables, &observed)),
             Err(CoreError::Markov(chaff_markov::MarkovError::Empty))
         ));
         let table = chain.log_likelihood_table();
@@ -1203,7 +1316,7 @@ mod tests {
         let other = MarkovChain::new(ModelKind::NonSkewed.build(7, &mut rng).unwrap()).unwrap();
         let small = other.log_likelihood_table();
         assert!(matches!(
-            d.detect_prefixes_with_tables(&[&table, &small], &observed),
+            d.detect_prefixes(DetectInput::new(&[&table, &small], &observed)),
             Err(CoreError::Markov(
                 chaff_markov::MarkovError::DimensionMismatch {
                     expected: 10,
@@ -1212,8 +1325,9 @@ mod tests {
             ))
         ));
         // Shape errors match the single-table path.
+        let none: &[Trajectory] = &[];
         assert!(matches!(
-            d.detect_prefixes_with_tables(&[&table, &table], &[]),
+            d.detect_prefixes(DetectInput::new(&[&table, &table], none)),
             Err(CoreError::NoTrajectories)
         ));
     }
@@ -1241,13 +1355,103 @@ mod tests {
         let reference = MlDetector.detect_prefixes(&chain, &observed).unwrap();
         for shards in [1, 2, 3, 8, 137, 500] {
             let d = BatchPrefixDetector::with_shards(shards);
-            let columnar = d.detect_prefixes_columnar(&chain, &grid).unwrap();
+            let columnar = d.detect_prefixes(DetectInput::new(&chain, &grid)).unwrap();
             assert_eq!(columnar, reference, "shards = {shards}");
-            let with_table = d
-                .detect_prefixes_columnar_with_table(&table, &grid)
-                .unwrap();
+            let with_table = d.detect_prefixes(DetectInput::new(&table, &grid)).unwrap();
             assert_eq!(with_table, reference, "shards = {shards} (table)");
         }
+    }
+
+    #[test]
+    fn paged_detection_matches_columnar_bit_for_bit() {
+        use crate::detector::input::GridRowSource;
+        let (chain, observed) = fleet(59, 97, 19);
+        let grid = CellGrid::from_trajectories(&observed).unwrap();
+        let reference = BatchPrefixDetector::with_shards(1)
+            .detect_prefixes(DetectInput::new(&chain, &grid))
+            .unwrap();
+        for shards in [1, 2, 7, 97] {
+            let mut source = GridRowSource::new(&grid);
+            let paged = BatchPrefixDetector::with_shards(shards)
+                .detect_prefixes(DetectInput::new(&chain, &mut source))
+                .unwrap();
+            assert_eq!(paged, reference, "shards = {shards}");
+        }
+        // Registry models route through the same paged path.
+        let registry = chaff_markov::MobilityRegistry::single(chain.clone());
+        let mut source = GridRowSource::new(&grid);
+        let via_registry = BatchPrefixDetector::with_shards(3)
+            .detect_prefixes(DetectInput::new(&registry, &mut source))
+            .unwrap();
+        assert_eq!(via_registry, reference);
+    }
+
+    #[test]
+    fn paged_sources_that_break_their_contract_are_typed_errors() {
+        struct LyingSource {
+            rows: Vec<Vec<chaff_markov::CellId>>,
+            claimed_horizon: usize,
+            next: usize,
+        }
+        impl SlotRowSource for LyingSource {
+            fn num_trajectories(&self) -> usize {
+                self.rows.first().map_or(0, Vec::len)
+            }
+            fn horizon(&self) -> usize {
+                self.claimed_horizon
+            }
+            fn next_row(&mut self) -> crate::Result<Option<&[chaff_markov::CellId]>> {
+                if self.next >= self.rows.len() {
+                    return Ok(None);
+                }
+                let row = &self.rows[self.next];
+                self.next += 1;
+                Ok(Some(row))
+            }
+        }
+        let (chain, observed) = fleet(60, 8, 5);
+        let grid = CellGrid::from_trajectories(&observed).unwrap();
+        let rows: Vec<Vec<chaff_markov::CellId>> = (0..5).map(|t| grid.row(t).to_vec()).collect();
+        let d = BatchPrefixDetector::with_shards(2);
+        // Fewer rows than declared.
+        let mut short = LyingSource {
+            rows: rows[..3].to_vec(),
+            claimed_horizon: 5,
+            next: 0,
+        };
+        assert!(matches!(
+            d.detect_prefixes(DetectInput::new(&chain, &mut short)),
+            Err(CoreError::RowSource { slot: 3, .. })
+        ));
+        // More rows than declared.
+        let mut long = LyingSource {
+            rows: rows.clone(),
+            claimed_horizon: 3,
+            next: 0,
+        };
+        assert!(matches!(
+            d.detect_prefixes(DetectInput::new(&chain, &mut long)),
+            Err(CoreError::RowSource { slot: 3, .. })
+        ));
+        // Degenerate declared shapes use the usual shape errors.
+        let mut empty = LyingSource {
+            rows: Vec::new(),
+            claimed_horizon: 5,
+            next: 0,
+        };
+        assert!(matches!(
+            d.detect_prefixes(DetectInput::new(&chain, &mut empty)),
+            Err(CoreError::NoTrajectories)
+        ));
+        let mut no_slots = LyingSource {
+            rows: rows[..1].to_vec(),
+            claimed_horizon: 0,
+            next: 0,
+        };
+        assert!(matches!(
+            d.detect_prefixes(DetectInput::new(&chain, &mut no_slots)),
+            Err(CoreError::EmptyTrajectory)
+        ));
     }
 
     #[test]
@@ -1260,22 +1464,22 @@ mod tests {
         let grid = CellGrid::from_trajectories(&observed).unwrap();
         let (ta, tb) = (a.log_likelihood_table(), b.log_likelihood_table());
         let reference = BatchPrefixDetector::with_shards(1)
-            .detect_prefixes_with_tables(&[&ta, &tb], &observed)
+            .detect_prefixes(DetectInput::new(&[&ta, &tb], &observed))
             .unwrap();
         for shards in [1, 2, 7, 41] {
             let columnar = BatchPrefixDetector::with_shards(shards)
-                .detect_prefixes_columnar_with_tables(&[&ta, &tb], &grid)
+                .detect_prefixes(DetectInput::new(&[&ta, &tb], &grid))
                 .unwrap();
             assert_eq!(columnar, reference, "shards = {shards}");
         }
         // The single-class dispatch is the single-table path.
         let single = BatchPrefixDetector::with_shards(3)
-            .detect_prefixes_columnar_with_tables(&[&ta], &grid)
+            .detect_prefixes(DetectInput::new(&[&ta], &grid))
             .unwrap();
         assert_eq!(
             single,
             BatchPrefixDetector::with_shards(3)
-                .detect_prefixes_columnar_with_table(&ta, &grid)
+                .detect_prefixes(DetectInput::new(&ta, &grid))
                 .unwrap()
         );
     }
@@ -1286,22 +1490,23 @@ mod tests {
         let d = BatchPrefixDetector::new();
         let empty = CellGrid::new(0);
         assert!(matches!(
-            d.detect_prefixes_columnar(&chain, &empty),
+            d.detect_prefixes(DetectInput::new(&chain, &empty)),
             Err(CoreError::NoTrajectories)
         ));
         let no_slots = CellGrid::new(3);
         assert!(matches!(
-            d.detect_prefixes_columnar(&chain, &no_slots),
+            d.detect_prefixes(DetectInput::new(&chain, &no_slots)),
             Err(CoreError::EmptyTrajectory)
         ));
         let out = CellGrid::from_trajectories(&[Trajectory::from_indices([999, 1])]).unwrap();
         assert!(matches!(
-            d.detect_prefixes_columnar(&chain, &out),
+            d.detect_prefixes(DetectInput::new(&chain, &out)),
             Err(CoreError::CellOutOfRange { .. })
         ));
         let grid = CellGrid::from_trajectories(&observed).unwrap();
+        let no_tables: &[&LogLikelihoodTable] = &[];
         assert!(matches!(
-            d.detect_prefixes_columnar_with_tables(&[], &grid),
+            d.detect_prefixes(DetectInput::new(no_tables, &grid)),
             Err(CoreError::Markov(chaff_markov::MarkovError::Empty))
         ));
     }
@@ -1314,8 +1519,42 @@ mod tests {
         let impossible = Trajectory::from_indices([0, 0]); // P(0->0) = 0
         let possible = Trajectory::from_indices([0, 1]);
         let detections = BatchPrefixDetector::with_shards(2)
-            .detect_prefixes(&chain, &[impossible, possible])
+            .detect_prefixes(DetectInput::new(&chain, &[impossible, possible]))
             .unwrap();
         assert_eq!(detections[1].tie_set(), &[1]);
+    }
+
+    /// The pre-redesign entry points stay for one release as deprecated
+    /// shims; they must remain bit-for-bit equal to the unified entry
+    /// until removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_unified_entry() {
+        let (chain, observed) = fleet(70, 31, 9);
+        let grid = CellGrid::from_trajectories(&observed).unwrap();
+        let table = chain.log_likelihood_table();
+        let d = BatchPrefixDetector::with_shards(3);
+        let unified = d
+            .detect_prefixes(DetectInput::new(&chain, &observed))
+            .unwrap();
+        assert_eq!(
+            d.detect_prefixes_with_table(&table, &observed).unwrap(),
+            unified
+        );
+        assert_eq!(
+            d.detect_prefixes_with_tables(&[&table], &observed).unwrap(),
+            unified
+        );
+        assert_eq!(d.detect_prefixes_columnar(&chain, &grid).unwrap(), unified);
+        assert_eq!(
+            d.detect_prefixes_columnar_with_table(&table, &grid)
+                .unwrap(),
+            unified
+        );
+        assert_eq!(
+            d.detect_prefixes_columnar_with_tables(&[&table], &grid)
+                .unwrap(),
+            unified
+        );
     }
 }

@@ -19,6 +19,12 @@
 //! Both forms sit behind the shared [`Detector`] trait; the fleet engine
 //! swaps in [`BatchPrefixDetector`], which computes identical detections
 //! from a cached likelihood table in parallel shards (see [`batch`]).
+//! Fleet-scale call sites use the batched detector's unified entry
+//! directly: [`BatchPrefixDetector::detect_prefixes`] takes one
+//! [`DetectInput`] covering every model representation (chain, table,
+//! per-class tables, registry) crossed with every observation
+//! representation (trajectories, columnar grid, paged [`SlotRowSource`]
+//! stream — see [`input`]).
 //!
 //! Ties are returned explicitly as the full argmax set; accuracy metrics
 //! average over the set, which equals the expectation over the paper's
@@ -26,12 +32,14 @@
 
 mod advanced;
 pub mod batch;
+pub mod input;
 pub mod kernel;
 mod ml;
 pub mod streaming;
 
 pub use advanced::AdvancedDetector;
 pub use batch::{BatchPrefixDetector, PrefixScores, MAX_POPULATION};
+pub use input::{DetectInput, DetectModel, DetectObservations, GridRowSource, SlotRowSource};
 pub use ml::MlDetector;
 pub use streaming::StreamingPrefixDetector;
 
@@ -103,7 +111,7 @@ impl Detector for BatchPrefixDetector {
         chain: &MarkovChain,
         observed: &[Trajectory],
     ) -> crate::Result<Vec<Detection>> {
-        BatchPrefixDetector::detect_prefixes(self, chain, observed)
+        BatchPrefixDetector::detect_prefixes(self, DetectInput::new(chain, observed))
     }
 }
 

@@ -30,13 +30,14 @@ use chaff_markov::{CellId, LogLikelihoodTable};
 
 /// Incremental maximum-likelihood prefix detector: one [`Detection`] per
 /// pushed slot row, bit-for-bit equal to
-/// [`BatchPrefixDetector::detect_prefixes_columnar_with_tables`](super::BatchPrefixDetector::detect_prefixes_columnar_with_tables)
-/// over the grid formed by the pushed rows, for every shard count.
+/// [`BatchPrefixDetector::detect_prefixes`](super::BatchPrefixDetector::detect_prefixes)
+/// over the columnar grid formed by the pushed rows, for every shard
+/// count.
 ///
 /// # Example
 ///
 /// ```
-/// use chaff_core::detector::{BatchPrefixDetector, StreamingPrefixDetector};
+/// use chaff_core::detector::{BatchPrefixDetector, DetectInput, StreamingPrefixDetector};
 /// use chaff_markov::{models::ModelKind, CellGrid, MarkovChain};
 /// use rand::{rngs::StdRng, SeedableRng};
 ///
@@ -46,7 +47,7 @@ use chaff_markov::{CellId, LogLikelihoodTable};
 /// let observed: Vec<_> = (0..32).map(|_| chain.sample_trajectory(20, &mut rng)).collect();
 /// let grid = CellGrid::from_trajectories(&observed)?;
 ///
-/// let batch = BatchPrefixDetector::new().detect_prefixes_columnar(&chain, &grid)?;
+/// let batch = BatchPrefixDetector::new().detect_prefixes(DetectInput::new(&chain, &grid))?;
 /// let mut online = StreamingPrefixDetector::new(vec![chain.log_likelihood_table()], 32)?;
 /// for t in 0..grid.horizon() {
 ///     assert_eq!(online.push_slot(grid.row(t))?, batch[t]);
@@ -422,7 +423,7 @@ mod tests {
     fn streamed_detections_match_batch_bit_for_bit() {
         let (chain, grid) = fleet(61, 137, 23);
         let reference = BatchPrefixDetector::with_shards(1)
-            .detect_prefixes_columnar(&chain, &grid)
+            .detect_prefixes(crate::detector::DetectInput::new(&chain, &grid))
             .unwrap();
         for shards in [1, 2, 7, 137, 500] {
             let mut online = StreamingPrefixDetector::with_shards(
@@ -444,7 +445,7 @@ mod tests {
         let (a, b, grid) = two_class_grid(62, 15);
         let (ta, tb) = (a.log_likelihood_table(), b.log_likelihood_table());
         let reference = BatchPrefixDetector::with_shards(1)
-            .detect_prefixes_columnar_with_tables(&[&ta, &tb], &grid)
+            .detect_prefixes(crate::detector::DetectInput::new(&[&ta, &tb], &grid))
             .unwrap();
         for shards in [1, 2, 7, 41] {
             let mut online = StreamingPrefixDetector::with_shards(

@@ -37,6 +37,18 @@ pub enum CoreError {
     /// The trellis has no feasible path (all candidate moves have zero
     /// probability, e.g. because an avoid-set removed every successor).
     NoFeasiblePath,
+    /// A paged observation source
+    /// ([`SlotRowSource`](crate::detector::SlotRowSource)) failed while
+    /// producing a slot row — an I/O fault, a checksum mismatch, or a
+    /// row count that disagrees with the source's declared horizon. The
+    /// reason is carried as text so backend error types (which are
+    /// rarely `Clone + PartialEq`) can cross this boundary.
+    RowSource {
+        /// Slot index at which the source failed (rows emitted so far).
+        slot: usize,
+        /// Human-readable description of the underlying fault.
+        reason: String,
+    },
     /// An error bubbled up from the Markov substrate.
     Markov(chaff_markov::MarkovError),
 }
@@ -62,6 +74,9 @@ impl fmt::Display for CoreError {
                 )
             }
             CoreError::NoFeasiblePath => write!(f, "no feasible chaff trajectory exists"),
+            CoreError::RowSource { slot, reason } => {
+                write!(f, "observation source failed at slot {slot}: {reason}")
+            }
             CoreError::Markov(e) => write!(f, "markov substrate error: {e}"),
         }
     }
@@ -91,6 +106,17 @@ mod tests {
         let err: CoreError = chaff_markov::MarkovError::Empty.into();
         assert!(matches!(err, CoreError::Markov(_)));
         assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn row_source_errors_name_the_slot_and_reason() {
+        let err = CoreError::RowSource {
+            slot: 17,
+            reason: "page 3 checksum mismatch".to_string(),
+        };
+        assert!(err.to_string().contains("slot 17"));
+        assert!(err.to_string().contains("page 3"));
+        assert!(err.source().is_none());
     }
 
     #[test]

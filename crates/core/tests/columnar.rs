@@ -1,14 +1,16 @@
-//! Columnar-vs-legacy detection equivalence battery (ISSUE 5).
+//! Representation-equivalence battery (ISSUE 5, extended by ISSUE 8).
 //!
-//! The compact columnar store must be a pure representation change:
-//! `detect_prefixes{,_with_tables}` over a slot-major [`CellGrid`] must
-//! produce *bit-for-bit* the detections of the legacy per-trajectory
-//! layout, for every shard count — property-tested over random chains,
-//! populations and horizons across shards {1, 2, 7}, and pinned
-//! deterministically at `N = 10⁴`. The memory contract (4 bytes per
-//! cell, `O(users)` offsets) is asserted alongside.
+//! Detection must be a pure function of the observations, never of
+//! their representation: the unified
+//! `BatchPrefixDetector::detect_prefixes` entry over per-trajectory,
+//! columnar ([`CellGrid`]) and paged ([`GridRowSource`]) observations
+//! must produce *bit-for-bit* identical detections, for every shard
+//! count — property-tested over random chains, populations and horizons
+//! across shards {1, 2, 7}, and pinned deterministically at `N = 10⁴`.
+//! The memory contract (4 bytes per cell, `O(users)` offsets) is
+//! asserted alongside.
 
-use chaff_core::detector::BatchPrefixDetector;
+use chaff_core::detector::{BatchPrefixDetector, DetectInput, GridRowSource};
 use chaff_markov::{CellGrid, CellId, MarkovChain, Trajectory, TransitionMatrix};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -50,7 +52,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
-    fn columnar_single_table_is_bit_for_bit_legacy(
+    fn single_table_representations_are_bit_for_bit(
         chain in arb_chain(),
         seed in 0u64..1_000,
         n in 1usize..120,
@@ -60,21 +62,28 @@ proptest! {
         let grid = CellGrid::from_trajectories(&observed).unwrap();
         let table = chain.log_likelihood_table();
         let reference = BatchPrefixDetector::with_shards(1)
-            .detect_prefixes_with_table(&table, &observed)
+            .detect_prefixes(DetectInput::new(&table, &observed))
             .unwrap();
         for shards in [1usize, 2, 7] {
             let detector = BatchPrefixDetector::with_shards(shards);
-            let legacy = detector.detect_prefixes_with_table(&table, &observed).unwrap();
+            let legacy = detector
+                .detect_prefixes(DetectInput::new(&table, &observed))
+                .unwrap();
             let columnar = detector
-                .detect_prefixes_columnar_with_table(&table, &grid)
+                .detect_prefixes(DetectInput::new(&table, &grid))
+                .unwrap();
+            let mut source = GridRowSource::new(&grid);
+            let paged = detector
+                .detect_prefixes(DetectInput::new(&table, &mut source))
                 .unwrap();
             prop_assert_eq!(&legacy, &reference, "legacy shards = {}", shards);
             prop_assert_eq!(&columnar, &reference, "columnar shards = {}", shards);
+            prop_assert_eq!(&paged, &reference, "paged shards = {}", shards);
         }
     }
 
     #[test]
-    fn columnar_mixture_is_bit_for_bit_legacy(
+    fn mixture_representations_are_bit_for_bit(
         chains in two_chains(),
         seed in 0u64..1_000,
         n in 2usize..80,
@@ -87,18 +96,23 @@ proptest! {
         let grid = CellGrid::from_trajectories(&observed).unwrap();
         let (ta, tb) = (a.log_likelihood_table(), b.log_likelihood_table());
         let reference = BatchPrefixDetector::with_shards(1)
-            .detect_prefixes_with_tables(&[&ta, &tb], &observed)
+            .detect_prefixes(DetectInput::new(&[&ta, &tb], &observed))
             .unwrap();
         for shards in [1usize, 2, 7] {
             let detector = BatchPrefixDetector::with_shards(shards);
             let legacy = detector
-                .detect_prefixes_with_tables(&[&ta, &tb], &observed)
+                .detect_prefixes(DetectInput::new(&[&ta, &tb], &observed))
                 .unwrap();
             let columnar = detector
-                .detect_prefixes_columnar_with_tables(&[&ta, &tb], &grid)
+                .detect_prefixes(DetectInput::new(&[&ta, &tb], &grid))
+                .unwrap();
+            let mut source = GridRowSource::new(&grid);
+            let paged = detector
+                .detect_prefixes(DetectInput::new(&[&ta, &tb], &mut source))
                 .unwrap();
             prop_assert_eq!(&legacy, &reference, "legacy shards = {}", shards);
             prop_assert_eq!(&columnar, &reference, "columnar shards = {}", shards);
+            prop_assert_eq!(&paged, &reference, "paged shards = {}", shards);
         }
     }
 
@@ -116,9 +130,9 @@ proptest! {
     }
 }
 
-/// The deterministic `N = 10⁴` rung of the satellite contract: columnar
-/// and legacy layouts agree bit-for-bit across shards {1, 2, 7} at the
-/// previous fleet ceiling.
+/// The deterministic `N = 10⁴` rung of the satellite contract: every
+/// observation representation agrees bit-for-bit across shards {1, 2, 7}
+/// at the previous fleet ceiling.
 #[test]
 fn ten_thousand_trajectories_agree_across_layouts_and_shards() {
     let mut rng = StdRng::seed_from_u64(1709);
@@ -132,30 +146,38 @@ fn ten_thousand_trajectories_agree_across_layouts_and_shards() {
     let grid = CellGrid::from_trajectories(&observed).unwrap();
     let table = chain.log_likelihood_table();
     let reference = BatchPrefixDetector::with_shards(1)
-        .detect_prefixes_with_table(&table, &observed)
+        .detect_prefixes(DetectInput::new(&table, &observed))
         .unwrap();
     for shards in [1usize, 2, 7] {
         let detector = BatchPrefixDetector::with_shards(shards);
         assert_eq!(
             detector
-                .detect_prefixes_with_table(&table, &observed)
+                .detect_prefixes(DetectInput::new(&table, &observed))
                 .unwrap(),
             reference,
             "legacy shards = {shards}"
         );
         assert_eq!(
             detector
-                .detect_prefixes_columnar_with_table(&table, &grid)
+                .detect_prefixes(DetectInput::new(&table, &grid))
                 .unwrap(),
             reference,
             "columnar shards = {shards}"
         );
         assert_eq!(
             detector
-                .detect_prefixes_columnar_with_tables(&[&table], &grid)
+                .detect_prefixes(DetectInput::new(&[&table], &grid))
                 .unwrap(),
             reference,
             "columnar mixture dispatch, shards = {shards}"
+        );
+        let mut source = GridRowSource::new(&grid);
+        assert_eq!(
+            detector
+                .detect_prefixes(DetectInput::new(&table, &mut source))
+                .unwrap(),
+            reference,
+            "paged shards = {shards}"
         );
     }
     // Memory contract at the same scale: 4 bytes per cell, nothing per

@@ -218,7 +218,7 @@ proptest! {
             .collect();
         let single = MlDetector.detect_prefixes(&chain, &observed).unwrap();
         let batch = BatchPrefixDetector::with_shards(shards)
-            .detect_prefixes(&chain, &observed)
+            .detect_prefixes(chaff_core::detector::DetectInput::new(&chain, &observed))
             .unwrap();
         prop_assert_eq!(&batch, &single);
         // The full-trajectory decision coincides with the last prefix.
@@ -245,11 +245,11 @@ proptest! {
         let copy = observed[0].clone();
         observed.push(copy);
         let reference = BatchPrefixDetector::with_shards(1)
-            .detect_prefixes(&chain, &observed)
+            .detect_prefixes(chaff_core::detector::DetectInput::new(&chain, &observed))
             .unwrap();
         for shards in [2usize, 3, 5, 16, 64] {
             let sharded = BatchPrefixDetector::with_shards(shards)
-                .detect_prefixes(&chain, &observed)
+                .detect_prefixes(chaff_core::detector::DetectInput::new(&chain, &observed))
                 .unwrap();
             prop_assert_eq!(&sharded, &reference, "shards = {}", shards);
         }
@@ -271,7 +271,7 @@ proptest! {
         observed.extend(ImStrategy.generate(&chain, &user, 2, &mut rng).unwrap());
         let single = MlDetector.detect_prefixes(&chain, &observed).unwrap();
         let batch = BatchPrefixDetector::with_shards(3)
-            .detect_prefixes(&chain, &observed)
+            .detect_prefixes(chaff_core::detector::DetectInput::new(&chain, &observed))
             .unwrap();
         prop_assert_eq!(batch, single);
     }

@@ -1,18 +1,17 @@
 //! `repro` — regenerate every figure and table of the paper.
 //!
 //! ```text
-//! repro <experiment> [--runs N] [--seed S] [--out DIR] [--quick]
-//!
-//! experiments: table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 theory
-//!              multiuser fleet_scaling fleet_chaff fleet_scale
-//!              fleet_stream trace_fleet all
+//! repro <experiment|all> [--runs N] [--seed S] [--out DIR] [--quick]
 //! ```
 //!
+//! Experiments are resolved through the unified registry
+//! (`chaff_eval::experiments::registry`): `repro <name>` runs one,
+//! `repro all` runs every registered experiment in canonical order.
 //! ASCII renderings go to stdout; CSV files go to `--out` (default
 //! `results/`).
 
-use chaff_eval::experiments::{self, SyntheticConfig, TraceConfig};
-use chaff_eval::report::{Figure, Table};
+use chaff_eval::experiments::registry::{find, names, ExperimentCtx, ExperimentOutput};
+use chaff_eval::experiments::{SyntheticConfig, TraceConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -55,201 +54,69 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: repro <table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|theory|multiuser|fleet_scaling|\
-     fleet_chaff|fleet_scale|fleet_stream|trace_fleet|all> [--runs N] [--seed S] [--out DIR] \
-     [--quick]"
-        .to_string()
+    format!(
+        "usage: repro <{}|all> [--runs N] [--seed S] [--out DIR] [--quick]",
+        names().join("|")
+    )
 }
 
-fn synthetic_config(args: &Args) -> SyntheticConfig {
-    let mut config = if args.quick {
+fn context(args: &Args) -> ExperimentCtx {
+    let mut synth = if args.quick {
         SyntheticConfig::quick()
     } else {
         SyntheticConfig::default()
     };
     if let Some(runs) = args.runs {
-        config.runs = runs;
+        synth.runs = runs;
     }
     if let Some(seed) = args.seed {
-        config.seed = seed;
+        synth.seed = seed;
     }
-    config
-}
-
-fn trace_config(args: &Args) -> TraceConfig {
-    let mut config = if args.quick {
+    let mut trace = if args.quick {
         TraceConfig::quick()
     } else {
         TraceConfig::default()
     };
     if let Some(seed) = args.seed {
-        config.seed = seed;
+        trace.seed = seed;
     }
     if let Some(runs) = args.runs {
-        config.im_runs = runs;
+        trace.im_runs = runs;
     }
-    config
+    ExperimentCtx {
+        synth,
+        trace,
+        quick: args.quick,
+        seed: args.seed,
+    }
 }
 
-fn emit_figure(figure: &Figure, out: &Path) -> chaff_eval::Result<()> {
-    println!("{}", figure.render_ascii(72, 18));
-    let path = figure.write_csv(out)?;
-    println!("  -> {}\n", path.display());
-    Ok(())
-}
-
-fn emit_table(table: &Table, out: &Path) -> chaff_eval::Result<()> {
-    println!("{}", table.render_ascii());
-    let path = table.write_csv(out)?;
-    println!("  -> {}\n", path.display());
-    Ok(())
-}
-
-fn run_experiment(name: &str, args: &Args) -> chaff_eval::Result<()> {
-    let synth = synthetic_config(args);
-    let trace = trace_config(args);
-    match name {
-        "table1" => emit_table(&experiments::table1::run(&synth)?, &args.out)?,
-        "fig4" => {
-            for figure in experiments::fig4::run_all(&synth)? {
-                emit_figure(&figure, &args.out)?;
-            }
-        }
-        "fig5" => {
-            for figure in experiments::fig5::run_all(&synth)? {
-                emit_figure(&figure, &args.out)?;
-            }
-        }
-        "fig6" => {
-            for figure in experiments::fig6::run_all(&synth)? {
-                emit_figure(&figure, &args.out)?;
-            }
-        }
-        "fig7" => {
-            for figure in experiments::fig7::run_all(&synth)? {
-                emit_figure(&figure, &args.out)?;
-            }
-        }
-        "fig8" => {
-            let (layout, steady) = experiments::fig8::run(&trace)?;
-            emit_figure(&layout, &args.out)?;
-            emit_figure(&steady, &args.out)?;
-        }
-        "fig9" => {
-            let (panel_a, table) = experiments::fig9::run(&trace)?;
-            emit_figure(&panel_a, &args.out)?;
-            emit_table(&table, &args.out)?;
-        }
-        "fig10" => emit_table(&experiments::fig10::run(&trace)?, &args.out)?,
-        "theory" => emit_table(&experiments::theory::run(&synth)?, &args.out)?,
-        "multiuser" => {
-            for kind in chaff_markov::models::ModelKind::ALL {
-                emit_figure(&experiments::multiuser::run(&synth, kind)?, &args.out)?;
-            }
-        }
-        "fleet_scaling" => {
-            let populations: &[usize] = if args.quick {
-                &experiments::fleet_scaling::QUICK_POPULATIONS
-            } else {
-                &experiments::fleet_scaling::POPULATIONS
-            };
-            emit_table(
-                &experiments::fleet_scaling::run_with_populations(&synth, populations)?,
-                &args.out,
-            )?;
-        }
-        "fleet_chaff" => {
-            let (populations, budgets): (&[usize], &[usize]) = if args.quick {
-                (
-                    &experiments::fleet_chaff::QUICK_POPULATIONS,
-                    &experiments::fleet_chaff::QUICK_BUDGETS,
-                )
-            } else {
-                (
-                    &experiments::fleet_chaff::POPULATIONS,
-                    &experiments::fleet_chaff::BUDGETS,
-                )
-            };
-            emit_table(
-                &experiments::fleet_chaff::run_with(&synth, populations, budgets)?,
-                &args.out,
-            )?;
-        }
-        "fleet_scale" => {
-            let populations: &[usize] = if args.quick {
-                &experiments::fleet_scale::QUICK_POPULATIONS
-            } else {
-                &experiments::fleet_scale::POPULATIONS
-            };
-            emit_table(
-                &experiments::fleet_scale::run_with(
-                    &synth,
-                    populations,
-                    &experiments::fleet_scale::BUDGETS,
-                    experiments::fleet_scale::SCALE_HORIZON,
-                )?,
-                &args.out,
-            )?;
-        }
-        "fleet_stream" => {
-            let populations: &[usize] = if args.quick {
-                &experiments::fleet_stream::QUICK_POPULATIONS
-            } else {
-                &experiments::fleet_stream::POPULATIONS
-            };
-            let (table, curves) = experiments::fleet_stream::run_with(
-                &synth,
-                populations,
-                &experiments::fleet_stream::BUDGETS,
-                experiments::fleet_stream::STREAM_HORIZON,
-            )?;
-            emit_table(&table, &args.out)?;
-            emit_figure(&curves, &args.out)?;
-        }
-        "trace_fleet" => {
-            let mut config = if args.quick {
-                experiments::trace_fleet::TraceFleetConfig::quick()
-            } else {
-                experiments::trace_fleet::TraceFleetConfig::default()
-            };
-            if let Some(seed) = args.seed {
-                config.seed = seed;
-            }
-            let budgets: &[usize] = if args.quick {
-                &experiments::trace_fleet::QUICK_BUDGETS
-            } else {
-                &experiments::trace_fleet::BUDGETS
-            };
-            emit_table(
-                &experiments::trace_fleet::run_with(&config, budgets)?,
-                &args.out,
-            )?;
-        }
-        "all" => {
-            for exp in [
-                "table1",
-                "fig4",
-                "fig5",
-                "fig6",
-                "fig7",
-                "fig8",
-                "fig9",
-                "fig10",
-                "theory",
-                "multiuser",
-                "fleet_scaling",
-                "fleet_chaff",
-                "fleet_scale",
-                "fleet_stream",
-                "trace_fleet",
-            ] {
-                println!("==== {exp} ====");
-                run_experiment(exp, args)?;
-            }
-        }
-        other => return Err(format!("unknown experiment '{other}'\n{}", usage()).into()),
+fn emit(output: &ExperimentOutput, out: &Path) -> chaff_eval::Result<()> {
+    for figure in &output.figures {
+        println!("{}", figure.render_ascii(72, 18));
+        let path = figure.write_csv(out)?;
+        println!("  -> {}\n", path.display());
+    }
+    for table in &output.tables {
+        println!("{}", table.render_ascii());
+        let path = table.write_csv(out)?;
+        println!("  -> {}\n", path.display());
     }
     Ok(())
+}
+
+fn run(args: &Args) -> chaff_eval::Result<()> {
+    let ctx = context(args);
+    if args.experiment == "all" {
+        for experiment in chaff_eval::experiments::registry::registry() {
+            println!("==== {} ====", experiment.name());
+            emit(&experiment.run(&ctx)?, &args.out)?;
+        }
+        return Ok(());
+    }
+    let experiment = find(&args.experiment)
+        .ok_or_else(|| format!("unknown experiment '{}'\n{}", args.experiment, usage()))?;
+    emit(&experiment.run(&ctx)?, &args.out)
 }
 
 fn main() -> ExitCode {
@@ -261,7 +128,7 @@ fn main() -> ExitCode {
         }
     };
     let started = std::time::Instant::now();
-    match run_experiment(&args.experiment.clone(), &args) {
+    match run(&args) {
         Ok(()) => {
             println!("done in {:.1}s", started.elapsed().as_secs_f64());
             ExitCode::SUCCESS

@@ -22,7 +22,7 @@
 
 use super::{build_model, SyntheticConfig};
 use crate::report::Table;
-use chaff_core::detector::BatchPrefixDetector;
+use chaff_core::detector::{BatchPrefixDetector, DetectInput};
 use chaff_core::metrics::{
     detection_accuracy_series, time_average, tracking_accuracy_series_columnar,
 };
@@ -96,7 +96,7 @@ pub fn measure(
     let started = Instant::now();
     let outcome = FleetSimulation::new(chain, config).run_chaffed(&policy)?;
     let table = chain.log_likelihood_table();
-    let detections = detector.detect_prefixes_columnar_with_tables(&[&table], &outcome.observed)?;
+    let detections = detector.detect_prefixes(DetectInput::new(&table, &outcome.observed))?;
     let elapsed = started.elapsed().as_secs_f64();
     let mut tracking = 0.0;
     let mut detection = 0.0;

@@ -19,7 +19,7 @@
 
 use super::{build_model, SyntheticConfig};
 use crate::report::Table;
-use chaff_core::detector::BatchPrefixDetector;
+use chaff_core::detector::{BatchPrefixDetector, DetectInput};
 use chaff_core::metrics::{mean_detection_accuracy, mean_tracking_accuracy_columnar};
 use chaff_core::theory::im_tracking_accuracy;
 use chaff_markov::models::ModelKind;
@@ -106,7 +106,7 @@ pub fn measure(
     let table = chain.log_likelihood_table();
     let started = Instant::now();
     let outcome = FleetSimulation::new(chain, config).run_chaffed(&policy)?;
-    let detections = detector.detect_prefixes_columnar_with_tables(&[&table], &outcome.observed)?;
+    let detections = detector.detect_prefixes(DetectInput::new(&table, &outcome.observed))?;
     let elapsed = started.elapsed().as_secs_f64();
     let services = outcome.observed.num_trajectories();
     // Histogram-based aggregates: the per-user series would cost
@@ -256,10 +256,10 @@ mod tests {
         for shards in [1usize, 2, 7] {
             let detector = BatchPrefixDetector::with_shards(shards);
             let columnar = detector
-                .detect_prefixes_columnar_with_tables(&[&table], &outcome.observed)
+                .detect_prefixes(DetectInput::new(&table, &outcome.observed))
                 .unwrap();
             let reference = detector
-                .detect_prefixes_with_tables(&[&table], &legacy)
+                .detect_prefixes(DetectInput::new(&table, &legacy))
                 .unwrap();
             assert_eq!(columnar, reference, "shards = {shards}");
         }

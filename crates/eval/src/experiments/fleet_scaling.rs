@@ -11,7 +11,7 @@
 
 use super::{build_model, SyntheticConfig};
 use crate::report::Table;
-use chaff_core::detector::BatchPrefixDetector;
+use chaff_core::detector::{BatchPrefixDetector, DetectInput};
 use chaff_core::metrics::{time_average, tracking_accuracy_series_columnar};
 use chaff_core::theory::im_tracking_accuracy;
 use chaff_markov::models::ModelKind;
@@ -60,7 +60,7 @@ pub fn measure(
 
     let detector = BatchPrefixDetector::new();
     let detect_started = Instant::now();
-    let detections = detector.detect_prefixes_columnar(chain, &outcome.observed)?;
+    let detections = detector.detect_prefixes(DetectInput::new(chain, &outcome.observed))?;
     let detect_elapsed = detect_started.elapsed().as_secs_f64();
 
     let total: f64 = outcome

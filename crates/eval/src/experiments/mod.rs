@@ -1,4 +1,5 @@
-//! One module per reproduced figure/table; shared configuration here.
+//! One module per reproduced figure/table; shared configuration here,
+//! and the unified [`Experiment`] trait + registry in [`registry`].
 
 pub mod fig10;
 pub mod fig4;
@@ -8,13 +9,17 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod fleet_chaff;
+pub mod fleet_persist;
 pub mod fleet_scale;
 pub mod fleet_scaling;
 pub mod fleet_stream;
 pub mod multiuser;
+pub mod registry;
 pub mod table1;
 pub mod theory;
 pub mod trace_fleet;
+
+pub use registry::{find, Experiment, ExperimentCtx, ExperimentOutput};
 
 use chaff_markov::models::ModelKind;
 use chaff_markov::MarkovChain;

@@ -19,7 +19,7 @@
 use super::{build_model, SyntheticConfig};
 use crate::montecarlo;
 use crate::report::{Figure, Series};
-use chaff_core::detector::BatchPrefixDetector;
+use chaff_core::detector::{BatchPrefixDetector, DetectInput};
 use chaff_core::metrics::{time_average, tracking_accuracy_series_columnar};
 use chaff_core::theory::im_tracking_accuracy;
 use chaff_markov::models::ModelKind;
@@ -52,7 +52,7 @@ pub(crate) fn fleet_run_accuracy(
         .run_natural()
         .expect("valid fleet config");
     let detections = detector
-        .detect_prefixes_columnar(chain, &outcome.observed)
+        .detect_prefixes(DetectInput::new(chain, &outcome.observed))
         .expect("uniform fleet observations");
     let total: f64 = outcome
         .user_observed_indices

@@ -27,7 +27,7 @@
 //! throughput (user-slots/sec through simulate + detect).
 
 use crate::report::Table;
-use chaff_core::detector::BatchPrefixDetector;
+use chaff_core::detector::{BatchPrefixDetector, DetectInput};
 use chaff_core::metrics::{
     detection_accuracy_series, time_average, tracking_accuracy_series_columnar,
 };
@@ -223,8 +223,7 @@ pub fn measure(
     let policy = FleetChaffPolicy::uniform(FleetChaffStrategy::Im, budget);
     let started = Instant::now();
     let outcome = FleetSimulation::with_registry(registry, fleet_config).run_chaffed(&policy)?;
-    let detections =
-        detector.detect_prefixes_columnar_with_tables(&registry.tables(), &outcome.observed)?;
+    let detections = detector.detect_prefixes(DetectInput::new(registry, &outcome.observed))?;
     let elapsed = started.elapsed().as_secs_f64();
     let mut tracking = 0.0;
     let mut detection = 0.0;

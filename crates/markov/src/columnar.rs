@@ -23,6 +23,17 @@
 //! `Vec<Trajectory>` with 8-byte cells costs ≈ 65 MB spread over
 //! 300,001 allocations. At `N = 10⁶` the columnar grid is ≈ 288 MB —
 //! still a single allocation.
+//!
+//! # Byte stability
+//!
+//! Both arenas expose their backing cells via `as_cells`, and the layout
+//! is a **stable contract** relied on by `chaff-store`'s on-disk format:
+//! a [`CellGrid`] is exactly its slot-major rows in slot order
+//! (`cells[t * N + i]`), a [`TrajectoryArena`] exactly its
+//! trajectory-major rows in trajectory order (`cells[i * T + t]`), with
+//! no padding, headers or interleaved metadata. Each cell is one
+//! [`CellId`] (a `u32` index). Reordering either layout is a format
+//! break and must bump the store's on-disk version.
 
 use crate::{CellId, MarkovError, Trajectory};
 
@@ -218,6 +229,15 @@ impl CellGrid {
     pub fn cell_bytes(&self) -> usize {
         self.cells.len() * std::mem::size_of::<CellId>()
     }
+
+    /// The backing cells, slot-major: `as_cells()[t * N + i]` is the
+    /// cell of trajectory `i` at slot `t`. This layout is a stable
+    /// serialization contract (see the module-level *Byte stability*
+    /// section) — persisted grids round-trip bit for bit through it.
+    #[inline]
+    pub fn as_cells(&self) -> &[CellId] {
+        &self.cells
+    }
 }
 
 /// Trajectory-major contiguous arena: `cells[i * T + t]` is the cell of
@@ -329,6 +349,14 @@ impl TrajectoryArena {
     /// Bytes spent on cell storage (`N × T × 4`).
     pub fn cell_bytes(&self) -> usize {
         self.cells.len() * std::mem::size_of::<CellId>()
+    }
+
+    /// The backing cells, trajectory-major: `as_cells()[i * T + t]` is
+    /// the cell of trajectory `i` at slot `t` — the stable
+    /// serialization contract dual to [`CellGrid::as_cells`].
+    #[inline]
+    pub fn as_cells(&self) -> &[CellId] {
+        &self.cells
     }
 }
 
@@ -455,6 +483,39 @@ mod tests {
         assert_eq!(arena.trajectory(3), Trajectory::from_indices([13, 14, 15]));
         assert_eq!(arena.trajectory(4), Trajectory::from_indices([20, 21, 22]));
         assert_eq!(arena.num_trajectories(), 5);
+    }
+
+    #[test]
+    fn as_cells_exposes_the_documented_layouts() {
+        let grid = CellGrid::from_trajectories(&[
+            Trajectory::from_indices([0, 1]),
+            Trajectory::from_indices([2, 3]),
+        ])
+        .unwrap();
+        // Slot-major: slot 0's cells first, then slot 1's.
+        assert_eq!(
+            grid.as_cells(),
+            &[
+                CellId::new(0),
+                CellId::new(2),
+                CellId::new(1),
+                CellId::new(3)
+            ]
+        );
+        let mut arena = TrajectoryArena::new(2, 2);
+        arena
+            .row_mut(1)
+            .copy_from_slice(&[CellId::new(4), CellId::new(5)]);
+        // Trajectory-major: trajectory 0's cells first, then 1's.
+        assert_eq!(
+            arena.as_cells(),
+            &[
+                CellId::new(0),
+                CellId::new(0),
+                CellId::new(4),
+                CellId::new(5)
+            ]
+        );
     }
 
     #[test]

@@ -52,6 +52,9 @@ pub enum SimError {
         /// Human-readable description of the fault.
         reason: String,
     },
+    /// A fleet checkpoint could not be written or restored: an error
+    /// bubbled up from the persistent paged store.
+    Store(chaff_store::StoreError),
     /// An error bubbled up from the strategy/detector layer.
     Core(chaff_core::CoreError),
     /// An error bubbled up from the Markov substrate.
@@ -91,6 +94,7 @@ impl fmt::Display for SimError {
             SimError::StreamFault { user, slot, reason } => {
                 write!(f, "stream fault at slot {slot}, user {user}: {reason}")
             }
+            SimError::Store(e) => write!(f, "fleet store error: {e}"),
             SimError::Core(e) => write!(f, "strategy error: {e}"),
             SimError::Markov(e) => write!(f, "markov substrate error: {e}"),
         }
@@ -100,10 +104,17 @@ impl fmt::Display for SimError {
 impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
+            SimError::Store(e) => Some(e),
             SimError::Core(e) => Some(e),
             SimError::Markov(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<chaff_store::StoreError> for SimError {
+    fn from(e: chaff_store::StoreError) -> Self {
+        SimError::Store(e)
     }
 }
 

@@ -56,10 +56,11 @@
 //!    [`CellGrid`].
 //!
 //! The outcome pairs with the streaming columnar detection core
-//! (`chaff_core::detector::BatchPrefixDetector`, whose
-//! `detect_prefixes_columnar_with_tables` scores heterogeneous chaffed
-//! candidate sets straight off the grid) for fleet-scale evaluation at
-//! `N = 10⁵–10⁶`.
+//! (`chaff_core::detector::BatchPrefixDetector`, whose unified
+//! `detect_prefixes` entry scores heterogeneous chaffed candidate sets
+//! straight off the grid) for fleet-scale evaluation at `N = 10⁵–10⁶`,
+//! and persists through `chaff-store` (see [`crate::persist`]) for
+//! checkpoint/resume at `N = 10⁶–10⁷`.
 
 use crate::network::MecNetwork;
 use crate::observer::ShardedObservationLog;
@@ -391,8 +392,8 @@ pub struct FleetStats {
 pub struct FleetOutcome {
     /// The eavesdropper's view: one column per service (all users' real
     /// services and chaffs together), shuffled when anonymization is on.
-    /// Feed it straight to
-    /// `BatchPrefixDetector::detect_prefixes_columnar_with_tables`; use
+    /// Feed it straight to the unified
+    /// `BatchPrefixDetector::detect_prefixes` entry; use
     /// [`CellGrid::trajectory`]/[`CellGrid::to_trajectories`] to bridge
     /// to per-trajectory consumers.
     pub observed: CellGrid,
@@ -453,7 +454,7 @@ impl<'a> FleetModel<'a> {
 /// # Example
 ///
 /// ```
-/// use chaff_core::detector::BatchPrefixDetector;
+/// use chaff_core::detector::{BatchPrefixDetector, DetectInput};
 /// use chaff_markov::{models::ModelKind, MarkovChain};
 /// use chaff_sim::fleet::{FleetChaffPolicy, FleetChaffStrategy, FleetConfig, FleetSimulation};
 /// use rand::{rngs::StdRng, SeedableRng};
@@ -466,7 +467,7 @@ impl<'a> FleetModel<'a> {
 ///     .run_chaffed(&policy)?;
 /// assert_eq!(outcome.observed.num_trajectories(), 200 * 3); // real + 2 chaffs each
 /// let detections =
-///     BatchPrefixDetector::new().detect_prefixes_columnar(&chain, &outcome.observed)?;
+///     BatchPrefixDetector::new().detect_prefixes(DetectInput::new(&chain, &outcome.observed))?;
 /// assert_eq!(detections.len(), 30);
 /// # Ok(())
 /// # }

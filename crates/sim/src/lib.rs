@@ -23,7 +23,10 @@
 //!   world, paired with the batched detection core in `chaff-core`;
 //! * [`streaming`] — the online counterpart: the same fleet advanced one
 //!   slot at a time with incremental detection and a horizon-independent
-//!   memory bound, bit-for-bit equal to the batch pipeline.
+//!   memory bound, bit-for-bit equal to the batch pipeline;
+//! * [`persist`] — checkpoint / restore through the paged on-disk store
+//!   (`chaff-store`): batch outcomes persist slot by slot, the streaming
+//!   engine appends as it runs, and either file restores bit-for-bit.
 //!
 //! # Example
 //!
@@ -54,6 +57,7 @@ pub mod fleet;
 pub mod migration;
 pub mod network;
 pub mod observer;
+pub mod persist;
 pub mod sim;
 pub mod streaming;
 pub mod test_support;

@@ -26,7 +26,7 @@
 //! Because every random draw comes from the same per-user / per-chaff /
 //! shuffle seed streams as the batch engine, and the detector shares the
 //! batch per-slot kernel, a streamed run is **bit-for-bit** the batch
-//! `run_chaffed` + `detect_prefixes_columnar_with_tables` pipeline —
+//! `run_chaffed` + unified `detect_prefixes` pipeline —
 //! proptested across shard counts, budgets and mobility classes in
 //! `tests/streaming_equivalence.rs`.
 //!

@@ -3,7 +3,7 @@
 //! The streaming fleet engine must be a pure *scheduling* change: a
 //! slot-at-a-time run has to reproduce, bit for bit, the batch pipeline
 //! (`FleetSimulation::run_chaffed` followed by
-//! `detect_prefixes_columnar_with_tables`) — observed rows, user service
+//! the unified `detect_prefixes` entry) — observed rows, user service
 //! indices, stats and every per-slot detection — across shard counts
 //! {1, 2, 7}, budgets {0, 2} and multi-class registries, on both the
 //! model-drawn ([`StreamingFleetEngine::step`]) and ingested
@@ -95,9 +95,11 @@ fn batch_pipeline(
     let outcome = FleetSimulation::with_registry(registry, config)
         .run_chaffed(policy)
         .expect("batch fleet");
-    let tables = registry.tables();
     let detections = BatchPrefixDetector::with_shards(shards)
-        .detect_prefixes_columnar_with_tables(&tables, &outcome.observed)
+        .detect_prefixes(chaff_core::detector::DetectInput::new(
+            registry,
+            &outcome.observed,
+        ))
         .expect("batch detection");
     (outcome, detections)
 }

@@ -1,0 +1,178 @@
+//! Typed store failures.
+//!
+//! Every corruption mode the format can detect maps to its own variant
+//! — a truncated file, a flipped payload byte, a foreign or
+//! future-versioned file — so callers can distinguish "retry the
+//! download" from "this build cannot read that version". Nothing in the
+//! read path panics on malformed bytes: the fuzz/corruption battery in
+//! `tests/corruption.rs` holds that line.
+
+use std::fmt;
+
+/// Result alias for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// Errors raised by the paged fleet store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying file-system operation failed.
+    Io(std::io::Error),
+    /// The file does not start with the store magic — not a fleet store.
+    BadMagic {
+        /// The first eight bytes actually found.
+        found: [u8; 8],
+    },
+    /// The file's format version is not the one this build reads.
+    UnsupportedVersion {
+        /// Version recorded in the header.
+        found: u32,
+        /// Version this build supports.
+        expected: u32,
+    },
+    /// The file was written with a different cell width (the format
+    /// serializes `CellId` as little-endian `u32`).
+    WrongCellWidth {
+        /// Cell width recorded in the header, in bytes.
+        found: u32,
+        /// Cell width this build reads, in bytes.
+        expected: u32,
+    },
+    /// The fixed header's checksum does not match its bytes.
+    HeaderChecksum {
+        /// Checksum stored in the header.
+        stored: u32,
+        /// Checksum computed over the header bytes.
+        computed: u32,
+    },
+    /// The file ends before a structure it promises (interrupted write:
+    /// no trailing footer magic, or a page extends past end of file).
+    Truncated {
+        /// Which structure was cut short.
+        context: &'static str,
+    },
+    /// The footer index is present but self-inconsistent.
+    FooterCorrupt {
+        /// What failed validation.
+        reason: String,
+    },
+    /// A page's payload does not match its recorded checksum.
+    PageChecksum {
+        /// Zero-based page number (footer-index order), naming the
+        /// offending page.
+        page: usize,
+        /// Checksum recorded in the footer index.
+        stored: u32,
+        /// Checksum computed over the payload read back.
+        computed: u32,
+    },
+    /// A row handed to the writer has the wrong number of cells.
+    RowArity {
+        /// Which section the row was destined for.
+        section: &'static str,
+        /// Cells per row the store was created with.
+        expected: usize,
+        /// Cells actually supplied.
+        found: usize,
+    },
+    /// The writer was finished (or the reader asked to load) with fewer
+    /// slots than the declared horizon.
+    Incomplete {
+        /// Slots promised by the header.
+        expected: usize,
+        /// Slots actually present.
+        found: usize,
+    },
+    /// The footer index or offsets section decodes but describes an
+    /// impossible layout (gaps in row coverage, oversized counts).
+    Layout {
+        /// What failed validation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::BadMagic { found } => {
+                write!(f, "not a fleet store (magic {found:02x?})")
+            }
+            StoreError::UnsupportedVersion { found, expected } => write!(
+                f,
+                "unsupported store format version {found} (this build reads {expected})"
+            ),
+            StoreError::WrongCellWidth { found, expected } => write!(
+                f,
+                "store written with {found}-byte cells, this build reads {expected}-byte cells"
+            ),
+            StoreError::HeaderChecksum { stored, computed } => write!(
+                f,
+                "header checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+            StoreError::Truncated { context } => {
+                write!(f, "store truncated: {context}")
+            }
+            StoreError::FooterCorrupt { reason } => {
+                write!(f, "store footer corrupt: {reason}")
+            }
+            StoreError::PageChecksum {
+                page,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "page {page} checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+            StoreError::RowArity {
+                section,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{section} row holds {found} cells, store expects {expected}"
+            ),
+            StoreError::Incomplete { expected, found } => write!(
+                f,
+                "store holds {found} slots of a declared horizon of {expected}"
+            ),
+            StoreError::Layout { reason } => write!(f, "store layout invalid: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offending_page() {
+        let err = StoreError::PageChecksum {
+            page: 7,
+            stored: 1,
+            computed: 2,
+        };
+        assert!(err.to_string().contains("page 7"), "{err}");
+    }
+
+    #[test]
+    fn io_errors_chain_their_source() {
+        let err = StoreError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(err.to_string().contains("gone"));
+    }
+}

@@ -7,6 +7,7 @@
 //!   ([`chaff_mobility`]);
 //! * [`sim`] — the slotted MEC simulator ([`chaff_sim`]);
 //! * [`core`] — detectors, chaff strategies and theory ([`chaff_core`]);
+//! * [`store`] — the persistent paged fleet store ([`chaff_store`]);
 //! * [`eval`] — the figure-reproduction harness ([`chaff_eval`]).
 //!
 //! See the workspace README for a quickstart and `examples/` for runnable
@@ -19,3 +20,4 @@ pub use chaff_eval as eval;
 pub use chaff_markov as markov;
 pub use chaff_mobility as mobility;
 pub use chaff_sim as sim;
+pub use chaff_store as store;
