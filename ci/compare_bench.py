@@ -260,6 +260,16 @@ def main(argv: List[str]) -> int:
         print(line)
     for line in report:
         print(line)
+    added = sorted(set(current) - set(baseline))
+    if added:
+        # A benchmark (or a whole new group, e.g. fleet_equilibrium/*)
+        # with no baseline entry cannot be gated yet: warn so the gap is
+        # visible in the log, and let the artifact upload seed the
+        # baseline for the next run.
+        print(
+            f"warning: {len(added)} benchmark(s) have no baseline entry and "
+            f"were not gated (new group's first run?): {', '.join(added)}"
+        )
     if regressions:
         print(
             f"FAIL: {len(regressions)} benchmark metric(s) regressed more than "

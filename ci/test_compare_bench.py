@@ -145,6 +145,23 @@ class CompareTests(unittest.TestCase):
         _, regressions = compare(baseline, current, 0.25)
         self.assertEqual(regressions, ["kernels/gather_add_dense/1000000 [mean_ns]"])
 
+    def test_a_whole_group_absent_from_the_baseline_never_fails(self):
+        # First run after a new bench group lands (e.g. the ISSUE 9
+        # fleet_equilibrium/* benches): every entry of the group is
+        # missing from the baseline. The join must report each one as
+        # [new] informationally and gate only the shared benchmarks.
+        baseline = {"fleet_chaff/pipeline/1000": ns(1000.0)}
+        current = {
+            "fleet_chaff/pipeline/1000": ns(1010.0),
+            "fleet_equilibrium/adapt_step/10000": ns(99999.0),
+            "fleet_equilibrium/epoch/500": ns(99999.0),
+        }
+        report, regressions = compare(baseline, current, 0.25)
+        self.assertEqual(regressions, [])
+        new_lines = [line for line in report if "new" in line]
+        self.assertEqual(len(new_lines), 2)
+        self.assertTrue(any("fleet_equilibrium/adapt_step" in l for l in new_lines))
+
     def test_missing_rss_on_either_side_skips_the_rss_gate(self):
         # Baseline predates RSS recording (or non-Linux shim): only
         # mean_ns is compared, a huge RSS value cannot fail the gate.
@@ -269,6 +286,48 @@ class MainExitCodeTests(unittest.TestCase):
             write_jsonl(baseline, [("a", 100.0, 1000)])
             write_jsonl(current, [("a", 101.0, 1010)])
             self.assertEqual(main([baseline, current]), 0)
+
+    def test_baseline_absent_group_warns_but_exits_zero(self):
+        # Exit-code-level pin of the group-absent case: a current file
+        # carrying a brand-new group next to one stable shared bench
+        # must pass the gate and name the ungated benchmarks in a
+        # warning on stdout.
+        import contextlib
+        import io
+
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = os.path.join(tmp, "baseline.json")
+            current = os.path.join(tmp, "current.json")
+            write_jsonl(baseline, [("fleet_chaff/pipeline/1000", 100.0)])
+            write_jsonl(
+                current,
+                [
+                    ("fleet_chaff/pipeline/1000", 101.0),
+                    ("fleet_equilibrium/adapt_step/10000", 99999.0),
+                    ("fleet_equilibrium/epoch/500", 99999.0),
+                ],
+            )
+            stdout = io.StringIO()
+            with contextlib.redirect_stdout(stdout):
+                self.assertEqual(main([baseline, current]), 0)
+            out = stdout.getvalue()
+            self.assertIn("no baseline entry", out)
+            self.assertIn("fleet_equilibrium/adapt_step/10000", out)
+            self.assertIn("fleet_equilibrium/epoch/500", out)
+
+    def test_no_warning_when_every_benchmark_has_a_baseline(self):
+        import contextlib
+        import io
+
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = os.path.join(tmp, "baseline.json")
+            current = os.path.join(tmp, "current.json")
+            write_jsonl(baseline, [("a", 100.0)])
+            write_jsonl(current, [("a", 101.0)])
+            stdout = io.StringIO()
+            with contextlib.redirect_stdout(stdout):
+                self.assertEqual(main([baseline, current]), 0)
+            self.assertNotIn("no baseline entry", stdout.getvalue())
 
     def test_custom_threshold_is_respected(self):
         with tempfile.TemporaryDirectory() as tmp:

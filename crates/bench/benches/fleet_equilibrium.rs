@@ -1,0 +1,99 @@
+//! Defender–detector equilibrium benchmarks (ISSUE 9).
+//!
+//! Tracks the two costs the adaptive-budget loop adds on top of the
+//! existing fleet pipeline: (a) one best-response re-apportionment of
+//! the fleet-wide total at `N = 10⁴` users (`adapt_step` — pure
+//! arithmetic, no simulation), and (b) one full best-response epoch at
+//! a smaller fleet — simulate under the adaptive policy, detect,
+//! bridge detections into [`AccuracyFeedback`], adapt (`epoch`). CI
+//! archives the results next to the other fleet groups and fails on
+//! >25% regressions (see `ci/compare_bench.py`).
+
+use chaff_bench::fixture_chain;
+use chaff_core::detector::{AccuracyFeedback, BatchPrefixDetector, DetectInput};
+use chaff_markov::models::ModelKind;
+use chaff_sim::fleet::{FleetChaffPolicy, FleetChaffStrategy, FleetConfig, FleetSimulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+const ADAPT_USERS: usize = 10_000;
+const EPOCH_USERS: usize = 500;
+const HORIZON: usize = 20;
+
+/// A deterministic synthetic accuracy vector: smoothly skewed so the
+/// apportionment has real work (non-uniform shares, many remainder
+/// ties), without depending on RNG state.
+fn skewed_accuracies(n: usize) -> Vec<f64> {
+    (0..n).map(|u| 0.05 + 0.9 * (u as f64 / n as f64)).collect()
+}
+
+/// One best-response re-apportionment over `N = 10⁴` budgets.
+fn bench_adapt_step(c: &mut Criterion) {
+    let accuracies = skewed_accuracies(ADAPT_USERS);
+    let mut group = c.benchmark_group("fleet_equilibrium/adapt_step");
+    group.bench_with_input(
+        BenchmarkId::from_parameter(ADAPT_USERS),
+        &ADAPT_USERS,
+        |b, &n| {
+            b.iter(|| {
+                let mut policy = FleetChaffPolicy::adaptive(FleetChaffStrategy::Im, n, n);
+                policy.adapt(black_box(&accuracies)).unwrap()
+            })
+        },
+    );
+    group.finish();
+}
+
+/// One full best-response epoch: simulate + detect + feedback + adapt.
+fn bench_epoch(c: &mut Criterion) {
+    let chain = fixture_chain(ModelKind::NonSkewed, 10, 43);
+    let table = chain.log_likelihood_table();
+    let detector = BatchPrefixDetector::new();
+    let mut group = c.benchmark_group("fleet_equilibrium/epoch");
+    group.bench_with_input(
+        BenchmarkId::from_parameter(EPOCH_USERS),
+        &EPOCH_USERS,
+        |b, &n| {
+            b.iter(|| {
+                let mut policy = FleetChaffPolicy::adaptive(FleetChaffStrategy::Im, n, n);
+                let outcome = FleetSimulation::new(
+                    &chain,
+                    FleetConfig::new(n, HORIZON).with_seed(black_box(44)),
+                )
+                .run_chaffed(&policy)
+                .unwrap();
+                let detections = detector
+                    .detect_prefixes(DetectInput::new(&[&table], &outcome.observed))
+                    .unwrap();
+                let feedback = AccuracyFeedback::from_detections(
+                    outcome.observed.num_trajectories(),
+                    &detections,
+                );
+                let per_user: Vec<f64> = outcome
+                    .user_observed_indices
+                    .iter()
+                    .map(|&u| feedback.accuracy(u))
+                    .collect();
+                policy.adapt(&per_user).unwrap()
+            })
+        },
+    );
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = fleet_equilibrium;
+    config = configured();
+    targets =
+        bench_adapt_step,
+        bench_epoch,
+}
+criterion_main!(fleet_equilibrium);

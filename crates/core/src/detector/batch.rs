@@ -1524,12 +1524,14 @@ mod tests {
         assert_eq!(detections[1].tie_set(), &[1]);
     }
 
-    /// The pre-redesign entry points stay for one release as deprecated
-    /// shims; they must remain bit-for-bit equal to the unified entry
-    /// until removed.
+    /// The coverage the retired shim test provided, expressed through
+    /// the unified entry: every `(model, observations)` pairing a legacy
+    /// entry point used to own must stay bit-for-bit equal to the
+    /// canonical chain-over-trajectories request. The crate denies
+    /// `deprecated`, so no call site — this one included — can regress
+    /// onto the PR-8 shims.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_unified_entry() {
+    fn every_detect_input_pairing_matches_the_unified_entry() {
         let (chain, observed) = fleet(70, 31, 9);
         let grid = CellGrid::from_trajectories(&observed).unwrap();
         let table = chain.log_likelihood_table();
@@ -1538,21 +1540,25 @@ mod tests {
             .detect_prefixes(DetectInput::new(&chain, &observed))
             .unwrap();
         assert_eq!(
-            d.detect_prefixes_with_table(&table, &observed).unwrap(),
-            unified
-        );
-        assert_eq!(
-            d.detect_prefixes_with_tables(&[&table], &observed).unwrap(),
-            unified
-        );
-        assert_eq!(d.detect_prefixes_columnar(&chain, &grid).unwrap(), unified);
-        assert_eq!(
-            d.detect_prefixes_columnar_with_table(&table, &grid)
+            d.detect_prefixes(DetectInput::new(&table, &observed))
                 .unwrap(),
             unified
         );
         assert_eq!(
-            d.detect_prefixes_columnar_with_tables(&[&table], &grid)
+            d.detect_prefixes(DetectInput::new(&[&table], &observed))
+                .unwrap(),
+            unified
+        );
+        assert_eq!(
+            d.detect_prefixes(DetectInput::new(&chain, &grid)).unwrap(),
+            unified
+        );
+        assert_eq!(
+            d.detect_prefixes(DetectInput::new(&table, &grid)).unwrap(),
+            unified
+        );
+        assert_eq!(
+            d.detect_prefixes(DetectInput::new(&[&table], &grid))
                 .unwrap(),
             unified
         );

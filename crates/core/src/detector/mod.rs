@@ -41,7 +41,7 @@ pub use advanced::AdvancedDetector;
 pub use batch::{BatchPrefixDetector, PrefixScores, MAX_POPULATION};
 pub use input::{DetectInput, DetectModel, DetectObservations, GridRowSource, SlotRowSource};
 pub use ml::MlDetector;
-pub use streaming::StreamingPrefixDetector;
+pub use streaming::{AccuracyFeedback, StreamingPrefixDetector};
 
 use chaff_markov::{MarkovChain, Trajectory};
 

@@ -28,6 +28,104 @@ use super::{batch, kernel, Detection};
 use crate::{loglik_cmp, pool, Result};
 use chaff_markov::{CellId, LogLikelihoodTable};
 
+/// Running per-column detection-accuracy feedback, accumulated from the
+/// tie set of every slot with no extra pass over the scores: column `i`
+/// gains `1 / |tie set|` mass whenever it appears in a slot's argmax set
+/// (the expectation of the paper's "random guess among ties"), so
+/// [`accuracy`](Self::accuracy) is exactly the column's time-average
+/// detection accuracy over the slots recorded so far. Memory is one
+/// `f64` per column — `O(N)`, independent of the horizon.
+///
+/// This is the defender-side view an adaptive chaff allocator consumes:
+/// [`ranked`](Self::ranked) orders columns most-detected first, and when
+/// accuracies tie — including the saturated case where every slot's
+/// argmax ties across the whole population, giving every column equal
+/// mass — it breaks ties deterministically towards the **lowest column
+/// index**. Without that rule an adaptive budget loop could oscillate
+/// run-to-run on tie order; with it, equal feedback always produces the
+/// same ranking (pinned by test).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AccuracyFeedback {
+    /// Cumulative tie-set mass per observed column.
+    mass: Vec<f64>,
+    /// Slots recorded so far (the accuracy denominator).
+    slots: usize,
+}
+
+impl AccuracyFeedback {
+    /// An empty feedback accumulator over `num_services` observed
+    /// columns.
+    pub fn new(num_services: usize) -> Self {
+        AccuracyFeedback {
+            mass: vec![0.0; num_services],
+            slots: 0,
+        }
+    }
+
+    /// Builds the feedback a streaming detector would have accumulated
+    /// over `detections` — the batch-path bridge: one pass over the tie
+    /// sets, never a rescore of the trajectories.
+    pub fn from_detections(num_services: usize, detections: &[Detection]) -> Self {
+        let mut feedback = AccuracyFeedback::new(num_services);
+        for detection in detections {
+            feedback.record(detection);
+        }
+        feedback
+    }
+
+    /// Folds one slot's detection into the running mass.
+    pub fn record(&mut self, detection: &Detection) {
+        self.record_tie_set(detection.tie_set());
+    }
+
+    fn record_tie_set(&mut self, tie: &[usize]) {
+        let share = 1.0 / tie.len() as f64;
+        for &i in tie {
+            self.mass[i] += share;
+        }
+        self.slots += 1;
+    }
+
+    /// Number of observed columns tracked.
+    pub fn num_services(&self) -> usize {
+        self.mass.len()
+    }
+
+    /// Slots recorded so far.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Column `i`'s running time-average detection accuracy (0 before
+    /// the first slot).
+    pub fn accuracy(&self, column: usize) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.mass[column] / self.slots as f64
+        }
+    }
+
+    /// All running accuracies, in column order.
+    pub fn accuracies(&self) -> Vec<f64> {
+        (0..self.mass.len()).map(|i| self.accuracy(i)).collect()
+    }
+
+    /// Columns ordered most-detected first; equal accuracies — including
+    /// fully saturated ties — break towards the lowest column index, so
+    /// the ranking is deterministic for every run with equal feedback.
+    pub fn ranked(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.mass.len()).collect();
+        order.sort_by(|&a, &b| self.mass[b].total_cmp(&self.mass[a]).then(a.cmp(&b)));
+        order
+    }
+
+    /// Bytes of running state: one `f64` of tie mass per column.
+    pub fn state_bytes(&self) -> usize {
+        self.mass.capacity() * 8
+    }
+}
+
 /// Incremental maximum-likelihood prefix detector: one [`Detection`] per
 /// pushed slot row, bit-for-bit equal to
 /// [`BatchPrefixDetector::detect_prefixes`](super::BatchPrefixDetector::detect_prefixes)
@@ -73,6 +171,9 @@ pub struct StreamingPrefixDetector {
     slots_seen: usize,
     /// Global top-k of the most recent slot (empty when `top_k == 0`).
     last_top: Vec<usize>,
+    /// Opt-in running per-column accuracy feedback (see
+    /// [`with_feedback`](StreamingPrefixDetector::with_feedback)).
+    feedback: Option<AccuracyFeedback>,
 }
 
 /// One shard's running state: the index range it owns, the cumulative
@@ -185,6 +286,7 @@ impl StreamingPrefixDetector {
             prev_row: Vec::new(),
             slots_seen: 0,
             last_top: Vec::new(),
+            feedback: None,
         })
     }
 
@@ -193,6 +295,22 @@ impl StreamingPrefixDetector {
     pub fn with_top_k(mut self, k: usize) -> Self {
         self.top_k = k.min(self.population);
         self
+    }
+
+    /// Enables the running [`AccuracyFeedback`] view: every pushed slot
+    /// folds its tie set into a per-column accuracy accumulator, `O(N)`
+    /// extra memory and `O(|tie set|)` extra work per slot — no second
+    /// pass over the scores. Retrieve with
+    /// [`feedback`](Self::feedback).
+    pub fn with_feedback(mut self) -> Self {
+        self.feedback = Some(AccuracyFeedback::new(self.population));
+        self
+    }
+
+    /// The running accuracy feedback, when enabled with
+    /// [`with_feedback`](Self::with_feedback).
+    pub fn feedback(&self) -> Option<&AccuracyFeedback> {
+        self.feedback.as_ref()
     }
 
     /// Number of concurrent services the detector scores.
@@ -212,8 +330,9 @@ impl StreamingPrefixDetector {
 
     /// Bytes of horizon-independent running state: the accumulator block
     /// (`8 · N · classes`), the mixture best-class score row (`8 · N`,
-    /// absent for single-class layouts) and the previous slot row
-    /// (`4 · N`). This is the detector's whole memory of the stream — it
+    /// absent for single-class layouts), the previous slot row
+    /// (`4 · N`), and — when enabled — the accuracy-feedback mass
+    /// (`8 · N`). This is the detector's whole memory of the stream — it
     /// does not grow with the number of slots pushed.
     pub fn state_bytes(&self) -> usize {
         let accs: usize = self
@@ -221,7 +340,11 @@ impl StreamingPrefixDetector {
             .iter()
             .map(|l| (l.accs.len() + l.scores.len()) * 8)
             .sum();
-        accs + self.prev_row.capacity() * 4
+        let feedback = self
+            .feedback
+            .as_ref()
+            .map_or(0, AccuracyFeedback::state_bytes);
+        accs + self.prev_row.capacity() * 4 + feedback
     }
 
     /// The most recent slot's global top-k service indices, best first
@@ -318,6 +441,9 @@ impl StreamingPrefixDetector {
             self.last_top.clear();
             self.last_top
                 .extend(merged.iter().map(|&(i, _)| i as usize));
+        }
+        if let Some(feedback) = &mut self.feedback {
+            feedback.record_tie_set(&tie_set);
         }
         self.prev_row.clear();
         self.prev_row.extend_from_slice(row);
@@ -496,6 +622,101 @@ mod tests {
         assert_eq!(online.state_bytes(), after_one);
         // 8 bytes of accumulator + 4 bytes of previous row per service.
         assert_eq!(after_one, 50 * 8 + 50 * 4);
+    }
+
+    #[test]
+    fn streamed_feedback_matches_the_batch_bridge() {
+        // The opt-in running feedback must equal what the batch bridge
+        // reconstructs from the same detections — for every shard count.
+        let (chain, grid) = fleet(71, 41, 17);
+        let reference = BatchPrefixDetector::with_shards(2)
+            .detect_prefixes(crate::detector::DetectInput::new(&chain, &grid))
+            .unwrap();
+        let bridged = AccuracyFeedback::from_detections(grid.num_trajectories(), &reference);
+        for shards in [1, 3, 41] {
+            let mut online = StreamingPrefixDetector::with_shards(
+                vec![chain.log_likelihood_table()],
+                grid.num_trajectories(),
+                shards,
+            )
+            .unwrap()
+            .with_feedback();
+            for t in 0..grid.horizon() {
+                online.push_slot(grid.row(t)).unwrap();
+            }
+            let feedback = online.feedback().unwrap();
+            assert_eq!(feedback, &bridged, "shards {shards}");
+            assert_eq!(feedback.slots(), grid.horizon());
+            // The per-column accuracies are the columns' time-average
+            // detection accuracies: they sum to 1 per slot.
+            let total: f64 = feedback.accuracies().iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "total mass {total}");
+        }
+    }
+
+    #[test]
+    fn feedback_state_is_horizon_independent_and_opt_in() {
+        let (chain, grid) = fleet(72, 50, 30);
+        let mut online =
+            StreamingPrefixDetector::with_shards(vec![chain.log_likelihood_table()], 50, 2)
+                .unwrap()
+                .with_feedback();
+        online.push_slot(grid.row(0)).unwrap();
+        let after_one = online.state_bytes();
+        for t in 1..grid.horizon() {
+            online.push_slot(grid.row(t)).unwrap();
+        }
+        assert_eq!(online.state_bytes(), after_one);
+        // The plain detector's 8 + 4 bytes per service, plus 8 bytes of
+        // feedback mass per column.
+        assert_eq!(after_one, 50 * 8 + 50 * 4 + 50 * 8);
+    }
+
+    #[test]
+    fn saturated_ties_rank_by_lowest_column_index() {
+        // When every slot's argmax ties across the whole population —
+        // e.g. all services glued to one cell under a deterministic-ish
+        // row — every column accumulates identical mass, and the ranking
+        // must deterministically prefer the lowest index (the pinned
+        // tie-break that keeps adaptive budget loops from oscillating on
+        // tie order).
+        let mut rng = StdRng::seed_from_u64(73);
+        let chain = MarkovChain::new(ModelKind::NonSkewed.build(10, &mut rng).unwrap()).unwrap();
+        let mut online =
+            StreamingPrefixDetector::with_shards(vec![chain.log_likelihood_table()], 6, 3)
+                .unwrap()
+                .with_feedback();
+        for t in 0..9 {
+            // All six services share one cell per slot: identical scores,
+            // a full tie, every slot.
+            let row = vec![chaff_markov::CellId::new(t % 10); 6];
+            let detection = online.push_slot(&row).unwrap();
+            assert_eq!(detection.tie_set(), &[0, 1, 2, 3, 4, 5]);
+        }
+        let feedback = online.feedback().unwrap();
+        for i in 0..6 {
+            assert!((feedback.accuracy(i) - 1.0 / 6.0).abs() < 1e-12);
+        }
+        assert_eq!(feedback.ranked(), vec![0, 1, 2, 3, 4, 5]);
+        // Distinct masses still rank by accuracy first.
+        let skewed = AccuracyFeedback::from_detections(
+            3,
+            &[
+                Detection::new(vec![2]),
+                Detection::new(vec![2]),
+                Detection::new(vec![0, 1]),
+            ],
+        );
+        assert_eq!(skewed.ranked(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn empty_feedback_reports_zero_accuracy() {
+        let feedback = AccuracyFeedback::new(4);
+        assert_eq!(feedback.num_services(), 4);
+        assert_eq!(feedback.slots(), 0);
+        assert_eq!(feedback.accuracy(2), 0.0);
+        assert_eq!(feedback.ranked(), vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -60,6 +60,9 @@
 //! ```
 
 #![deny(unsafe_code)]
+// The PR-8 detection shims stay one release for downstream callers, but
+// no call site inside the crate may regress onto them.
+#![deny(deprecated)]
 #![warn(missing_docs)]
 
 mod error;

@@ -175,6 +175,18 @@ experiment!(FleetChaff, "fleet_chaff", ctx, {
     )?))
 });
 
+experiment!(FleetEquilibrium, "fleet_equilibrium", ctx, {
+    let populations: &[usize] = if ctx.quick {
+        &super::fleet_equilibrium::QUICK_POPULATIONS
+    } else {
+        &super::fleet_equilibrium::POPULATIONS
+    };
+    Ok(ExperimentOutput::table(super::fleet_equilibrium::run_with(
+        &ctx.synth,
+        populations,
+    )?))
+});
+
 experiment!(FleetScale, "fleet_scale", ctx, {
     let populations: &[usize] = if ctx.quick {
         &super::fleet_scale::QUICK_POPULATIONS
@@ -253,6 +265,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(Multiuser),
         Box::new(FleetScaling),
         Box::new(FleetChaff),
+        Box::new(FleetEquilibrium),
         Box::new(FleetScale),
         Box::new(FleetStream),
         Box::new(FleetPersist),
@@ -290,6 +303,11 @@ mod tests {
     #[test]
     fn registry_covers_the_new_persistence_tentpole() {
         assert!(names().contains(&"fleet_persist"));
+    }
+
+    #[test]
+    fn registry_covers_the_equilibrium_tentpole() {
+        assert!(names().contains(&"fleet_equilibrium"));
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! ISSUE 9 acceptance: the defender–detector equilibrium sweep at
+//! `N = 10⁴` under the pinned seed.
+//!
+//! The best-response iteration must converge within [`MAX_ROUNDS`]
+//! epochs, conserve the fleet-wide total, and end no worse (up to
+//! Monte Carlo noise) than the best *static* allocation of the same
+//! total — adapting can only ever reuse a static split, so the
+//! equilibrium cannot lose to one.
+
+use chaff_eval::experiments::fleet_equilibrium::{
+    equilibrium, equilibrium_registry, measure, BUDGET, EQ_HORIZON, MAX_ROUNDS,
+};
+
+const SEED: u64 = 1709;
+const N: usize = 10_000;
+
+#[test]
+fn acceptance_equilibrium_at_ten_thousand_users() {
+    let registry = equilibrium_registry(SEED, 10);
+
+    let (point, budgets) = equilibrium(&registry, N, EQ_HORIZON, SEED).unwrap();
+    assert!(
+        point.converged,
+        "no equilibrium within {MAX_ROUNDS} epochs (last round {})",
+        point.rounds
+    );
+    assert!(point.rounds <= MAX_ROUNDS);
+    assert_eq!(budgets.len(), N);
+    assert_eq!(budgets.iter().sum::<usize>(), N * BUDGET, "total leaked");
+
+    // The equilibrium spends the same total as every static baseline
+    // and must not lose to the best of them. The slack term covers
+    // 20-slot sampling noise on accuracies of this magnitude; the
+    // contract is "never meaningfully worse", not bit-equality.
+    let points = measure(&registry, N, EQ_HORIZON, SEED).unwrap();
+    let best_static = points
+        .iter()
+        .filter(|p| p.allocation != "adaptive")
+        .map(|p| p.tracking_accuracy)
+        .fold(f64::INFINITY, f64::min);
+    let adaptive = points
+        .iter()
+        .find(|p| p.allocation == "adaptive")
+        .expect("measure always scores the adaptive policy");
+    assert!(
+        adaptive.tracking_accuracy <= best_static + 0.01,
+        "equilibrium tracking {} vs best static {}",
+        adaptive.tracking_accuracy,
+        best_static
+    );
+    assert!(adaptive.converged);
+}

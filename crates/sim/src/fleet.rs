@@ -18,7 +18,10 @@
 //! user an online chaff strategy ([`FleetChaffStrategy`]: IM, CML or MO)
 //! and a per-user budget via a [`BudgetAllocation`] — uniform (`B` chaffs
 //! each), proportional (a fleet-wide total spread deterministically
-//! across users), or class-based (budget per mobility class).
+//! across users), class-based (budget per mobility class), or *adaptive*
+//! ([`AdaptiveBudgets`]: the same fleet-wide total re-apportioned between
+//! epochs from detector-side accuracy feedback, the defender's move in
+//! the best-response equilibrium sweep).
 //! [`FleetSimulation::run_chaffed`] drives a whole fleet under one
 //! policy; budget `B = 0` reproduces the undefended fleet bit-for-bit.
 //!
@@ -234,6 +237,153 @@ pub enum BudgetAllocation {
     /// Budget per mobility class (indexed like the fleet's
     /// [`MobilityRegistry`]; a homogeneous fleet has exactly one class).
     PerClass(Vec<usize>),
+    /// Feedback-adaptive: an explicit per-user budget vector, re-weighted
+    /// between epochs from detector-side accuracy feedback
+    /// ([`AdaptiveBudgets::adapt`]) while conserving the fleet-wide
+    /// total. Within one epoch the vector is as static as any other
+    /// allocation, so runs stay deterministic and shard-independent; and
+    /// because budgets never feed the per-user / per-chaff seed streams,
+    /// re-weighting never perturbs user trajectories.
+    Adaptive(AdaptiveBudgets),
+}
+
+/// The state of the adaptive budget loop: a fleet-wide chaff total and
+/// its current per-user split.
+///
+/// The initial split is exactly the proportional allocation (`total / N`
+/// each, low indices taking the remainder). Each
+/// [`adapt`](AdaptiveBudgets::adapt) epoch re-apportions the same total
+/// by largest-remainder (Hamilton) rounding over *damped* weights — the
+/// mean of each user's share of the reported detection accuracy and its
+/// share of the current budget — so budget flows towards the users the
+/// detector tracks best, half-way per epoch, without overshoot. Two
+/// invariants hold by construction, under checked arithmetic:
+///
+/// * the budget vector always sums to the total (nothing is minted or
+///   lost by rounding);
+/// * uniform feedback is a fixed point: when every user reports the same
+///   accuracy (including all-zero feedback), the proportional split
+///   reproduces itself bit-for-bit, epoch after epoch.
+///
+/// All remainder and accuracy ties break towards the **lowest user
+/// index** — mirroring the detector-side
+/// [`AccuracyFeedback`](chaff_core::detector::AccuracyFeedback) ranking
+/// rule — so the loop cannot oscillate run-to-run on tie order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptiveBudgets {
+    total: usize,
+    budgets: Vec<usize>,
+}
+
+impl AdaptiveBudgets {
+    /// The initial allocation: `total` chaffs over `num_users` users,
+    /// split proportionally (low indices take the remainder). A fleet of
+    /// zero users carries a zero total (the fleet config rejects `N = 0`
+    /// before any run).
+    pub fn new(num_users: usize, total: usize) -> Self {
+        if num_users == 0 {
+            return AdaptiveBudgets {
+                total: 0,
+                budgets: Vec::new(),
+            };
+        }
+        let budgets = (0..num_users)
+            .map(|u| total / num_users + usize::from(u < total % num_users))
+            .collect();
+        AdaptiveBudgets { total, budgets }
+    }
+
+    /// The conserved fleet-wide chaff total.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The current per-user budget vector (always sums to
+    /// [`total`](Self::total)).
+    pub fn budgets(&self) -> &[usize] {
+        &self.budgets
+    }
+
+    /// The current budget of one user.
+    pub fn budget_of(&self, user: usize) -> usize {
+        self.budgets[user]
+    }
+
+    /// One best-response epoch: re-apportions the total over damped
+    /// weights `(accuracy share + budget share) / 2` by largest-remainder
+    /// rounding, and returns the largest per-user budget movement (the
+    /// quantity equilibrium sweeps compare against ε). All-zero feedback
+    /// is treated as uniform, so a detector that never locked onto
+    /// anyone leaves the allocation alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when `accuracies` does not
+    /// supply one finite non-negative sample per user, and
+    /// [`SimError::BudgetOverflow`] if the apportionment sums ever
+    /// overflow `usize` (checked arithmetic throughout).
+    pub fn adapt(&mut self, accuracies: &[f64]) -> Result<usize> {
+        let n = self.budgets.len();
+        if accuracies.len() != n {
+            return Err(SimError::InvalidConfig {
+                parameter: "feedback.accuracies",
+                reason: format!("{} accuracy samples for {n} users", accuracies.len()),
+            });
+        }
+        for (user, &a) in accuracies.iter().enumerate() {
+            if !a.is_finite() || a < 0.0 {
+                return Err(SimError::InvalidConfig {
+                    parameter: "feedback.accuracies",
+                    reason: format!("user {user} reported accuracy {a}"),
+                });
+            }
+        }
+        if self.total == 0 || n == 0 {
+            return Ok(0);
+        }
+        let overflow = || SimError::BudgetOverflow { users: n };
+        let mass: f64 = accuracies.iter().sum();
+        let uniform = 1.0 / n as f64;
+        let total = self.total as f64;
+        // Damped ideal seats: half the accuracy share, half the current
+        // budget share. Identical inputs produce identical floats, so
+        // remainder ties are exact — and broken by lowest user index.
+        let ideals: Vec<f64> = (0..n)
+            .map(|u| {
+                let share = if mass > 0.0 {
+                    accuracies[u] / mass
+                } else {
+                    uniform
+                };
+                0.5 * (share + self.budgets[u] as f64 / total) * total
+            })
+            .collect();
+        let mut next: Vec<usize> = ideals.iter().map(|&x| x.floor() as usize).collect();
+        let assigned = next
+            .iter()
+            .try_fold(0usize, |acc, &b| acc.checked_add(b))
+            .ok_or_else(overflow)?;
+        let leftover = self.total.checked_sub(assigned).ok_or_else(overflow)?;
+        // Largest-remainder seats, ties to the lowest user index; the
+        // round-robin wrap is unreachable for exact floors (leftover < N)
+        // but keeps pathological float error from indexing out.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let (fa, fb) = (ideals[a] - ideals[a].floor(), ideals[b] - ideals[b].floor());
+            fb.total_cmp(&fa).then(a.cmp(&b))
+        });
+        for k in 0..leftover {
+            next[order[k % n]] = next[order[k % n]].checked_add(1).ok_or_else(overflow)?;
+        }
+        let delta = next
+            .iter()
+            .zip(&self.budgets)
+            .map(|(&new, &old)| new.abs_diff(old))
+            .max()
+            .unwrap_or(0);
+        self.budgets = next;
+        Ok(delta)
+    }
 }
 
 /// How a [`FleetChaffPolicy`] assigns chaff strategies to users.
@@ -248,10 +398,12 @@ pub enum StrategyAllocation {
 /// The fleet-scale chaff-policy layer: assigns each user an online chaff
 /// strategy and a per-user budget.
 ///
-/// Budgets and strategies are pure functions of `(user, class, N)`, so a
+/// Budgets and strategies are pure functions of `(user, class, N)` — for
+/// the adaptive allocation, of the current epoch's budget vector — so a
 /// policy is deterministic, shard-independent, and stable under fleet
 /// growth for the uniform and class-based allocations (the proportional
-/// allocation depends on `N` by design — it spreads a fixed total).
+/// and adaptive allocations depend on `N` by design — they spread a
+/// fixed total).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FleetChaffPolicy {
     allocation: BudgetAllocation,
@@ -296,6 +448,49 @@ impl FleetChaffPolicy {
         }
     }
 
+    /// Every user runs `strategy` under the feedback-adaptive allocation:
+    /// `total` chaffs over `num_users` users, starting from the
+    /// proportional split and re-weighted between epochs with
+    /// [`adapt`](Self::adapt).
+    pub fn adaptive(strategy: FleetChaffStrategy, num_users: usize, total: usize) -> Self {
+        FleetChaffPolicy {
+            allocation: BudgetAllocation::Adaptive(AdaptiveBudgets::new(num_users, total)),
+            strategies: StrategyAllocation::Uniform(strategy),
+        }
+    }
+
+    /// The policy's budget allocation.
+    pub fn allocation(&self) -> &BudgetAllocation {
+        &self.allocation
+    }
+
+    /// The adaptive budget state, when this policy is adaptive.
+    pub fn adaptive_budgets(&self) -> Option<&AdaptiveBudgets> {
+        match &self.allocation {
+            BudgetAllocation::Adaptive(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// One adaptive epoch: folds per-user accuracy feedback into the
+    /// budget vector (see [`AdaptiveBudgets::adapt`]) and returns the
+    /// largest per-user budget movement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a non-adaptive policy or
+    /// malformed feedback, and [`SimError::BudgetOverflow`] on
+    /// apportionment overflow.
+    pub fn adapt(&mut self, accuracies: &[f64]) -> Result<usize> {
+        match &mut self.allocation {
+            BudgetAllocation::Adaptive(a) => a.adapt(accuracies),
+            _ => Err(SimError::InvalidConfig {
+                parameter: "policy.allocation",
+                reason: "adapt() requires BudgetAllocation::Adaptive".into(),
+            }),
+        }
+    }
+
     /// The chaff budget of `user` (in class `class`, fleet size
     /// `num_users`).
     pub fn budget_of(&self, user: usize, class: usize, num_users: usize) -> usize {
@@ -305,6 +500,7 @@ impl FleetChaffPolicy {
                 total / num_users + usize::from(user < total % num_users)
             }
             BudgetAllocation::PerClass(budgets) => budgets[class],
+            BudgetAllocation::Adaptive(a) => a.budget_of(user),
         }
     }
 
@@ -333,6 +529,7 @@ impl FleetChaffPolicy {
         match &self.allocation {
             BudgetAllocation::Uniform(b) => b.checked_mul(num_users).ok_or_else(overflow),
             BudgetAllocation::Proportional { total } => Ok(*total),
+            BudgetAllocation::Adaptive(a) => Ok(a.total()),
             BudgetAllocation::PerClass(_) => (0..num_users).try_fold(0usize, |acc, u| {
                 acc.checked_add(self.budget_of(u, class_of(u), num_users))
                     .ok_or_else(overflow)
@@ -340,8 +537,9 @@ impl FleetChaffPolicy {
         }
     }
 
-    /// Checks class-indexed tables against the fleet's class count.
-    pub(crate) fn validate(&self, num_classes: usize) -> Result<()> {
+    /// Checks class-indexed tables against the fleet's class count and
+    /// user-indexed budget vectors against the fleet size.
+    pub(crate) fn validate(&self, num_classes: usize, num_users: usize) -> Result<()> {
         if let BudgetAllocation::PerClass(budgets) = &self.allocation {
             if budgets.len() != num_classes {
                 return Err(SimError::InvalidConfig {
@@ -349,6 +547,17 @@ impl FleetChaffPolicy {
                     reason: format!(
                         "{} per-class budgets for {num_classes} mobility classes",
                         budgets.len()
+                    ),
+                });
+            }
+        }
+        if let BudgetAllocation::Adaptive(a) = &self.allocation {
+            if a.budgets().len() != num_users {
+                return Err(SimError::InvalidConfig {
+                    parameter: "policy.budgets",
+                    reason: format!(
+                        "{} adaptive per-user budgets for {num_users} users",
+                        a.budgets().len()
                     ),
                 });
             }
@@ -546,7 +755,7 @@ impl<'a> FleetSimulation<'a> {
                     .into(),
             });
         }
-        policy.validate(self.model.num_classes())?;
+        policy.validate(self.model.num_classes(), self.config.num_users)?;
         let n = self.config.num_users;
         let model = self.model;
         self.run_with(
@@ -1161,6 +1370,110 @@ mod tests {
         assert!(FleetSimulation::with_registry(&r, FleetConfig::new(6, 8))
             .run_chaffed(&bad)
             .is_err());
+    }
+
+    #[test]
+    fn adaptive_budgets_start_proportional_and_conserve_the_total() {
+        let mut a = AdaptiveBudgets::new(5, 7);
+        assert_eq!(a.budgets(), &[2, 2, 1, 1, 1]);
+        assert_eq!(a.total(), 7);
+        // Skewed feedback moves budget towards the tracked users while
+        // conserving the total...
+        let delta = a.adapt(&[0.9, 0.02, 0.02, 0.02, 0.04]).unwrap();
+        assert!(delta > 0);
+        assert_eq!(a.budgets().iter().sum::<usize>(), 7);
+        assert!(a.budget_of(0) > 2, "budgets {:?}", a.budgets());
+        // ...and repeated epochs keep converging onto the tracked user.
+        for _ in 0..10 {
+            a.adapt(&[0.9, 0.02, 0.02, 0.02, 0.04]).unwrap();
+            assert_eq!(a.budgets().iter().sum::<usize>(), 7);
+        }
+        assert!(a.budget_of(0) >= 5, "budgets {:?}", a.budgets());
+    }
+
+    #[test]
+    fn uniform_feedback_is_a_fixed_point_of_the_adaptive_split() {
+        // The ISSUE 9 reduction: feedback frozen at uniform accuracy must
+        // keep the budget vector exactly at the static proportional
+        // split — including the all-zero "no signal" case — so the
+        // adaptive policy degrades gracefully to proportional.
+        for (n, total) in [(5usize, 7usize), (4, 4), (3, 10), (6, 0), (7, 20)] {
+            let proportional: Vec<usize> = (0..n)
+                .map(|u| total / n + usize::from(u < total % n))
+                .collect();
+            let mut a = AdaptiveBudgets::new(n, total);
+            assert_eq!(a.budgets(), proportional.as_slice());
+            for accuracy in [0.0, 0.25, 1.0] {
+                let delta = a.adapt(&vec![accuracy; n]).unwrap();
+                assert_eq!(delta, 0, "N = {n}, total = {total}, a = {accuracy}");
+                assert_eq!(a.budgets(), proportional.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_remainder_ties_break_towards_the_lowest_user() {
+        // Saturated detector ties hand every user identical feedback;
+        // the leftover seats must land on the lowest indices (the same
+        // deterministic rule as proportional), never oscillate.
+        let mut a = AdaptiveBudgets::new(4, 6);
+        assert_eq!(a.budgets(), &[2, 2, 1, 1]);
+        a.adapt(&[0.25; 4]).unwrap();
+        assert_eq!(a.budgets(), &[2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn adaptive_feedback_is_validated() {
+        let mut a = AdaptiveBudgets::new(3, 5);
+        assert!(matches!(
+            a.adapt(&[0.1, 0.2]),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            a.adapt(&[0.1, f64::NAN, 0.2]),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            a.adapt(&[0.1, -0.5, 0.2]),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        // A non-adaptive policy refuses to adapt.
+        let mut policy = FleetChaffPolicy::uniform(FleetChaffStrategy::Im, 1);
+        assert!(matches!(
+            policy.adapt(&[0.5]),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        // An adaptive policy built for the wrong fleet size is rejected
+        // by the driver before any run.
+        let c = chain(17);
+        let wrong = FleetChaffPolicy::adaptive(FleetChaffStrategy::Im, 4, 4);
+        assert!(FleetSimulation::new(&c, FleetConfig::new(6, 5))
+            .run_chaffed(&wrong)
+            .is_err());
+    }
+
+    #[test]
+    fn adaptive_policy_runs_and_keeps_user_trajectories_fixed() {
+        // Re-weighting budgets between epochs must never perturb the
+        // users' own trajectories: per-user and per-chaff RNG streams are
+        // keyed by (seed, user[, chaff]), not by budgets.
+        let c = chain(18);
+        let undefended = FleetSimulation::new(&c, FleetConfig::new(8, 12).with_seed(47))
+            .run_natural()
+            .unwrap();
+        let mut policy = FleetChaffPolicy::adaptive(FleetChaffStrategy::Im, 8, 8);
+        for epoch in 0..3 {
+            let outcome = FleetSimulation::new(&c, FleetConfig::new(8, 12).with_seed(47))
+                .run_chaffed(&policy)
+                .unwrap();
+            assert_eq!(outcome.user_cells, undefended.user_cells, "epoch {epoch}");
+            assert_eq!(outcome.stats.chaff_services, 8);
+            // Skew the allocation and go again.
+            let mut feedback = vec![0.1; 8];
+            feedback[epoch] = 0.9;
+            policy.adapt(&feedback).unwrap();
+        }
+        assert_eq!(policy.adaptive_budgets().unwrap().total(), 8);
     }
 
     #[test]

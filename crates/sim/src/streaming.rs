@@ -45,8 +45,8 @@
 //! clean partial result — never a poisoned engine.
 
 use crate::fleet::{
-    chaff_seed, service_layout, shuffle_seed, user_seed, FleetChaffPolicy, FleetConfig, FleetModel,
-    FleetStats,
+    chaff_seed, service_layout, shuffle_seed, user_seed, BudgetAllocation, FleetChaffPolicy,
+    FleetConfig, FleetModel, FleetStats,
 };
 use crate::network::MecNetwork;
 use crate::observer::fisher_yates;
@@ -235,7 +235,7 @@ impl<'a> StreamingFleetEngine<'a> {
                     .into(),
             });
         }
-        policy.validate(model.num_classes())?;
+        policy.validate(model.num_classes(), config.num_users)?;
         let n = config.num_users;
         let service_starts = service_layout(n, config.horizon, |user| {
             policy.budget_of(user, model.class_of(user), n)
@@ -281,8 +281,14 @@ impl<'a> StreamingFleetEngine<'a> {
                 .map(|c| registry.table(c).clone())
                 .collect(),
         };
-        let detector =
+        let mut detector =
             StreamingPrefixDetector::with_shards(tables, num_services, config.effective_shards())?;
+        // An adaptive policy needs the detector-side accuracy feedback to
+        // compute its next epoch, so the running view is enabled up front
+        // (other policies can opt in with `with_feedback`).
+        if matches!(policy.allocation(), BudgetAllocation::Adaptive(_)) {
+            detector = detector.with_feedback();
+        }
         let network = match config.node_capacity {
             Some(capacity) => Some((
                 MecNetwork::new(model.num_states(), Some(capacity))?,
@@ -324,6 +330,30 @@ impl<'a> StreamingFleetEngine<'a> {
     pub fn with_ring_depth(mut self, depth: usize) -> Self {
         self.ring = SlotRing::new(depth);
         self
+    }
+
+    /// Enables the detector's running per-column accuracy feedback even
+    /// under a non-adaptive policy (adaptive policies enable it
+    /// automatically). Retrieve per-user samples with
+    /// [`user_feedback`](Self::user_feedback).
+    pub fn with_feedback(mut self) -> Self {
+        self.detector = self.detector.with_feedback();
+        self
+    }
+
+    /// The running per-*user* detection accuracy: the detector's
+    /// [`AccuracyFeedback`](chaff_core::detector::AccuracyFeedback)
+    /// columns mapped back through the anonymization permutation to user
+    /// order — exactly the vector
+    /// [`FleetChaffPolicy::adapt`] consumes between epochs. `None` when
+    /// feedback is not enabled.
+    pub fn user_feedback(&self) -> Option<Vec<f64>> {
+        self.detector.feedback().map(|feedback| {
+            self.user_observed_indices
+                .iter()
+                .map(|&column| feedback.accuracy(column))
+                .collect()
+        })
     }
 
     /// Number of users `N`.
@@ -708,6 +738,49 @@ mod tests {
         let row: Vec<CellId> = vec![CellId::new(0); 3];
         assert!(engine.step_ingested(&row).unwrap().is_some());
         assert_eq!(engine.slots_run(), 5);
+    }
+
+    #[test]
+    fn adaptive_policies_stream_per_user_feedback() {
+        use crate::fleet::FleetSimulation;
+        use chaff_core::detector::{AccuracyFeedback, BatchPrefixDetector, DetectInput};
+
+        let c = chain(7);
+        let config = FleetConfig::new(12, 9).with_seed(23);
+        // A uniform policy leaves feedback off unless asked for...
+        let uniform = FleetChaffPolicy::uniform(FleetChaffStrategy::Im, 1);
+        let mut engine = StreamingFleetEngine::new(&c, config.clone(), &uniform).unwrap();
+        assert!(engine.user_feedback().is_none());
+        engine = StreamingFleetEngine::new(&c, config.clone(), &uniform)
+            .unwrap()
+            .with_feedback();
+        assert!(engine.user_feedback().is_some());
+        // ...an adaptive policy enables it automatically, and the
+        // streamed per-user samples equal the batch bridge bit-for-bit.
+        let adaptive = FleetChaffPolicy::adaptive(FleetChaffStrategy::Im, 12, 12);
+        let mut engine = StreamingFleetEngine::new(&c, config.clone(), &adaptive).unwrap();
+        while engine.step().unwrap().is_some() {}
+        let streamed = engine.user_feedback().unwrap();
+
+        let outcome = FleetSimulation::new(&c, config)
+            .run_chaffed(&adaptive)
+            .unwrap();
+        let detections = BatchPrefixDetector::new()
+            .detect_prefixes(DetectInput::new(&c, &outcome.observed))
+            .unwrap();
+        let bridged =
+            AccuracyFeedback::from_detections(outcome.observed.num_trajectories(), &detections);
+        for (u, &column) in outcome.user_observed_indices.iter().enumerate() {
+            assert_eq!(
+                streamed[u].to_bits(),
+                bridged.accuracy(column).to_bits(),
+                "user {u}"
+            );
+        }
+        // The samples feed straight into the policy's adapt step.
+        let mut policy = adaptive.clone();
+        policy.adapt(&streamed).unwrap();
+        assert_eq!(policy.adaptive_budgets().unwrap().total(), 12);
     }
 
     #[test]

@@ -54,19 +54,30 @@ proptest! {
         num_users in 2usize..16,
         horizon in 1usize..12,
         strategy_tag in 0u8..3,
-        alloc_tag in 0u8..3,
+        alloc_tag in 0u8..4,
+        accuracy in 0.0f64..1.0,
     ) {
         let c = chain(model_seed, 8);
         let strategy = strategy_from(strategy_tag);
         // Every allocation shape that yields all-zero budgets must
-        // collapse onto the undefended fleet.
-        let policy = match alloc_tag % 3 {
+        // collapse onto the undefended fleet — including an adaptive
+        // policy that has already folded in feedback epochs, since a
+        // zero total has nothing to redistribute.
+        let policy = match alloc_tag % 4 {
             0 => FleetChaffPolicy::uniform(strategy, 0),
             1 => FleetChaffPolicy::proportional(strategy, 0),
-            _ => FleetChaffPolicy::new(
+            2 => FleetChaffPolicy::new(
                 BudgetAllocation::PerClass(vec![0]),
                 StrategyAllocation::Uniform(strategy),
             ),
+            _ => {
+                let mut adaptive = FleetChaffPolicy::adaptive(strategy, num_users, 0);
+                let feedback = vec![accuracy; num_users];
+                for _ in 0..3 {
+                    prop_assert_eq!(adaptive.adapt(&feedback).unwrap(), 0);
+                }
+                adaptive
+            }
         };
         let config = FleetConfig::new(num_users, horizon).with_seed(fleet_seed);
         let undefended = FleetSimulation::new(&c, config.clone())
@@ -101,6 +112,51 @@ proptest! {
         prop_assert_eq!(outcome.observed.num_trajectories(), services);
         prop_assert_eq!(outcome.observed.cell_bytes(), services * horizon * 4);
         prop_assert_eq!(outcome.user_cells.cell_bytes(), num_users * horizon * 4);
+    }
+
+    #[test]
+    fn uniform_frozen_feedback_reduces_adaptive_to_proportional(
+        model_seed in 0u64..1_000,
+        fleet_seed in 0u64..1_000,
+        num_users in 2usize..16,
+        horizon in 1usize..12,
+        total in 0usize..24,
+        strategy_tag in 0u8..3,
+        epochs in 0usize..4,
+        level in 0u8..3,
+    ) {
+        // ISSUE 9's fixed-point contract: when the detector's feedback is
+        // frozen at a uniform accuracy vector the best-response step has
+        // nothing to exploit, so the adaptive allocation must stay on the
+        // proportional split and the chaffed fleet must be bit-for-bit
+        // the run a static proportional policy produces.
+        let c = chain(model_seed, 8);
+        let strategy = strategy_from(strategy_tag);
+        let accuracy = match level % 3 {
+            0 => 0.0,
+            1 => 0.25,
+            _ => 1.0,
+        };
+        let mut adaptive = FleetChaffPolicy::adaptive(strategy, num_users, total);
+        let feedback = vec![accuracy; num_users];
+        for _ in 0..epochs {
+            prop_assert_eq!(adaptive.adapt(&feedback).unwrap(), 0);
+        }
+        let proportional = FleetChaffPolicy::proportional(strategy, total);
+        for user in 0..num_users {
+            prop_assert_eq!(
+                adaptive.budget_of(user, 0, num_users),
+                proportional.budget_of(user, 0, num_users),
+            );
+        }
+        let config = FleetConfig::new(num_users, horizon).with_seed(fleet_seed);
+        let static_run = FleetSimulation::new(&c, config.clone())
+            .run_chaffed(&proportional)
+            .unwrap();
+        let adaptive_run = FleetSimulation::new(&c, config)
+            .run_chaffed(&adaptive)
+            .unwrap();
+        outcomes_equal(&static_run, &adaptive_run);
     }
 
     #[test]
