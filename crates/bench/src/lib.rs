@@ -18,6 +18,10 @@
 //!   simulation, detection over the enlarged `N · (1 + B)` candidate
 //!   set, the multi-class mixture kernel, and the end-to-end pipeline
 //!   (also part of the CI baseline, gated by `ci/compare_bench.py`);
+//! * `fleet_daynight` — the time-varying commuter fleet at `N = 10⁴`:
+//!   simulation from epoch-active chains and schedule-aware detection
+//!   against the stationary mixture; records stamp an `epochs` metadata
+//!   key;
 //! * `fleet_scale` — the columnar fleet store at `N = 50,000`:
 //!   arena-backed generation, the streaming columnar detection kernel
 //!   and the end-to-end chaffed pipeline; its records carry
@@ -54,11 +58,21 @@ pub fn fixture_user(chain: &MarkovChain, horizon: usize, seed: u64) -> chaff_mar
 /// them — a 2× "regression" after a move from 16 to 8 cores reads as a
 /// machine change, not a code change.
 pub fn record_bench_metadata() {
-    criterion::record_metadata(&[
+    record_bench_metadata_with(&[]);
+}
+
+/// [`record_bench_metadata`] plus bench-specific keys — e.g. the
+/// time-varying fleet benches stamp `epochs` so a baseline produced
+/// under a different schedule shape reads as a fixture change, not a
+/// code regression.
+pub fn record_bench_metadata_with(extra: &[(&str, u64)]) {
+    let mut pairs = vec![
         (
             "worker_pool_threads",
             chaff_core::pool::global().threads() as u64,
         ),
         ("lane_width", chaff_markov::LANE_WIDTH as u64),
-    ]);
+    ];
+    pairs.extend_from_slice(extra);
+    criterion::record_metadata(&pairs);
 }

@@ -35,15 +35,18 @@
 //! same sharded, reproducible semantics; paged observations run through
 //! the online kernel ([`StreamingPrefixDetector`](super::StreamingPrefixDetector))
 //! in `O(N)` state, so fleet stores larger than RAM stream straight into
-//! detection. The six pre-redesign `detect_prefixes*` variants remain
-//! one release as `#[deprecated]` shims over the unified entry.
+//! detection. Time-varying models enter through
+//! [`DetectModel::Schedule`]: a multi-epoch
+//! [`MobilityRegistry`] is scored with
+//! its [`EpochSchedule`](chaff_markov::EpochSchedule), each slot under
+//! that slot's epoch tables, via the same online kernel.
 
-use super::input::{DetectInput, DetectModel, DetectObservations, SlotRowSource};
+use super::input::{DetectInput, DetectModel, DetectObservations, GridRowSource, SlotRowSource};
 use super::kernel::{self, fold};
 use super::ml::validate_observations;
 use super::{argmax_set, Detection};
 use crate::{loglik_cmp, Result};
-use chaff_markov::{CellGrid, LogLikelihoodTable, MarkovChain, Trajectory};
+use chaff_markov::{CellGrid, LogLikelihoodTable, MarkovChain, MobilityRegistry, Trajectory};
 
 /// Largest supported population: candidate trackers store service
 /// indices as `u32` (half the footprint of `usize` at fleet scale), so
@@ -200,6 +203,17 @@ impl BatchPrefixDetector {
             model,
             observations,
         } = input;
+        // A genuinely time-varying model runs its own driver; a
+        // one-epoch `Schedule` *is* the registry's stationary view and
+        // falls through to the `Registry` arm verbatim (the
+        // reduction-to-stationary guarantee).
+        let model = match model {
+            DetectModel::Schedule(registry) if !registry.is_stationary() => {
+                return self.prefixes_schedule(registry, observations);
+            }
+            DetectModel::Schedule(registry) => DetectModel::Registry(registry),
+            other => other,
+        };
         // Resolve the model to a per-class table slice; the `Chain` arm
         // owns its freshly built table, the others borrow the caller's.
         let built_table;
@@ -216,7 +230,10 @@ impl BatchPrefixDetector {
                 &single_ref
             }
             DetectModel::Tables(tables) => tables,
-            DetectModel::Registry(registry) => {
+            // `Schedule` was normalized above: multi-epoch registries
+            // returned early, one-epoch ones became `Registry`. Scoring
+            // epoch 0 here keeps the match total without a panic site.
+            DetectModel::Registry(registry) | DetectModel::Schedule(registry) => {
                 registry_refs = registry.tables();
                 &registry_refs
             }
@@ -320,22 +337,77 @@ impl BatchPrefixDetector {
         Ok(out)
     }
 
-    /// [`detect_prefixes`](Self::detect_prefixes) against a prebuilt
-    /// [`LogLikelihoodTable`].
-    ///
-    /// # Errors
-    ///
-    /// Same validation errors as [`detect_prefixes`](Self::detect_prefixes).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use detect_prefixes(DetectInput::new(&table, observed))"
-    )]
-    pub fn detect_prefixes_with_table(
+    /// Time-varying workhorse behind [`DetectModel::Schedule`]: every
+    /// observation representation is driven slot row by slot row through
+    /// a schedule-aware
+    /// [`StreamingPrefixDetector`](super::StreamingPrefixDetector), so
+    /// the arrival at slot `s` is scored under epoch
+    /// `schedule.epoch_of(s)`'s per-class tables — the same per-slot
+    /// kernels as every stationary path, with the table set swapped by
+    /// the epoch clock. Detections stay bit-for-bit independent of the
+    /// shard count and of the observation representation.
+    fn prefixes_schedule(
         &self,
-        table: &LogLikelihoodTable,
-        observed: &[Trajectory],
+        registry: &MobilityRegistry,
+        observations: DetectObservations<'_>,
     ) -> Result<Vec<Detection>> {
-        self.prefixes_trajectories(&[table], observed)
+        match observations {
+            DetectObservations::Trajectories(observed) => {
+                validate_shape(observed)?;
+                let grid = CellGrid::from_trajectories(observed)?;
+                self.schedule_paged(registry, &mut GridRowSource::new(&grid))
+            }
+            DetectObservations::Columnar(grid) => {
+                validate_grid(grid)?;
+                self.schedule_paged(registry, &mut GridRowSource::new(grid))
+            }
+            DetectObservations::Paged(source) => self.schedule_paged(registry, source),
+        }
+    }
+
+    /// The row-drive loop of [`prefixes_schedule`](Self::prefixes_schedule):
+    /// [`prefixes_paged`](Self::prefixes_paged) with the detector built
+    /// from the registry's full epoch-major table set.
+    fn schedule_paged(
+        &self,
+        registry: &MobilityRegistry,
+        source: &mut dyn SlotRowSource,
+    ) -> Result<Vec<Detection>> {
+        let n = source.num_trajectories();
+        let horizon = source.horizon();
+        if n == 0 {
+            return Err(crate::CoreError::NoTrajectories);
+        }
+        if horizon == 0 {
+            return Err(crate::CoreError::EmptyTrajectory);
+        }
+        ensure_population_fits(n)?;
+        let mut online = super::StreamingPrefixDetector::with_schedule(
+            registry.to_epoch_tables(),
+            registry.schedule().clone(),
+            n,
+            self.effective_shards(n),
+        )?;
+        let mut out = Vec::with_capacity(horizon);
+        while let Some(row) = source.next_row()? {
+            if out.len() == horizon {
+                return Err(crate::CoreError::RowSource {
+                    slot: out.len(),
+                    reason: format!("source ran past its declared horizon of {horizon} slots"),
+                });
+            }
+            out.push(online.push_slot(row)?);
+        }
+        if out.len() != horizon {
+            return Err(crate::CoreError::RowSource {
+                slot: out.len(),
+                reason: format!(
+                    "source ended after {} of {horizon} declared slot rows",
+                    out.len()
+                ),
+            });
+        }
+        Ok(out)
     }
 
     /// Scores every prefix, returning the full flat `N × T`
@@ -381,78 +453,6 @@ impl BatchPrefixDetector {
             top_k: top_k.min(n),
             top,
         })
-    }
-
-    /// Class-aware prefix detection against one [`LogLikelihoodTable`]
-    /// per mobility-model class.
-    ///
-    /// # Errors
-    ///
-    /// Same validation errors as [`detect_prefixes`](Self::detect_prefixes).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use detect_prefixes(DetectInput::new(DetectModel::Tables(tables), observed))"
-    )]
-    pub fn detect_prefixes_with_tables(
-        &self,
-        tables: &[&LogLikelihoodTable],
-        observed: &[Trajectory],
-    ) -> Result<Vec<Detection>> {
-        self.prefixes_trajectories(tables, observed)
-    }
-
-    /// [`detect_prefixes`](Self::detect_prefixes) over a slot-major
-    /// [`CellGrid`].
-    ///
-    /// # Errors
-    ///
-    /// Same validation errors as [`detect_prefixes`](Self::detect_prefixes).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use detect_prefixes(DetectInput::new(&chain, &grid))"
-    )]
-    pub fn detect_prefixes_columnar(
-        &self,
-        chain: &MarkovChain,
-        observed: &CellGrid,
-    ) -> Result<Vec<Detection>> {
-        let table = chain.log_likelihood_table();
-        self.prefixes_columnar(&[&table], observed)
-    }
-
-    /// [`detect_prefixes`](Self::detect_prefixes) over a slot-major
-    /// [`CellGrid`] against a prebuilt table.
-    ///
-    /// # Errors
-    ///
-    /// Same validation errors as [`detect_prefixes`](Self::detect_prefixes).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use detect_prefixes(DetectInput::new(&table, &grid))"
-    )]
-    pub fn detect_prefixes_columnar_with_table(
-        &self,
-        table: &LogLikelihoodTable,
-        observed: &CellGrid,
-    ) -> Result<Vec<Detection>> {
-        self.prefixes_columnar(&[table], observed)
-    }
-
-    /// Class-aware prefix detection over a slot-major [`CellGrid`].
-    ///
-    /// # Errors
-    ///
-    /// Same validation errors as [`detect_prefixes`](Self::detect_prefixes).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use detect_prefixes(DetectInput::new(DetectModel::Tables(tables), &grid))"
-    )]
-    pub fn detect_prefixes_columnar_with_tables(
-        &self,
-        tables: &[&LogLikelihoodTable],
-        observed: &CellGrid,
-    ) -> Result<Vec<Detection>> {
-        self.prefixes_columnar(tables, observed)
     }
 
     /// The sharded accumulation pass. `observed` must already be
@@ -614,8 +614,8 @@ fn light_shard_scores(
 /// updated score is folded into the slot's running max / tie trackers in
 /// ascending index order.
 ///
-/// The columnar streaming shard pass behind
-/// [`BatchPrefixDetector::detect_prefixes_columnar_with_table`]: walks
+/// The columnar streaming shard pass behind the single-table grid
+/// requests of [`BatchPrefixDetector::detect_prefixes`]: walks
 /// the grid slot row by slot row (unit stride, exactly the storage
 /// order), carrying one running cumulative score per owned trajectory
 /// and folding each into the per-slot max/tie trackers via
@@ -650,8 +650,8 @@ fn shard_pass_columnar(
     Ok(light_shard_scores((lo, hi), maxima, candidates))
 }
 
-/// The columnar multi-class (mixture) shard pass behind
-/// [`BatchPrefixDetector::detect_prefixes_columnar_with_tables`]: one
+/// The columnar multi-class (mixture) shard pass behind the multi-table
+/// grid requests of [`BatchPrefixDetector::detect_prefixes`]: one
 /// running accumulator per `(trajectory, class)` pair (class-major per
 /// trajectory), scoring each prefix by its best class via
 /// [`advance_slot_mixture`] — the same generalized-likelihood-ratio
@@ -723,8 +723,9 @@ struct ShardedScores {
     shards: Vec<ShardScores>,
 }
 
-/// The multi-class (mixture) shard pass behind
-/// [`BatchPrefixDetector::detect_prefixes_with_tables`]: each trajectory
+/// The multi-class (mixture) shard pass behind the multi-table
+/// trajectory requests of [`BatchPrefixDetector::detect_prefixes`]: each
+/// trajectory
 /// carries one accumulator per model class, and its prefix score at slot
 /// `t` is the *maximum* accumulator — the best class explanation of the
 /// prefix. Accumulation stays per-trajectory and slot-ordered, so results
@@ -1524,12 +1525,9 @@ mod tests {
         assert_eq!(detections[1].tie_set(), &[1]);
     }
 
-    /// The coverage the retired shim test provided, expressed through
-    /// the unified entry: every `(model, observations)` pairing a legacy
-    /// entry point used to own must stay bit-for-bit equal to the
-    /// canonical chain-over-trajectories request. The crate denies
-    /// `deprecated`, so no call site — this one included — can regress
-    /// onto the PR-8 shims.
+    /// Every `(model, observations)` pairing a retired legacy entry
+    /// point used to own must stay bit-for-bit equal to the canonical
+    /// chain-over-trajectories request through the unified entry.
     #[test]
     fn every_detect_input_pairing_matches_the_unified_entry() {
         let (chain, observed) = fleet(70, 31, 9);
@@ -1561,6 +1559,117 @@ mod tests {
             d.detect_prefixes(DetectInput::new(&[&table], &grid))
                 .unwrap(),
             unified
+        );
+    }
+
+    #[test]
+    fn schedule_model_reduces_to_registry_when_stationary() {
+        // A one-epoch `Schedule` must be bit-for-bit the `Registry` view
+        // for every observation representation — the batch-entry face of
+        // the reduction-to-stationary guarantee.
+        let (chain, observed) = fleet(74, 27, 11);
+        let mut rng = StdRng::seed_from_u64(75);
+        let other = MarkovChain::new(
+            chaff_markov::models::ModelKind::SpatiallySkewed
+                .build(10, &mut rng)
+                .unwrap(),
+        )
+        .unwrap();
+        let registry = MobilityRegistry::new(vec![chain, other]).unwrap();
+        let grid = CellGrid::from_trajectories(&observed).unwrap();
+        let d = BatchPrefixDetector::with_shards(3);
+        let stationary = d
+            .detect_prefixes(DetectInput::new(&registry, &grid))
+            .unwrap();
+        assert_eq!(
+            d.detect_prefixes(DetectInput::new(
+                DetectModel::Schedule(&registry),
+                &observed
+            ))
+            .unwrap(),
+            stationary
+        );
+        assert_eq!(
+            d.detect_prefixes(DetectInput::new(DetectModel::Schedule(&registry), &grid))
+                .unwrap(),
+            stationary
+        );
+        let mut source = GridRowSource::new(&grid);
+        assert_eq!(
+            d.detect_prefixes(DetectInput::new(
+                DetectModel::Schedule(&registry),
+                &mut source
+            ))
+            .unwrap(),
+            stationary
+        );
+    }
+
+    #[test]
+    fn schedule_model_scores_each_slot_under_its_epoch() {
+        // A genuinely multi-epoch registry: the batch `Schedule` path
+        // must match a hand-driven schedule-aware streaming detector for
+        // every representation and shard count, and differ from the
+        // stationary (epoch-0) view somewhere on the horizon.
+        let (day, observed) = fleet(76, 33, 14);
+        let mut rng = StdRng::seed_from_u64(77);
+        let night = MarkovChain::new(
+            chaff_markov::models::ModelKind::SpatiallySkewed
+                .build(10, &mut rng)
+                .unwrap(),
+        )
+        .unwrap();
+        let schedule = chaff_markov::EpochSchedule::day_night(4, 3).unwrap();
+        let registry = MobilityRegistry::with_epochs(
+            vec![vec![day.clone()], vec![night.clone()]],
+            schedule.clone(),
+        )
+        .unwrap();
+        let grid = CellGrid::from_trajectories(&observed).unwrap();
+        let mut online = super::super::StreamingPrefixDetector::with_schedule(
+            registry.to_epoch_tables(),
+            schedule,
+            grid.num_trajectories(),
+            1,
+        )
+        .unwrap();
+        let reference: Vec<Detection> = (0..grid.horizon())
+            .map(|t| online.push_slot(grid.row(t)).unwrap())
+            .collect();
+        for shards in [1, 2, 7] {
+            let d = BatchPrefixDetector::with_shards(shards);
+            assert_eq!(
+                d.detect_prefixes(DetectInput::new(
+                    DetectModel::Schedule(&registry),
+                    &observed
+                ))
+                .unwrap(),
+                reference,
+                "trajectories, shards {shards}"
+            );
+            assert_eq!(
+                d.detect_prefixes(DetectInput::new(DetectModel::Schedule(&registry), &grid))
+                    .unwrap(),
+                reference,
+                "columnar, shards {shards}"
+            );
+            let mut source = GridRowSource::new(&grid);
+            assert_eq!(
+                d.detect_prefixes(DetectInput::new(
+                    DetectModel::Schedule(&registry),
+                    &mut source
+                ))
+                .unwrap(),
+                reference,
+                "paged, shards {shards}"
+            );
+        }
+        let stationary = BatchPrefixDetector::with_shards(2)
+            .detect_prefixes(DetectInput::new(&registry, &grid))
+            .unwrap();
+        assert_ne!(
+            stationary, reference,
+            "the night epoch never changed a detection"
         );
     }
 }

@@ -10,8 +10,8 @@
 //! ([`DetectObservations`]), and
 //! [`detect_prefixes`](super::BatchPrefixDetector::detect_prefixes)
 //! dispatches internally. Every combination produces bit-for-bit
-//! identical detections to the dedicated legacy entry points (which
-//! remain one release as `#[deprecated]` shims over this type).
+//! identical detections to the dedicated legacy entry points this type
+//! replaced.
 //!
 //! The third observation form, [`DetectObservations::Paged`], is the
 //! fleet-store path: a [`SlotRowSource`] lends one slot-major observed
@@ -67,7 +67,20 @@ pub enum DetectModel<'a> {
     Tables(&'a [&'a LogLikelihoodTable]),
     /// A [`MobilityRegistry`] — shorthand for
     /// [`Tables`](Self::Tables) over the registry's per-class tables.
+    /// For a multi-epoch registry this is the *stationary view*: only
+    /// epoch 0's tables are scored (the pre-epoch behavior). Use
+    /// [`Schedule`](Self::Schedule) to exploit the time-of-day
+    /// structure.
     Registry(&'a MobilityRegistry),
+    /// A [`MobilityRegistry`] scored *with* its
+    /// [`EpochSchedule`](chaff_markov::EpochSchedule)
+    /// (chaff_markov): the arrival at slot `s` is scored under epoch
+    /// `schedule.epoch_of(s)`'s per-class tables — the time-aware
+    /// eavesdropper. A one-epoch registry reduces bit-for-bit to
+    /// [`Registry`](Self::Registry). Explicit opt-in: the plain
+    /// `From<&MobilityRegistry>` conversion still builds the stationary
+    /// view.
+    Schedule(&'a MobilityRegistry),
 }
 
 /// The observation set the eavesdropper scores.
@@ -320,6 +333,12 @@ mod tests {
         assert!(matches!(
             DetectInput::new(&registry, &grid).model,
             DetectModel::Registry(_)
+        ));
+        // The schedule-aware view is explicit opt-in, never inferred
+        // from the registry reference.
+        assert!(matches!(
+            DetectInput::new(DetectModel::Schedule(&registry), &grid).model,
+            DetectModel::Schedule(_)
         ));
         assert!(matches!(
             DetectInput::new(&chain, &grid).observations,

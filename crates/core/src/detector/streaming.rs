@@ -26,7 +26,7 @@
 
 use super::{batch, kernel, Detection};
 use crate::{loglik_cmp, pool, Result};
-use chaff_markov::{CellId, LogLikelihoodTable};
+use chaff_markov::{CellId, EpochSchedule, LogLikelihoodTable};
 
 /// Running per-column detection-accuracy feedback, accumulated from the
 /// tie set of every slot with no extra pass over the scores: column `i`
@@ -155,10 +155,16 @@ impl AccuracyFeedback {
 /// ```
 #[derive(Debug, Clone)]
 pub struct StreamingPrefixDetector {
-    /// One table per mobility-model class (generalized-likelihood-ratio
-    /// detection: best class per prefix). Owned, so the detector can be
-    /// embedded in long-lived engines without borrowing the model.
-    tables: Vec<LogLikelihoodTable>,
+    /// Epoch-major table storage: `epoch_tables[epoch]` holds one table
+    /// per mobility-model class (generalized-likelihood-ratio detection:
+    /// best class per prefix). Stationary detectors hold exactly one
+    /// epoch. Owned, so the detector can be embedded in long-lived
+    /// engines without borrowing the model.
+    epoch_tables: Vec<Vec<LogLikelihoodTable>>,
+    /// The slot → epoch map; `slots_seen` is the epoch clock, so the
+    /// tables scoring the arrival at slot `s` are
+    /// `epoch_tables[schedule.epoch_of(s)]`.
+    schedule: EpochSchedule,
     states: usize,
     population: usize,
     top_k: usize,
@@ -237,18 +243,66 @@ impl StreamingPrefixDetector {
         population: usize,
         shards: usize,
     ) -> Result<Self> {
-        let first = tables
+        Self::with_schedule(
+            vec![tables],
+            EpochSchedule::stationary(),
+            population,
+            shards,
+        )
+    }
+
+    /// Creates a schedule-aware detector: `epoch_tables[epoch]` holds one
+    /// table per mobility-model class, and the arrival at pushed slot `s`
+    /// is scored under `epoch_tables[schedule.epoch_of(s)]`. A one-epoch
+    /// schedule is bit-for-bit [`with_shards`](Self::with_shards) — this
+    /// *is* the stationary code path, uniformly represented.
+    ///
+    /// # Errors
+    ///
+    /// The errors of [`new`](Self::new), plus
+    /// [`MarkovError::LengthMismatch`](chaff_markov::MarkovError::LengthMismatch)
+    /// when `epoch_tables` does not cover `schedule.num_epochs()` or the
+    /// epochs disagree on the class count.
+    pub fn with_schedule(
+        epoch_tables: Vec<Vec<LogLikelihoodTable>>,
+        schedule: EpochSchedule,
+        population: usize,
+        shards: usize,
+    ) -> Result<Self> {
+        let first_epoch = epoch_tables
             .first()
             .ok_or(crate::CoreError::Markov(chaff_markov::MarkovError::Empty))?;
+        let first = first_epoch
+            .first()
+            .ok_or(crate::CoreError::Markov(chaff_markov::MarkovError::Empty))?;
+        if epoch_tables.len() != schedule.num_epochs() {
+            return Err(crate::CoreError::Markov(
+                chaff_markov::MarkovError::LengthMismatch {
+                    expected: schedule.num_epochs(),
+                    found: epoch_tables.len(),
+                },
+            ));
+        }
+        let classes = first_epoch.len();
         let states = first.num_states();
-        for table in &tables[1..] {
-            if table.num_states() != states {
+        for tables in &epoch_tables {
+            if tables.len() != classes {
                 return Err(crate::CoreError::Markov(
-                    chaff_markov::MarkovError::DimensionMismatch {
-                        expected: states,
-                        found: table.num_states(),
+                    chaff_markov::MarkovError::LengthMismatch {
+                        expected: classes,
+                        found: tables.len(),
                     },
                 ));
+            }
+            for table in tables {
+                if table.num_states() != states {
+                    return Err(crate::CoreError::Markov(
+                        chaff_markov::MarkovError::DimensionMismatch {
+                            expected: states,
+                            found: table.num_states(),
+                        },
+                    ));
+                }
             }
         }
         if population == 0 {
@@ -259,7 +313,6 @@ impl StreamingPrefixDetector {
         // trajectory's accumulator lives on exactly one shard.
         let shards = shards.max(1).clamp(1, population);
         let chunk = population.div_ceil(shards);
-        let classes = tables.len();
         let lanes = (0..shards)
             .map(|s| (s * chunk, ((s + 1) * chunk).min(population)))
             .filter(|&(lo, hi)| lo < hi)
@@ -278,7 +331,8 @@ impl StreamingPrefixDetector {
             })
             .collect();
         Ok(StreamingPrefixDetector {
-            tables,
+            epoch_tables,
+            schedule,
             states,
             population,
             top_k: 0,
@@ -318,9 +372,21 @@ impl StreamingPrefixDetector {
         self.population
     }
 
-    /// Number of mobility-model classes (tables).
+    /// Number of mobility-model classes (tables per epoch).
     pub fn num_classes(&self) -> usize {
-        self.tables.len()
+        self.epoch_tables[0].len()
+    }
+
+    /// Number of epochs (1 for stationary detectors).
+    pub fn num_epochs(&self) -> usize {
+        self.epoch_tables.len()
+    }
+
+    /// The slot → epoch map driving table selection
+    /// ([`EpochSchedule::stationary`] unless built with
+    /// [`with_schedule`](Self::with_schedule)).
+    pub fn schedule(&self) -> &EpochSchedule {
+        &self.schedule
     }
 
     /// Number of slot rows pushed so far.
@@ -393,7 +459,10 @@ impl StreamingPrefixDetector {
         } else {
             Some(self.prev_row.as_slice())
         };
-        let tables = self.tables.as_slice();
+        // The epoch clock is the slot counter: the arrival at slot
+        // `slots_seen` is scored under that slot's epoch tables. A
+        // stationary schedule always selects epoch 0.
+        let tables = self.epoch_tables[self.schedule.epoch_of(self.slots_seen)].as_slice();
         let top_k = self.top_k;
         if self.lanes.len() <= 1 {
             for lane in self.lanes.iter_mut() {
@@ -717,6 +786,111 @@ mod tests {
         assert_eq!(feedback.slots(), 0);
         assert_eq!(feedback.accuracy(2), 0.0);
         assert_eq!(feedback.ranked(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn schedule_selects_the_slot_active_tables() {
+        // A 2-epoch schedule holding the SAME table in both epochs is
+        // bit-for-bit the stationary detector (the epoch machinery adds
+        // nothing); holding genuinely different tables, the detector must
+        // score day slots under the day table — checked by comparing
+        // against a hand-rolled per-slot re-dispatch.
+        let (chain, grid) = fleet(81, 19, 12);
+        let mut rng = StdRng::seed_from_u64(82);
+        let other =
+            MarkovChain::new(ModelKind::SpatiallySkewed.build(10, &mut rng).unwrap()).unwrap();
+        let (table, other_table) = (chain.log_likelihood_table(), other.log_likelihood_table());
+        let schedule = EpochSchedule::day_night(3, 2).unwrap();
+
+        let mut stationary =
+            StreamingPrefixDetector::with_shards(vec![table.clone()], 19, 3).unwrap();
+        let mut duplicated = StreamingPrefixDetector::with_schedule(
+            vec![vec![table.clone()], vec![table.clone()]],
+            schedule.clone(),
+            19,
+            3,
+        )
+        .unwrap();
+        let mut varying = StreamingPrefixDetector::with_schedule(
+            vec![vec![table.clone()], vec![other_table.clone()]],
+            schedule.clone(),
+            19,
+            3,
+        )
+        .unwrap();
+        assert_eq!(varying.num_epochs(), 2);
+        assert_eq!(varying.num_classes(), 1);
+        assert_eq!(varying.schedule(), &schedule);
+
+        // Reference for the varying detector: score each slot with the
+        // epoch-active single table by hand.
+        let mut accs = vec![0.0f64; 19];
+        let mut diverged = false;
+        for t in 0..grid.horizon() {
+            let expect_dup = stationary.push_slot(grid.row(t)).unwrap();
+            assert_eq!(duplicated.push_slot(grid.row(t)).unwrap(), expect_dup);
+
+            let active = if schedule.epoch_of(t) == 0 {
+                &table
+            } else {
+                &other_table
+            };
+            for (j, acc) in accs.iter_mut().enumerate() {
+                let now = grid.row(t)[j];
+                let prev = (t > 0).then(|| grid.row(t - 1)[j]);
+                *acc += active.step(prev, now);
+            }
+            let best = accs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let tie: Vec<usize> = (0..19)
+                .filter(|&j| loglik_cmp(accs[j], best).is_eq())
+                .collect();
+            let got = varying.push_slot(grid.row(t)).unwrap();
+            assert_eq!(got.tie_set(), &tie[..], "slot {t}");
+            if got != expect_dup {
+                diverged = true;
+            }
+        }
+        // The night table genuinely changes detections on this fixture.
+        assert!(diverged, "epoch tables never changed a detection");
+    }
+
+    #[test]
+    fn with_schedule_validates_epoch_shapes() {
+        let (chain, _) = fleet(83, 4, 3);
+        let table = chain.log_likelihood_table();
+        let two = EpochSchedule::day_night(1, 1).unwrap();
+        assert!(matches!(
+            StreamingPrefixDetector::with_schedule(vec![vec![table.clone()]], two.clone(), 4, 1),
+            Err(CoreError::Markov(
+                chaff_markov::MarkovError::LengthMismatch {
+                    expected: 2,
+                    found: 1
+                }
+            ))
+        ));
+        assert!(matches!(
+            StreamingPrefixDetector::with_schedule(
+                vec![vec![table.clone(), table.clone()], vec![table.clone()]],
+                two,
+                4,
+                1
+            ),
+            Err(CoreError::Markov(
+                chaff_markov::MarkovError::LengthMismatch {
+                    expected: 2,
+                    found: 1
+                }
+            ))
+        ));
+        assert!(matches!(
+            StreamingPrefixDetector::with_schedule(
+                vec![Vec::new()],
+                EpochSchedule::stationary(),
+                4,
+                1
+            ),
+            Err(CoreError::Markov(chaff_markov::MarkovError::Empty))
+        ));
     }
 
     #[test]

@@ -48,18 +48,26 @@ impl ChaffStrategy for CmlStrategy {
     }
 }
 
-/// Online form of [`CmlStrategy`].
+/// Online form of [`CmlStrategy`]. On a time-varying model
+/// ([`scheduled`](Self::scheduled)) the greedy walk stays continuous:
+/// each move is the constrained argmax of the slot-active chain from
+/// wherever the chaff was one slot ago.
 #[derive(Debug, Clone)]
 pub struct CmlController<'a> {
-    chain: &'a MarkovChain,
+    chains: super::EpochChains<'a>,
     current: Option<CellId>,
 }
 
 impl<'a> CmlController<'a> {
-    /// Creates a controller for one chaff.
+    /// Creates a controller for one chaff over a stationary chain.
     pub fn new(chain: &'a MarkovChain) -> Self {
+        Self::scheduled(super::EpochChains::stationary(chain))
+    }
+
+    /// Creates a controller stepping against epoch-active chains.
+    pub fn scheduled(chains: super::EpochChains<'a>) -> Self {
         CmlController {
-            chain,
+            chains,
             current: None,
         }
     }
@@ -67,11 +75,12 @@ impl<'a> CmlController<'a> {
 
 impl OnlineChaffController for CmlController<'_> {
     fn next(&mut self, user_now: CellId, avoid: &[CellId], _rng: &mut dyn RngCore) -> CellId {
+        let chain = self.chains.advance();
         let choice = match self.current {
             None => {
                 // t = 1: most probable steady-state cell other than the
                 // user's.
-                let pi = self.chain.initial();
+                let pi = chain.initial();
                 let mut best: Option<(CellId, f64)> = None;
                 for j in 0..pi.num_states() {
                     let cell = CellId::new(j);
@@ -86,7 +95,7 @@ impl OnlineChaffController for CmlController<'_> {
                 }
                 best.map(|(c, _)| c).unwrap_or(user_now)
             }
-            Some(prev) => pick_constrained_argmax(self.chain, prev, user_now, avoid),
+            Some(prev) => pick_constrained_argmax(chain, prev, user_now, avoid),
         };
         self.current = Some(choice);
         choice

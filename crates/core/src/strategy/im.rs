@@ -40,18 +40,26 @@ impl ChaffStrategy for ImStrategy {
 }
 
 /// Online form of [`ImStrategy`]: a chaff that walks the user's chain
-/// independently, one step per slot.
+/// independently, one step per slot. On a time-varying model
+/// ([`scheduled`](Self::scheduled)) the walk stays continuous — each
+/// step is drawn from the slot-active chain conditioned on wherever the
+/// chaff was one slot ago, exactly the process the users follow.
 #[derive(Debug, Clone)]
 pub struct ImController<'a> {
-    chain: &'a MarkovChain,
+    chains: super::EpochChains<'a>,
     current: Option<CellId>,
 }
 
 impl<'a> ImController<'a> {
-    /// Creates a controller for one chaff.
+    /// Creates a controller for one chaff over a stationary chain.
     pub fn new(chain: &'a MarkovChain) -> Self {
+        Self::scheduled(super::EpochChains::stationary(chain))
+    }
+
+    /// Creates a controller stepping against epoch-active chains.
+    pub fn scheduled(chains: super::EpochChains<'a>) -> Self {
         ImController {
-            chain,
+            chains,
             current: None,
         }
     }
@@ -59,9 +67,10 @@ impl<'a> ImController<'a> {
 
 impl OnlineChaffController for ImController<'_> {
     fn next(&mut self, _user_now: CellId, _avoid: &[CellId], rng: &mut dyn RngCore) -> CellId {
+        let chain = self.chains.advance();
         let next = match self.current {
-            None => self.chain.initial().sample(rng),
-            Some(cell) => self.chain.step(cell, rng),
+            None => chain.initial().sample(rng),
+            Some(cell) => chain.step(cell, rng),
         };
         self.current = Some(next);
         next

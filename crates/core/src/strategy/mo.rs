@@ -67,7 +67,7 @@ impl ChaffStrategy for MoStrategy {
 /// [`OnlineChaffController`] interface is never consumed.
 #[derive(Debug, Clone)]
 pub struct MoController<'a> {
-    chain: &'a MarkovChain,
+    chains: super::EpochChains<'a>,
     prev_chaff: Option<CellId>,
     prev_user: Option<CellId>,
     /// γ_{t-1}: cumulative user-minus-chaff log-likelihood gap.
@@ -75,10 +75,18 @@ pub struct MoController<'a> {
 }
 
 impl<'a> MoController<'a> {
-    /// Creates a controller for one chaff.
+    /// Creates a controller for one chaff over a stationary chain.
     pub fn new(chain: &'a MarkovChain) -> Self {
+        Self::scheduled(super::EpochChains::stationary(chain))
+    }
+
+    /// Creates a controller stepping against epoch-active chains: γ's
+    /// per-slot increments are scored under the slot-active chain — the
+    /// same tables a schedule-aware detector applies to that slot — and
+    /// the chaff/user positions carry across epoch boundaries.
+    pub fn scheduled(chains: super::EpochChains<'a>) -> Self {
         MoController {
-            chain,
+            chains,
             prev_chaff: None,
             prev_user: None,
             gamma: 0.0,
@@ -96,18 +104,19 @@ impl<'a> MoController<'a> {
     /// it is best-effort: if every admissible cell is forbidden the
     /// controller ignores the list rather than stall the chaff.
     pub fn decide(&mut self, user_now: CellId, avoid: &[CellId]) -> CellId {
+        let chain = self.chains.advance();
         let choice = match self.prev_chaff {
-            None => self.decide_first(user_now, avoid),
-            Some(prev) => self.decide_step(prev, user_now, avoid),
+            None => self.decide_first(chain, user_now, avoid),
+            Some(prev) => self.decide_step(chain, prev, user_now, avoid),
         };
         // Update γ with the realized moves.
         let user_inc = match self.prev_user {
-            None => self.chain.initial().log_prob(user_now),
-            Some(pu) => self.chain.matrix().log_prob(pu, user_now),
+            None => chain.initial().log_prob(user_now),
+            Some(pu) => chain.matrix().log_prob(pu, user_now),
         };
         let chaff_inc = match self.prev_chaff {
-            None => self.chain.initial().log_prob(choice),
-            Some(pc) => self.chain.matrix().log_prob(pc, choice),
+            None => chain.initial().log_prob(choice),
+            Some(pc) => chain.matrix().log_prob(pc, choice),
         };
         self.gamma = add_gap(self.gamma, user_inc, chaff_inc);
         self.prev_chaff = Some(choice);
@@ -116,8 +125,8 @@ impl<'a> MoController<'a> {
     }
 
     /// Slot 1 (lines 1–11 of Algorithm 2), using the steady state.
-    fn decide_first(&self, user_now: CellId, avoid: &[CellId]) -> CellId {
-        let pi = self.chain.initial();
+    fn decide_first(&self, chain: &MarkovChain, user_now: CellId, avoid: &[CellId]) -> CellId {
+        let pi = chain.initial();
         let first = argmax_dist(pi, &[], avoid);
         let Some(first) = first else {
             return user_now; // degenerate: no admissible cell at all
@@ -134,9 +143,15 @@ impl<'a> MoController<'a> {
     }
 
     /// Slots t ≥ 2 (lines 12–23 of Algorithm 2).
-    fn decide_step(&self, prev: CellId, user_now: CellId, avoid: &[CellId]) -> CellId {
-        let matrix = self.chain.matrix();
-        let first = argmax_row(self.chain, prev, &[], avoid);
+    fn decide_step(
+        &self,
+        chain: &MarkovChain,
+        prev: CellId,
+        user_now: CellId,
+        avoid: &[CellId],
+    ) -> CellId {
+        let matrix = chain.matrix();
+        let first = argmax_row(chain, prev, &[], avoid);
         let Some(first) = first else {
             return prev; // no successors at all: stay put
         };
@@ -147,9 +162,9 @@ impl<'a> MoController<'a> {
         // the cumulative likelihood race at least tied (γ_t ≤ 0).
         let user_step = match self.prev_user {
             Some(pu) => matrix.log_prob(pu, user_now),
-            None => self.chain.initial().log_prob(user_now),
+            None => chain.initial().log_prob(user_now),
         };
-        if let Some(second) = argmax_row(self.chain, prev, &[user_now], avoid) {
+        if let Some(second) = argmax_row(chain, prev, &[user_now], avoid) {
             let gamma_if_second = add_gap(self.gamma, user_step, matrix.log_prob(prev, second));
             if loglik_cmp(gamma_if_second, 0.0) != Ordering::Greater {
                 return second;

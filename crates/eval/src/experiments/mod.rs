@@ -9,6 +9,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod fleet_chaff;
+pub mod fleet_daynight;
 pub mod fleet_equilibrium;
 pub mod fleet_persist;
 pub mod fleet_scale;

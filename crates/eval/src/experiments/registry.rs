@@ -231,6 +231,25 @@ experiment!(FleetPersist, "fleet_persist", ctx, {
     )?))
 });
 
+experiment!(FleetDaynight, "fleet_daynight", ctx, {
+    let mut config = if ctx.quick {
+        super::fleet_daynight::DayNightConfig::quick()
+    } else {
+        super::fleet_daynight::DayNightConfig::default()
+    };
+    if let Some(seed) = ctx.seed {
+        config.seed = seed;
+    }
+    let budgets: &[usize] = if ctx.quick {
+        &super::fleet_daynight::QUICK_BUDGETS
+    } else {
+        &super::fleet_daynight::BUDGETS
+    };
+    Ok(ExperimentOutput::table(super::fleet_daynight::run_with(
+        &config, budgets,
+    )?))
+});
+
 experiment!(TraceFleet, "trace_fleet", ctx, {
     let mut config = if ctx.quick {
         super::trace_fleet::TraceFleetConfig::quick()
@@ -269,6 +288,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(FleetScale),
         Box::new(FleetStream),
         Box::new(FleetPersist),
+        Box::new(FleetDaynight),
         Box::new(TraceFleet),
     ]
 }
@@ -308,6 +328,11 @@ mod tests {
     #[test]
     fn registry_covers_the_equilibrium_tentpole() {
         assert!(names().contains(&"fleet_equilibrium"));
+    }
+
+    #[test]
+    fn registry_covers_the_daynight_tentpole() {
+        assert!(names().contains(&"fleet_daynight"));
     }
 
     #[test]

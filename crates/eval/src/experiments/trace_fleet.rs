@@ -145,22 +145,24 @@ pub struct TraceFleetPoint {
     pub fleet_throughput: f64,
 }
 
+/// Number of distinct cells a trajectory visits — the scalar mobility
+/// feature the clustering orders nodes by. Kept as the single shared
+/// definition so a future EM-style clustering can swap the feature (or
+/// the whole assignment step) in one place.
+pub fn distinct_cells(trajectory: &chaff_markov::Trajectory) -> usize {
+    let mut cells: Vec<usize> = trajectory.iter().map(|c| c.index()).collect();
+    cells.sort_unstable();
+    cells.dedup();
+    cells.len()
+}
+
 /// Clusters nodes into `classes` classes by how many distinct cells they
 /// visit (ascending: class 0 holds the most dwelling, most trackable
 /// nodes), returning one class label per node.
 pub fn cluster_by_mobility(dataset: &TraceDataset, classes: usize) -> Vec<usize> {
     let n = dataset.trajectories().len();
     let classes = classes.clamp(1, n.max(1));
-    let mobility: Vec<usize> = dataset
-        .trajectories()
-        .iter()
-        .map(|t| {
-            let mut cells: Vec<usize> = t.iter().map(|c| c.index()).collect();
-            cells.sort_unstable();
-            cells.dedup();
-            cells.len()
-        })
-        .collect();
+    let mobility: Vec<usize> = dataset.trajectories().iter().map(distinct_cells).collect();
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by_key(|&i| (mobility[i], i));
     let mut assignment = vec![0usize; n];
@@ -317,19 +319,13 @@ mod tests {
         let dataset = config.build_dataset().unwrap();
         let assignment = cluster_by_mobility(&dataset, 2);
         assert_eq!(assignment.len(), dataset.trajectories().len());
-        let distinct = |t: &chaff_markov::Trajectory| {
-            let mut cells: Vec<usize> = t.iter().map(|c| c.index()).collect();
-            cells.sort_unstable();
-            cells.dedup();
-            cells.len()
-        };
         // Every class-0 node visits no more cells than any class-1 node.
         let max0 = dataset
             .trajectories()
             .iter()
             .zip(&assignment)
             .filter(|(_, &c)| c == 0)
-            .map(|(t, _)| distinct(t))
+            .map(|(t, _)| distinct_cells(t))
             .max()
             .unwrap();
         let min1 = dataset
@@ -337,7 +333,7 @@ mod tests {
             .iter()
             .zip(&assignment)
             .filter(|(_, &c)| c == 1)
-            .map(|(t, _)| distinct(t))
+            .map(|(t, _)| distinct_cells(t))
             .min()
             .unwrap();
         assert!(max0 <= min1, "class 0 (dwellers) {max0} !<= class 1 {min1}");

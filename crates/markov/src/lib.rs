@@ -22,7 +22,11 @@
 //! * [`LogLikelihoodTable`] — precomputed columnar log-likelihood kernel
 //!   for batch (fleet-scale) trajectory scoring.
 //! * [`MobilityRegistry`] — heterogeneous fleets: a small set of model
-//!   classes (one cached table each) mapped onto arbitrarily many users.
+//!   classes (one cached table each, per epoch) mapped onto arbitrarily
+//!   many users.
+//! * [`EpochSchedule`] — repeating slot → epoch map for time-varying
+//!   mobility (day/night commuters); one-epoch schedules reduce
+//!   bit-for-bit to the stationary path.
 //! * [`Trajectory`] — a sequence of cells over discrete time slots.
 //! * [`CellGrid`] / [`TrajectoryArena`] — compact columnar storage for
 //!   fleet-scale populations: every cell of a uniform-horizon population
@@ -55,6 +59,7 @@ mod cell;
 mod chain;
 mod columnar;
 mod distribution;
+mod epoch;
 mod error;
 mod loglik;
 mod matrix;
@@ -70,6 +75,7 @@ pub use cell::CellId;
 pub use chain::MarkovChain;
 pub use columnar::{ArenaRowsMut, CellGrid, TrajectoryArena};
 pub use distribution::StateDistribution;
+pub use epoch::EpochSchedule;
 pub use error::MarkovError;
 pub use loglik::{LogLikelihoodTable, DENSE_STATE_LIMIT, LANE_WIDTH};
 pub use matrix::TransitionMatrix;

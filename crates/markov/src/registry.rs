@@ -1,5 +1,5 @@
 //! Heterogeneous-mobility registry: a small set of model *classes*
-//! shared by an arbitrarily large fleet.
+//! shared by an arbitrarily large fleet, optionally varying over time.
 //!
 //! Real populations are not i.i.d. draws of one chain — commuters,
 //! couriers and tourists move differently (Esper et al., 2306.15740
@@ -8,20 +8,29 @@
 //! instead keeps a handful of [`MarkovChain`] *classes*, precomputes one
 //! [`LogLikelihoodTable`] per class, and maps users onto classes with a
 //! deterministic round-robin, so the memory footprint stays
-//! `O(classes)` no matter how many users the fleet simulates.
+//! `O(classes × epochs)` no matter how many users the fleet simulates.
+//!
+//! The *epoch* dimension ([`EpochSchedule`]) generalizes the classes over
+//! time: a registry may hold one chain per class **per epoch** (e.g. day
+//! and night commuter dynamics), and consumers look the active set up by
+//! slot. A one-epoch registry — every constructor that does not name a
+//! schedule — reduces bit-for-bit to the stationary behavior: epoch 0 is
+//! the only epoch, and the epoch-indexed accessors collapse onto the
+//! plain ones.
 //!
 //! The round-robin assignment `class_of(u) = u mod num_classes` is
 //! deliberate: a user's class never changes when the fleet grows, which
 //! preserves the fleet engine's guarantee that adding users never
 //! perturbs existing users' trajectories.
 
-use crate::{LogLikelihoodTable, MarkovChain, MarkovError, Result};
+use crate::{EpochSchedule, LogLikelihoodTable, MarkovChain, MarkovError, Result};
 
-/// A registry of mobility model classes with per-class cached
-/// log-likelihood tables and a deterministic user→class mapping.
+/// A registry of mobility model classes with per-class (× per-epoch)
+/// cached log-likelihood tables and a deterministic user→class mapping.
 ///
-/// All classes must share one cell space (the MEC coverage layout is
-/// common to the whole fleet even when movement patterns differ).
+/// All classes of all epochs must share one cell space (the MEC coverage
+/// layout is common to the whole fleet even when movement patterns
+/// differ).
 ///
 /// # Example
 ///
@@ -36,6 +45,7 @@ use crate::{LogLikelihoodTable, MarkovChain, MarkovError, Result};
 ///     MarkovChain::new(ModelKind::SpatiallySkewed.build(10, &mut rng)?)?,
 /// ])?;
 /// assert_eq!(registry.num_classes(), 2);
+/// assert_eq!(registry.num_epochs(), 1);
 /// assert_eq!(registry.class_of(0), 0);
 /// assert_eq!(registry.class_of(7), 1);
 /// assert_eq!(registry.table(1).num_states(), 10);
@@ -44,8 +54,14 @@ use crate::{LogLikelihoodTable, MarkovChain, MarkovError, Result};
 /// ```
 #[derive(Debug, Clone)]
 pub struct MobilityRegistry {
-    chains: Vec<MarkovChain>,
-    tables: Vec<LogLikelihoodTable>,
+    /// Epoch-major chain storage: `chains[epoch][class]`. Stationary
+    /// registries hold exactly one epoch.
+    chains: Vec<Vec<MarkovChain>>,
+    /// Cached log-likelihood tables, aligned with `chains`.
+    tables: Vec<Vec<LogLikelihoodTable>>,
+    /// The slot → epoch map; [`EpochSchedule::stationary`] for every
+    /// constructor that does not name a schedule.
+    schedule: EpochSchedule,
     /// Optional explicit user→class map; `class_of(u)` reads
     /// `assignment[u % assignment.len()]`, falling back to plain
     /// round-robin when absent. Trace-backed fleets use this to keep each
@@ -55,8 +71,8 @@ pub struct MobilityRegistry {
 }
 
 impl MobilityRegistry {
-    /// Builds a registry from one chain per class, precomputing every
-    /// class's log-likelihood table up front.
+    /// Builds a stationary (one-epoch) registry from one chain per
+    /// class, precomputing every class's log-likelihood table up front.
     ///
     /// # Errors
     ///
@@ -64,29 +80,69 @@ impl MobilityRegistry {
     /// [`MarkovError::DimensionMismatch`] when the classes disagree on
     /// the number of cells.
     pub fn new(chains: Vec<MarkovChain>) -> Result<Self> {
-        let first = chains.first().ok_or(MarkovError::Empty)?;
+        Self::with_epochs(vec![chains], EpochSchedule::stationary())
+    }
+
+    /// Builds a time-varying registry: one chain per class **per epoch**
+    /// (`per_epoch[epoch][class]`), with `schedule` naming the epoch
+    /// active at each slot. Every epoch must supply the same classes over
+    /// the same cell space; a one-epoch schedule reduces bit-for-bit to
+    /// [`new`](Self::new).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::Empty`] when `per_epoch` (or any epoch's
+    /// class list) is empty, [`MarkovError::LengthMismatch`] when epochs
+    /// disagree on the class count or `per_epoch` does not cover
+    /// `schedule.num_epochs()`, and [`MarkovError::DimensionMismatch`]
+    /// when any chain disagrees on the number of cells.
+    pub fn with_epochs(per_epoch: Vec<Vec<MarkovChain>>, schedule: EpochSchedule) -> Result<Self> {
+        let first_epoch = per_epoch.first().ok_or(MarkovError::Empty)?;
+        let first = first_epoch.first().ok_or(MarkovError::Empty)?;
+        if per_epoch.len() != schedule.num_epochs() {
+            return Err(MarkovError::LengthMismatch {
+                expected: schedule.num_epochs(),
+                found: per_epoch.len(),
+            });
+        }
+        let classes = first_epoch.len();
         let states = first.num_states();
-        for chain in &chains {
-            if chain.num_states() != states {
-                return Err(MarkovError::DimensionMismatch {
-                    expected: states,
-                    found: chain.num_states(),
+        for epoch in &per_epoch {
+            if epoch.len() != classes {
+                return Err(MarkovError::LengthMismatch {
+                    expected: classes,
+                    found: epoch.len(),
                 });
             }
+            for chain in epoch {
+                if chain.num_states() != states {
+                    return Err(MarkovError::DimensionMismatch {
+                        expected: states,
+                        found: chain.num_states(),
+                    });
+                }
+            }
         }
-        let tables = chains
+        let tables = per_epoch
             .iter()
-            .map(MarkovChain::log_likelihood_table)
+            .map(|epoch| {
+                epoch
+                    .iter()
+                    .map(MarkovChain::log_likelihood_table)
+                    .collect()
+            })
             .collect();
         Ok(MobilityRegistry {
-            chains,
+            chains: per_epoch,
             tables,
+            schedule,
             assignment: None,
         })
     }
 
-    /// Builds a registry with an explicit user→class assignment pattern:
-    /// user `u` belongs to `assignment[u % assignment.len()]`.
+    /// Builds a stationary registry with an explicit user→class
+    /// assignment pattern: user `u` belongs to
+    /// `assignment[u % assignment.len()]`.
     ///
     /// This is how empirically-clustered trace fleets are wired up: the
     /// ingestion pipeline partitions trace nodes into model classes,
@@ -104,39 +160,77 @@ impl MobilityRegistry {
     /// [`MarkovError::ClassOutOfRange`] when an assignment entry names a
     /// class that does not exist.
     pub fn with_assignment(chains: Vec<MarkovChain>, assignment: Vec<usize>) -> Result<Self> {
-        let mut registry = Self::new(chains)?;
+        Self::new(chains)?.assigned(assignment)
+    }
+
+    /// [`with_epochs`](Self::with_epochs) plus an explicit user→class
+    /// assignment pattern (see
+    /// [`with_assignment`](Self::with_assignment)).
+    ///
+    /// # Errors
+    ///
+    /// The union of [`with_epochs`](Self::with_epochs)'s and
+    /// [`with_assignment`](Self::with_assignment)'s errors.
+    pub fn with_epochs_and_assignment(
+        per_epoch: Vec<Vec<MarkovChain>>,
+        schedule: EpochSchedule,
+        assignment: Vec<usize>,
+    ) -> Result<Self> {
+        Self::with_epochs(per_epoch, schedule)?.assigned(assignment)
+    }
+
+    /// Installs a validated assignment pattern.
+    fn assigned(mut self, assignment: Vec<usize>) -> Result<Self> {
         if assignment.is_empty() {
             return Err(MarkovError::Empty);
         }
-        if let Some(&bad) = assignment.iter().find(|&&c| c >= registry.num_classes()) {
+        if let Some(&bad) = assignment.iter().find(|&&c| c >= self.num_classes()) {
             return Err(MarkovError::ClassOutOfRange {
                 class: bad,
-                classes: registry.num_classes(),
+                classes: self.num_classes(),
             });
         }
-        registry.assignment = Some(assignment);
-        Ok(registry)
+        self.assignment = Some(assignment);
+        Ok(self)
     }
 
-    /// A single-class registry (the homogeneous fleet as a degenerate
-    /// case).
+    /// A single-class stationary registry (the homogeneous fleet as a
+    /// degenerate case).
     pub fn single(chain: MarkovChain) -> Self {
-        let tables = vec![chain.log_likelihood_table()];
+        let tables = vec![vec![chain.log_likelihood_table()]];
         MobilityRegistry {
-            chains: vec![chain],
+            chains: vec![vec![chain]],
             tables,
+            schedule: EpochSchedule::stationary(),
             assignment: None,
         }
     }
 
     /// Number of model classes.
     pub fn num_classes(&self) -> usize {
+        self.chains[0].len()
+    }
+
+    /// Number of epochs (1 for stationary registries).
+    pub fn num_epochs(&self) -> usize {
         self.chains.len()
+    }
+
+    /// The slot → epoch map ([`EpochSchedule::stationary`] for
+    /// stationary registries).
+    pub fn schedule(&self) -> &EpochSchedule {
+        &self.schedule
+    }
+
+    /// Whether this registry holds a single epoch (and therefore behaves
+    /// exactly like the pre-epoch stationary registry).
+    pub fn is_stationary(&self) -> bool {
+        self.num_epochs() == 1
     }
 
     /// Number of cells in the (shared) state space.
     pub fn num_states(&self) -> usize {
-        self.chains[0].num_states()
+        self.chains[0][0].num_states()
     }
 
     /// The class user `user` belongs to: the explicit assignment pattern
@@ -147,38 +241,83 @@ impl MobilityRegistry {
     pub fn class_of(&self, user: usize) -> usize {
         match &self.assignment {
             Some(map) => map[user % map.len()],
-            None => user % self.chains.len(),
+            None => user % self.num_classes(),
         }
     }
 
-    /// The mobility chain of class `class`.
+    /// The epoch-0 mobility chain of class `class` — the stationary view
+    /// (for a one-epoch registry, *the* chain of the class).
     ///
     /// # Panics
     ///
     /// Panics if `class >= num_classes()`.
     pub fn chain(&self, class: usize) -> &MarkovChain {
-        &self.chains[class]
+        &self.chains[0][class]
     }
 
-    /// The chain user `user` moves by.
+    /// The chain of class `class` in epoch `epoch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= num_classes()` or `epoch >= num_epochs()`.
+    pub fn chain_at(&self, class: usize, epoch: usize) -> &MarkovChain {
+        &self.chains[epoch][class]
+    }
+
+    /// The epoch-0 chain user `user` moves by (stationary view).
     pub fn chain_of(&self, user: usize) -> &MarkovChain {
-        &self.chains[self.class_of(user)]
+        self.chain(self.class_of(user))
     }
 
-    /// The precomputed log-likelihood table of class `class`.
+    /// The chain governing user `user`'s arrival at slot `slot`: the
+    /// user's class under the epoch `schedule().epoch_of(slot)` names.
+    /// For a one-epoch registry this is [`chain_of`](Self::chain_of) for
+    /// every slot.
+    #[inline]
+    pub fn chain_of_at(&self, user: usize, slot: usize) -> &MarkovChain {
+        &self.chains[self.schedule.epoch_of(slot)][self.class_of(user)]
+    }
+
+    /// The precomputed epoch-0 log-likelihood table of class `class`
+    /// (stationary view).
     ///
     /// # Panics
     ///
     /// Panics if `class >= num_classes()`.
     pub fn table(&self, class: usize) -> &LogLikelihoodTable {
-        &self.tables[class]
+        &self.tables[0][class]
     }
 
-    /// All per-class tables in class order — the detector-side view (the
-    /// eavesdropper knows the population's model mix, not any user's
-    /// class).
+    /// The precomputed table of class `class` in epoch `epoch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= num_classes()` or `epoch >= num_epochs()`.
+    pub fn table_at(&self, class: usize, epoch: usize) -> &LogLikelihoodTable {
+        &self.tables[epoch][class]
+    }
+
+    /// All epoch-0 per-class tables in class order — the stationary
+    /// detector-side view (the eavesdropper knows the population's model
+    /// mix, not any user's class).
     pub fn tables(&self) -> Vec<&LogLikelihoodTable> {
-        self.tables.iter().collect()
+        self.tables_at(0)
+    }
+
+    /// All per-class tables of epoch `epoch`, in class order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch >= num_epochs()`.
+    pub fn tables_at(&self, epoch: usize) -> Vec<&LogLikelihoodTable> {
+        self.tables[epoch].iter().collect()
+    }
+
+    /// Owned clones of every epoch's per-class tables, epoch-major — the
+    /// construction input of schedule-aware streaming detectors, which
+    /// must own their tables to outlive the registry borrow.
+    pub fn to_epoch_tables(&self) -> Vec<Vec<LogLikelihoodTable>> {
+        self.tables.clone()
     }
 }
 
@@ -281,7 +420,137 @@ mod tests {
         let registry = MobilityRegistry::single(chain(ModelKind::NonSkewed, 4, 9));
         assert_eq!(registry.num_classes(), 1);
         assert_eq!(registry.num_states(), 4);
+        assert_eq!(registry.num_epochs(), 1);
+        assert!(registry.is_stationary());
         assert_eq!(registry.class_of(123), 0);
         assert_eq!(registry.tables().len(), 1);
+    }
+
+    #[test]
+    fn epoch_registry_looks_up_the_slot_active_chain() {
+        let day = vec![
+            chain(ModelKind::NonSkewed, 6, 21),
+            chain(ModelKind::SpatiallySkewed, 6, 22),
+        ];
+        let night = vec![
+            chain(ModelKind::TemporallySkewed, 6, 23),
+            chain(ModelKind::SpatioTemporallySkewed, 6, 24),
+        ];
+        let schedule = EpochSchedule::day_night(2, 3).unwrap();
+        let registry =
+            MobilityRegistry::with_epochs(vec![day.clone(), night.clone()], schedule).unwrap();
+        assert_eq!(registry.num_epochs(), 2);
+        assert_eq!(registry.num_classes(), 2);
+        assert!(!registry.is_stationary());
+        // Slots 0–1 are day, 2–4 night, then the pattern repeats.
+        assert_eq!(
+            registry.chain_of_at(0, 1).matrix(),
+            registry.chain_at(0, 0).matrix()
+        );
+        assert_eq!(
+            registry.chain_of_at(0, 3).matrix(),
+            registry.chain_at(0, 1).matrix()
+        );
+        assert_eq!(
+            registry.chain_of_at(1, 5).matrix(),
+            registry.chain_at(1, 0).matrix()
+        );
+        // The stationary accessors are the epoch-0 (day) view.
+        assert_eq!(registry.chain(1).matrix(), day[1].matrix());
+        assert_eq!(registry.table(1).num_states(), 6);
+        assert_eq!(registry.chain_at(1, 1).matrix(), night[1].matrix());
+        // Per-epoch tables match their chains bit-for-bit.
+        let mut rng = StdRng::seed_from_u64(25);
+        for epoch in 0..2 {
+            for class in 0..2 {
+                let x = registry
+                    .chain_at(class, epoch)
+                    .sample_trajectory(9, &mut rng);
+                let a = registry.table_at(class, epoch).log_likelihood(&x);
+                let b = registry.chain_at(class, epoch).log_likelihood(&x);
+                assert_eq!(a.to_bits(), b.to_bits(), "epoch {epoch} class {class}");
+            }
+        }
+        assert_eq!(registry.to_epoch_tables().len(), 2);
+        assert_eq!(registry.tables_at(1).len(), 2);
+    }
+
+    #[test]
+    fn one_epoch_registry_reduces_to_the_stationary_constructor() {
+        let chains = vec![
+            chain(ModelKind::NonSkewed, 5, 31),
+            chain(ModelKind::SpatiallySkewed, 5, 32),
+        ];
+        let stationary = MobilityRegistry::new(chains.clone()).unwrap();
+        let epoch =
+            MobilityRegistry::with_epochs(vec![chains], EpochSchedule::stationary()).unwrap();
+        for class in 0..2 {
+            assert_eq!(
+                stationary.chain(class).matrix(),
+                epoch.chain(class).matrix()
+            );
+            for slot in 0..7 {
+                assert_eq!(
+                    epoch.chain_of_at(class, slot).matrix(),
+                    stationary.chain_of(class).matrix()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_constructors_validate_shapes() {
+        let a = chain(ModelKind::NonSkewed, 5, 41);
+        let b = chain(ModelKind::SpatiallySkewed, 5, 42);
+        let wide = chain(ModelKind::NonSkewed, 6, 43);
+        let two = EpochSchedule::day_night(1, 1).unwrap();
+        // Epoch count must match the schedule.
+        assert!(matches!(
+            MobilityRegistry::with_epochs(vec![vec![a.clone()]], two.clone()),
+            Err(MarkovError::LengthMismatch {
+                expected: 2,
+                found: 1
+            })
+        ));
+        // Epochs must agree on the class count.
+        assert!(matches!(
+            MobilityRegistry::with_epochs(
+                vec![vec![a.clone(), b.clone()], vec![a.clone()]],
+                two.clone()
+            ),
+            Err(MarkovError::LengthMismatch {
+                expected: 2,
+                found: 1
+            })
+        ));
+        // All chains must share the cell space.
+        assert!(matches!(
+            MobilityRegistry::with_epochs(vec![vec![a.clone()], vec![wide]], two.clone()),
+            Err(MarkovError::DimensionMismatch {
+                expected: 5,
+                found: 6
+            })
+        ));
+        // Empty inputs fail typed.
+        assert!(matches!(
+            MobilityRegistry::with_epochs(Vec::new(), EpochSchedule::stationary()),
+            Err(MarkovError::Empty)
+        ));
+        assert!(matches!(
+            MobilityRegistry::with_epochs(vec![Vec::new()], EpochSchedule::stationary()),
+            Err(MarkovError::Empty)
+        ));
+        // Assignments validate against the class count, epochs included.
+        assert!(matches!(
+            MobilityRegistry::with_epochs_and_assignment(
+                vec![vec![a.clone()], vec![b]],
+                two,
+                vec![0, 1]
+            ),
+            Err(MarkovError::ClassOutOfRange {
+                class: 1,
+                classes: 1
+            })
+        ));
     }
 }

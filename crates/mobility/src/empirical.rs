@@ -9,7 +9,9 @@
 //! matrix stays stochastic.
 
 use crate::Result;
-use chaff_markov::{CellId, MarkovChain, StateDistribution, Trajectory, TransitionMatrix};
+use chaff_markov::{
+    CellId, EpochSchedule, MarkovChain, StateDistribution, Trajectory, TransitionMatrix,
+};
 use serde::{Deserialize, Serialize};
 
 /// An empirical mobility model estimated from trajectories.
@@ -78,19 +80,33 @@ impl EmpiricalAccumulator {
     pub fn record(&mut self, trajectory: &Trajectory) -> Result<()> {
         let mut prev: Option<CellId> = None;
         for cell in trajectory.iter() {
-            if cell.index() >= self.num_cells {
+            self.record_step(prev, cell)?;
+            prev = Some(cell);
+        }
+        Ok(())
+    }
+
+    /// Records a single arrival: one visit at `cell`, plus (when `prev` is
+    /// given) one `prev → cell` transition. This is the per-slot unit the
+    /// epoch-indexed accumulator routes to the slot's active epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `cell` (or `prev`) is out of range.
+    pub fn record_step(&mut self, prev: Option<CellId>, cell: CellId) -> Result<()> {
+        for c in prev.iter().chain(std::iter::once(&cell)) {
+            if c.index() >= self.num_cells {
                 return Err(chaff_markov::MarkovError::CellOutOfRange {
-                    cell: cell.index(),
+                    cell: c.index(),
                     states: self.num_cells,
                 }
                 .into());
             }
-            self.visits[cell.index()] += 1;
-            if let Some(p) = prev {
-                self.counts[p.index() * self.num_cells + cell.index()] += 1;
-                self.num_transitions += 1;
-            }
-            prev = Some(cell);
+        }
+        self.visits[cell.index()] += 1;
+        if let Some(p) = prev {
+            self.counts[p.index() * self.num_cells + cell.index()] += 1;
+            self.num_transitions += 1;
         }
         Ok(())
     }
@@ -155,6 +171,113 @@ impl EmpiricalAccumulator {
             visits: self.visits,
             num_transitions: self.num_transitions,
         })
+    }
+}
+
+/// Epoch-indexed count accumulation: one [`EmpiricalAccumulator`] per
+/// epoch of an [`EpochSchedule`], following the same arrival convention
+/// as the detectors — the visit at slot `t` *and* the transition into
+/// slot `t` both count toward `epoch_of(t)`.
+///
+/// Like the plain accumulator, all counts are exact integers, so per-shard
+/// epoch accumulators merge commutatively and [`pooled`](Self::pooled)
+/// (the sum over epochs) reproduces the stationary accumulator's counts
+/// bit-for-bit — a one-epoch schedule *is* the stationary path.
+#[derive(Debug, Clone)]
+pub struct EpochAccumulator {
+    schedule: EpochSchedule,
+    epochs: Vec<EmpiricalAccumulator>,
+}
+
+impl EpochAccumulator {
+    /// Creates an empty accumulator over `num_cells` cells, one count set
+    /// per epoch of `schedule`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `num_cells == 0`.
+    pub fn new(num_cells: usize, schedule: EpochSchedule) -> Result<Self> {
+        let epochs = (0..schedule.num_epochs())
+            .map(|_| EmpiricalAccumulator::new(num_cells))
+            .collect::<Result<_>>()?;
+        Ok(EpochAccumulator { schedule, epochs })
+    }
+
+    /// The slot → epoch map the counts are bucketed by.
+    pub fn schedule(&self) -> &EpochSchedule {
+        &self.schedule
+    }
+
+    /// Number of cells in the state space.
+    pub fn num_cells(&self) -> usize {
+        self.epochs[0].num_cells()
+    }
+
+    /// Records one trajectory, starting at slot 0 of the schedule: the
+    /// arrival at slot `t` (visit + incoming transition) is counted in
+    /// epoch `schedule.epoch_of(t)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the trajectory visits an out-of-range cell;
+    /// counts recorded before the offending step are kept.
+    pub fn record(&mut self, trajectory: &Trajectory) -> Result<()> {
+        let mut prev: Option<CellId> = None;
+        for (slot, cell) in trajectory.iter().enumerate() {
+            self.epochs[self.schedule.epoch_of(slot)].record_step(prev, cell)?;
+            prev = Some(cell);
+        }
+        Ok(())
+    }
+
+    /// Adds another accumulator's per-epoch counts into this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a length-mismatch error when the schedules differ and a
+    /// dimension-mismatch error when the cell spaces differ.
+    pub fn merge(&mut self, other: &EpochAccumulator) -> Result<()> {
+        if other.schedule != self.schedule {
+            return Err(chaff_markov::MarkovError::LengthMismatch {
+                expected: self.schedule.period(),
+                found: other.schedule.period(),
+            }
+            .into());
+        }
+        for (a, b) in self.epochs.iter_mut().zip(&other.epochs) {
+            a.merge(b)?;
+        }
+        Ok(())
+    }
+
+    /// Sums the per-epoch counts into one stationary accumulator — the
+    /// exact counts a schedule-blind pass over the same trajectories would
+    /// have produced, so the pooled model is bit-for-bit the stationary
+    /// estimate.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice (all epochs share one cell space); kept
+    /// fallible for uniformity with [`merge`](Self::merge).
+    pub fn pooled(&self) -> Result<EmpiricalAccumulator> {
+        let mut pooled = self.epochs[0].clone();
+        for epoch in &self.epochs[1..] {
+            pooled.merge(epoch)?;
+        }
+        Ok(pooled)
+    }
+
+    /// Normalizes each epoch's counts into its own [`EmpiricalModel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any epoch recorded no slot at all (e.g. a
+    /// schedule period longer than every trajectory).
+    pub fn finish(self, smoothing: f64) -> Result<Vec<EmpiricalModel>> {
+        self.epochs
+            .into_iter()
+            .map(|acc| acc.finish(smoothing))
+            .collect()
     }
 }
 
@@ -322,5 +445,94 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn epoch_accumulator_buckets_arrivals_by_slot() {
+        // day/night(2, 2): slots 0,1 are epoch 0; slots 2,3 are epoch 1.
+        let schedule = EpochSchedule::day_night(2, 2).unwrap();
+        let mut acc = EpochAccumulator::new(2, schedule).unwrap();
+        acc.record(&Trajectory::from_indices([0, 1, 1, 0])).unwrap();
+        // Day: visits at slots 0,1 (cells 0,1) + transition 0->1 into slot 1.
+        // Night: visits at slots 2,3 (cells 1,0) + transitions 1->1 (into
+        // slot 2, the epoch boundary) and 1->0 (into slot 3).
+        let models = acc.clone().finish(0.0).unwrap();
+        assert_eq!(models.len(), 2);
+        assert_eq!(models[0].num_transitions(), 1);
+        assert_eq!(models[1].num_transitions(), 2);
+        assert_eq!(models[0].visits(), &[1, 1]);
+        assert_eq!(models[1].visits(), &[1, 1]);
+        // Day saw only 0->1; night saw 1->1 (the boundary arrival at slot
+        // 2 lands in the *arrival* epoch) and 1->0.
+        let day = models[0].chain().matrix();
+        assert_eq!(day.prob(CellId::new(0), CellId::new(1)), 1.0);
+        let night = models[1].chain().matrix();
+        assert!((night.prob(CellId::new(1), CellId::new(1)) - 0.5).abs() < 1e-12);
+        assert!((night.prob(CellId::new(1), CellId::new(0)) - 0.5).abs() < 1e-12);
+        // Pooled counts equal a schedule-blind pass, bit-for-bit.
+        let mut blind = EmpiricalAccumulator::new(2).unwrap();
+        blind
+            .record(&Trajectory::from_indices([0, 1, 1, 0]))
+            .unwrap();
+        let pooled = acc.pooled().unwrap().finish(0.0).unwrap();
+        let reference = blind.finish(0.0).unwrap();
+        assert_eq!(pooled.chain().matrix(), reference.chain().matrix());
+        assert_eq!(pooled.visits(), reference.visits());
+    }
+
+    #[test]
+    fn one_epoch_accumulator_is_the_stationary_accumulator() {
+        let trajectories = vec![
+            Trajectory::from_indices([0, 1, 2, 1, 0]),
+            Trajectory::from_indices([2, 2, 0, 1, 1]),
+        ];
+        let mut epoch = EpochAccumulator::new(3, EpochSchedule::stationary()).unwrap();
+        let mut plain = EmpiricalAccumulator::new(3).unwrap();
+        for t in &trajectories {
+            epoch.record(t).unwrap();
+            plain.record(t).unwrap();
+        }
+        let models = epoch.finish(0.0).unwrap();
+        assert_eq!(models.len(), 1);
+        let reference = plain.finish(0.0).unwrap();
+        assert_eq!(models[0].chain().matrix(), reference.chain().matrix());
+        for (a, b) in models[0]
+            .chain()
+            .initial()
+            .as_slice()
+            .iter()
+            .zip(reference.chain().initial().as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn epoch_accumulator_merge_and_error_paths() {
+        let schedule = EpochSchedule::day_night(1, 1).unwrap();
+        let mut a = EpochAccumulator::new(2, schedule.clone()).unwrap();
+        let mut b = EpochAccumulator::new(2, schedule.clone()).unwrap();
+        a.record(&Trajectory::from_indices([0, 1])).unwrap();
+        b.record(&Trajectory::from_indices([1, 0])).unwrap();
+        let mut merged = a.clone();
+        merged.merge(&b).unwrap();
+        let mut single = EpochAccumulator::new(2, schedule.clone()).unwrap();
+        single.record(&Trajectory::from_indices([0, 1])).unwrap();
+        single.record(&Trajectory::from_indices([1, 0])).unwrap();
+        let m1 = merged.finish(0.0).unwrap();
+        let m2 = single.finish(0.0).unwrap();
+        for (x, y) in m1.iter().zip(&m2) {
+            assert_eq!(x.chain().matrix(), y.chain().matrix());
+        }
+        // Mismatched schedules refuse to merge.
+        let other = EpochAccumulator::new(2, EpochSchedule::stationary()).unwrap();
+        assert!(a.merge(&other).is_err());
+        // Out-of-range cells are rejected.
+        assert!(a.record(&Trajectory::from_indices([0, 9])).is_err());
+        // An epoch with no arrivals cannot be finished into a model.
+        let starved = EpochAccumulator::new(2, EpochSchedule::day_night(3, 1).unwrap()).unwrap();
+        let mut starved = starved;
+        starved.record(&Trajectory::from_indices([0, 1])).unwrap();
+        assert!(starved.finish(0.0).is_err());
     }
 }

@@ -25,7 +25,10 @@
 //!   regular slots (the paper's footnote 11);
 //! * [`empirical`] — empirical Markov-model estimation from quantized
 //!   trajectories, including the mergeable integer-count accumulator the
-//!   sharded engine reduces over;
+//!   sharded engine reduces over and its epoch-indexed variant (one
+//!   count set per epoch of an `EpochSchedule`);
+//! * [`commuter`] — a deterministic day/night commuter fleet, the
+//!   canonical non-stationary workload for epoch-aware estimation;
 //! * [`stream`] — streaming trace sources ([`stream::TraceStream`]):
 //!   per-node record batches from the synthetic generator (bit-for-bit
 //!   the eager stream), replica-amplified fleets for 10⁴–10⁵-node
@@ -60,6 +63,7 @@
 
 mod error;
 
+pub mod commuter;
 pub mod crawdad;
 pub mod empirical;
 pub mod feed;

@@ -21,13 +21,14 @@
 //!   process-wide worker pool ([`chaff_core::pool`], like the fleet
 //!   engine's sharding) runs the
 //!   regularize→quantize stages per node, and per-shard
-//!   [`EmpiricalAccumulator`]s of integer transition counts are merged at
-//!   the end — so the resulting [`TraceDataset`] is identical for every
-//!   shard count and batch size. The [`replicas`](TraceDatasetBuilder::replicas)
+//!   [`EpochAccumulator`]s of integer transition counts (one count set
+//!   per epoch of the configured schedule; a single set by default) are
+//!   merged at the end — so the resulting [`TraceDataset`] is identical
+//!   for every shard count and batch size. The [`replicas`](TraceDatasetBuilder::replicas)
 //!   knob amplifies the synthetic fleet to 10⁴–10⁵ nodes via per-replica
 //!   SplitMix64 seed streams.
 
-use crate::empirical::{EmpiricalAccumulator, EmpiricalModel};
+use crate::empirical::{EmpiricalModel, EpochAccumulator};
 use crate::geo::BoundingBox;
 use crate::interpolate::{inactivity_reason, regularize, regularize_fleet, SlotGrid};
 use crate::record::NodeTrace;
@@ -36,7 +37,7 @@ use crate::taxi::{generate_fleet, TaxiFleetConfig};
 use crate::towers::{clustered_layout, min_separation_filter, DEFAULT_MIN_SEPARATION_M};
 use crate::voronoi::CellMap;
 use crate::{MobilityError, Result};
-use chaff_markov::{MarkovChain, Trajectory};
+use chaff_markov::{EpochSchedule, MarkovChain, MobilityRegistry, Trajectory};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -48,6 +49,12 @@ pub struct TraceDataset {
     node_ids: Vec<String>,
     trajectories: Vec<Trajectory>,
     model: EmpiricalModel,
+    epoch_schedule: EpochSchedule,
+    /// Per-epoch estimates, present only when the builder was given a
+    /// non-trivial epoch schedule. The pooled [`model`](Self::model) is
+    /// always estimated schedule-blind, so enabling epochs never perturbs
+    /// the stationary numbers.
+    epoch_models: Option<Vec<EmpiricalModel>>,
 }
 
 impl TraceDataset {
@@ -72,9 +79,41 @@ impl TraceDataset {
         &self.model
     }
 
-    /// The empirical mobility chain (matrix + occupancy steady state).
+    /// The empirical mobility chain (matrix + occupancy steady state),
+    /// pooled over all slots regardless of any epoch schedule.
     pub fn model(&self) -> &MarkovChain {
         self.model.chain()
+    }
+
+    /// The slot → epoch map the dataset was estimated under (stationary
+    /// unless [`TraceDatasetBuilder::epoch_schedule`] was set).
+    pub fn epoch_schedule(&self) -> &EpochSchedule {
+        &self.epoch_schedule
+    }
+
+    /// Per-epoch empirical models, when the builder was given an epoch
+    /// schedule: `epoch_models()[e]` is estimated from exactly the slots
+    /// `t` with `epoch_of(t) == e` (arrival convention).
+    pub fn epoch_models(&self) -> Option<&[EmpiricalModel]> {
+        self.epoch_models.as_deref()
+    }
+
+    /// Bridges the dataset into the detector stack: a single-class
+    /// [`MobilityRegistry`] over the per-epoch chains when an epoch
+    /// schedule was set, or over the pooled chain otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates registry shape validation (never fails for datasets
+    /// built by this pipeline).
+    pub fn registry(&self) -> Result<MobilityRegistry> {
+        match &self.epoch_models {
+            Some(models) => Ok(MobilityRegistry::with_epochs(
+                models.iter().map(|m| vec![m.chain().clone()]).collect(),
+                self.epoch_schedule.clone(),
+            )?),
+            None => Ok(MobilityRegistry::single(self.model.chain().clone())),
+        }
     }
 }
 
@@ -94,6 +133,7 @@ pub struct TraceDatasetBuilder {
     shards: Option<usize>,
     batch_nodes: usize,
     replicas: usize,
+    epoch_schedule: Option<EpochSchedule>,
     external_traces: Option<Vec<NodeTrace>>,
     external_towers: Option<Vec<crate::geo::GeoPoint>>,
 }
@@ -115,6 +155,7 @@ impl Default for TraceDatasetBuilder {
             shards: None,
             batch_nodes: 256,
             replicas: 1,
+            epoch_schedule: None,
             external_traces: None,
             external_towers: None,
         }
@@ -181,6 +222,17 @@ impl TraceDatasetBuilder {
     /// legacy-identical single fleet.
     pub fn replicas(mut self, replicas: usize) -> Self {
         self.replicas = replicas;
+        self
+    }
+
+    /// Additionally estimates one empirical model per epoch of `schedule`
+    /// (slot `t` of the evaluation window counts toward
+    /// `schedule.epoch_of(t)`, arrival convention). The pooled
+    /// [`TraceDataset::model`] stays schedule-blind and bit-for-bit
+    /// unchanged; the per-epoch estimates are exposed via
+    /// [`TraceDataset::epoch_models`] / [`TraceDataset::registry`].
+    pub fn epoch_schedule(mut self, schedule: EpochSchedule) -> Self {
+        self.epoch_schedule = Some(schedule);
         self
     }
 
@@ -282,13 +334,28 @@ impl TraceDatasetBuilder {
             trajectories.push(cell_map.quantize(&positions));
         }
 
-        // 5. Empirical model.
+        // 5. Empirical model (pooled, schedule-blind) plus the optional
+        // per-epoch pass.
         let model = EmpiricalModel::estimate(&trajectories, cell_map.num_cells(), 0.0)?;
+        let epoch_models = match &self.epoch_schedule {
+            Some(schedule) => {
+                let mut acc = EpochAccumulator::new(cell_map.num_cells(), schedule.clone())?;
+                for trajectory in &trajectories {
+                    acc.record(trajectory)?;
+                }
+                Some(acc.finish(0.0)?)
+            }
+            None => None,
+        };
         Ok(TraceDataset {
             cell_map,
             node_ids,
             trajectories,
             model,
+            epoch_schedule: self
+                .epoch_schedule
+                .unwrap_or_else(EpochSchedule::stationary),
+            epoch_models,
         })
     }
 
@@ -402,8 +469,12 @@ impl TraceDatasetBuilder {
         };
 
         let shards = self.effective_shards();
-        let mut accumulators: Vec<EmpiricalAccumulator> = (0..shards)
-            .map(|_| EmpiricalAccumulator::new(cell_map.num_cells()))
+        let schedule = self
+            .epoch_schedule
+            .clone()
+            .unwrap_or_else(EpochSchedule::stationary);
+        let mut accumulators: Vec<EpochAccumulator> = (0..shards)
+            .map(|_| EpochAccumulator::new(cell_map.num_cells(), schedule.clone()))
             .collect::<Result<_>>()?;
         let hint = stream.len_hint().unwrap_or(0);
         let mut node_ids: Vec<String> = Vec::with_capacity(hint);
@@ -456,17 +527,25 @@ impl TraceDatasetBuilder {
         }
 
         // Merge per-shard integer counts (exact, order-independent) and
-        // normalize once.
+        // normalize once. The pooled model is estimated from the summed
+        // per-epoch counts — exactly the counts a schedule-blind pass
+        // would have produced, so it is bit-for-bit schedule-independent.
         let mut merged = accumulators.swap_remove(0);
         for acc in &accumulators {
             merged.merge(acc)?;
         }
-        let model = merged.finish(0.0)?;
+        let model = merged.pooled()?.finish(0.0)?;
+        let epoch_models = match self.epoch_schedule {
+            Some(_) => Some(merged.finish(0.0)?),
+            None => None,
+        };
         Ok(TraceDataset {
             cell_map,
             node_ids,
             trajectories,
             model,
+            epoch_schedule: schedule,
+            epoch_models,
         })
     }
 
@@ -488,7 +567,7 @@ fn process_chunk(
     outs: &mut [Option<(String, Trajectory)>],
     grid: &SlotGrid,
     cell_map: &CellMap,
-    acc: &mut EmpiricalAccumulator,
+    acc: &mut EpochAccumulator,
 ) {
     for (trace, out) in traces.iter().zip(outs.iter_mut()) {
         if let Some(positions) = regularize(trace, grid) {
@@ -631,6 +710,36 @@ mod tests {
                 }
                 other => panic!("unexpected error: {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn epoch_schedule_adds_models_without_perturbing_the_pooled_one() {
+        let schedule = EpochSchedule::day_night(25, 15).unwrap();
+        let epoch_ds = small().epoch_schedule(schedule.clone()).build().unwrap();
+        let plain = small_dataset();
+        // Pooled estimate is schedule-blind: bit-for-bit the plain build.
+        assert_eq!(epoch_ds.model().matrix(), plain.model().matrix());
+        assert_eq!(epoch_ds.trajectories(), plain.trajectories());
+        assert!(plain.epoch_models().is_none());
+        assert!(plain.epoch_schedule().is_stationary());
+        // Per-epoch estimates exist and genuinely differ from the pool.
+        let models = epoch_ds.epoch_models().expect("epochs were requested");
+        assert_eq!(models.len(), 2);
+        assert_eq!(epoch_ds.epoch_schedule(), &schedule);
+        assert_ne!(models[0].chain().matrix(), plain.model().matrix());
+        // The registry bridge carries the schedule into the detector stack.
+        let registry = epoch_ds.registry().unwrap();
+        assert_eq!(registry.num_epochs(), 2);
+        assert_eq!(registry.num_classes(), 1);
+        assert_eq!(plain.registry().unwrap().num_epochs(), 1);
+        // Streaming with the same schedule agrees with the legacy build.
+        let streamed = small().epoch_schedule(schedule).build_streaming().unwrap();
+        assert_eq!(streamed.model().matrix(), epoch_ds.model().matrix());
+        let streamed_models = streamed.epoch_models().unwrap();
+        for (a, b) in streamed_models.iter().zip(models) {
+            assert_eq!(a.chain().matrix(), b.chain().matrix());
+            assert_eq!(a.visits(), b.visits());
         }
     }
 

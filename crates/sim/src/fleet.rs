@@ -68,7 +68,9 @@
 use crate::network::MecNetwork;
 use crate::observer::ShardedObservationLog;
 use crate::{Result, SimError};
-use chaff_core::strategy::{CmlController, ImController, MoController, OnlineChaffController};
+use chaff_core::strategy::{
+    CmlController, EpochChains, ImController, MoController, OnlineChaffController,
+};
 use chaff_markov::{CellGrid, CellId, MarkovChain, MobilityRegistry, TrajectoryArena};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -208,6 +210,38 @@ impl FleetChaffStrategy {
             FleetChaffStrategy::Im => Box::new(ImController::new(chain)),
             FleetChaffStrategy::Cml => Box::new(CmlController::new(chain)),
             FleetChaffStrategy::Mo => Box::new(MoController::new(chain)),
+        }
+    }
+
+    /// Builds the per-slot controller for one chaff of a class-`class`
+    /// user over the registry's epoch-active chains.
+    ///
+    /// The controller keeps one *continuous* cross-slot state (walk
+    /// position, likelihood gap) while its chain switches with the
+    /// slot's epoch — chaffs stay statistically indistinguishable from
+    /// users across epoch boundaries (IM walks the same time-varying
+    /// process the users do), and MO's γ race is scored under the same
+    /// slot-active tables a schedule-aware detector applies. Controllers
+    /// consume exactly the per-slot RNG draws of the stationary path (IM
+    /// draws once per slot, CML and MO draw nothing), so a schedule
+    /// whose epochs hold identical chains replays the stationary seed
+    /// stream bit for bit.
+    pub fn scheduled_controller<'a>(
+        self,
+        registry: &'a MobilityRegistry,
+        class: usize,
+    ) -> Box<dyn OnlineChaffController + 'a> {
+        let chains = EpochChains::new(
+            (0..registry.num_epochs())
+                .map(|epoch| registry.chain_at(class, epoch))
+                .collect(),
+            registry.schedule().clone(),
+        )
+        .expect("registry epochs are shape-validated at construction");
+        match self {
+            FleetChaffStrategy::Im => Box::new(ImController::scheduled(chains)),
+            FleetChaffStrategy::Cml => Box::new(CmlController::scheduled(chains)),
+            FleetChaffStrategy::Mo => Box::new(MoController::scheduled(chains)),
         }
     }
 }
@@ -649,6 +683,18 @@ impl<'a> FleetModel<'a> {
         }
     }
 
+    /// The chain governing user `user`'s arrival at slot `slot` — the
+    /// epoch-active chain of the user's class. For homogeneous fleets and
+    /// one-epoch registries this is [`chain_of`](Self::chain_of) at every
+    /// slot, so the stationary draw sequence is untouched.
+    #[inline]
+    pub(crate) fn chain_at_slot(&self, user: usize, slot: usize) -> &'a MarkovChain {
+        match self {
+            FleetModel::Homogeneous(c) => c,
+            FleetModel::Heterogeneous(r) => r.chain_of_at(user, slot),
+        }
+    }
+
     pub(crate) fn num_states(&self) -> usize {
         match self {
             FleetModel::Homogeneous(c) => c.num_states(),
@@ -698,7 +744,8 @@ impl<'a> FleetSimulation<'a> {
 
     /// Creates a heterogeneous fleet over a registry of mobility-model
     /// classes: user `u` moves by (and its chaffs mimic)
-    /// `registry.chain_of(u)`.
+    /// `registry.chain_of(u)` — or, for a multi-epoch registry, the
+    /// epoch-active chain of `u`'s class at every slot.
     pub fn with_registry(registry: &'a MobilityRegistry, config: FleetConfig) -> Self {
         FleetSimulation {
             model: FleetModel::Heterogeneous(registry),
@@ -762,7 +809,17 @@ impl<'a> FleetSimulation<'a> {
             |user| policy.budget_of(user, model.class_of(user), n),
             |user, _chaff| {
                 let class = model.class_of(user);
-                Ok(policy.strategy_of(class).controller(model.chain_of(user)))
+                let strategy = policy.strategy_of(class);
+                // Time-varying fleets step one continuous controller
+                // against the epoch-active chains; the stationary path
+                // (every fleet until now) keeps the bare controller —
+                // bit-for-bit the old stream.
+                Ok(match model {
+                    FleetModel::Heterogeneous(r) if !r.is_stationary() => {
+                        strategy.scheduled_controller(r, class)
+                    }
+                    _ => strategy.controller(model.chain_of(user)),
+                })
             },
         )
     }
@@ -929,7 +986,6 @@ impl<'a> FleetSimulation<'a> {
     where
         F: Fn(usize, usize) -> Result<Box<dyn OnlineChaffController + 'a>> + Sync,
     {
-        let chain = self.model.chain_of(user);
         let mut rng = StdRng::seed_from_u64(user_seed(self.config.seed, user as u64));
         let mut chaff_lanes: Vec<(Box<dyn OnlineChaffController + 'a>, StdRng)> = (0..budget)
             .map(|c| {
@@ -939,6 +995,10 @@ impl<'a> FleetSimulation<'a> {
             .collect::<Result<_>>()?;
         let mut user_now: Option<CellId> = None;
         for (slot, user_slot) in user_row.iter_mut().enumerate() {
+            // The arrival at `slot` is drawn from that slot's epoch-active
+            // chain. Every chain consumes exactly one draw per step, so a
+            // one-epoch model replays the stationary stream bit-for-bit.
+            let chain = self.model.chain_at_slot(user, slot);
             let cell = match user_now {
                 None => chain.initial().sample(&mut rng),
                 Some(prev) => chain.step(prev, &mut rng),

@@ -251,7 +251,18 @@ impl<'a> StreamingFleetEngine<'a> {
                 let chaffs = (0..budget)
                     .map(|c| {
                         let seed = chaff_seed(config.seed, user as u64, c as u64);
-                        let controller = policy.strategy_of(class).controller(model.chain_of(user));
+                        // The same epoch-aware factory as the batch
+                        // engine's `run_chaffed`: a multi-epoch registry
+                        // steps one continuous controller against the
+                        // epoch-active chains, the stationary path keeps
+                        // the bare controller.
+                        let strategy = policy.strategy_of(class);
+                        let controller: Box<dyn OnlineChaffController + 'a> = match model {
+                            FleetModel::Heterogeneous(r) if !r.is_stationary() => {
+                                strategy.scheduled_controller(r, class)
+                            }
+                            _ => strategy.controller(model.chain_of(user)),
+                        };
                         (controller, StdRng::seed_from_u64(seed))
                     })
                     .collect();
@@ -275,14 +286,32 @@ impl<'a> StreamingFleetEngine<'a> {
         for &idx in &user_observed_indices {
             is_user[idx] = true;
         }
-        let tables: Vec<LogLikelihoodTable> = match model {
-            FleetModel::Homogeneous(chain) => vec![chain.log_likelihood_table()],
-            FleetModel::Heterogeneous(registry) => (0..registry.num_classes())
-                .map(|c| registry.table(c).clone())
-                .collect(),
+        // A multi-epoch registry arms the eavesdropper with the full
+        // epoch-major table set (it knows the population's time-varying
+        // model mix); stationary models keep the plain construction.
+        let mut detector = match model {
+            FleetModel::Heterogeneous(registry) if !registry.is_stationary() => {
+                StreamingPrefixDetector::with_schedule(
+                    registry.to_epoch_tables(),
+                    registry.schedule().clone(),
+                    num_services,
+                    config.effective_shards(),
+                )?
+            }
+            _ => {
+                let tables: Vec<LogLikelihoodTable> = match model {
+                    FleetModel::Homogeneous(chain) => vec![chain.log_likelihood_table()],
+                    FleetModel::Heterogeneous(registry) => (0..registry.num_classes())
+                        .map(|c| registry.table(c).clone())
+                        .collect(),
+                };
+                StreamingPrefixDetector::with_shards(
+                    tables,
+                    num_services,
+                    config.effective_shards(),
+                )?
+            }
         };
-        let mut detector =
-            StreamingPrefixDetector::with_shards(tables, num_services, config.effective_shards())?;
         // An adaptive policy needs the detector-side accuracy feedback to
         // compute its next epoch, so the running view is enabled up front
         // (other policies can opt in with `with_feedback`).
@@ -462,7 +491,7 @@ impl<'a> StreamingFleetEngine<'a> {
         // interleaves user and chaff draws per slot but never across
         // users (independent streams make user order irrelevant).
         for user in 0..self.config.num_users {
-            let chain = self.model.chain_of(user);
+            let chain = self.model.chain_at_slot(user, self.slot);
             let lane = &mut self.users[user];
             let cell = match lane.now {
                 None => chain.initial().sample(&mut lane.rng),
